@@ -1,0 +1,234 @@
+// Package deepcat's root benchmarks regenerate every table and figure of
+// the paper's evaluation (see DESIGN.md for the experiment index). Each
+// benchmark runs the corresponding harness experiment at the quick profile
+// and reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full study. Results across Figures 6-8 share one set of
+// tuning sessions through the harness cache, exactly as in the paper.
+// The full-scale profile is available via cmd/deepcat-bench.
+package deepcat
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"deepcat/internal/harness"
+)
+
+var (
+	benchOnce sync.Once
+	benchH    *harness.Harness
+)
+
+// bench returns the shared quick-profile harness; models trained by one
+// benchmark are reused by the others, as the experiments themselves share
+// offline models.
+func bench() *harness.Harness {
+	benchOnce.Do(func() {
+		opts := harness.QuickOptions()
+		opts.Workers = harness.AutoWorkers()
+		benchH = harness.New(opts)
+	})
+	return benchH
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.FprintTable1(io.Discard)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.FprintTable2(io.Discard)
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	h := bench()
+	var last harness.Fig2Result
+	for i := 0; i < b.N; i++ {
+		last = h.RunFig2(200)
+	}
+	b.ReportMetric(100*last.FracBeatDefault, "%beat-default")
+	b.ReportMetric(100*last.FracWithin10, "%within10")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	h := bench()
+	var last harness.Fig3Result
+	for i := 0; i < b.N; i++ {
+		last = h.RunFig3(h.Opts.OfflineIters, h.Opts.OfflineIters/10)
+	}
+	b.ReportMetric(last.Corr, "minQ-reward-corr")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	h := bench()
+	marks := []int{300, 600, 900, 1200, 1800}
+	var last harness.Fig4Result
+	for i := 0; i < b.N; i++ {
+		last = h.RunFig4(marks)
+	}
+	b.ReportMetric(last.BestRDPER[0], "rdper-early-best-s")
+	b.ReportMetric(last.BestUniform[0], "uniform-early-best-s")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	h := bench()
+	var last harness.Fig5Result
+	for i := 0; i < b.N; i++ {
+		last = h.RunFig5(h.Opts.OfflineIters * 2 / 5)
+	}
+	b.ReportMetric(last.TotalWith, "cost-with-twinq-s")
+	b.ReportMetric(last.TotalWithout, "cost-without-twinq-s")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	h := bench()
+	for i := 0; i < b.N; i++ {
+		h.RunComparison().FprintFig6(io.Discard)
+	}
+	c := h.RunComparison()
+	b.ReportMetric(c.AvgSpeedup("DeepCAT"), "deepcat-speedup")
+	b.ReportMetric(c.AvgSpeedup("CDBTune"), "cdbtune-speedup")
+	b.ReportMetric(c.AvgSpeedup("OtterTune"), "ottertune-speedup")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	h := bench()
+	for i := 0; i < b.N; i++ {
+		h.RunComparison().FprintFig7(io.Discard)
+	}
+	c := h.RunComparison()
+	b.ReportMetric(c.AvgTotalCost("DeepCAT"), "deepcat-cost-s")
+	b.ReportMetric(c.AvgTotalCost("CDBTune"), "cdbtune-cost-s")
+	b.ReportMetric(c.AvgTotalCost("OtterTune"), "ottertune-cost-s")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	h := bench()
+	for i := 0; i < b.N; i++ {
+		h.RunComparison().FprintFig8(io.Discard)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	h := bench()
+	var last harness.Fig9Result
+	for i := 0; i < b.N; i++ {
+		last = h.RunFig9()
+	}
+	// First row is the natively trained M_PR->PR reference.
+	b.ReportMetric(last.DeepCATRows[0].BestTime, "native-best-s")
+	var worst float64
+	for _, r := range last.DeepCATRows[1:] {
+		if r.BestTime > worst {
+			worst = r.BestTime
+		}
+	}
+	b.ReportMetric(worst, "worst-transfer-best-s")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	h := bench()
+	var last harness.Fig10Result
+	for i := 0; i < b.N; i++ {
+		last = h.RunFig10()
+	}
+	for _, r := range last.Rows {
+		if r.Tuner == "DeepCAT" && r.Pair == "WC-D1" {
+			b.ReportMetric(r.Speedup, "deepcat-wc-speedup-B")
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	h := bench()
+	var last harness.Fig11Result
+	for i := 0; i < b.N; i++ {
+		last = h.RunFig11(h.Opts.OfflineIters / 2)
+	}
+	// Mid-range beta (paper's pick is 0.6) vs the extremes.
+	b.ReportMetric(last.Points[5].BestTime, "beta0.6-best-s")
+	b.ReportMetric(last.Points[0].BestTime, "beta0.1-best-s")
+	b.ReportMetric(last.Points[8].BestTime, "beta0.9-best-s")
+}
+
+func BenchmarkFig12(b *testing.B) {
+	h := bench()
+	ths := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	var last harness.Fig12Result
+	for i := 0; i < b.N; i++ {
+		last = h.RunFig12(h.Opts.OfflineIters*2/5, ths)
+	}
+	b.ReportMetric(last.Points[2].Cost, "qth0.3-cost-s")
+	b.ReportMetric(last.Points[4].Cost, "qth0.5-cost-s")
+}
+
+func BenchmarkExtensions(b *testing.B) {
+	h := bench()
+	var last harness.ExtensionResult
+	for i := 0; i < b.N; i++ {
+		last = h.RunExtensions()
+	}
+	b.ReportMetric(last.DeepCATBest, "deepcat-5step-best-s")
+	b.ReportMetric(last.Rows[0].BestTime, "bestconfig-5step-best-s")
+	b.ReportMetric(last.Rows[2].BestTime, "bestconfig-50step-best-s")
+}
+
+func BenchmarkDynamicStream(b *testing.B) {
+	h := bench()
+	var last harness.DynamicResult
+	for i := 0; i < b.N; i++ {
+		last = h.RunDynamic([]string{"TS", "PR"}, 4)
+	}
+	b.ReportMetric(last.MeanSpeedup["DeepCAT"], "deepcat-stream-speedup")
+	b.ReportMetric(last.MeanSpeedup["OtterTune"], "ottertune-stream-speedup")
+}
+
+func BenchmarkAblationReplay(b *testing.B) {
+	h := bench()
+	var last harness.AblationResult
+	for i := 0; i < b.N; i++ {
+		last = h.RunAblationReplay(h.Opts.OfflineIters / 2)
+	}
+	for _, row := range last.Rows {
+		if row.Variant == "replay=rdper" {
+			b.ReportMetric(row.BestTime, "rdper-best-s")
+		}
+	}
+}
+
+func BenchmarkAblationTwinQ(b *testing.B) {
+	h := bench()
+	var last harness.AblationResult
+	for i := 0; i < b.N; i++ {
+		last = h.RunAblationTwinQ(h.Opts.OfflineIters * 2 / 5)
+	}
+	b.ReportMetric(last.Rows[0].Cost, "minq-gate-cost-s")
+	b.ReportMetric(last.Rows[2].Cost, "no-gate-cost-s")
+}
+
+func BenchmarkAblationBackbone(b *testing.B) {
+	h := bench()
+	var last harness.AblationResult
+	for i := 0; i < b.N; i++ {
+		last = h.RunAblationBackbone(h.Opts.OfflineIters / 2)
+	}
+	b.ReportMetric(last.Rows[0].BestTime, "td3-best-s")
+	b.ReportMetric(last.Rows[1].BestTime, "ddpg-best-s")
+}
+
+func BenchmarkAblationReward(b *testing.B) {
+	h := bench()
+	var last harness.AblationResult
+	for i := 0; i < b.N; i++ {
+		last = h.RunAblationReward(h.Opts.OfflineIters / 2)
+	}
+	b.ReportMetric(last.Rows[0].BestTime, "immediate-best-s")
+	b.ReportMetric(last.Rows[1].BestTime, "delta-best-s")
+}

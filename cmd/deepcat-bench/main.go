@@ -1,0 +1,193 @@
+// Command deepcat-bench regenerates the paper's tables and figures on the
+// sparksim substrate.
+//
+// Examples:
+//
+//	deepcat-bench -exp all                 # everything, full profile
+//	deepcat-bench -exp fig6 -profile quick # one figure, reduced scale
+//	deepcat-bench -exp fig4,fig5,fig12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"deepcat/internal/harness"
+)
+
+// experiments maps experiment ids to runners. Figures 6-8 share one
+// comparison run through the harness cache. Runners return a non-nil
+// harness.CSVWriter when the experiment has an exportable data series.
+var experiments = []struct {
+	id  string
+	run func(h *harness.Harness, w io.Writer) harness.CSVWriter
+}{
+	{"table1", func(h *harness.Harness, w io.Writer) harness.CSVWriter { harness.FprintTable1(w); return nil }},
+	{"table2", func(h *harness.Harness, w io.Writer) harness.CSVWriter { harness.FprintTable2(w); return nil }},
+	{"fig2", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		r := h.RunFig2(200)
+		r.Fprint(w)
+		return r
+	}},
+	{"fig3", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		r := h.RunFig3(h.Opts.OfflineIters, h.Opts.OfflineIters/15)
+		r.Fprint(w)
+		return r
+	}},
+	{"fig4", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		r := h.RunFig4(fig4Marks(h))
+		r.Fprint(w)
+		return r
+	}},
+	{"fig5", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		r := h.RunFig5(h.Opts.OfflineIters * 2 / 5)
+		r.Fprint(w)
+		return r
+	}},
+	{"fig6", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		c := h.RunComparison()
+		c.FprintFig6(w)
+		return c
+	}},
+	{"fig7", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		h.RunComparison().FprintFig7(w)
+		return nil // data shared with fig6.csv
+	}},
+	{"fig8", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		h.RunComparison().FprintFig8(w)
+		return nil // data shared with fig6.csv
+	}},
+	{"fig9", func(h *harness.Harness, w io.Writer) harness.CSVWriter { h.RunFig9().Fprint(w); return nil }},
+	{"fig10", func(h *harness.Harness, w io.Writer) harness.CSVWriter { h.RunFig10().Fprint(w); return nil }},
+	{"fig11", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		r := h.RunFig11(h.Opts.OfflineIters / 2)
+		r.Fprint(w)
+		return r
+	}},
+	{"fig12", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		r := h.RunFig12(h.Opts.OfflineIters*2/5, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+		r.Fprint(w)
+		return r
+	}},
+	{"extensions", func(h *harness.Harness, w io.Writer) harness.CSVWriter { h.RunExtensions().Fprint(w); return nil }},
+	{"dynamic", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		h.RunDynamic([]string{"TS", "PR", "WC", "KM"}, 8).Fprint(w)
+		return nil
+	}},
+	{"ablations", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+		it := h.Opts.OfflineIters / 2
+		h.RunAblationReplay(it).Fprint(w)
+		fmt.Fprintln(w)
+		h.RunAblationTwinQ(h.Opts.OfflineIters * 2 / 5).Fprint(w)
+		fmt.Fprintln(w)
+		h.RunAblationBackbone(it).Fprint(w)
+		fmt.Fprintln(w)
+		h.RunAblationReward(it).Fprint(w)
+		return nil
+	}},
+}
+
+func fig4Marks(h *harness.Harness) []int {
+	total := h.Opts.OfflineIters * 2 // convergence study trains longer
+	step := total / 9
+	marks := make([]int, 9)
+	for i := range marks {
+		marks[i] = step * (i + 1)
+	}
+	return marks
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'; ids: table1 table2 fig2..fig12 extensions dynamic ablations")
+		profile = flag.String("profile", "full", "scale profile: full or quick")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", harness.AutoWorkers(), "goroutines for fan-out experiments (1 = serial)")
+		out     = flag.String("out", "", "write output to file instead of stdout")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV data series into")
+	)
+	flag.Parse()
+
+	opts := harness.DefaultOptions()
+	if *profile == "quick" {
+		opts = harness.QuickOptions()
+	} else if *profile != "full" {
+		fmt.Fprintf(os.Stderr, "deepcat-bench: unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+	opts.Seed = *seed
+	opts.Workers = *workers
+	h := harness.New(opts)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deepcat-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	want := map[string]bool{}
+	if *exp != "all" {
+		for _, id := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		for id := range want {
+			if !known(id) {
+				fmt.Fprintf(os.Stderr, "deepcat-bench: unknown experiment %q\n", id)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "deepcat-bench:", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range experiments {
+		if *exp != "all" && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(w, "=== %s ===\n", e.id)
+		data := e.run(h, w)
+		fmt.Fprintf(w, "(%s took %.1fs)\n\n", e.id, time.Since(start).Seconds())
+		if *csvDir != "" && data != nil {
+			if err := writeCSVFile(filepath.Join(*csvDir, e.id+".csv"), data); err != nil {
+				fmt.Fprintln(os.Stderr, "deepcat-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSVFile(path string, data harness.CSVWriter) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := data.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func known(id string) bool {
+	for _, e := range experiments {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}

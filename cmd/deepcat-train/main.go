@@ -1,0 +1,76 @@
+// Command deepcat-train runs DeepCAT's offline training stage on a
+// simulated Spark cluster and saves the resulting model for later online
+// tuning with deepcat-tune.
+//
+// Example:
+//
+//	deepcat-train -workload TS -input 1 -iters 2000 -o ts-d1.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"deepcat/internal/cli"
+	"deepcat/internal/core"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "TS", "workload to train on: WC, TS, PR or KM")
+		input    = flag.Int("input", 1, "input dataset: 1, 2 or 3 (Table 1)")
+		cluster  = flag.String("cluster", "a", "hardware environment: a or b")
+		iters    = flag.Int("iters", 2000, "offline training iterations")
+		seed     = flag.Int64("seed", 1, "random seed")
+		beta     = flag.Float64("beta", 0.6, "RDPER high-reward batch ratio")
+		replay   = flag.String("replay", "rdper", "replay mechanism: rdper, uniform or per")
+		out      = flag.String("o", "deepcat.model", "output model file")
+	)
+	flag.Parse()
+
+	e, err := cli.BuildEnv(*cluster, *workload, *input, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+	cfg.Beta = *beta
+	cfg.ReplayMode = *replay
+	d, err := core.New(rand.New(rand.NewSource(*seed)), cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("offline training on %s (default %.1fs) for %d iterations...\n",
+		e.Label(), e.DefaultTime(), *iters)
+	start := time.Now()
+	trace := d.OfflineTrain(e, *iters, nil)
+	fmt.Printf("done in %.1fs; RDPER pools: %d high-reward, %d low-reward\n",
+		time.Since(start).Seconds(), trace.HighPool, trace.LowPool)
+
+	last := trace.Iters[len(trace.Iters)-min(100, len(trace.Iters)):]
+	var mean float64
+	for _, it := range last {
+		mean += it.Reward
+	}
+	fmt.Printf("mean reward over final %d iterations: %.3f\n", len(last), mean/float64(len(last)))
+
+	if err := d.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model saved to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deepcat-train:", err)
+	os.Exit(1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+// Command sparksim-explore inspects the simulated Spark/YARN/HDFS cluster:
+// default configuration times, random-search statistics and performance
+// CDFs — useful for understanding the tuning landscape the agents face.
+//
+// Examples:
+//
+//	sparksim-explore                         # all 12 pairs, summary
+//	sparksim-explore -workload TS -n 500     # deeper look at one pair
+//	sparksim-explore -workload TS -show-default
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"deepcat/internal/analysis"
+	"deepcat/internal/sparksim"
+)
+
+func main() {
+	var (
+		workload    = flag.String("workload", "", "workload to explore (WC, TS, PR, KM); empty = all")
+		input       = flag.Int("input", 1, "input dataset: 1, 2 or 3")
+		cluster     = flag.String("cluster", "a", "hardware environment: a or b")
+		n           = flag.Int("n", 200, "number of random configurations to sample")
+		seed        = flag.Int64("seed", 1, "random seed")
+		showDefault = flag.Bool("show-default", false, "print the default configuration values")
+		importance  = flag.Bool("importance", false, "rank knob importance (Lasso) from the random samples")
+	)
+	flag.Parse()
+
+	var cl sparksim.Cluster
+	switch *cluster {
+	case "a":
+		cl = sparksim.ClusterA()
+	case "b":
+		cl = sparksim.ClusterB()
+	default:
+		fmt.Fprintf(os.Stderr, "sparksim-explore: unknown cluster %q\n", *cluster)
+		os.Exit(1)
+	}
+	sim := sparksim.NewSimulator(cl, *seed)
+	fmt.Println(cl.String())
+
+	if *showDefault {
+		fmt.Println("\ndefault configuration:")
+		fmt.Print(sim.Space().Describe(sim.Space().DefaultValues()))
+	}
+
+	if *workload == "" {
+		fmt.Printf("\n%-8s %-10s %-10s %-9s %-7s %s\n", "pair", "default", "best", "speedup", "fail%", "oom%")
+		for _, p := range sparksim.AllPairs() {
+			explore(sim, p.Workload, p.InputIdx, *n, *seed, false)
+		}
+		return
+	}
+
+	w, err := sparksim.WorkloadByShort(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparksim-explore:", err)
+		os.Exit(1)
+	}
+	if *input < 1 || *input > 3 {
+		fmt.Fprintf(os.Stderr, "sparksim-explore: input %d outside 1..3\n", *input)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%-8s %-10s %-10s %-9s %-7s %s\n", "pair", "default", "best", "speedup", "fail%", "oom%")
+	explore(sim, w, *input-1, *n, *seed, true)
+
+	if *importance {
+		rankKnobs(sim, w, *input-1, *n, *seed)
+	}
+}
+
+// rankKnobs samples the workload and prints the Lasso knob-importance
+// ranking (see internal/analysis).
+func rankKnobs(sim *sparksim.Simulator, w sparksim.Workload, inputIdx, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed + 1234))
+	var actions [][]float64
+	var times []float64
+	for i := 0; i < n; i++ {
+		u := sim.Space().RandomAction(rng)
+		actions = append(actions, u)
+		times = append(times, sim.Evaluate(w, inputIdx, u).ExecTime)
+	}
+	ranking, err := analysis.KnobImportance(sim.Space(), actions, times, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparksim-explore:", err)
+		return
+	}
+	fmt.Println("\nknob importance (Lasso weight on normalized knob; negative = raising it speeds the job up):")
+	for i, imp := range ranking {
+		if i >= 12 {
+			break
+		}
+		fmt.Printf("  %2d. %-45s %9.2f\n", i+1, imp.Name, imp.Weight)
+	}
+}
+
+func explore(sim *sparksim.Simulator, w sparksim.Workload, inputIdx, n int, seed int64, cdf bool) {
+	rng := rand.New(rand.NewSource(seed + int64(inputIdx)*97))
+	def := sim.DefaultTime(w, inputIdx)
+	best := def
+	var fails, ooms int
+	times := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		r := sim.Evaluate(w, inputIdx, sim.Space().RandomAction(rng))
+		times = append(times, r.ExecTime)
+		if r.Failed {
+			fails++
+		}
+		if r.OOM {
+			ooms++
+		}
+		if !r.Failed && r.ExecTime < best {
+			best = r.ExecTime
+		}
+	}
+	fmt.Printf("%-8s %-10.1f %-10.1f %-9.2f %-7.1f %.1f\n",
+		sparksim.PairLabel(w, inputIdx), def, best, def/best,
+		100*float64(fails)/float64(n), 100*float64(ooms)/float64(n))
+
+	if cdf {
+		sort.Float64s(times)
+		fmt.Println("\nexecution-time percentiles over random configurations:")
+		for _, p := range []int{5, 25, 50, 75, 95} {
+			idx := p * len(times) / 100
+			if idx >= len(times) {
+				idx = len(times) - 1
+			}
+			fmt.Printf("  p%-3d %.1fs\n", p, times[idx])
+		}
+	}
+}

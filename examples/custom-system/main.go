@@ -1,0 +1,121 @@
+// Custom system: DeepCAT is not tied to Spark. Any system exposing the
+// env.Environment interface — a configuration space, an evaluation
+// callback, a state vector — can be tuned. This example defines a toy web
+// service (thread pool, cache, timeouts, GC knobs) with a synthetic latency
+// model and tunes it end to end.
+//
+//	go run ./examples/custom-system
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"deepcat/internal/config"
+	"deepcat/internal/core"
+	"deepcat/internal/env"
+)
+
+// webService is a synthetic tunable system: p99 latency (ms) of a request
+// pipeline as a function of six knobs. It implements env.Environment.
+type webService struct {
+	space *config.Space
+	rng   *rand.Rand
+}
+
+func newWebService() *webService {
+	space, err := config.NewSpace([]config.Param{
+		{Name: "worker.threads", Component: "pool", Kind: config.Numeric, Min: 1, Max: 64, Default: 4, Integer: true},
+		{Name: "pool.queue.size", Component: "pool", Kind: config.Numeric, Min: 16, Max: 1024, Default: 128, Integer: true},
+		{Name: "cache.size.mb", Component: "cache", Kind: config.Numeric, Min: 16, Max: 2048, Default: 64, Integer: true, Unit: "MB"},
+		{Name: "cache.policy", Component: "cache", Kind: config.Categorical, Choices: []string{"lru", "lfu", "arc"}, Default: 0},
+		{Name: "downstream.timeout.ms", Component: "net", Kind: config.Numeric, Min: 50, Max: 2000, Default: 1000, Integer: true, Unit: "ms"},
+		{Name: "gc.aggressive", Component: "runtime", Kind: config.Bool, Default: 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &webService{space: space, rng: rand.New(rand.NewSource(5))}
+}
+
+func (s *webService) Space() *config.Space { return s.space }
+func (s *webService) StateDim() int        { return 3 }
+func (s *webService) MetricsDim() int      { return 3 }
+func (s *webService) DefaultTime() float64 { return s.latency(s.space.DefaultValues()) }
+func (s *webService) IdleState() []float64 { return []float64{0.2, 0.2, 0.2} }
+func (s *webService) Label() string        { return "webservice" }
+
+// latency is the synthetic p99 model: queueing at the worker pool, cache
+// hit rate vs memory pressure, and timeout-driven retry amplification.
+func (s *webService) latency(v []float64) float64 {
+	threads, queue, cacheMB := v[0], v[1], v[2]
+	policy, timeout, gc := v[3], v[4], v[5]
+
+	const offeredLoad = 24.0 // requests in flight
+	utilization := offeredLoad / threads
+	queueing := 5 * utilization * utilization
+	if utilization > 1 {
+		queueing += 40 * (utilization - 1) // saturated pool
+	}
+	if queue < offeredLoad*4 {
+		queueing += 15 // rejects/retries on a short queue
+	}
+
+	hitRate := 1 - math.Exp(-cacheMB/300)
+	if policy == 2 { // arc
+		hitRate = math.Min(1, hitRate*1.08)
+	}
+	backendMs := 120 * (1 - hitRate)
+
+	memPressure := cacheMB / 2048
+	gcPause := 8 + 30*memPressure
+	if gc == 1 {
+		gcPause = 4 + 10*memPressure // aggressive GC trades CPU for pauses
+		queueing *= 1.15
+	}
+
+	retry := 1.0
+	if timeout < 150 {
+		retry = 1.6 // premature timeouts retry the slow tail
+	} else if timeout > 1200 {
+		retry = 1.2 // stragglers hold workers
+	}
+
+	return (10 + queueing + backendMs + gcPause) * retry
+}
+
+func (s *webService) Evaluate(u []float64) env.Outcome {
+	v := s.space.Denormalize(u)
+	l := s.latency(v) * (1 + 0.02*s.rng.NormFloat64())
+	util := 24.0 / v[0]
+	return env.Outcome{
+		ExecTime: l,
+		State:    []float64{math.Min(util, 4), v[2] / 2048, l / 100},
+		Metrics:  []float64{l, util, v[2]},
+	}
+}
+
+func main() {
+	svc := newWebService()
+	fmt.Printf("default p99 latency: %.1f ms\n", svc.DefaultTime())
+
+	cfg := core.DefaultConfig(svc.StateDim(), svc.Space().Dim())
+	// Latency is in milliseconds, not minutes: evaluations are cheap here,
+	// so allow more online steps.
+	cfg.OnlineSteps = 10
+	tuner, err := core.New(rand.New(rand.NewSource(3)), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("offline training (1500 iterations)...")
+	tuner.OfflineTrain(svc, 1500, nil)
+
+	report := tuner.OnlineTune(svc)
+	fmt.Printf("\nbest p99 latency found: %.1f ms (%.2fx better than default)\n",
+		report.BestTime, report.Speedup(svc.DefaultTime()))
+	fmt.Printf("\nrecommended configuration:\n%s",
+		svc.Space().Describe(svc.Space().Denormalize(report.BestAction)))
+}

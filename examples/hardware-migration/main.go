@@ -1,0 +1,50 @@
+// Hardware migration (paper §5.3.2): a DeepCAT model trained on the
+// bare-metal Cluster-A tunes the same workload on the smaller, virtualized
+// Cluster-B. Recommendations outside the new environment's physical bounds
+// are clipped to the boundary, per the paper's rule.
+//
+//	go run ./examples/hardware-migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"deepcat/internal/core"
+	"deepcat/internal/env"
+	"deepcat/internal/sparksim"
+)
+
+func main() {
+	simA := sparksim.NewSimulator(sparksim.ClusterA(), 1)
+	simB := sparksim.NewSimulator(sparksim.ClusterB(), 1)
+	fmt.Println("train on:", simA.Cluster().String())
+	fmt.Println("tune on: ", simB.Cluster().String())
+
+	wc, err := sparksim.WorkloadByShort("WC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainEnv := env.NewSparkEnv(simA, wc, 0)
+
+	cfg := core.DefaultConfig(trainEnv.StateDim(), trainEnv.Space().Dim())
+	tuner, err := core.New(rand.New(rand.NewSource(11)), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noffline training on Cluster-A...")
+	tuner.OfflineTrain(trainEnv, 2000, nil)
+
+	// Cluster-B environment with boundary clamping: a 10 GB executor
+	// request cannot be scheduled on an 8 GB node, so out-of-scope values
+	// are clipped instead of failing the job.
+	target := env.NewSparkEnv(simB, wc, 0)
+	target.Clamp = true
+	fmt.Printf("Cluster-B default time: %.1fs\n\n", target.DefaultTime())
+
+	report := tuner.OnlineTune(target)
+	fmt.Print(report.String())
+	fmt.Printf("\nspeedup over Cluster-B default: %.2fx\n", report.Speedup(target.DefaultTime()))
+	fmt.Printf("total online tuning cost: %.1fs\n", report.TotalCost())
+}

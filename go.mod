@@ -1,0 +1,3 @@
+module deepcat
+
+go 1.22

@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"deepcat/internal/analysis"
+)
+
+// Lasso recovers a sparse linear relationship: only the informative
+// features receive non-zero weights.
+func ExampleLasso() {
+	// y = 2*x0, features x1 and x2 are noise-free but irrelevant.
+	x := [][]float64{
+		{0.0, 0.3, 0.9},
+		{0.2, 0.8, 0.1},
+		{0.4, 0.1, 0.5},
+		{0.6, 0.9, 0.2},
+		{0.8, 0.4, 0.7},
+		{1.0, 0.6, 0.4},
+	}
+	y := []float64{0.0, 0.4, 0.8, 1.2, 1.6, 2.0}
+	w, err := analysis.Lasso(x, y, 0.01, 200)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("w0=%.1f w1=%.1f w2=%.1f\n", w[0], w[1], w[2])
+	// Output:
+	// w0=2.0 w1=0.0 w2=0.0
+}

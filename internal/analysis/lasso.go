@@ -1,0 +1,165 @@
+// Package analysis provides white-box configuration analysis: Lasso-based
+// knob importance ranking over observed (configuration, performance)
+// samples. OtterTune uses exactly this technique to select the knobs worth
+// tuning (Van Aken et al., 2017, §5.1), and the DeepCAT paper points to
+// software-analysis-driven dimension reduction (LOCAT, LITE) as the future
+// work that would further cut online tuning cost — this package is the
+// reusable primitive for both.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"deepcat/internal/config"
+	"deepcat/internal/mat"
+)
+
+// Lasso fits a linear model y = Xw + b with an L1 penalty via cyclic
+// coordinate descent on standardized features, and returns the weights in
+// the original (un-standardized) feature scale. lambda is the L1 strength
+// in standardized space (typical values 0.001-0.1 of the response's
+// standard deviation); iters is the number of full coordinate sweeps.
+//
+// Columns with zero variance receive weight 0. The intercept is not
+// returned: importance analysis only needs the weights.
+func Lasso(x [][]float64, y []float64, lambda float64, iters int) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("analysis: no samples")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("analysis: %d samples but %d targets", n, len(y))
+	}
+	dim := len(x[0])
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("analysis: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("analysis: negative lambda %g", lambda)
+	}
+
+	// Standardize columns and center the response.
+	mu := make([]float64, dim)
+	sd := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		col := make([]float64, n)
+		for i := range x {
+			col[i] = x[i][j]
+		}
+		mu[j] = mat.Mean(col)
+		sd[j] = mat.Stddev(col)
+	}
+	ymean := mat.Mean(y)
+	z := make([][]float64, n) // standardized features
+	for i := range x {
+		z[i] = make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			if sd[j] > 1e-12 {
+				z[i][j] = (x[i][j] - mu[j]) / sd[j]
+			}
+		}
+	}
+	r := make([]float64, n) // residual with current weights (all zero)
+	for i := range y {
+		r[i] = y[i] - ymean
+	}
+
+	w := make([]float64, dim)
+	nf := float64(n)
+	for it := 0; it < iters; it++ {
+		for j := 0; j < dim; j++ {
+			if sd[j] <= 1e-12 {
+				continue
+			}
+			// rho = (1/n) * z_j · (r + z_j w_j): the correlation of the
+			// j-th feature with the residual excluding its own term.
+			var rho, zz float64
+			for i := range z {
+				rho += z[i][j] * (r[i] + z[i][j]*w[j])
+				zz += z[i][j] * z[i][j]
+			}
+			rho /= nf
+			zz /= nf
+			wNew := softThreshold(rho, lambda) / zz
+			if wNew != w[j] {
+				d := wNew - w[j]
+				for i := range r {
+					r[i] -= d * z[i][j]
+				}
+				w[j] = wNew
+			}
+		}
+	}
+	// Map back to original scale.
+	for j := range w {
+		if sd[j] > 1e-12 {
+			w[j] /= sd[j]
+		}
+	}
+	return w, nil
+}
+
+// softThreshold is the Lasso proximal operator.
+func softThreshold(x, lambda float64) float64 {
+	switch {
+	case x > lambda:
+		return x - lambda
+	case x < -lambda:
+		return x + lambda
+	default:
+		return 0
+	}
+}
+
+// Importance is one knob's ranked contribution to the performance model.
+type Importance struct {
+	// Index is the knob's position in the configuration space.
+	Index int
+	// Name is the knob's parameter name.
+	Name string
+	// Weight is the signed Lasso weight on the normalized knob value
+	// (negative = increasing the knob reduces execution time).
+	Weight float64
+}
+
+// KnobImportance ranks a configuration space's knobs by their Lasso weight
+// magnitude against the observed performance. Actions must be normalized
+// configurations ([0,1]^d) and y the corresponding execution times (or any
+// cost to minimize). lambda defaults to 1% of stddev(y) when zero.
+func KnobImportance(space *config.Space, actions [][]float64, y []float64, lambda float64) ([]Importance, error) {
+	if lambda == 0 {
+		lambda = 0.01 * mat.Stddev(y)
+	}
+	w, err := Lasso(actions, y, lambda, 100)
+	if err != nil {
+		return nil, err
+	}
+	if len(w) != space.Dim() {
+		return nil, fmt.Errorf("analysis: %d weights for a %d-dim space", len(w), space.Dim())
+	}
+	out := make([]Importance, space.Dim())
+	for j := range w {
+		out[j] = Importance{Index: j, Name: space.Param(j).Name, Weight: w[j]}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return math.Abs(out[a].Weight) > math.Abs(out[b].Weight)
+	})
+	return out, nil
+}
+
+// TopK returns the space indices of the k most important knobs (all of them
+// when k exceeds the ranking length).
+func TopK(ranking []Importance, k int) []int {
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	idx := make([]int, k)
+	for i := 0; i < k; i++ {
+		idx[i] = ranking[i].Index
+	}
+	return idx
+}

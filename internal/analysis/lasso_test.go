@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deepcat/internal/config"
+	"deepcat/internal/mat"
+	"deepcat/internal/sparksim"
+)
+
+func TestLassoValidation(t *testing.T) {
+	if _, err := Lasso(nil, nil, 0.1, 10); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Lasso([][]float64{{1}}, []float64{1, 2}, 0.1, 10); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Lasso([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0.1, 10); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := Lasso([][]float64{{1}}, []float64{1}, -1, 10); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestLassoRecoversSparseSupport(t *testing.T) {
+	// y = 3*x0 - 2*x3 + noise over 10 features: Lasso must give features
+	// 0 and 3 the dominant weights and zero out most others.
+	rng := rand.New(rand.NewSource(1))
+	const n, dim = 300, 10
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = mat.RandVec(rng, dim, 0, 1)
+		y[i] = 3*x[i][0] - 2*x[i][3] + 0.05*rng.NormFloat64()
+	}
+	w, err := Lasso(x, y, 0.02, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-3) > 0.3 || math.Abs(w[3]+2) > 0.3 {
+		t.Fatalf("support weights w0=%v w3=%v", w[0], w[3])
+	}
+	for j, v := range w {
+		if j == 0 || j == 3 {
+			continue
+		}
+		if math.Abs(v) > 0.3 {
+			t.Fatalf("noise feature %d has weight %v", j, v)
+		}
+	}
+}
+
+func TestLassoShrinksWithLambdaProperty(t *testing.T) {
+	// Larger lambda never increases the L1 norm of the solution.
+	rng := rand.New(rand.NewSource(2))
+	const n, dim = 100, 5
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = mat.RandVec(rng, dim, 0, 1)
+		y[i] = 2*x[i][0] - x[i][1] + 0.1*rng.NormFloat64()
+	}
+	l1 := func(w []float64) float64 {
+		var s float64
+		for _, v := range w {
+			s += math.Abs(v)
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := r.Float64() * 0.5
+		b := a + r.Float64()*0.5
+		wa, err1 := Lasso(x, y, a, 60)
+		wb, err2 := Lasso(x, y, b, 60)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return l1(wb) <= l1(wa)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLassoZeroVarianceColumn(t *testing.T) {
+	x := [][]float64{{1, 0.2}, {1, 0.8}, {1, 0.5}}
+	y := []float64{1, 4, 2.5}
+	w, err := Lasso(x, y, 0.001, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 0 {
+		t.Fatalf("constant column weight = %v, want 0", w[0])
+	}
+	if w[1] < 1 {
+		t.Fatalf("informative column weight = %v", w[1])
+	}
+}
+
+func TestLassoHugeLambdaAllZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = mat.RandVec(rng, 4, 0, 1)
+		y[i] = mat.Sum(x[i])
+	}
+	w, err := Lasso(x, y, 1e6, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range w {
+		if v != 0 {
+			t.Fatalf("weight %d = %v under huge lambda", j, v)
+		}
+	}
+}
+
+func TestKnobImportanceOnSimulator(t *testing.T) {
+	// The resource knobs (executor instances/cores/memory, parallelism)
+	// must rank above cosmetic knobs (scheduler mode, kryo buffer) on the
+	// simulated TeraSort landscape — a behavioural check that the analysis
+	// finds the structure the cost model actually has.
+	sim := sparksim.NewSimulator(sparksim.ClusterA(), 1)
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var actions [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		u := sim.Space().RandomAction(rng)
+		r := sim.Evaluate(ts, 0, u)
+		actions = append(actions, u)
+		y = append(y, r.ExecTime)
+	}
+	ranking, err := KnobImportance(sim.Space(), actions, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranking) != 32 {
+		t.Fatalf("ranking size %d", len(ranking))
+	}
+	rank := map[string]int{}
+	for i, imp := range ranking {
+		rank[imp.Name] = i
+	}
+	// Knobs with a strong (near-)monotone effect on TeraSort must rank
+	// high: executor memory drives the container-rejection cliff and page
+	// cache, NodeManager memory gates scheduling, instances drive
+	// parallelism, replication multiplies output I/O. (Knobs with
+	// non-monotone effects, like executor cores, are invisible to a
+	// *linear* analysis — that limitation is inherent to Lasso ranking.)
+	for _, important := range []string{
+		"spark.executor.memory",
+		"yarn.nodemanager.resource.memory-mb",
+		"spark.executor.instances",
+		"dfs.replication",
+	} {
+		if rank[important] >= 10 {
+			t.Errorf("%s ranked %d, expected top 10", important, rank[important])
+		}
+	}
+	if rank["spark.kryoserializer.buffer.max"] < 5 {
+		t.Errorf("cosmetic knob ranked %d, expected low importance", rank["spark.kryoserializer.buffer.max"])
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ranking := []Importance{{Index: 7}, {Index: 2}, {Index: 9}}
+	got := TopK(ranking, 2)
+	if len(got) != 2 || got[0] != 7 || got[1] != 2 {
+		t.Fatalf("TopK = %v", got)
+	}
+	if got := TopK(ranking, 10); len(got) != 3 {
+		t.Fatalf("overlong TopK = %v", got)
+	}
+}
+
+func TestKnobImportanceDimensionMismatch(t *testing.T) {
+	space := config.MustNewSpace([]config.Param{
+		{Name: "a", Kind: config.Numeric, Min: 0, Max: 1, Default: 0},
+		{Name: "b", Kind: config.Numeric, Min: 0, Max: 1, Default: 0},
+	})
+	_, err := KnobImportance(space, [][]float64{{0.5}}, []float64{1}, 0.1)
+	if err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}

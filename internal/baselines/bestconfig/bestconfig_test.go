@@ -1,0 +1,146 @@
+package bestconfig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deepcat/internal/env"
+	"deepcat/internal/sparksim"
+)
+
+func testEnv(t *testing.T) *env.SparkEnv {
+	t.Helper()
+	sim := sparksim.NewSimulator(sparksim.ClusterA(), 1)
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env.NewSparkEnv(sim, ts, 0)
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(rng, Config{SamplesPerRound: 0, Shrink: 2}); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, err := New(rng, Config{SamplesPerRound: 5, Shrink: 0}); err == nil {
+		t.Fatal("zero shrink accepted")
+	}
+	if _, err := New(rng, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDDSLatinHypercubeProperty(t *testing.T) {
+	// Each dimension's k intervals must each contain exactly one sample.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := New(rng, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		dim := 1 + int(rng.Int31n(8))
+		k := 2 + int(rng.Int31n(8))
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for d := range hi {
+			lo[d] = rng.Float64() * 0.3
+			hi[d] = 0.7 + rng.Float64()*0.3
+		}
+		batch := b.ddsSample(lo, hi, k)
+		for d := 0; d < dim; d++ {
+			seen := make([]bool, k)
+			width := (hi[d] - lo[d]) / float64(k)
+			for _, u := range batch {
+				if u[d] < lo[d] || u[d] > hi[d] {
+					return false
+				}
+				cell := int((u[d] - lo[d]) / width)
+				if cell == k {
+					cell = k - 1
+				}
+				if seen[cell] {
+					return false // two samples in one interval
+				}
+				seen[cell] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineTuneBudgetRespected(t *testing.T) {
+	e := testEnv(t)
+	b, _ := New(rand.New(rand.NewSource(2)), DefaultConfig())
+	for _, budget := range []int{3, 5, 12} {
+		rep := b.OnlineTune(e, budget)
+		if len(rep.Steps) != budget {
+			t.Fatalf("budget %d: %d steps", budget, len(rep.Steps))
+		}
+	}
+}
+
+func TestOnlineTuneImprovesWithBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping search test in -short mode")
+	}
+	e := testEnv(t)
+	// Average over seeds: a larger budget must find a better (or equal)
+	// configuration — the monotonicity the RBS recursion provides.
+	const seeds = 5
+	var small, large float64
+	for s := int64(0); s < seeds; s++ {
+		b1, _ := New(rand.New(rand.NewSource(10+s)), DefaultConfig())
+		small += b1.OnlineTune(e, 5).BestTime / seeds
+		b2, _ := New(rand.New(rand.NewSource(10+s)), DefaultConfig())
+		large += b2.OnlineTune(e, 30).BestTime / seeds
+	}
+	if large >= small {
+		t.Fatalf("30-step search (%.1fs) not better than 5-step (%.1fs)", large, small)
+	}
+	// And even the small budget beats the default on average.
+	if small >= e.DefaultTime() {
+		t.Fatalf("5-step search %.1fs worse than default %.1fs", small, e.DefaultTime())
+	}
+}
+
+func TestSearchIsStateless(t *testing.T) {
+	// Two sessions with the same seed produce identical step sequences:
+	// BestConfig restarts from scratch each request.
+	e := testEnv(t)
+	b1, _ := New(rand.New(rand.NewSource(3)), DefaultConfig())
+	b2, _ := New(rand.New(rand.NewSource(3)), DefaultConfig())
+	r1 := b1.OnlineTune(e, 10)
+	r2 := b2.OnlineTune(e, 10)
+	for i := range r1.Steps {
+		if r1.Steps[i].ExecTime != r2.Steps[i].ExecTime {
+			t.Fatal("same-seed sessions diverged")
+		}
+	}
+}
+
+func TestAllFailedRoundKeepsSearching(t *testing.T) {
+	// An environment where everything fails must not wedge the search box.
+	fe := failingEnv{testEnv(t)}
+	b, _ := New(rand.New(rand.NewSource(4)), DefaultConfig())
+	rep := b.OnlineTune(fe, 10)
+	if len(rep.Steps) != 10 {
+		t.Fatalf("steps = %d", len(rep.Steps))
+	}
+	if rep.BestAction != nil {
+		t.Fatal("best action recorded despite universal failure")
+	}
+}
+
+// failingEnv wraps an environment and fails every evaluation.
+type failingEnv struct{ *env.SparkEnv }
+
+func (f failingEnv) Evaluate(u []float64) env.Outcome {
+	o := f.SparkEnv.Evaluate(u)
+	o.Failed = true
+	return o
+}

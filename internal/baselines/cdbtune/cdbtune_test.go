@@ -1,0 +1,155 @@
+package cdbtune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deepcat/internal/env"
+	"deepcat/internal/mat"
+	"deepcat/internal/sparksim"
+)
+
+func testEnv(t *testing.T) *env.SparkEnv {
+	t.Helper()
+	sim := sparksim.NewSimulator(sparksim.ClusterA(), 1)
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env.NewSparkEnv(sim, ts, 0)
+}
+
+func TestRewardSign(t *testing.T) {
+	// Faster than default and previous: positive.
+	if r := Reward(50, 80, 100); r <= 0 {
+		t.Fatalf("improvement reward = %v, want > 0", r)
+	}
+	// Slower than default: negative.
+	if r := Reward(150, 80, 100); r >= 0 {
+		t.Fatalf("regression reward = %v, want < 0", r)
+	}
+	// Equal to default: zero.
+	if r := Reward(100, 100, 100); r != 0 {
+		t.Fatalf("neutral reward = %v, want 0", r)
+	}
+}
+
+func TestRewardAmplifiesSustainedProgress(t *testing.T) {
+	// The same execution time is rewarded more when it also improves on
+	// the previous step than when it regresses from it.
+	better := Reward(50, 70, 100)
+	worse := Reward(50, 45, 100)
+	if better <= worse {
+		t.Fatalf("reward does not weight progress: %v <= %v", better, worse)
+	}
+}
+
+func TestRewardMonotoneInTimeProperty(t *testing.T) {
+	// CDBTune's reward is monotone in execution time within the regime
+	// t < 2*prev (the |1+deltaP| factor flips sign beyond that). The
+	// DeepCAT paper's criticism — the delta reward optimizes for eventual
+	// improvement rather than per-action cost — is tied to exactly such
+	// quirks, so the property is asserted only on the well-behaved regime
+	// and the quirk itself is pinned by TestRewardNonMonotoneQuirk.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		def := 50 + rng.Float64()*200
+		prev := 20 + rng.Float64()*300
+		t1 := 10 + rng.Float64()*(prev*2-11)
+		t2 := t1 + (prev*2-t1)*rng.Float64()*0.99 // slower, still < 2*prev
+		return Reward(t1, prev, def) >= Reward(t2, prev, def)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewardNonMonotoneQuirk(t *testing.T) {
+	// With def > 2*prev, slowing down past 2*prev can *raise* the reward —
+	// a real artifact of the delta formula that DeepCAT's immediate reward
+	// (Eq. 1) avoids.
+	atKink := Reward(40, 20, 100) // exactly 2*prev: |1+deltaP| = 0
+	beyond := Reward(60, 20, 100) // 3*prev, still faster than default
+	if !(beyond > atKink) {
+		t.Fatalf("expected quirk: Reward(60)=%v <= Reward(40)=%v", beyond, atKink)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(rng, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := DefaultConfig(9, 32)
+	cfg.DDPG.Gamma = -1
+	if _, err := New(rng, cfg); err == nil {
+		t.Fatal("invalid DDPG config accepted")
+	}
+	if _, err := New(rng, DefaultConfig(9, 32)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestOfflineThenOnlineImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping training test in -short mode")
+	}
+	e := testEnv(t)
+	c, err := New(rand.New(rand.NewSource(2)), DefaultConfig(e.StateDim(), e.Space().Dim()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.OfflineTrain(e, 1500)
+	rep := c.Clone().OnlineTune(e)
+	if rep.Tuner != "CDBTune" {
+		t.Fatalf("tuner name %q", rep.Tuner)
+	}
+	if len(rep.Steps) != 5 {
+		t.Fatalf("steps = %d", len(rep.Steps))
+	}
+	if rep.BestTime >= e.DefaultTime() {
+		t.Fatalf("best %.1f not better than default %.1f", rep.BestTime, e.DefaultTime())
+	}
+	if rep.RecommendationCost() <= 0 {
+		t.Fatal("recommendation time not measured")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := testEnv(t)
+	c, _ := New(rand.New(rand.NewSource(3)), DefaultConfig(e.StateDim(), e.Space().Dim()))
+	c.OfflineTrain(e, 100)
+	cl := c.Clone()
+	s := e.IdleState()
+	if mat.Dist2(c.Agent.Act(s), cl.Agent.Act(s)) != 0 {
+		t.Fatal("clone policy differs")
+	}
+	if cl.Buffer.Len() != 0 {
+		t.Fatal("clone inherited buffer")
+	}
+	before := c.Agent.Act(s)
+	cl.OfflineTrain(e, 100)
+	if mat.Dist2(c.Agent.Act(s), before) != 0 {
+		t.Fatal("training clone mutated original")
+	}
+}
+
+func TestOnlineStepsRecordActions(t *testing.T) {
+	e := testEnv(t)
+	c, _ := New(rand.New(rand.NewSource(4)), DefaultConfig(e.StateDim(), e.Space().Dim()))
+	c.OfflineTrain(e, 80)
+	rep := c.OnlineTune(e)
+	for i, st := range rep.Steps {
+		if len(st.Action) != e.Space().Dim() {
+			t.Fatalf("step %d action dim %d", i, len(st.Action))
+		}
+		if st.ExecTime <= 0 || math.IsNaN(st.ExecTime) {
+			t.Fatalf("step %d time %v", i, st.ExecTime)
+		}
+		if st.Optimized {
+			t.Fatal("CDBTune has no Twin-Q Optimizer; Optimized must be false")
+		}
+	}
+}

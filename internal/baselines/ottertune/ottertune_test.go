@@ -1,0 +1,172 @@
+package ottertune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepcat/internal/env"
+	"deepcat/internal/sparksim"
+)
+
+func buildTestRepo(t *testing.T, samples int) (*Repository, []env.Environment) {
+	t.Helper()
+	sim := sparksim.NewSimulator(sparksim.ClusterA(), 1)
+	var envs []env.Environment
+	for _, p := range sparksim.AllPairs() {
+		envs = append(envs, env.NewSparkEnv(sim, p.Workload, p.InputIdx))
+	}
+	repo := BuildRepository(rand.New(rand.NewSource(4)), envs, samples)
+	return repo, envs
+}
+
+func TestBuildRepository(t *testing.T) {
+	repo, envs := buildTestRepo(t, 30)
+	if len(repo.Workloads) != 12 {
+		t.Fatalf("workloads = %d", len(repo.Workloads))
+	}
+	for i, w := range repo.Workloads {
+		if w.Label != envs[i].Label() {
+			t.Fatalf("label %q != %q", w.Label, envs[i].Label())
+		}
+		if len(w.X) != 30 || len(w.Y) != 30 {
+			t.Fatalf("%s: %d/%d samples", w.Label, len(w.X), len(w.Y))
+		}
+		if len(w.Signature) != envs[i].MetricsDim() {
+			t.Fatalf("%s: signature dim %d", w.Label, len(w.Signature))
+		}
+		if w.DefaultTime <= 0 {
+			t.Fatalf("%s: default time %v", w.Label, w.DefaultTime)
+		}
+		for _, y := range w.Y {
+			if y <= 0 || math.IsNaN(y) {
+				t.Fatalf("%s: bad observation %v", w.Label, y)
+			}
+		}
+	}
+}
+
+func TestMapWorkloadExcludesSelf(t *testing.T) {
+	repo, _ := buildTestRepo(t, 30)
+	self := repo.Workloads[3] // TS-D1
+	idx := repo.MapWorkload(self.Signature, self.Label)
+	if idx < 0 {
+		t.Fatal("no mapping found")
+	}
+	if repo.Workloads[idx].Label == self.Label {
+		t.Fatal("mapped to excluded label")
+	}
+}
+
+func TestMapWorkloadFindsSimilar(t *testing.T) {
+	repo, _ := buildTestRepo(t, 30)
+	// TS-D2's signature should map to the other large TeraSort input,
+	// whose metrics (shuffle-heavy, no caching) are closest. Mapping of
+	// the smallest inputs is legitimately ambiguous (sizes dominate some
+	// metrics), so the assertion targets the clear-cut case.
+	self := repo.Workloads[4] // TS-D2
+	idx := repo.MapWorkload(self.Signature, self.Label)
+	mapped := repo.Workloads[idx].Label
+	if mapped != "TS-D1@cluster-a" && mapped != "TS-D3@cluster-a" {
+		t.Fatalf("TS-D2 mapped to %s, want a TeraSort sibling", mapped)
+	}
+	// And a shuffle-heavy micro benchmark must never map onto the
+	// cache-heavy ML workload.
+	for _, i := range []int{3, 4, 5} { // TS-D1..D3
+		w := repo.Workloads[i]
+		m := repo.Workloads[repo.MapWorkload(w.Signature, w.Label)].Label
+		if m == "KM-D1@cluster-a" || m == "KM-D2@cluster-a" || m == "KM-D3@cluster-a" {
+			t.Fatalf("%s mapped to KMeans (%s)", w.Label, m)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(rng, nil, DefaultConfig()); err == nil {
+		t.Fatal("nil repository accepted")
+	}
+	if _, err := New(rng, &Repository{}, DefaultConfig()); err == nil {
+		t.Fatal("empty repository accepted")
+	}
+	repo, _ := buildTestRepo(t, 5)
+	cfg := DefaultConfig()
+	cfg.OnlineSteps = 0
+	if _, err := New(rng, repo, cfg); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}
+
+func TestOnlineTuneImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping tuning test in -short mode")
+	}
+	repo, envs := buildTestRepo(t, 150)
+	e := envs[3] // TS-D1
+	ot, err := New(rand.New(rand.NewSource(5)), repo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ot.OnlineTune(e, e.Label())
+	if rep.Tuner != "OtterTune" {
+		t.Fatalf("tuner name %q", rep.Tuner)
+	}
+	if len(rep.Steps) != 5 {
+		t.Fatalf("steps = %d", len(rep.Steps))
+	}
+	if rep.BestTime >= e.DefaultTime() {
+		t.Fatalf("best %.1f not better than default %.1f", rep.BestTime, e.DefaultTime())
+	}
+	// GP retraining dominates recommendation cost; it must be visible.
+	if rep.RecommendationCost() <= 0 {
+		t.Fatal("recommendation cost not measured")
+	}
+}
+
+func TestOnlineTuneColdStartMapping(t *testing.T) {
+	// Before any target observation exists, mapping falls back to default
+	// execution time; the first step must still produce a valid action.
+	repo, envs := buildTestRepo(t, 40)
+	e := envs[0]
+	cfg := DefaultConfig()
+	cfg.OnlineSteps = 1
+	ot, _ := New(rand.New(rand.NewSource(6)), repo, cfg)
+	rep := ot.OnlineTune(e, e.Label())
+	if len(rep.Steps) != 1 {
+		t.Fatalf("steps = %d", len(rep.Steps))
+	}
+	a := rep.Steps[0].Action
+	if len(a) != e.Space().Dim() {
+		t.Fatalf("action dim %d", len(a))
+	}
+	for _, x := range a {
+		if x < 0 || x > 1 {
+			t.Fatalf("action coordinate %v outside [0,1]", x)
+		}
+	}
+}
+
+func TestMapByDefaultTime(t *testing.T) {
+	repo, _ := buildTestRepo(t, 10)
+	ot, _ := New(rand.New(rand.NewSource(7)), repo, DefaultConfig())
+	// A default time equal to TS-D1's should map to TS-D1 unless excluded.
+	def := repo.Workloads[3].DefaultTime
+	if idx := ot.mapByDefaultTime(def, ""); idx != 3 {
+		t.Fatalf("mapByDefaultTime = %d, want 3", idx)
+	}
+	if idx := ot.mapByDefaultTime(def, repo.Workloads[3].Label); idx == 3 {
+		t.Fatal("excluded label still mapped")
+	}
+}
+
+func TestStandardizeZeroVarianceMetric(t *testing.T) {
+	repo, _ := buildTestRepo(t, 10)
+	// MetricFailed is 0 for every successful-run signature; its std is
+	// floored so standardize never divides by zero.
+	s := repo.standardize(repo.Workloads[0].Signature)
+	for i, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("standardized metric %d = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package cli holds the small pieces shared by the command-line tools:
+// resolving a (cluster, workload, input) flag triple into a simulated
+// environment.
+package cli
+
+import (
+	"fmt"
+
+	"deepcat/internal/env"
+	"deepcat/internal/sparksim"
+)
+
+// BuildEnv resolves command-line flags into a Spark environment: cluster is
+// "a" or "b", workload a Table-1 abbreviation (WC, TS, PR, KM) and input
+// the 1-based dataset index (D1-D3). The seed drives simulator noise.
+func BuildEnv(cluster, workload string, input int, seed int64) (*env.SparkEnv, error) {
+	w, err := sparksim.WorkloadByShort(workload)
+	if err != nil {
+		return nil, err
+	}
+	if input < 1 || input > 3 {
+		return nil, fmt.Errorf("input %d outside 1..3", input)
+	}
+	var cl sparksim.Cluster
+	switch cluster {
+	case "a":
+		cl = sparksim.ClusterA()
+	case "b":
+		cl = sparksim.ClusterB()
+	default:
+		return nil, fmt.Errorf("unknown cluster %q (want a or b)", cluster)
+	}
+	return env.NewSparkEnv(sparksim.NewSimulator(cl, seed), w, input-1), nil
+}

@@ -1,0 +1,38 @@
+package cli
+
+import "testing"
+
+func TestBuildEnvValid(t *testing.T) {
+	e, err := BuildEnv("a", "TS", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Label() != "TS-D1@cluster-a" {
+		t.Fatalf("label = %q", e.Label())
+	}
+	e, err = BuildEnv("b", "KM", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Label() != "KM-D3@cluster-b" {
+		t.Fatalf("label = %q", e.Label())
+	}
+}
+
+func TestBuildEnvErrors(t *testing.T) {
+	cases := []struct {
+		cluster  string
+		workload string
+		input    int
+	}{
+		{"a", "XX", 1},
+		{"a", "TS", 0},
+		{"a", "TS", 4},
+		{"c", "TS", 1},
+	}
+	for _, c := range cases {
+		if _, err := BuildEnv(c.cluster, c.workload, c.input, 1); err == nil {
+			t.Errorf("BuildEnv(%q, %q, %d) accepted", c.cluster, c.workload, c.input)
+		}
+	}
+}

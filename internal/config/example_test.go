@@ -1,0 +1,31 @@
+package config_test
+
+import (
+	"fmt"
+
+	"deepcat/internal/config"
+)
+
+// A Space maps between the DRL agent's [0,1]^d actions and concrete
+// configuration values.
+func ExampleSpace() {
+	space := config.MustNewSpace([]config.Param{
+		{Name: "executor.memory", Component: "spark", Kind: config.Numeric,
+			Min: 1, Max: 9, Default: 1, Integer: true, Unit: "GB"},
+		{Name: "shuffle.compress", Component: "spark", Kind: config.Bool, Default: 1},
+		{Name: "serializer", Component: "spark", Kind: config.Categorical,
+			Choices: []string{"java", "kryo"}, Default: 0},
+	})
+
+	values := space.Denormalize([]float64{0.5, 0.2, 0.9})
+	fmt.Print(space.Describe(values))
+
+	// Round trip: concrete values normalize back to bucket centers.
+	back := space.Denormalize(space.Normalize(values))
+	fmt.Println(back[0] == values[0], back[1] == values[1], back[2] == values[2])
+	// Output:
+	// executor.memory=5 GB
+	// shuffle.compress=false
+	// serializer=kryo
+	// true true true
+}

@@ -1,0 +1,316 @@
+// Package config models tunable configuration spaces: typed parameter
+// specifications (numeric, boolean, categorical), the [0,1]^d action
+// normalization that the paper's DRL formulation uses (§3.1), and utilities
+// for defaults, random sampling and clipping recommended values into the
+// bounds of a different hardware environment (§5.3.2).
+//
+// A Space is immutable after construction; all conversion methods are safe
+// for concurrent use.
+package config
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Kind discriminates parameter types.
+type Kind int
+
+// Parameter kinds. Numeric parameters span [Min, Max] (integers when
+// Integer is set); Bool parameters are a two-valued special case;
+// Categorical parameters select one of Choices.
+const (
+	Numeric Kind = iota
+	Bool
+	Categorical
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Bool:
+		return "bool"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Param specifies one tunable parameter.
+type Param struct {
+	// Name is the full parameter key, e.g. "spark.executor.memory".
+	Name string
+	// Component identifies the subsystem that owns the parameter
+	// (e.g. "spark", "yarn", "hdfs"); used for Table-2 style accounting.
+	Component string
+	Kind      Kind
+
+	// Min, Max bound numeric parameters (inclusive). Ignored otherwise.
+	Min, Max float64
+	// Integer marks a numeric parameter as integer-valued.
+	Integer bool
+	// Unit is a human-readable unit suffix, e.g. "MB" (informational).
+	Unit string
+
+	// Choices lists the values of a categorical parameter.
+	Choices []string
+
+	// Default is the framework's out-of-the-box value: the numeric value
+	// for Numeric, 0/1 for Bool, or the choice index for Categorical.
+	Default float64
+}
+
+// validate reports structural problems with the spec.
+func (p Param) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("config: parameter with empty name")
+	}
+	switch p.Kind {
+	case Numeric:
+		if !(p.Min < p.Max) {
+			return fmt.Errorf("config: %s: min %g not below max %g", p.Name, p.Min, p.Max)
+		}
+		if p.Default < p.Min || p.Default > p.Max {
+			return fmt.Errorf("config: %s: default %g outside [%g, %g]", p.Name, p.Default, p.Min, p.Max)
+		}
+	case Bool:
+		if p.Default != 0 && p.Default != 1 {
+			return fmt.Errorf("config: %s: bool default %g not 0 or 1", p.Name, p.Default)
+		}
+	case Categorical:
+		if len(p.Choices) < 2 {
+			return fmt.Errorf("config: %s: categorical needs >= 2 choices, has %d", p.Name, len(p.Choices))
+		}
+		idx := int(p.Default)
+		if float64(idx) != p.Default || idx < 0 || idx >= len(p.Choices) {
+			return fmt.Errorf("config: %s: default index %g invalid for %d choices", p.Name, p.Default, len(p.Choices))
+		}
+	default:
+		return fmt.Errorf("config: %s: unknown kind %d", p.Name, int(p.Kind))
+	}
+	return nil
+}
+
+// Denorm maps a normalized coordinate u in [0,1] to the parameter's concrete
+// value: the (possibly rounded) numeric value, 0/1 for Bool, or a choice
+// index for Categorical.
+func (p Param) Denorm(u float64) float64 {
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	switch p.Kind {
+	case Numeric:
+		v := p.Min + u*(p.Max-p.Min)
+		if p.Integer {
+			v = math.Round(v)
+		}
+		return v
+	case Bool:
+		if u >= 0.5 {
+			return 1
+		}
+		return 0
+	case Categorical:
+		idx := int(u * float64(len(p.Choices)))
+		if idx >= len(p.Choices) {
+			idx = len(p.Choices) - 1
+		}
+		return float64(idx)
+	default:
+		panic("config: unknown kind")
+	}
+}
+
+// Norm maps a concrete value back into [0,1]. For Bool and Categorical the
+// result is the center of the value's bucket so that Norm∘Denorm is the
+// identity on bucket representatives.
+func (p Param) Norm(v float64) float64 {
+	switch p.Kind {
+	case Numeric:
+		return (v - p.Min) / (p.Max - p.Min)
+	case Bool:
+		if v >= 0.5 {
+			return 0.75
+		}
+		return 0.25
+	case Categorical:
+		n := float64(len(p.Choices))
+		return (v + 0.5) / n
+	default:
+		panic("config: unknown kind")
+	}
+}
+
+// ValueString renders a concrete value with its unit or choice label.
+func (p Param) ValueString(v float64) string {
+	switch p.Kind {
+	case Numeric:
+		if p.Integer {
+			if p.Unit != "" {
+				return fmt.Sprintf("%d %s", int(v), p.Unit)
+			}
+			return fmt.Sprintf("%d", int(v))
+		}
+		if p.Unit != "" {
+			return fmt.Sprintf("%.3g %s", v, p.Unit)
+		}
+		return fmt.Sprintf("%.3g", v)
+	case Bool:
+		if v >= 0.5 {
+			return "true"
+		}
+		return "false"
+	case Categorical:
+		idx := int(v)
+		if idx < 0 || idx >= len(p.Choices) {
+			return fmt.Sprintf("choice(%d)", idx)
+		}
+		return p.Choices[idx]
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// Space is an ordered, immutable collection of parameters defining both the
+// concrete configuration encoding and the normalized [0,1]^d action space.
+type Space struct {
+	params []Param
+	index  map[string]int
+}
+
+// NewSpace validates the parameter list and builds a space. Parameter names
+// must be unique.
+func NewSpace(params []Param) (*Space, error) {
+	s := &Space{params: make([]Param, len(params)), index: make(map[string]int, len(params))}
+	copy(s.params, params)
+	for i, p := range s.params {
+		if err := p.validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := s.index[p.Name]; dup {
+			return nil, fmt.Errorf("config: duplicate parameter %q", p.Name)
+		}
+		s.index[p.Name] = i
+	}
+	return s, nil
+}
+
+// MustNewSpace is NewSpace that panics on error; intended for package-level
+// space literals that are validated by tests.
+func MustNewSpace(params []Param) *Space {
+	s, err := NewSpace(params)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dim returns the number of parameters (the action dimensionality).
+func (s *Space) Dim() int { return len(s.params) }
+
+// Params returns a copy of the parameter specs.
+func (s *Space) Params() []Param {
+	out := make([]Param, len(s.params))
+	copy(out, s.params)
+	return out
+}
+
+// Param returns the spec at position i.
+func (s *Space) Param(i int) Param { return s.params[i] }
+
+// Lookup returns the position of the named parameter.
+func (s *Space) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// CountByComponent returns the number of parameters per component, the
+// Table-2 accounting.
+func (s *Space) CountByComponent() map[string]int {
+	out := make(map[string]int)
+	for _, p := range s.params {
+		out[p.Component]++
+	}
+	return out
+}
+
+// Denormalize maps a normalized action u in [0,1]^d to concrete values.
+func (s *Space) Denormalize(u []float64) []float64 {
+	s.checkDim(u)
+	v := make([]float64, len(u))
+	for i, p := range s.params {
+		v[i] = p.Denorm(u[i])
+	}
+	return v
+}
+
+// Normalize maps concrete values back into [0,1]^d.
+func (s *Space) Normalize(v []float64) []float64 {
+	s.checkDim(v)
+	u := make([]float64, len(v))
+	for i, p := range s.params {
+		u[i] = p.Norm(v[i])
+	}
+	return u
+}
+
+// DefaultValues returns the concrete default configuration.
+func (s *Space) DefaultValues() []float64 {
+	v := make([]float64, len(s.params))
+	for i, p := range s.params {
+		v[i] = p.Default
+	}
+	return v
+}
+
+// DefaultAction returns the default configuration as a normalized action.
+func (s *Space) DefaultAction() []float64 {
+	return s.Normalize(s.DefaultValues())
+}
+
+// RandomAction returns a uniformly random normalized action.
+func (s *Space) RandomAction(rng *rand.Rand) []float64 {
+	u := make([]float64, len(s.params))
+	for i := range u {
+		u[i] = rng.Float64()
+	}
+	return u
+}
+
+// ClipAction clamps every coordinate of u into [0,1] in place and returns u.
+// The paper applies this when a model trained on one cluster recommends
+// values outside a new environment's scope (§5.3.2).
+func (s *Space) ClipAction(u []float64) []float64 {
+	s.checkDim(u)
+	for i, x := range u {
+		if x < 0 {
+			u[i] = 0
+		} else if x > 1 {
+			u[i] = 1
+		}
+	}
+	return u
+}
+
+// Describe renders a concrete configuration as "name=value" lines.
+func (s *Space) Describe(values []float64) string {
+	s.checkDim(values)
+	var b strings.Builder
+	for i, p := range s.params {
+		fmt.Fprintf(&b, "%s=%s\n", p.Name, p.ValueString(values[i]))
+	}
+	return b.String()
+}
+
+func (s *Space) checkDim(v []float64) {
+	if len(v) != len(s.params) {
+		panic(fmt.Sprintf("config: vector length %d, want %d", len(v), len(s.params)))
+	}
+}

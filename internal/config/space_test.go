@@ -1,0 +1,236 @@
+package config
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace([]Param{
+		{Name: "num", Component: "a", Kind: Numeric, Min: 10, Max: 110, Default: 20, Unit: "MB"},
+		{Name: "int", Component: "a", Kind: Numeric, Min: 1, Max: 9, Default: 3, Integer: true},
+		{Name: "flag", Component: "b", Kind: Bool, Default: 1},
+		{Name: "cat", Component: "b", Kind: Categorical, Choices: []string{"x", "y", "z"}, Default: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	bad := [][]Param{
+		{{Name: "", Kind: Numeric, Min: 0, Max: 1}},
+		{{Name: "p", Kind: Numeric, Min: 1, Max: 1}},
+		{{Name: "p", Kind: Numeric, Min: 0, Max: 1, Default: 2}},
+		{{Name: "p", Kind: Bool, Default: 0.5}},
+		{{Name: "p", Kind: Categorical, Choices: []string{"only"}}},
+		{{Name: "p", Kind: Categorical, Choices: []string{"a", "b"}, Default: 2}},
+		{{Name: "p", Kind: Kind(9)}},
+		{
+			{Name: "p", Kind: Bool},
+			{Name: "p", Kind: Bool},
+		},
+	}
+	for i, params := range bad {
+		if _, err := NewSpace(params); err == nil {
+			t.Errorf("case %d: invalid space accepted", i)
+		}
+	}
+}
+
+func TestMustNewSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewSpace did not panic")
+		}
+	}()
+	MustNewSpace([]Param{{Name: "", Kind: Numeric}})
+}
+
+func TestDimAndLookup(t *testing.T) {
+	s := testSpace(t)
+	if s.Dim() != 4 {
+		t.Fatalf("Dim = %d", s.Dim())
+	}
+	if i, ok := s.Lookup("flag"); !ok || i != 2 {
+		t.Fatalf("Lookup flag = %d,%v", i, ok)
+	}
+	if _, ok := s.Lookup("missing"); ok {
+		t.Fatal("Lookup found missing parameter")
+	}
+	if s.Param(0).Name != "num" {
+		t.Fatal("Param(0) wrong")
+	}
+}
+
+func TestParamsIsCopy(t *testing.T) {
+	s := testSpace(t)
+	ps := s.Params()
+	ps[0].Name = "mutated"
+	if s.Param(0).Name != "num" {
+		t.Fatal("Params leaked internal storage")
+	}
+}
+
+func TestCountByComponent(t *testing.T) {
+	s := testSpace(t)
+	c := s.CountByComponent()
+	if c["a"] != 2 || c["b"] != 2 {
+		t.Fatalf("CountByComponent = %v", c)
+	}
+}
+
+func TestDenormNumeric(t *testing.T) {
+	s := testSpace(t)
+	v := s.Denormalize([]float64{0, 0.5, 0, 0})
+	if v[0] != 10 {
+		t.Fatalf("u=0 -> %v, want min", v[0])
+	}
+	v = s.Denormalize([]float64{1, 0.5, 0, 0})
+	if v[0] != 110 {
+		t.Fatalf("u=1 -> %v, want max", v[0])
+	}
+	v = s.Denormalize([]float64{0.5, 0.5, 0, 0})
+	if v[0] != 60 {
+		t.Fatalf("u=0.5 -> %v, want 60", v[0])
+	}
+}
+
+func TestDenormIntegerRounds(t *testing.T) {
+	s := testSpace(t)
+	v := s.Denormalize([]float64{0, 0.49, 0, 0})
+	if v[1] != float64(int(v[1])) {
+		t.Fatalf("integer param = %v, not integral", v[1])
+	}
+}
+
+func TestDenormBoolAndCat(t *testing.T) {
+	s := testSpace(t)
+	v := s.Denormalize([]float64{0, 0, 0.49, 0.99})
+	if v[2] != 0 {
+		t.Fatalf("bool(0.49) = %v", v[2])
+	}
+	if v[3] != 2 {
+		t.Fatalf("cat(0.99) = %v", v[3])
+	}
+	v = s.Denormalize([]float64{0, 0, 0.51, 0.34})
+	if v[2] != 1 {
+		t.Fatalf("bool(0.51) = %v", v[2])
+	}
+	if v[3] != 1 {
+		t.Fatalf("cat(0.34) = %v", v[3])
+	}
+}
+
+func TestDenormClipsInput(t *testing.T) {
+	s := testSpace(t)
+	v := s.Denormalize([]float64{-3, 7, -1, 2})
+	if v[0] != 10 || v[1] != 9 || v[2] != 0 || v[3] != 2 {
+		t.Fatalf("out-of-range denorm = %v", v)
+	}
+}
+
+func TestNormDenormRoundTripProperty(t *testing.T) {
+	s := testSpace(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := s.RandomAction(rng)
+		v := s.Denormalize(u)
+		v2 := s.Denormalize(s.Normalize(v))
+		for i := range v {
+			if v[i] != v2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	dv := s.DefaultValues()
+	want := []float64{20, 3, 1, 2}
+	for i := range want {
+		if dv[i] != want[i] {
+			t.Fatalf("DefaultValues = %v", dv)
+		}
+	}
+	back := s.Denormalize(s.DefaultAction())
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("DefaultAction round trip = %v", back)
+		}
+	}
+}
+
+func TestRandomActionInBounds(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 100; k++ {
+		u := s.RandomAction(rng)
+		for _, x := range u {
+			if x < 0 || x >= 1 {
+				t.Fatalf("random action coord %v", x)
+			}
+		}
+	}
+}
+
+func TestClipAction(t *testing.T) {
+	s := testSpace(t)
+	u := []float64{-0.5, 0.5, 1.5, 0.2}
+	got := s.ClipAction(u)
+	if got[0] != 0 || got[1] != 0.5 || got[2] != 1 || got[3] != 0.2 {
+		t.Fatalf("ClipAction = %v", got)
+	}
+	if &got[0] != &u[0] {
+		t.Fatal("ClipAction must operate in place")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := testSpace(t)
+	out := s.Describe(s.DefaultValues())
+	for _, want := range []string{"num=20 MB", "int=3", "flag=true", "cat=z"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Describe missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestValueStringEdge(t *testing.T) {
+	p := Param{Name: "c", Kind: Categorical, Choices: []string{"a", "b"}}
+	if got := p.ValueString(5); got != "choice(5)" {
+		t.Fatalf("ValueString(5) = %q", got)
+	}
+	pn := Param{Name: "n", Kind: Numeric, Min: 0, Max: 1}
+	if got := pn.ValueString(0.25); got != "0.25" {
+		t.Fatalf("ValueString = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Numeric.String() != "numeric" || Bool.String() != "bool" || Categorical.String() != "categorical" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Fatal("unknown Kind.String wrong")
+	}
+}
+
+func TestVectorLengthPanics(t *testing.T) {
+	s := testSpace(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short vector did not panic")
+		}
+	}()
+	s.Denormalize([]float64{0.5})
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"deepcat/internal/env"
+	"deepcat/internal/mat"
+	"deepcat/internal/rl"
+)
+
+// Config collects DeepCAT's hyper-parameters. Zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// SpeedupTarget sets the expected performance of Eq. (1):
+	// perf_e = defaultTime / SpeedupTarget.
+	SpeedupTarget float64
+	// RewardMode selects the reward function: "immediate" (Eq. 1, the
+	// paper's choice, default) or "delta" (the CDBTune-style formula, for
+	// the reward-function ablation).
+	RewardMode string
+	// RewardThreshold is RDPER's R_th: transitions with reward >= R_th
+	// land in the high-reward pool.
+	RewardThreshold float64
+	// Beta is RDPER's high-reward batch ratio (Fig. 11; paper picks 0.6).
+	Beta float64
+	// ReplayMode selects the experience replay mechanism: "rdper" (the
+	// paper's contribution, default), "uniform" (conventional ER, the
+	// Fig. 4 baseline) or "per" (TD-error prioritized replay, for
+	// ablations against CDBTune's mechanism).
+	ReplayMode string
+	// ReplayCapacity bounds each RDPER pool.
+	ReplayCapacity int
+	// BatchSize is the training mini-batch size.
+	BatchSize int
+	// WarmupSteps is the number of random-action environment steps
+	// collected before gradient updates begin.
+	WarmupSteps int
+	// ExploreSigma is the offline exploration noise on actor outputs.
+	ExploreSigma float64
+	// EpisodeLen is the number of tuning steps per offline episode; the
+	// final step of each episode is terminal.
+	EpisodeLen int
+
+	// OnlineSteps is the online fine-tuning step budget (the paper uses 5,
+	// following CDBTune).
+	OnlineSteps int
+	// TimeBudgetSeconds optionally bounds the total online tuning cost
+	// (evaluation plus recommendation time); 0 disables the bound. Tuning
+	// stops before the step that would follow exceeding the budget.
+	TimeBudgetSeconds float64
+	// FineTuneIters is the number of gradient updates after each online
+	// evaluation.
+	FineTuneIters int
+	// RecoverySigma is the Gaussian exploration noise added to the actor
+	// output on the step after a failed evaluation, so the tuner escapes
+	// failure regions the offline model did not know about (workload or
+	// hardware shift). Zero disables recovery noise.
+	RecoverySigma float64
+
+	// TwinQ configures the Twin-Q Optimizer; UseTwinQ disables it for
+	// ablations when false.
+	TwinQ    TwinQOptimizer
+	UseTwinQ bool
+
+	// TD3 configures the agent. StateDim/ActionDim are filled in by New.
+	TD3 rl.TD3Config
+}
+
+// DefaultConfig returns the configuration used in the experiments.
+func DefaultConfig(stateDim, actionDim int) Config {
+	td3 := rl.DefaultTD3Config(stateDim, actionDim)
+	td3.Hidden = []int{64, 64}
+	return Config{
+		SpeedupTarget:   3,
+		RewardThreshold: 0,
+		Beta:            0.6,
+		ReplayCapacity:  100000,
+		BatchSize:       32,
+		WarmupSteps:     64,
+		ExploreSigma:    0.15,
+		EpisodeLen:      5,
+		OnlineSteps:     5,
+		FineTuneIters:   24,
+		RecoverySigma:   0.25,
+		TwinQ:           *NewTwinQOptimizer(),
+		UseTwinQ:        true,
+		TD3:             td3,
+	}
+}
+
+// DeepCAT is the tuner: a TD3 agent, an RDPER buffer, and the Twin-Q
+// Optimizer, wired to the offline-training and online-tuning procedures of
+// the paper's Fig. 1 architecture.
+type DeepCAT struct {
+	Cfg    Config
+	Agent  *rl.TD3
+	Buffer rl.Sampler
+	rng    *rand.Rand
+}
+
+// New constructs a DeepCAT tuner with freshly initialized networks.
+func New(rng *rand.Rand, cfg Config) (*DeepCAT, error) {
+	if cfg.SpeedupTarget <= 0 {
+		return nil, fmt.Errorf("core: non-positive speedup target %g", cfg.SpeedupTarget)
+	}
+	if cfg.EpisodeLen <= 0 || cfg.OnlineSteps <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("core: non-positive step configuration %+v", cfg)
+	}
+	if cfg.RewardMode != "" && cfg.RewardMode != "immediate" && cfg.RewardMode != "delta" {
+		return nil, fmt.Errorf("core: unknown reward mode %q", cfg.RewardMode)
+	}
+	agent, err := rl.NewTD3(rng, cfg.TD3)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := newBuffer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DeepCAT{
+		Cfg:    cfg,
+		Agent:  agent,
+		Buffer: buf,
+		rng:    rng,
+	}, nil
+}
+
+// newBuffer builds the replay buffer selected by cfg.ReplayMode.
+func newBuffer(cfg Config) (rl.Sampler, error) {
+	switch cfg.ReplayMode {
+	case "", "rdper":
+		return rl.NewRDPER(cfg.ReplayCapacity, cfg.RewardThreshold, cfg.Beta), nil
+	case "uniform":
+		return rl.NewUniformReplay(cfg.ReplayCapacity), nil
+	case "per":
+		return rl.NewPrioritizedReplay(cfg.ReplayCapacity), nil
+	default:
+		return nil, fmt.Errorf("core: unknown replay mode %q", cfg.ReplayMode)
+	}
+}
+
+// IterStat records one offline training iteration for analysis (Fig. 3).
+type IterStat struct {
+	Reward float64
+	Q1, Q2 float64
+	MinQ   float64
+}
+
+// TrainTrace is the record of an offline training run.
+type TrainTrace struct {
+	Iters []IterStat
+	// HighPool and LowPool are the final RDPER pool sizes.
+	HighPool, LowPool int
+}
+
+// OfflineTrain interacts with e for the given number of environment steps,
+// training after every step once the warmup is collected. It implements the
+// offline training stage of Fig. 1: episodes of EpisodeLen steps, Gaussian
+// exploration noise, RDPER storage, TD3 updates. The returned trace holds
+// per-iteration rewards and twin-critic values for the evaluated action.
+//
+// Checkpoints, if non-nil, is called after each iteration with the 1-based
+// iteration number; harnesses use it to snapshot the policy at intervals
+// (Fig. 4) without retraining from scratch.
+func (d *DeepCAT) OfflineTrain(e env.Environment, iters int, checkpoint func(iter int)) TrainTrace {
+	trace := TrainTrace{Iters: make([]IterStat, 0, iters)}
+	state := e.IdleState()
+	defTime := e.DefaultTime()
+	prevTime := defTime
+	stepInEp := 0
+	for it := 1; it <= iters; it++ {
+		var action []float64
+		if d.Buffer.Len() < d.Cfg.WarmupSteps {
+			action = e.Space().RandomAction(d.rng)
+		} else {
+			action = d.Agent.ActNoisy(d.rng, state, d.Cfg.ExploreSigma)
+		}
+		outcome := e.Evaluate(action)
+		r := d.reward(outcome.ExecTime, prevTime, defTime)
+		stepInEp++
+		done := stepInEp >= d.Cfg.EpisodeLen
+		d.Buffer.Add(rl.Transition{
+			State:     state,
+			Action:    action,
+			Reward:    r,
+			NextState: outcome.State,
+			Done:      done,
+		})
+		q1, q2 := d.Agent.QValues(state, action)
+		trace.Iters = append(trace.Iters, IterStat{Reward: r, Q1: q1, Q2: q2, MinQ: minF(q1, q2)})
+
+		if done {
+			state = e.IdleState()
+			prevTime = defTime
+			stepInEp = 0
+		} else {
+			state = outcome.State
+			prevTime = outcome.ExecTime
+		}
+		if d.Buffer.Len() >= d.Cfg.WarmupSteps {
+			d.trainOnce(d.Cfg.BatchSize)
+		}
+		if checkpoint != nil {
+			checkpoint(it)
+		}
+	}
+	if rd, ok := d.Buffer.(*rl.RDPER); ok {
+		trace.HighPool = rd.HighLen()
+		trace.LowPool = rd.LowLen()
+	}
+	return trace
+}
+
+// trainOnce samples a batch, performs one TD3 update and refreshes
+// priorities when the buffer is TD-error prioritized.
+func (d *DeepCAT) trainOnce(batchSize int) {
+	batch := d.Buffer.Sample(d.rng, batchSize)
+	stats := d.Agent.Train(d.rng, batch)
+	if ps, ok := d.Buffer.(rl.PrioritySampler); ok {
+		ps.UpdatePriorities(batch.Indices, stats.TDErrors)
+	}
+}
+
+// Clone returns a deep copy of the tuner (networks and configuration; the
+// replay buffer is shared structurally but re-created empty). Harnesses use
+// clones to run independent online tuning sessions from one offline model.
+func (d *DeepCAT) Clone() *DeepCAT {
+	buf, err := newBuffer(d.Cfg)
+	if err != nil {
+		panic(err) // the config was already validated in New
+	}
+	c := &DeepCAT{
+		Cfg:    d.Cfg,
+		rng:    rand.New(rand.NewSource(d.rng.Int63())),
+		Buffer: buf,
+	}
+	agent, err := rl.NewTD3(c.rng, d.Cfg.TD3)
+	if err != nil {
+		panic(err) // the config was already validated in New
+	}
+	agent.Actor.CopyFrom(d.Agent.Actor)
+	agent.ActorTarget.CopyFrom(d.Agent.ActorTarget)
+	agent.Critic1.CopyFrom(d.Agent.Critic1)
+	agent.Critic2.CopyFrom(d.Agent.Critic2)
+	agent.Critic1T.CopyFrom(d.Agent.Critic1T)
+	agent.Critic2T.CopyFrom(d.Agent.Critic2T)
+	c.Agent = agent
+	return c
+}
+
+// OnlineTune runs the online tuning stage on environment e: at each step
+// the actor proposes a configuration for the current state, the Twin-Q
+// Optimizer repairs it if its twin-critic score is sub-optimal, the result
+// is evaluated on the target system, and the agent is fine-tuned on the new
+// experience. Tuning stops after Cfg.OnlineSteps steps or when the time
+// budget is exhausted, and the best configuration found is reported.
+func (d *DeepCAT) OnlineTune(e env.Environment) *env.Report {
+	rep := &env.Report{Tuner: "DeepCAT", EnvLabel: e.Label(), BestTime: 1e18}
+	state := e.IdleState()
+	defTime := e.DefaultTime()
+	prevTime := defTime
+	lastFailed := false
+	for step := 0; step < d.Cfg.OnlineSteps; step++ {
+		if d.Cfg.TimeBudgetSeconds > 0 && rep.TotalCost() >= d.Cfg.TimeBudgetSeconds {
+			break
+		}
+		recStart := time.Now()
+		var action []float64
+		if lastFailed && d.Cfg.RecoverySigma > 0 {
+			action = d.Agent.ActNoisy(d.rng, state, d.Cfg.RecoverySigma)
+		} else {
+			action = d.Agent.Act(state)
+		}
+		optimized := false
+		if d.Cfg.UseTwinQ {
+			action, _, optimized = d.Cfg.TwinQ.Optimize(d.rng, d.Agent, state, action)
+		}
+		outcome := e.Evaluate(action)
+		r := d.reward(outcome.ExecTime, prevTime, defTime)
+		d.Buffer.Add(rl.Transition{
+			State:     state,
+			Action:    action,
+			Reward:    r,
+			NextState: outcome.State,
+			Done:      step == d.Cfg.OnlineSteps-1,
+		})
+		for i := 0; i < d.Cfg.FineTuneIters && d.Buffer.Len() >= 2; i++ {
+			d.trainOnce(minI(d.Cfg.BatchSize, d.Buffer.Len()))
+		}
+		rec := time.Since(recStart).Seconds()
+
+		rep.Steps = append(rep.Steps, env.TuningStep{
+			Action:           mat.CloneSlice(action),
+			ExecTime:         outcome.ExecTime,
+			RecommendSeconds: rec,
+			Failed:           outcome.Failed,
+			Optimized:        optimized,
+		})
+		if !outcome.Failed && outcome.ExecTime < rep.BestTime {
+			rep.BestTime = outcome.ExecTime
+			rep.BestAction = mat.CloneSlice(action)
+		}
+		lastFailed = outcome.Failed
+		prevTime = outcome.ExecTime
+		state = outcome.State
+	}
+	return rep
+}
+
+// reward dispatches on Cfg.RewardMode.
+func (d *DeepCAT) reward(execTime, prevTime, defTime float64) float64 {
+	if d.Cfg.RewardMode == "delta" {
+		return DeltaReward(execTime, prevTime, defTime)
+	}
+	return Reward(execTime, defTime, d.Cfg.SpeedupTarget)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"deepcat/internal/core"
+)
+
+// The reward of Eq. (1) is positive once a configuration beats the expected
+// performance (a target speedup over the default execution time).
+func ExampleReward() {
+	defaultTime := 120.0 // seconds under the out-of-the-box configuration
+	target := 3.0        // perf_e = 120/3 = 40 s
+
+	fmt.Printf("%.2f\n", core.Reward(40, defaultTime, target))  // at expectation
+	fmt.Printf("%.2f\n", core.Reward(20, defaultTime, target))  // better
+	fmt.Printf("%.2f\n", core.Reward(120, defaultTime, target)) // the default itself
+	// Output:
+	// 0.00
+	// 0.50
+	// -2.00
+}
+
+// RewardToTime inverts the reward function.
+func ExampleRewardToTime() {
+	r := core.Reward(30, 120, 3)
+	fmt.Printf("%.0f\n", core.RewardToTime(r, 120, 3))
+	// Output:
+	// 30
+}
+
+// DeltaReward is the CDBTune-style objective used by the reward ablation.
+func ExampleDeltaReward() {
+	// Execution time improved from the default 100 s (and the previous
+	// step's 80 s) to 50 s.
+	fmt.Printf("%.3f\n", core.DeltaReward(50, 80, 100))
+	// Output:
+	// 1.719
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"deepcat/internal/nn"
+	"deepcat/internal/rl"
+)
+
+// savedModel is the serialized form of an offline-trained DeepCAT model:
+// the actor and both critics plus their targets, and the configuration
+// needed to reconstruct the agent. The replay buffer is intentionally not
+// saved — online tuning starts from fresh experience, as in the paper.
+type savedModel struct {
+	Cfg      Config
+	Actor    *nn.MLP
+	ActorT   *nn.MLP
+	Critic1  *nn.MLP
+	Critic2  *nn.MLP
+	Critic1T *nn.MLP
+	Critic2T *nn.MLP
+}
+
+// Save writes the offline-trained model to w.
+func (d *DeepCAT) Save(w io.Writer) error {
+	m := savedModel{
+		Cfg:      d.Cfg,
+		Actor:    d.Agent.Actor,
+		ActorT:   d.Agent.ActorTarget,
+		Critic1:  d.Agent.Critic1,
+		Critic2:  d.Agent.Critic2,
+		Critic1T: d.Agent.Critic1T,
+		Critic2T: d.Agent.Critic2T,
+	}
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// SaveFile saves the model to the named file.
+func (d *DeepCAT) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reconstructs a DeepCAT tuner from a model stream written by Save.
+// The supplied seed drives the tuner's online randomness.
+func Load(r io.Reader, seed int64) (*DeepCAT, error) {
+	var m savedModel
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	d, err := New(rand.New(rand.NewSource(seed)), m.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	if m.Actor == nil || m.Critic1 == nil || m.Critic2 == nil {
+		return nil, fmt.Errorf("core: load model: missing networks")
+	}
+	d.Agent.Actor.CopyFrom(m.Actor)
+	d.Agent.Critic1.CopyFrom(m.Critic1)
+	d.Agent.Critic2.CopyFrom(m.Critic2)
+	if m.ActorT != nil {
+		d.Agent.ActorTarget.CopyFrom(m.ActorT)
+	} else {
+		d.Agent.ActorTarget.CopyFrom(m.Actor)
+	}
+	if m.Critic1T != nil {
+		d.Agent.Critic1T.CopyFrom(m.Critic1T)
+	} else {
+		d.Agent.Critic1T.CopyFrom(m.Critic1)
+	}
+	if m.Critic2T != nil {
+		d.Agent.Critic2T.CopyFrom(m.Critic2T)
+	} else {
+		d.Agent.Critic2T.CopyFrom(m.Critic2)
+	}
+	return d, nil
+}
+
+// LoadFile loads a model from the named file.
+func LoadFile(path string, seed int64) (*DeepCAT, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	defer f.Close()
+	return Load(f, seed)
+}
+
+// ensure the rl package's TD3 config type is gob-encodable (hidden slices,
+// plain fields). This registration keeps future type evolution explicit.
+func init() {
+	gob.Register(rl.TD3Config{})
+}

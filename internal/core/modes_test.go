@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepcat/internal/rl"
+)
+
+func TestReplayModeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig(9, 32)
+	cfg.ReplayMode = "bogus"
+	if _, err := New(rng, cfg); err == nil {
+		t.Fatal("bogus replay mode accepted")
+	}
+	for _, mode := range []string{"", "rdper", "uniform", "per"} {
+		cfg.ReplayMode = mode
+		if _, err := New(rand.New(rand.NewSource(1)), cfg); err != nil {
+			t.Fatalf("mode %q rejected: %v", mode, err)
+		}
+	}
+}
+
+func TestReplayModeBufferTypes(t *testing.T) {
+	mk := func(mode string) rl.Sampler {
+		cfg := DefaultConfig(9, 32)
+		cfg.ReplayMode = mode
+		d, err := New(rand.New(rand.NewSource(1)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Buffer
+	}
+	if _, ok := mk("rdper").(*rl.RDPER); !ok {
+		t.Fatal("rdper mode did not build an RDPER buffer")
+	}
+	if _, ok := mk("uniform").(*rl.UniformReplay); !ok {
+		t.Fatal("uniform mode did not build a UniformReplay")
+	}
+	if _, ok := mk("per").(*rl.PrioritizedReplay); !ok {
+		t.Fatal("per mode did not build a PrioritizedReplay")
+	}
+}
+
+func TestRewardModeValidation(t *testing.T) {
+	cfg := DefaultConfig(9, 32)
+	cfg.RewardMode = "nope"
+	if _, err := New(rand.New(rand.NewSource(1)), cfg); err == nil {
+		t.Fatal("bogus reward mode accepted")
+	}
+}
+
+func TestRewardModeDispatch(t *testing.T) {
+	cfg := DefaultConfig(9, 32)
+	d, err := New(rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Immediate mode matches Eq. 1 regardless of prevTime.
+	if got, want := d.reward(50, 77, 100), Reward(50, 100, cfg.SpeedupTarget); got != want {
+		t.Fatalf("immediate reward = %v, want %v", got, want)
+	}
+	cfg.RewardMode = "delta"
+	d2, err := New(rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d2.reward(50, 77, 100), DeltaReward(50, 77, 100); got != want {
+		t.Fatalf("delta reward = %v, want %v", got, want)
+	}
+}
+
+func TestDeltaRewardMatchesCDBTuneSemantics(t *testing.T) {
+	// Positive for improvement over default, negative for regression.
+	if DeltaReward(50, 80, 100) <= 0 {
+		t.Fatal("improvement not rewarded")
+	}
+	if DeltaReward(150, 80, 100) >= 0 {
+		t.Fatal("regression not penalized")
+	}
+}
+
+func TestOfflineTrainWithAlternativeModes(t *testing.T) {
+	// Each replay/reward mode must train without panicking and fill the
+	// trace; the uniform/per modes leave the RDPER pool counters at zero.
+	e := testEnv(t, "TS")
+	for _, mode := range []string{"uniform", "per"} {
+		cfg := DefaultConfig(e.StateDim(), e.Space().Dim())
+		cfg.ReplayMode = mode
+		cfg.RewardMode = "delta"
+		d, err := New(rand.New(rand.NewSource(9)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := d.OfflineTrain(e, 120, nil)
+		if len(trace.Iters) != 120 {
+			t.Fatalf("mode %s: trace %d", mode, len(trace.Iters))
+		}
+		if trace.HighPool != 0 || trace.LowPool != 0 {
+			t.Fatalf("mode %s: RDPER pool counters set", mode)
+		}
+		// Online tuning must work on the alternative stack too.
+		rep := d.Clone().OnlineTune(e)
+		if len(rep.Steps) != cfg.OnlineSteps {
+			t.Fatalf("mode %s: %d online steps", mode, len(rep.Steps))
+		}
+	}
+}
+
+func TestTwinQSingleQGate(t *testing.T) {
+	e := testEnv(t, "TS")
+	d := newTuner(t, e, 10)
+	opt := &TwinQOptimizer{QTh: 1e9, Sigma: 0.1, MaxTries: 8, SingleQ: true}
+	s := e.IdleState()
+	a := e.Space().DefaultAction()
+	out, tries, _ := opt.Optimize(rand.New(rand.NewSource(2)), d.Agent, s, a)
+	if tries != 8 {
+		t.Fatalf("tries = %d", tries)
+	}
+	// The fallback action maximizes Q1, not necessarily min(Q1,Q2).
+	q1out, _ := d.Agent.QValues(s, out)
+	q1in, _ := d.Agent.QValues(s, a)
+	if q1out < q1in {
+		t.Fatalf("SingleQ gate returned worse Q1: %v < %v", q1out, q1in)
+	}
+}
+
+func TestConfigSurvivesSaveLoadWithModes(t *testing.T) {
+	e := testEnv(t, "TS")
+	cfg := DefaultConfig(e.StateDim(), e.Space().Dim())
+	cfg.ReplayMode = "per"
+	cfg.RewardMode = "delta"
+	cfg.Beta = 0.4
+	d, err := New(rand.New(rand.NewSource(11)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.model"
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cfg.ReplayMode != "per" || got.Cfg.RewardMode != "delta" || got.Cfg.Beta != 0.4 {
+		t.Fatalf("config not preserved: %+v", got.Cfg)
+	}
+	if _, ok := got.Buffer.(*rl.PrioritizedReplay); !ok {
+		t.Fatal("loaded tuner did not rebuild the per buffer")
+	}
+}

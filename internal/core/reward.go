@@ -1,0 +1,48 @@
+// Package core implements DeepCAT, the paper's cost-efficient online
+// configuration auto-tuner: a TD3 agent trained offline with reward-driven
+// prioritized experience replay (RDPER, §3.3) and fine-tuned online with the
+// Twin-Q Optimizer (§3.4, Algorithm 1) so that sub-optimal recommendations
+// are repaired for free instead of being paid for with cluster runs.
+package core
+
+import "math"
+
+// Reward implements the paper's immediate reward function (Eq. 1):
+//
+//	r_t = (perf_e - perf_t) / perf_e
+//
+// where perf_t is the measured execution time of the evaluated
+// configuration and perf_e is the expected performance, set to a speedup
+// over the default execution time (perf_e = defaultTime / speedupTarget).
+// The reward is positive when the configuration beats the expectation,
+// approaches 1 as execution time approaches zero, and grows unboundedly
+// negative for slow configurations.
+func Reward(execTime, defaultTime, speedupTarget float64) float64 {
+	perfE := defaultTime / speedupTarget
+	return (perfE - execTime) / perfE
+}
+
+// RewardToTime inverts Reward: the execution time that yields reward r.
+func RewardToTime(r, defaultTime, speedupTarget float64) float64 {
+	perfE := defaultTime / speedupTarget
+	return perfE * (1 - r)
+}
+
+// DeltaReward is the CDBTune-style delta reward over execution time, kept
+// here so both the CDBTune baseline and DeepCAT's reward-function ablation
+// share one implementation. With delta0 = (T0-Tt)/T0 (improvement over the
+// default) and deltaP = (Tp-Tt)/Tp (improvement over the previous step):
+//
+//	r = ((1+delta0)^2 - 1) * |1+deltaP|   when delta0 > 0
+//	r = -((1-delta0)^2 - 1) * |1-deltaP|  otherwise
+//
+// It rewards eventual improvement trajectories rather than each action's
+// own cost — the objective the paper contrasts with Eq. (1).
+func DeltaReward(execTime, prevTime, defaultTime float64) float64 {
+	d0 := (defaultTime - execTime) / defaultTime
+	dp := (prevTime - execTime) / prevTime
+	if d0 > 0 {
+		return ((1+d0)*(1+d0) - 1) * math.Abs(1+dp)
+	}
+	return -((1-d0)*(1-d0) - 1) * math.Abs(1-dp)
+}

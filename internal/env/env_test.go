@@ -1,0 +1,173 @@
+package env
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"deepcat/internal/sparksim"
+)
+
+func tsEnv(t *testing.T) *SparkEnv {
+	t.Helper()
+	sim := sparksim.NewSimulator(sparksim.ClusterA(), 1)
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSparkEnv(sim, ts, 0)
+}
+
+func TestSparkEnvBasics(t *testing.T) {
+	e := tsEnv(t)
+	if e.Space().Dim() != 32 {
+		t.Fatalf("space dim %d", e.Space().Dim())
+	}
+	if e.StateDim() != sparksim.StateDim || e.MetricsDim() != sparksim.MetricsDim {
+		t.Fatal("dims wrong")
+	}
+	if e.DefaultTime() <= 0 {
+		t.Fatal("default time not positive")
+	}
+	if got := e.Label(); got != "TS-D1@cluster-a" {
+		t.Fatalf("label = %q", got)
+	}
+	if len(e.IdleState()) != e.StateDim() {
+		t.Fatal("idle state dim wrong")
+	}
+}
+
+func TestSparkEnvEvaluate(t *testing.T) {
+	e := tsEnv(t)
+	o := e.Evaluate(e.Space().DefaultAction())
+	if o.ExecTime <= 0 || o.Failed {
+		t.Fatalf("default evaluation: %+v", o)
+	}
+	if len(o.State) != e.StateDim() || len(o.Metrics) != e.MetricsDim() {
+		t.Fatal("outcome dims wrong")
+	}
+	// Default evaluation time must be close to the noise-free baseline.
+	if math.Abs(o.ExecTime-e.DefaultTime())/e.DefaultTime() > 0.2 {
+		t.Fatalf("eval %.1f vs default %.1f", o.ExecTime, e.DefaultTime())
+	}
+}
+
+func TestSparkEnvClamp(t *testing.T) {
+	simB := sparksim.NewSimulator(sparksim.ClusterB(), 1)
+	ts, _ := sparksim.WorkloadByShort("TS")
+	e := NewSparkEnv(simB, ts, 0)
+
+	// A 10 GB executor request cannot be scheduled on 8 GB nodes...
+	u := e.Space().DefaultAction()
+	i, _ := e.Space().Lookup("spark.executor.memory")
+	j, _ := e.Space().Lookup("yarn.scheduler.maximum-allocation-mb")
+	u[i] = 1.0
+	u[j] = 1.0
+	if o := e.Evaluate(u); !o.Failed {
+		t.Fatal("oversized request succeeded without clamping")
+	}
+	// ... unless the environment clamps to the hardware boundary (§5.3.2).
+	e.Clamp = true
+	if o := e.Evaluate(u); o.Failed {
+		t.Fatal("clamped request still failed")
+	}
+}
+
+func TestCountedEnv(t *testing.T) {
+	e := tsEnv(t)
+	c := NewCounted(e)
+	u := e.Space().DefaultAction()
+	o1 := c.Evaluate(u)
+	o2 := c.Evaluate(u)
+	if c.Evals != 2 {
+		t.Fatalf("Evals = %d", c.Evals)
+	}
+	if want := o1.ExecTime + o2.ExecTime; math.Abs(c.TotalTime-want) > 1e-9 {
+		t.Fatalf("TotalTime = %v, want %v", c.TotalTime, want)
+	}
+}
+
+func TestReportCosts(t *testing.T) {
+	r := &Report{
+		Tuner:    "DeepCAT",
+		EnvLabel: "TS-D1@cluster-a",
+		Steps: []TuningStep{
+			{ExecTime: 50, RecommendSeconds: 0.1},
+			{ExecTime: 40, RecommendSeconds: 0.2, Failed: true},
+			{ExecTime: 30, RecommendSeconds: 0.3, Optimized: true},
+		},
+		BestTime: 30,
+	}
+	if got := r.EvaluationCost(); got != 120 {
+		t.Fatalf("EvaluationCost = %v", got)
+	}
+	if got := r.RecommendationCost(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("RecommendationCost = %v", got)
+	}
+	if got := r.TotalCost(); math.Abs(got-120.6) > 1e-12 {
+		t.Fatalf("TotalCost = %v", got)
+	}
+}
+
+func TestReportBestSoFar(t *testing.T) {
+	r := &Report{Steps: []TuningStep{
+		{ExecTime: 50},
+		{ExecTime: 10, Failed: true}, // failures never count as best
+		{ExecTime: 30},
+		{ExecTime: 60},
+	}}
+	got := r.BestSoFar()
+	want := []float64{50, 50, 30, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BestSoFar = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReportBestSoFarAllFailed(t *testing.T) {
+	r := &Report{Steps: []TuningStep{{ExecTime: 10, Failed: true}}}
+	if got := r.BestSoFar(); got[0] < 1e17 {
+		t.Fatalf("BestSoFar with no success = %v, want +inf sentinel", got[0])
+	}
+}
+
+func TestReportAccumulatedCost(t *testing.T) {
+	r := &Report{Steps: []TuningStep{
+		{ExecTime: 10, RecommendSeconds: 1},
+		{ExecTime: 20, RecommendSeconds: 2},
+	}}
+	got := r.AccumulatedCost()
+	if got[0] != 11 || got[1] != 33 {
+		t.Fatalf("AccumulatedCost = %v", got)
+	}
+}
+
+func TestReportSpeedup(t *testing.T) {
+	r := &Report{Steps: []TuningStep{{ExecTime: 25}}, BestTime: 25}
+	if got := r.Speedup(100); got != 4 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	empty := &Report{}
+	if got := empty.Speedup(100); got != 0 {
+		t.Fatalf("empty Speedup = %v", got)
+	}
+	failed := &Report{Steps: []TuningStep{{Failed: true}}, BestTime: 1e18}
+	if got := failed.Speedup(100); got != 0 {
+		t.Fatalf("failed Speedup = %v", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{
+		Tuner: "DeepCAT", EnvLabel: "x",
+		Steps:    []TuningStep{{ExecTime: 10, Failed: true}, {ExecTime: 5, Optimized: true}},
+		BestTime: 5,
+	}
+	s := r.String()
+	for _, want := range []string{"DeepCAT", "FAILED", "twin-q optimized", "step 2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package gp
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepcat/internal/mat"
+)
+
+func benchData(n, dim int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = mat.RandVec(rng, dim, 0, 1)
+		y[i] = mat.Sum(x[i]) + rng.NormFloat64()*0.1
+	}
+	return x, y
+}
+
+func BenchmarkFit200x32(b *testing.B) {
+	x, y := benchData(200, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(Matern52{1, 1}, 1e-3, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict200x32(b *testing.B) {
+	x, y := benchData(200, 32)
+	g, err := Fit(Matern52{1, 1}, 1e-3, x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := mat.RandVec(rand.New(rand.NewSource(2)), 32, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Predict(p)
+	}
+}

@@ -1,0 +1,222 @@
+// Package gp implements Gaussian-process regression with Expected
+// Improvement acquisition — the surrogate model family behind the OtterTune
+// baseline (Van Aken et al., 2017): OtterTune fits a GP over observed
+// configurations and picks the next configuration by maximizing EI.
+//
+// The implementation is exact GP regression via Cholesky factorization
+// (package linalg). It is adequate for the sample sizes OtterTune works
+// with online (hundreds to a few thousand observations).
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"deepcat/internal/linalg"
+	"deepcat/internal/mat"
+)
+
+// Kernel is a positive-definite covariance function.
+type Kernel interface {
+	// Eval returns k(x, y).
+	Eval(x, y []float64) float64
+}
+
+// RBF is the squared-exponential kernel
+// k(x,y) = Variance * exp(-||x-y||² / (2 LengthScale²)).
+type RBF struct {
+	LengthScale float64
+	Variance    float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(x, y []float64) float64 {
+	d := mat.Dist2(x, y)
+	return k.Variance * math.Exp(-d*d/(2*k.LengthScale*k.LengthScale))
+}
+
+// Matern52 is the Matérn-5/2 kernel, the common choice for configuration
+// surfaces that are less smooth than RBF assumes.
+type Matern52 struct {
+	LengthScale float64
+	Variance    float64
+}
+
+// Eval implements Kernel.
+func (k Matern52) Eval(x, y []float64) float64 {
+	r := mat.Dist2(x, y) / k.LengthScale
+	s5r := math.Sqrt(5) * r
+	return k.Variance * (1 + s5r + 5*r*r/3) * math.Exp(-s5r)
+}
+
+// GP is a fitted Gaussian-process regressor.
+type GP struct {
+	kernel Kernel
+	noise  float64
+	x      [][]float64
+	alpha  []float64
+	chol   *linalg.Cholesky
+	meanY  float64
+	lml    float64
+}
+
+// ErrNoData is returned when Fit is called without observations.
+var ErrNoData = errors.New("gp: no training data")
+
+// Fit performs exact GP regression on observations (X, y) with i.i.d.
+// observation noise variance `noise`. The target is internally centred on
+// its mean. X rows must share a common dimension; the data is copied.
+func Fit(kernel Kernel, noise float64, x [][]float64, y []float64) (*GP, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("gp: %d inputs but %d targets", n, len(y))
+	}
+	dim := len(x[0])
+	xc := make([][]float64, n)
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, fmt.Errorf("gp: row %d has dim %d, want %d", i, len(xi), dim)
+		}
+		xc[i] = mat.CloneSlice(xi)
+	}
+	meanY := mat.Mean(y)
+	yc := make([]float64, n)
+	for i, v := range y {
+		yc[i] = v - meanY
+	}
+
+	k := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := kernel.Eval(xc[i], xc[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	linalg.AddJitter(k, noise+1e-8)
+	chol, err := linalg.NewCholesky(k)
+	if err != nil {
+		// Retry once with a heavier jitter before giving up.
+		linalg.AddJitter(k, 1e-4)
+		chol, err = linalg.NewCholesky(k)
+		if err != nil {
+			return nil, fmt.Errorf("gp: kernel matrix not PD: %w", err)
+		}
+	}
+	alpha := chol.SolveVec(yc)
+	// Log marginal likelihood: -1/2 yᵀ K⁻¹ y - 1/2 log|K| - n/2 log(2π).
+	lml := -0.5*mat.Dot(yc, alpha) - 0.5*chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+	return &GP{
+		kernel: kernel,
+		noise:  noise,
+		x:      xc,
+		alpha:  alpha,
+		chol:   chol,
+		meanY:  meanY,
+		lml:    lml,
+	}, nil
+}
+
+// LogMarginalLikelihood returns the fitted model's log marginal likelihood,
+// the standard criterion for kernel hyper-parameter selection.
+func (g *GP) LogMarginalLikelihood() float64 { return g.lml }
+
+// FitBest fits one GP per candidate kernel and returns the one maximizing
+// the log marginal likelihood — the grid-search analogue of scikit-learn's
+// default hyper-parameter optimization. Kernels whose Gram matrix cannot be
+// factorized are skipped; an error is returned only if every candidate
+// fails.
+func FitBest(kernels []Kernel, noise float64, x [][]float64, y []float64) (*GP, error) {
+	var best *GP
+	var firstErr error
+	for _, k := range kernels {
+		g, err := Fit(k, noise, x, y)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || g.lml > best.lml {
+			best = g
+		}
+	}
+	if best == nil {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("gp: no candidate kernels")
+		}
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+// LengthScaleGrid builds Matern-5/2 candidates with log-spaced length
+// scales spanning [lo, hi], for use with FitBest.
+func LengthScaleGrid(lo, hi, variance float64, steps int) []Kernel {
+	if steps < 2 || lo <= 0 || hi <= lo {
+		return []Kernel{Matern52{LengthScale: lo, Variance: variance}}
+	}
+	out := make([]Kernel, steps)
+	ratio := math.Pow(hi/lo, 1/float64(steps-1))
+	l := lo
+	for i := range out {
+		out[i] = Matern52{LengthScale: l, Variance: variance}
+		l *= ratio
+	}
+	return out
+}
+
+// Len returns the number of training observations.
+func (g *GP) Len() int { return len(g.x) }
+
+// Predict returns the posterior mean and variance at x. The variance is the
+// latent-function variance (without observation noise) and is never
+// negative.
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	n := len(g.x)
+	kstar := make([]float64, n)
+	for i, xi := range g.x {
+		kstar[i] = g.kernel.Eval(x, xi)
+	}
+	mean = g.meanY + mat.Dot(kstar, g.alpha)
+	v := linalg.ForwardSubst(g.chol.L, kstar)
+	variance = g.kernel.Eval(x, x) - mat.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// stdNormPDF is the standard normal density.
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+// stdNormCDF is the standard normal distribution function.
+func stdNormCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// ExpectedImprovement returns EI for *minimization*: the expected amount by
+// which a point with posterior (mean, std) improves on the incumbent best
+// value. Zero std degenerates to max(best-mean, 0).
+func ExpectedImprovement(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean < best {
+			return best - mean
+		}
+		return 0
+	}
+	z := (best - mean) / std
+	ei := (best-mean)*stdNormCDF(z) + std*stdNormPDF(z)
+	if ei < 0 {
+		// Analytically EI >= 0; far in the tail the two terms cancel and
+		// floating point can leave a vanishing negative residue.
+		return 0
+	}
+	return ei
+}

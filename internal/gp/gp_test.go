@@ -1,0 +1,281 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deepcat/internal/mat"
+)
+
+func TestKernelBasics(t *testing.T) {
+	for _, k := range []Kernel{RBF{1, 2}, Matern52{1, 2}} {
+		x := []float64{0.3, 0.7}
+		if got := k.Eval(x, x); math.Abs(got-2) > 1e-9 {
+			t.Fatalf("k(x,x) = %v, want variance 2", got)
+		}
+		far := k.Eval(x, []float64{10, -10})
+		if far >= 0.1 {
+			t.Fatalf("distant kernel value %v not small", far)
+		}
+		// Symmetry.
+		y := []float64{0.1, 0.9}
+		if k.Eval(x, y) != k.Eval(y, x) {
+			t.Fatal("kernel not symmetric")
+		}
+	}
+}
+
+func TestKernelMonotoneInDistanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := RBF{LengthScale: 0.5 + rng.Float64(), Variance: 1}
+		m := Matern52{LengthScale: 0.5 + rng.Float64(), Variance: 1}
+		x := mat.RandVec(rng, 3, -1, 1)
+		d1 := mat.RandVec(rng, 3, -0.1, 0.1)
+		d2 := make([]float64, 3)
+		mat.ScaleTo(d2, 3, d1) // strictly farther in the same direction
+		y1 := make([]float64, 3)
+		y2 := make([]float64, 3)
+		mat.AddTo(y1, x, d1)
+		mat.AddTo(y2, x, d2)
+		return k.Eval(x, y1) >= k.Eval(x, y2) && m.Eval(x, y1) >= m.Eval(x, y2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(RBF{1, 1}, 1e-6, nil, nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+	if _, err := Fit(RBF{1, 1}, 1e-6, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Fit(RBF{1, 1}, 1e-6, [][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged inputs accepted")
+	}
+}
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	x := [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}}
+	y := make([]float64, len(x))
+	for i, xi := range x {
+		y[i] = math.Sin(2 * math.Pi * xi[0])
+	}
+	g, err := Fit(RBF{0.3, 1}, 1e-8, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	for i, xi := range x {
+		m, v := g.Predict(xi)
+		if math.Abs(m-y[i]) > 1e-3 {
+			t.Fatalf("mean at train point %v = %v, want %v", xi, m, y[i])
+		}
+		if v > 1e-3 {
+			t.Fatalf("variance at train point = %v, want ~0", v)
+		}
+	}
+}
+
+func TestGPVarianceGrowsAwayFromData(t *testing.T) {
+	x := [][]float64{{0.4}, {0.5}, {0.6}}
+	y := []float64{1, 2, 1}
+	g, err := Fit(RBF{0.1, 1}, 1e-6, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vNear := g.Predict([]float64{0.5})
+	_, vFar := g.Predict([]float64{3})
+	if vFar <= vNear {
+		t.Fatalf("variance near %v >= far %v", vNear, vFar)
+	}
+	// Far from data the posterior reverts to the prior variance.
+	if math.Abs(vFar-1) > 0.05 {
+		t.Fatalf("far variance %v, want ~prior 1", vFar)
+	}
+}
+
+func TestGPRegressionAccuracy(t *testing.T) {
+	// Learn f(x) = x0² + sin(3 x1) from 80 noisy samples.
+	rng := rand.New(rand.NewSource(3))
+	f := func(x []float64) float64 { return x[0]*x[0] + math.Sin(3*x[1]) }
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 80; i++ {
+		xi := mat.RandVec(rng, 2, 0, 1)
+		x = append(x, xi)
+		y = append(y, f(xi)+0.01*rng.NormFloat64())
+	}
+	g, err := Fit(Matern52{0.5, 1}, 1e-4, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	const probes = 100
+	for i := 0; i < probes; i++ {
+		xi := mat.RandVec(rng, 2, 0.05, 0.95)
+		m, _ := g.Predict(xi)
+		d := m - f(xi)
+		mse += d * d
+	}
+	mse /= probes
+	if mse > 0.005 {
+		t.Fatalf("GP test MSE = %v, want < 0.005", mse)
+	}
+}
+
+func TestPosteriorVarianceBoundedByPriorProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := [][]float64{{0.1, 0.1}, {0.5, 0.4}, {0.9, 0.8}}
+	y := []float64{1, -1, 2}
+	g, err := Fit(RBF{0.4, 1.7}, 1e-6, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_ = rng
+		p := mat.RandVec(r, 2, -2, 3)
+		_, v := g.Predict(p)
+		return v >= 0 && v <= 1.7+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// Certain improvement: mean below best with zero uncertainty.
+	if got := ExpectedImprovement(1, 0, 3); got != 2 {
+		t.Fatalf("EI = %v, want 2", got)
+	}
+	// No improvement possible with zero uncertainty.
+	if got := ExpectedImprovement(5, 0, 3); got != 0 {
+		t.Fatalf("EI = %v, want 0", got)
+	}
+	// Uncertainty makes even a worse mean worth something.
+	if got := ExpectedImprovement(3.5, 1, 3); got <= 0 {
+		t.Fatalf("EI with std = %v, want > 0", got)
+	}
+	// More uncertainty -> more EI at equal mean.
+	if ExpectedImprovement(3, 2, 3) <= ExpectedImprovement(3, 1, 3) {
+		t.Fatal("EI not increasing in std")
+	}
+	// Lower mean -> more EI at equal std.
+	if ExpectedImprovement(2, 1, 3) <= ExpectedImprovement(2.5, 1, 3) {
+		t.Fatal("EI not decreasing in mean")
+	}
+}
+
+func TestExpectedImprovementNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mean := rng.NormFloat64() * 100
+		std := math.Abs(rng.NormFloat64()) * 100
+		best := rng.NormFloat64() * 100
+		return ExpectedImprovement(mean, std, best) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitDuplicatePointsStable(t *testing.T) {
+	// Duplicate rows make the kernel matrix singular without jitter; Fit
+	// must still succeed via its jitter ladder.
+	x := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	y := []float64{1, 1.1, 0.9}
+	g, err := Fit(RBF{1, 1}, 1e-9, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := g.Predict([]float64{0.5, 0.5})
+	if math.Abs(m-1.0) > 0.1 {
+		t.Fatalf("duplicate-point mean = %v, want ~1", m)
+	}
+}
+
+func TestLogMarginalLikelihoodPrefersTrueScale(t *testing.T) {
+	// Data generated from a smooth function: a reasonable lengthscale must
+	// out-score a wildly wrong one under the log marginal likelihood.
+	rng := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 60; i++ {
+		xi := mat.RandVec(rng, 2, 0, 1)
+		x = append(x, xi)
+		y = append(y, math.Sin(3*xi[0])+xi[1]+0.01*rng.NormFloat64())
+	}
+	good, err := Fit(Matern52{0.5, 1}, 1e-4, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Fit(Matern52{1e-4, 1}, 1e-4, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.LogMarginalLikelihood() <= bad.LogMarginalLikelihood() {
+		t.Fatalf("LML(good)=%v <= LML(bad)=%v",
+			good.LogMarginalLikelihood(), bad.LogMarginalLikelihood())
+	}
+}
+
+func TestFitBestSelectsByLML(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		xi := mat.RandVec(rng, 2, 0, 1)
+		x = append(x, xi)
+		y = append(y, xi[0]*xi[0]+0.01*rng.NormFloat64())
+	}
+	kernels := []Kernel{
+		Matern52{1e-5, 1}, // absurdly short: interpolates noise
+		Matern52{0.7, 1},  // sensible
+	}
+	best, err := FitBest(kernels, 1e-4, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensible, _ := Fit(kernels[1], 1e-4, x, y)
+	if best.LogMarginalLikelihood() < sensible.LogMarginalLikelihood() {
+		t.Fatal("FitBest returned a worse model than a candidate")
+	}
+}
+
+func TestFitBestErrors(t *testing.T) {
+	if _, err := FitBest(nil, 1e-4, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("no kernels accepted")
+	}
+	if _, err := FitBest([]Kernel{Matern52{1, 1}}, 1e-4, nil, nil); err == nil {
+		t.Fatal("no data accepted")
+	}
+}
+
+func TestLengthScaleGrid(t *testing.T) {
+	grid := LengthScaleGrid(1, 100, 2, 5)
+	if len(grid) != 5 {
+		t.Fatalf("grid size %d", len(grid))
+	}
+	first := grid[0].(Matern52)
+	last := grid[4].(Matern52)
+	if math.Abs(first.LengthScale-1) > 1e-9 || math.Abs(last.LengthScale-100) > 1e-6 {
+		t.Fatalf("grid endpoints %v .. %v", first.LengthScale, last.LengthScale)
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i].(Matern52).LengthScale <= grid[i-1].(Matern52).LengthScale {
+			t.Fatal("grid not increasing")
+		}
+	}
+	// Degenerate requests collapse to a single kernel.
+	if got := LengthScaleGrid(1, 0.5, 1, 5); len(got) != 1 {
+		t.Fatalf("degenerate grid size %d", len(got))
+	}
+}

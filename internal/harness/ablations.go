@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"io"
+	"math/rand"
+
+	"deepcat/internal/baselines/cdbtune"
+	"deepcat/internal/core"
+	"deepcat/internal/env"
+	"deepcat/internal/sparksim"
+)
+
+// AblationRow is one variant of an ablation study.
+type AblationRow struct {
+	Variant  string
+	BestTime float64
+	Cost     float64
+}
+
+// AblationResult is a set of variants measured under identical budgets.
+type AblationResult struct {
+	Name string
+	Rows []AblationRow
+}
+
+// Fprint renders an ablation table.
+func (r AblationResult) Fprint(w io.Writer) {
+	writeRow(w, "Ablation: %s (TS-D1)", r.Name)
+	writeRow(w, "%-28s %-14s %s", "variant", "best time (s)", "total cost (s)")
+	for _, row := range r.Rows {
+		writeRow(w, "%-28s %-14.1f %.1f", row.Variant, row.BestTime, row.Cost)
+	}
+}
+
+// tsEnvA returns the TS-D1 Cluster-A environment.
+func (h *Harness) tsEnvA() *env.SparkEnv {
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		panic(err)
+	}
+	return h.EnvA(ts, 0)
+}
+
+// RunAblationReplay compares RDPER against uniform replay and TD-error PER
+// under the same TD3 backbone and training budget — the design choice of
+// §3.3.
+func (h *Harness) RunAblationReplay(offlineIters int) AblationResult {
+	e := h.tsEnvA()
+	res := AblationResult{Name: "replay mechanism (TD3 backbone)"}
+	reps := float64(h.Opts.Replications)
+	for _, mode := range []string{"rdper", "uniform", "per"} {
+		row := AblationRow{Variant: "replay=" + mode}
+		for s := int64(0); s < int64(h.Opts.Replications); s++ {
+			cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+			cfg.ReplayMode = mode
+			cfg.OnlineSteps = h.Opts.OnlineSteps
+			d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*11000+s)), cfg)
+			if err != nil {
+				panic(err)
+			}
+			d.OfflineTrain(e, offlineIters, nil)
+			rep := d.Clone().OnlineTune(e)
+			row.BestTime += rep.BestTime / reps
+			row.Cost += rep.TotalCost() / reps
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// RunAblationTwinQ compares the online gate variants: min(Q1,Q2) (the
+// paper's indicator), a single-critic gate, and no gate at all — the design
+// choice of §3.4.
+func (h *Harness) RunAblationTwinQ(offlineIters int) AblationResult {
+	e := h.tsEnvA()
+	res := AblationResult{Name: "Twin-Q Optimizer gate"}
+	reps := float64(h.Opts.Replications)
+	variants := []struct {
+		name   string
+		mutate func(*core.DeepCAT)
+	}{
+		{"gate=min(Q1,Q2)", func(d *core.DeepCAT) {}},
+		{"gate=Q1 only", func(d *core.DeepCAT) { d.Cfg.TwinQ.SingleQ = true }},
+		{"gate=none", func(d *core.DeepCAT) { d.Cfg.UseTwinQ = false }},
+	}
+	for s := int64(0); s < int64(h.Opts.Replications); s++ {
+		cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+		cfg.OnlineSteps = h.Opts.OnlineSteps
+		d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*12000+s)), cfg)
+		if err != nil {
+			panic(err)
+		}
+		d.OfflineTrain(e, offlineIters, nil)
+		for i, v := range variants {
+			c := d.Clone()
+			v.mutate(c)
+			rep := c.OnlineTune(e)
+			if s == 0 {
+				res.Rows = append(res.Rows, AblationRow{Variant: v.name})
+			}
+			res.Rows[i].BestTime += rep.BestTime / reps
+			res.Rows[i].Cost += rep.TotalCost() / reps
+		}
+	}
+	return res
+}
+
+// RunAblationBackbone compares the TD3 backbone against DDPG under
+// identical replay (RDPER is DeepCAT-only; both use their canonical
+// setup: TD3+RDPER+Eq.1 reward vs DDPG+TD-PER+delta reward) — isolating
+// what swapping the agent family buys.
+func (h *Harness) RunAblationBackbone(offlineIters int) AblationResult {
+	e := h.tsEnvA()
+	res := AblationResult{Name: "agent backbone"}
+	reps := float64(h.Opts.Replications)
+
+	rowTD3 := AblationRow{Variant: "TD3+RDPER (DeepCAT, no gate)"}
+	rowDDPG := AblationRow{Variant: "DDPG+TD-PER (CDBTune)"}
+	for s := int64(0); s < int64(h.Opts.Replications); s++ {
+		cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+		cfg.OnlineSteps = h.Opts.OnlineSteps
+		cfg.UseTwinQ = false // isolate the backbone, not the gate
+		d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*13000+s)), cfg)
+		if err != nil {
+			panic(err)
+		}
+		d.OfflineTrain(e, offlineIters, nil)
+		rep := d.Clone().OnlineTune(e)
+		rowTD3.BestTime += rep.BestTime / reps
+		rowTD3.Cost += rep.TotalCost() / reps
+
+		ccfg := cdbtune.DefaultConfig(e.StateDim(), e.Space().Dim())
+		ccfg.OnlineSteps = h.Opts.OnlineSteps
+		c, err := cdbtune.New(rand.New(rand.NewSource(h.Opts.Seed*13000+s)), ccfg)
+		if err != nil {
+			panic(err)
+		}
+		c.OfflineTrain(e, offlineIters)
+		crep := c.Clone().OnlineTune(e)
+		rowDDPG.BestTime += crep.BestTime / reps
+		rowDDPG.Cost += crep.TotalCost() / reps
+	}
+	res.Rows = []AblationRow{rowTD3, rowDDPG}
+	return res
+}
+
+// RunAblationReward compares DeepCAT's immediate reward (Eq. 1) against the
+// CDBTune-style delta reward on the same TD3+RDPER stack — the design
+// choice of §3.1.
+func (h *Harness) RunAblationReward(offlineIters int) AblationResult {
+	e := h.tsEnvA()
+	res := AblationResult{Name: "reward function (TD3+RDPER stack)"}
+	reps := float64(h.Opts.Replications)
+
+	rowImm := AblationRow{Variant: "immediate reward (Eq. 1)"}
+	rowDelta := AblationRow{Variant: "delta reward (CDBTune-style)"}
+	for s := int64(0); s < int64(h.Opts.Replications); s++ {
+		cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+		cfg.OnlineSteps = h.Opts.OnlineSteps
+		d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*14000+s)), cfg)
+		if err != nil {
+			panic(err)
+		}
+		d.OfflineTrain(e, offlineIters, nil)
+		rep := d.Clone().OnlineTune(e)
+		rowImm.BestTime += rep.BestTime / reps
+		rowImm.Cost += rep.TotalCost() / reps
+
+		// Delta-reward variant: identical TD3+RDPER stack, CDBTune-style
+		// reward.
+		cfg2 := cfg
+		cfg2.RewardMode = "delta"
+		d2, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*14000+s)), cfg2)
+		if err != nil {
+			panic(err)
+		}
+		d2.OfflineTrain(e, offlineIters, nil)
+		rep2 := d2.Clone().OnlineTune(e)
+		rowDelta.BestTime += rep2.BestTime / reps
+		rowDelta.Cost += rep2.TotalCost() / reps
+	}
+	res.Rows = []AblationRow{rowImm, rowDelta}
+	return res
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVWriter is implemented by experiment results that can export their data
+// series for external plotting.
+type CSVWriter interface {
+	// WriteCSV writes a header row followed by one record per data point.
+	WriteCSV(w io.Writer) error
+}
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("harness: csv: %w", err)
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return fmt.Errorf("harness: csv: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteCSV exports the relative-performance CDF (Fig. 2).
+func (r Fig2Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, len(r.RelativePerf))
+	n := float64(len(r.RelativePerf))
+	for i, v := range r.RelativePerf {
+		rows[i] = []string{f(v), f(float64(i+1) / n)}
+	}
+	return writeCSV(w, []string{"relative_perf", "cumulative_prob"}, rows)
+}
+
+// WriteCSV exports the smoothed twin-Q/reward trace (Fig. 3).
+func (r Fig3Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{strconv.Itoa(p.Iter), f(p.Q1), f(p.Q2), f(p.MinQ), f(p.Reward)}
+	}
+	return writeCSV(w, []string{"iter", "q1", "q2", "min_q", "reward"}, rows)
+}
+
+// WriteCSV exports the replay-convergence curves (Fig. 4).
+func (r Fig4Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, len(r.Marks))
+	for i, m := range r.Marks {
+		rows[i] = []string{strconv.Itoa(m), f(r.BestRDPER[i]), f(r.BestUniform[i])}
+	}
+	return writeCSV(w, []string{"iterations", "best_rdper_s", "best_uniform_s"}, rows)
+}
+
+// WriteCSV exports the per-step Twin-Q ablation (Fig. 5).
+func (r Fig5Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, len(r.StepsWith))
+	for i := range r.StepsWith {
+		rows[i] = []string{strconv.Itoa(i + 1), f(r.StepsWith[i]), f(r.StepsWithout[i])}
+	}
+	return writeCSV(w, []string{"step", "with_twinq_s", "without_twinq_s"}, rows)
+}
+
+// WriteCSV exports the full comparison behind Figures 6-8: one record per
+// (pair, tuner, replication, step).
+func (c *ComparisonResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, p := range c.Pairs {
+		for _, tuner := range TunerNames {
+			for rep, r := range p.Reports[tuner] {
+				best := r.BestSoFar()
+				cost := r.AccumulatedCost()
+				for i, st := range r.Steps {
+					b := best[i]
+					if b > 1e17 {
+						b = -1
+					}
+					rows = append(rows, []string{
+						p.Pair, tuner, strconv.Itoa(rep), strconv.Itoa(i + 1),
+						f(st.ExecTime), f(b), f(cost[i]),
+						strconv.FormatBool(st.Failed), strconv.FormatBool(st.Optimized),
+						f(p.DefaultTime),
+					})
+				}
+			}
+		}
+	}
+	return writeCSV(w, []string{
+		"pair", "tuner", "replication", "step",
+		"exec_time_s", "best_so_far_s", "accumulated_cost_s",
+		"failed", "twinq_optimized", "default_time_s",
+	}, rows)
+}
+
+// WriteCSV exports the beta sweep (Fig. 11).
+func (r Fig11Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{f(p.Beta), f(p.BestTime), f(p.Cost)}
+	}
+	return writeCSV(w, []string{"beta", "best_time_s", "total_cost_s"}, rows)
+}
+
+// WriteCSV exports the Q_th sweep (Fig. 12).
+func (r Fig12Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{f(p.QTh), f(p.BestTime), f(p.Cost)}
+	}
+	return writeCSV(w, []string{"q_th", "best_time_s", "total_cost_s"}, rows)
+}

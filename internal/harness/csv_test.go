@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"deepcat/internal/env"
+)
+
+func parseCSV(t *testing.T, data string) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(strings.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid csv: %v", err)
+	}
+	return records
+}
+
+func TestFig2CSV(t *testing.T) {
+	h := New(tinyOptions())
+	r := h.RunFig2(50)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := parseCSV(t, buf.String())
+	if len(rec) != 51 {
+		t.Fatalf("records = %d, want header + 50", len(rec))
+	}
+	if rec[0][0] != "relative_perf" {
+		t.Fatalf("header = %v", rec[0])
+	}
+}
+
+func TestFig4And5And1112CSV(t *testing.T) {
+	h := New(tinyOptions())
+	var buf bytes.Buffer
+	if err := h.RunFig4([]int{60, 120}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(parseCSV(t, buf.String())); got != 3 {
+		t.Fatalf("fig4 records = %d", got)
+	}
+	buf.Reset()
+	if err := h.RunFig5(80).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(parseCSV(t, buf.String())); got != 6 {
+		t.Fatalf("fig5 records = %d", got)
+	}
+	buf.Reset()
+	r12 := h.RunFig12(80, []float64{0.2, 0.4})
+	if err := r12.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(parseCSV(t, buf.String())); got != 3 {
+		t.Fatalf("fig12 records = %d", got)
+	}
+}
+
+func TestComparisonCSV(t *testing.T) {
+	// Build a synthetic comparison to avoid training in a unit test.
+	c := &ComparisonResult{Pairs: []PairComparison{{
+		Pair:        "TS-D1",
+		DefaultTime: 100,
+		Reports: map[string][]*env.Report{
+			"DeepCAT": {{
+				Tuner: "DeepCAT", EnvLabel: "TS-D1",
+				Steps: []env.TuningStep{
+					{ExecTime: 50, RecommendSeconds: 0.1},
+					{ExecTime: 40, RecommendSeconds: 0.1, Optimized: true},
+				},
+				BestTime: 40,
+			}},
+			"CDBTune":   {},
+			"OtterTune": {},
+		},
+	}}}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := parseCSV(t, buf.String())
+	if len(rec) != 3 { // header + 2 steps
+		t.Fatalf("records = %d", len(rec))
+	}
+	if rec[2][8] != "true" { // twinq_optimized column of step 2
+		t.Fatalf("optimized flag = %q", rec[2][8])
+	}
+	if rec[1][5] != "50" { // best_so_far after step 1
+		t.Fatalf("best_so_far = %q", rec[1][5])
+	}
+}
+
+func TestFig3CSV(t *testing.T) {
+	h := New(tinyOptions())
+	r := h.RunFig3(100, 50)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := parseCSV(t, buf.String())
+	if len(rec) != len(r.Points)+1 {
+		t.Fatalf("records = %d", len(rec))
+	}
+	if len(rec[0]) != 5 {
+		t.Fatalf("columns = %d", len(rec[0]))
+	}
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDynamicStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	h := New(tinyOptions())
+	r := h.RunDynamic([]string{"TS", "WC"}, 4)
+	if len(r.Steps) != 4*3 {
+		t.Fatalf("steps = %d, want 12", len(r.Steps))
+	}
+	// Requests alternate workloads.
+	if !strings.HasPrefix(r.Steps[0].Pair, "TS") || !strings.HasPrefix(r.Steps[3].Pair, "WC") {
+		t.Fatalf("pair sequence wrong: %s then %s", r.Steps[0].Pair, r.Steps[3].Pair)
+	}
+	for _, tn := range TunerNames {
+		if r.TotalCost[tn] <= 0 {
+			t.Fatalf("%s: non-positive total cost", tn)
+		}
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Dynamic workload stream") {
+		t.Fatal("Fprint missing header")
+	}
+}
+
+func TestRunDynamicAccumulatesExperience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	// Serving the same workload repeatedly must not degrade: the tuner's
+	// later visits benefit from accumulated online experience, so the mean
+	// speedup over the second half of the stream is at least ~80% of the
+	// first half's (it is usually better).
+	opts := tinyOptions()
+	opts.OfflineIters = 500
+	h := New(opts)
+	r := h.RunDynamic([]string{"TS"}, 6)
+	var first, second float64
+	var n1, n2 int
+	for _, s := range r.Steps {
+		if s.Tuner != "DeepCAT" {
+			continue
+		}
+		if s.Request <= 3 {
+			first += s.Speedup
+			n1++
+		} else {
+			second += s.Speedup
+			n2++
+		}
+	}
+	first /= float64(n1)
+	second /= float64(n2)
+	if second < 0.8*first {
+		t.Fatalf("later requests degraded: first half %.2fx, second half %.2fx", first, second)
+	}
+}
+
+func TestRunDynamicEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty workload list did not panic")
+		}
+	}()
+	New(tinyOptions()).RunDynamic(nil, 3)
+}

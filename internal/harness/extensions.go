@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"io"
+	"math/rand"
+
+	"deepcat/internal/baselines/bestconfig"
+)
+
+// ExtensionRow is one variant of the extension study.
+type ExtensionRow struct {
+	Variant  string
+	Steps    int
+	BestTime float64
+	EvalCost float64
+}
+
+// ExtensionResult covers the approaches beyond the paper's head-to-head
+// evaluation: the search-based BestConfig family the paper discusses but
+// omits (§1, §6), at the DRL budget and at larger budgets, and OtterTune
+// with Lasso knob selection — the dimension-reduction direction the paper's
+// future work points at.
+type ExtensionResult struct {
+	Rows []ExtensionRow
+	// DeepCATBest / DeepCATCost give the 5-step DeepCAT reference on the
+	// same environment.
+	DeepCATBest float64
+	DeepCATCost float64
+}
+
+// RunExtensions runs the extension study on TeraSort D1.
+func (h *Harness) RunExtensions() ExtensionResult {
+	e := h.tsEnvA()
+	var res ExtensionResult
+	reps := float64(h.Opts.Replications)
+
+	// DeepCAT reference at the paper's 5-step budget.
+	for s := int64(0); s < int64(h.Opts.Replications); s++ {
+		d := h.DeepCATModel(e, s)
+		rep := d.Clone().OnlineTune(e)
+		res.DeepCATBest += rep.BestTime / reps
+		res.DeepCATCost += rep.EvaluationCost() / reps
+	}
+
+	// BestConfig at 1x, 4x and 10x the DRL budget: search-based tuning
+	// restarts from scratch and needs many more evaluations to catch up.
+	for _, mult := range []int{1, 4, 10} {
+		steps := h.Opts.OnlineSteps * mult
+		row := ExtensionRow{Variant: "BestConfig (DDS+RBS)", Steps: steps}
+		for s := int64(0); s < int64(h.Opts.Replications); s++ {
+			bc, err := bestconfig.New(rand.New(rand.NewSource(h.Opts.Seed*15000+s)), bestconfig.DefaultConfig())
+			if err != nil {
+				panic(err)
+			}
+			rep := bc.OnlineTune(e, steps)
+			row.BestTime += rep.BestTime / reps
+			row.EvalCost += rep.EvaluationCost() / reps
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// OtterTune with Lasso knob selection (top 8 of 32 knobs).
+	row := ExtensionRow{Variant: "OtterTune + Lasso top-8", Steps: h.Opts.OnlineSteps}
+	for s := int64(0); s < int64(h.Opts.Replications); s++ {
+		ot := h.OtterTuner(300 + s)
+		ot.Cfg.TopKnobs = 8
+		rep := ot.OnlineTune(e, e.Label())
+		row.BestTime += rep.BestTime / reps
+		row.EvalCost += rep.EvaluationCost() / reps
+	}
+	res.Rows = append(res.Rows, row)
+	return res
+}
+
+// Fprint renders the extension table.
+func (r ExtensionResult) Fprint(w io.Writer) {
+	writeRow(w, "Extensions: search-based baseline and knob selection (TS-D1)")
+	writeRow(w, "%-26s %-7s %-14s %s", "variant", "steps", "best time (s)", "eval cost (s)")
+	writeRow(w, "%-26s %-7d %-14.1f %.1f", "DeepCAT (reference)", 5, r.DeepCATBest, r.DeepCATCost)
+	for _, row := range r.Rows {
+		writeRow(w, "%-26s %-7d %-14.1f %.1f", row.Variant, row.Steps, row.BestTime, row.EvalCost)
+	}
+}

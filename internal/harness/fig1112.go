@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"io"
+	"math/rand"
+
+	"deepcat/internal/core"
+	"deepcat/internal/sparksim"
+)
+
+// Fig11Point is one beta setting of the RDPER ratio sweep.
+type Fig11Point struct {
+	Beta     float64
+	BestTime float64
+	Cost     float64
+}
+
+// Fig11Result is the paper's Fig. 11: best execution time and total online
+// cost as a function of RDPER's high-reward batch ratio beta.
+type Fig11Result struct {
+	Points []Fig11Point
+}
+
+// RunFig11 trains one model per beta in {0.1..0.9} (per replication) on
+// TeraSort D1 and runs the online stage.
+func (h *Harness) RunFig11(offlineIters int) Fig11Result {
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		panic(err)
+	}
+	e := h.EnvA(ts, 0)
+	res := Fig11Result{Points: make([]Fig11Point, 9)}
+	reps := float64(h.Opts.Replications)
+	h.forEach(9, func(i int) {
+		b := i + 1
+		beta := float64(b) / 10
+		pt := Fig11Point{Beta: beta}
+		for s := int64(0); s < int64(h.Opts.Replications); s++ {
+			cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+			cfg.Beta = beta
+			cfg.OnlineSteps = h.Opts.OnlineSteps
+			d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*9000+int64(b)*17+s)), cfg)
+			if err != nil {
+				panic(err)
+			}
+			d.OfflineTrain(e, offlineIters, nil)
+			rep := d.Clone().OnlineTune(e)
+			pt.BestTime += rep.BestTime / reps
+			pt.Cost += rep.TotalCost() / reps
+		}
+		res.Points[i] = pt
+	})
+	return res
+}
+
+// Fprint renders the beta sweep.
+func (r Fig11Result) Fprint(w io.Writer) {
+	writeRow(w, "Figure 11: DeepCAT under different beta settings (TS-D1)")
+	writeRow(w, "%-6s %-14s %s", "beta", "best time (s)", "total cost (s)")
+	for _, p := range r.Points {
+		writeRow(w, "%-6.1f %-14.1f %.1f", p.Beta, p.BestTime, p.Cost)
+	}
+}
+
+// Fig12Point is one Q_th setting of the Twin-Q threshold sweep.
+type Fig12Point struct {
+	QTh      float64
+	BestTime float64
+	Cost     float64
+}
+
+// Fig12Result is the paper's Fig. 12: best execution time and total online
+// cost as a function of the Twin-Q Optimizer threshold Q_th.
+type Fig12Result struct {
+	Points []Fig12Point
+}
+
+// RunFig12 trains one model per replication and runs the online stage under
+// each Q_th (the threshold only affects online tuning, so the offline model
+// is shared across settings).
+func (h *Harness) RunFig12(offlineIters int, ths []float64) Fig12Result {
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		panic(err)
+	}
+	e := h.EnvA(ts, 0)
+	res := Fig12Result{Points: make([]Fig12Point, len(ths))}
+	for i, th := range ths {
+		res.Points[i].QTh = th
+	}
+	reps := float64(h.Opts.Replications)
+	for s := int64(0); s < int64(h.Opts.Replications); s++ {
+		cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+		cfg.OnlineSteps = h.Opts.OnlineSteps
+		d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*9500+s)), cfg)
+		if err != nil {
+			panic(err)
+		}
+		d.OfflineTrain(e, offlineIters, nil)
+		for i, th := range ths {
+			c := d.Clone()
+			c.Cfg.TwinQ.QTh = th
+			rep := c.OnlineTune(e)
+			res.Points[i].BestTime += rep.BestTime / reps
+			res.Points[i].Cost += rep.TotalCost() / reps
+		}
+	}
+	return res
+}
+
+// Fprint renders the Q_th sweep.
+func (r Fig12Result) Fprint(w io.Writer) {
+	writeRow(w, "Figure 12: DeepCAT under different Q_th settings (TS-D1)")
+	writeRow(w, "%-6s %-14s %s", "Q_th", "best time (s)", "total cost (s)")
+	for _, p := range r.Points {
+		writeRow(w, "%-6.1f %-14.1f %.1f", p.QTh, p.BestTime, p.Cost)
+	}
+}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+
+	"deepcat/internal/sparksim"
+)
+
+// Fig2Result holds the CDF of random-configuration performance relative to
+// the best found configuration (paper Fig. 2: 200 random TeraSort configs).
+type Fig2Result struct {
+	Pair string
+	// DefaultTime is the default-configuration execution time.
+	DefaultTime float64
+	// BestTime is the best execution time among the sampled configs.
+	BestTime float64
+	// RelativePerf holds, sorted ascending, bestTime/execTime for each
+	// sampled config (1.0 = optimal, small = far from optimal).
+	RelativePerf []float64
+	// FracBeatDefault is the fraction of samples faster than the default.
+	FracBeatDefault float64
+	// FracWithin10 is the fraction within 10% of the best.
+	FracWithin10 float64
+}
+
+// RunFig2 samples n random configurations of TeraSort D1 (the paper uses
+// n = 200) and computes their performance CDF.
+func (h *Harness) RunFig2(n int) Fig2Result {
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		panic(err)
+	}
+	e := h.EnvA(ts, 0)
+	rng := rand.New(rand.NewSource(h.Opts.Seed * 5000))
+	times := make([]float64, 0, n)
+	best := e.DefaultTime()
+	for i := 0; i < n; i++ {
+		o := e.Evaluate(e.Space().RandomAction(rng))
+		times = append(times, o.ExecTime)
+		if !o.Failed && o.ExecTime < best {
+			best = o.ExecTime
+		}
+	}
+	res := Fig2Result{
+		Pair:        "TS-D1",
+		DefaultTime: e.DefaultTime(),
+		BestTime:    best,
+	}
+	var beat, within int
+	for _, t := range times {
+		res.RelativePerf = append(res.RelativePerf, best/t)
+		if t < res.DefaultTime {
+			beat++
+		}
+		if t <= best*1.10 {
+			within++
+		}
+	}
+	sort.Float64s(res.RelativePerf)
+	res.FracBeatDefault = float64(beat) / float64(n)
+	res.FracWithin10 = float64(within) / float64(n)
+	return res
+}
+
+// Fprint renders the CDF as decile rows plus the headline fractions.
+func (r Fig2Result) Fprint(w io.Writer) {
+	writeRow(w, "Figure 2: CDF of %d random configurations (%s), relative performance = best/time", len(r.RelativePerf), r.Pair)
+	writeRow(w, "default=%.1fs best=%.1fs", r.DefaultTime, r.BestTime)
+	writeRow(w, "%-22s %s", "relative performance", "cumulative probability")
+	n := len(r.RelativePerf)
+	for p := 1; p <= 10; p++ {
+		idx := p*n/10 - 1
+		if idx < 0 {
+			idx = 0
+		}
+		writeRow(w, "%-22.3f %.2f", r.RelativePerf[idx], float64(p)/10)
+	}
+	writeRow(w, "beat default: %.1f%%   within 10%% of best: %.1f%%", 100*r.FracBeatDefault, 100*r.FracWithin10)
+}

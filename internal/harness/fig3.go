@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"deepcat/internal/core"
+	"deepcat/internal/sparksim"
+)
+
+// Fig3Point is one smoothed sample of the offline-training trace: the twin
+// critic outputs and the real reward for the evaluated action.
+type Fig3Point struct {
+	Iter   int
+	Q1     float64
+	Q2     float64
+	MinQ   float64
+	Reward float64
+}
+
+// Fig3Result shows that min(Q1, Q2) tracks the real reward during offline
+// training — the premise of the Twin-Q Optimizer (paper Fig. 3).
+type Fig3Result struct {
+	Points []Fig3Point
+	// Corr is the Pearson correlation between the smoothed min-Q and
+	// smoothed reward series — the "very similar trend" claim of Fig. 3.
+	// It is computed over the windows after the first (the critics start
+	// untrained, so the first window is warm-up).
+	Corr float64
+}
+
+// RunFig3 offline-trains a fresh DeepCAT model on TeraSort D1 and records
+// the twin-Q/reward trace, smoothed over windows of the given size.
+func (h *Harness) RunFig3(iters, window int) Fig3Result {
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		panic(err)
+	}
+	e := h.EnvA(ts, 0)
+	cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+	d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*6000)), cfg)
+	if err != nil {
+		panic(err)
+	}
+	trace := d.OfflineTrain(e, iters, nil)
+
+	var res Fig3Result
+	for start := 0; start+window <= len(trace.Iters); start += window {
+		var p Fig3Point
+		for _, it := range trace.Iters[start : start+window] {
+			p.Q1 += it.Q1
+			p.Q2 += it.Q2
+			p.MinQ += it.MinQ
+			p.Reward += it.Reward
+		}
+		n := float64(window)
+		p.Q1 /= n
+		p.Q2 /= n
+		p.MinQ /= n
+		p.Reward /= n
+		p.Iter = start + window
+		res.Points = append(res.Points, p)
+	}
+
+	// Trend correlation over the smoothed series, skipping the warm-up
+	// window.
+	var qs, rs []float64
+	for _, p := range res.Points {
+		if p.Iter <= window {
+			continue
+		}
+		qs = append(qs, p.MinQ)
+		rs = append(rs, p.Reward)
+	}
+	res.Corr = pearson(qs, rs)
+	return res
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Fprint renders the smoothed trace.
+func (r Fig3Result) Fprint(w io.Writer) {
+	writeRow(w, "Figure 3: twin critic Q-values vs real reward during offline training (TS-D1)")
+	writeRow(w, "%-8s %-10s %-10s %-10s %s", "iter", "Q1", "Q2", "min(Q1,Q2)", "reward")
+	for _, p := range r.Points {
+		writeRow(w, "%-8d %-10.3f %-10.3f %-10.3f %.3f", p.Iter, p.Q1, p.Q2, p.MinQ, p.Reward)
+	}
+	writeRow(w, "corr(minQ, reward) over second half: %.3f", r.Corr)
+}

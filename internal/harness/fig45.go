@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"io"
+	"math/rand"
+
+	"deepcat/internal/core"
+	"deepcat/internal/sparksim"
+)
+
+// Fig4Result compares conventional experience replay against RDPER: the
+// best execution time found by 5 online steps from models checkpointed at
+// increasing offline-training iteration counts (paper Fig. 4).
+type Fig4Result struct {
+	Marks []int
+	// BestRDPER[i] / BestUniform[i] is the mean best online execution time
+	// from the model checkpointed at Marks[i].
+	BestRDPER   []float64
+	BestUniform []float64
+}
+
+// RunFig4 trains TD3 once per replay mode per replication (checkpointing
+// along the way) and online-tunes a clone at every mark.
+func (h *Harness) RunFig4(marks []int) Fig4Result {
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		panic(err)
+	}
+	e := h.EnvA(ts, 0)
+	res := Fig4Result{
+		Marks:       marks,
+		BestRDPER:   make([]float64, len(marks)),
+		BestUniform: make([]float64, len(marks)),
+	}
+	reps := float64(h.Opts.Replications)
+	for _, mode := range []string{"rdper", "uniform"} {
+		out := res.BestRDPER
+		if mode == "uniform" {
+			out = res.BestUniform
+		}
+		for s := int64(0); s < int64(h.Opts.Replications); s++ {
+			cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+			cfg.ReplayMode = mode
+			cfg.OnlineSteps = h.Opts.OnlineSteps
+			d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*7000+s)), cfg)
+			if err != nil {
+				panic(err)
+			}
+			mi := 0
+			d.OfflineTrain(e, marks[len(marks)-1], func(it int) {
+				if mi < len(marks) && it == marks[mi] {
+					rep := d.Clone().OnlineTune(e)
+					out[mi] += rep.BestTime / reps
+					mi++
+				}
+			})
+		}
+	}
+	return res
+}
+
+// Fprint renders the two convergence curves.
+func (r Fig4Result) Fprint(w io.Writer) {
+	writeRow(w, "Figure 4: best online execution time vs offline training iterations (TS-D1)")
+	writeRow(w, "%-10s %-18s %s", "iterations", "TD3+RDPER (s)", "TD3 conventional ER (s)")
+	for i, m := range r.Marks {
+		writeRow(w, "%-10d %-18.1f %.1f", m, r.BestRDPER[i], r.BestUniform[i])
+	}
+}
+
+// Fig5Result is the Twin-Q Optimizer ablation: per-step execution times of
+// 5 online tuning steps with and without the optimizer, from the same
+// offline model (paper Fig. 5).
+type Fig5Result struct {
+	// StepsWith[i] / StepsWithout[i] are mean per-step execution times.
+	StepsWith    []float64
+	StepsWithout []float64
+	// Totals and best configurations found.
+	TotalWith    float64
+	TotalWithout float64
+	BestWith     float64
+	BestWithout  float64
+}
+
+// RunFig5 uses a partially converged offline model (the regime in which the
+// raw actor still emits sub-optimal actions, as in the paper's online
+// fine-tuning of a standard model on a new request) and runs the online
+// stage with and without the Twin-Q Optimizer.
+func (h *Harness) RunFig5(offlineIters int) Fig5Result {
+	ts, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		panic(err)
+	}
+	e := h.EnvA(ts, 0)
+	steps := h.Opts.OnlineSteps
+	res := Fig5Result{
+		StepsWith:    make([]float64, steps),
+		StepsWithout: make([]float64, steps),
+	}
+	reps := float64(h.Opts.Replications)
+	for s := int64(0); s < int64(h.Opts.Replications); s++ {
+		cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+		cfg.OnlineSteps = steps
+		d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*8000+s)), cfg)
+		if err != nil {
+			panic(err)
+		}
+		d.OfflineTrain(e, offlineIters, nil)
+
+		with := d.Clone().OnlineTune(e)
+		noOpt := d.Clone()
+		noOpt.Cfg.UseTwinQ = false
+		without := noOpt.OnlineTune(e)
+
+		for i := 0; i < steps && i < len(with.Steps); i++ {
+			res.StepsWith[i] += with.Steps[i].ExecTime / reps
+		}
+		for i := 0; i < steps && i < len(without.Steps); i++ {
+			res.StepsWithout[i] += without.Steps[i].ExecTime / reps
+		}
+		res.TotalWith += with.EvaluationCost() / reps
+		res.TotalWithout += without.EvaluationCost() / reps
+		res.BestWith += with.BestTime / reps
+		res.BestWithout += without.BestTime / reps
+	}
+	return res
+}
+
+// Fprint renders per-step times and the totals.
+func (r Fig5Result) Fprint(w io.Writer) {
+	writeRow(w, "Figure 5: execution time per online step, with vs without Twin-Q Optimizer (TS-D1)")
+	writeRow(w, "%-6s %-18s %s", "step", "DeepCAT (s)", "DeepCAT w/o Twin-Q (s)")
+	for i := range r.StepsWith {
+		writeRow(w, "%-6d %-18.1f %.1f", i+1, r.StepsWith[i], r.StepsWithout[i])
+	}
+	writeRow(w, "total  %-18.1f %.1f   (%.1f%% less with Twin-Q)", r.TotalWith, r.TotalWithout,
+		100*(1-r.TotalWith/r.TotalWithout))
+	writeRow(w, "best   %-18.1f %.1f", r.BestWith, r.BestWithout)
+}

@@ -1,0 +1,180 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Tables 1-2, Figures 2-12) on the sparksim substrate, plus the
+// ablation studies called out in DESIGN.md. Each experiment has a Run
+// function returning a structured result and a Fprint method rendering the
+// same rows/series the paper reports.
+//
+// Offline-trained models are cached per (environment, tuner, seed) inside a
+// Harness, so experiments that share runs (Figures 6, 7 and 8 are three
+// views of the same tuning sessions) train each model exactly once.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"deepcat/internal/baselines/cdbtune"
+	"deepcat/internal/baselines/ottertune"
+	"deepcat/internal/core"
+	"deepcat/internal/env"
+	"deepcat/internal/sparksim"
+)
+
+// Options scales the experiments. Full-paper fidelity uses DefaultOptions;
+// benchmarks use QuickOptions to finish in CI-friendly time.
+type Options struct {
+	// Seed drives all randomness (simulator noise, network init,
+	// exploration); every experiment is reproducible from it.
+	Seed int64
+	// OfflineIters is the offline training budget per DRL model.
+	OfflineIters int
+	// Replications is the number of independent seeds averaged per
+	// reported number.
+	Replications int
+	// RepoSamples is OtterTune's offline sample count per workload.
+	RepoSamples int
+	// OnlineSteps is the online tuning budget (the paper uses 5).
+	OnlineSteps int
+	// Workers is the number of goroutines used by fan-out experiments
+	// (pairs, sweep points). 0 or 1 runs serially; AutoWorkers() picks a
+	// CPU-based value. Parallelism does not change results.
+	Workers int
+}
+
+// DefaultOptions matches the scale used for EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{
+		Seed:         1,
+		OfflineIters: 2000,
+		Replications: 3,
+		RepoSamples:  150,
+		OnlineSteps:  5,
+	}
+}
+
+// QuickOptions is a reduced profile for benchmarks and smoke tests.
+func QuickOptions() Options {
+	return Options{
+		Seed:         1,
+		OfflineIters: 900,
+		Replications: 1,
+		RepoSamples:  80,
+		OnlineSteps:  5,
+	}
+}
+
+// Harness owns the simulators and the offline-model cache.
+type Harness struct {
+	Opts Options
+	SimA *sparksim.Simulator
+	SimB *sparksim.Simulator
+
+	mu       sync.Mutex
+	deepcats map[string]*core.DeepCAT
+	cdbtunes map[string]*cdbtune.CDBTune
+	repo     *ottertune.Repository
+	compare  *ComparisonResult
+}
+
+// New creates a harness.
+func New(opts Options) *Harness {
+	return &Harness{
+		Opts:     opts,
+		SimA:     sparksim.NewSimulator(sparksim.ClusterA(), opts.Seed),
+		SimB:     sparksim.NewSimulator(sparksim.ClusterB(), opts.Seed),
+		deepcats: make(map[string]*core.DeepCAT),
+		cdbtunes: make(map[string]*cdbtune.CDBTune),
+	}
+}
+
+// EnvA returns the Cluster-A environment for a pair.
+func (h *Harness) EnvA(w sparksim.Workload, inputIdx int) *env.SparkEnv {
+	return env.NewSparkEnv(h.SimA, w, inputIdx)
+}
+
+// EnvB returns the Cluster-B environment for a pair, with §5.3.2 boundary
+// clamping enabled (models trained on A recommend out-of-scope values).
+func (h *Harness) EnvB(w sparksim.Workload, inputIdx int) *env.SparkEnv {
+	e := env.NewSparkEnv(h.SimB, w, inputIdx)
+	e.Clamp = true
+	return e
+}
+
+// DeepCATModel returns (training on first use) a DeepCAT model offline-
+// trained on the given Cluster-A environment with the given replication
+// seed.
+func (h *Harness) DeepCATModel(e env.Environment, seedOffset int64) *core.DeepCAT {
+	key := fmt.Sprintf("dc|%s|%d", e.Label(), seedOffset)
+	h.mu.Lock()
+	m, ok := h.deepcats[key]
+	h.mu.Unlock()
+	if ok {
+		return m
+	}
+	cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+	cfg.OnlineSteps = h.Opts.OnlineSteps
+	d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*1000+seedOffset)), cfg)
+	if err != nil {
+		panic(err) // default config is always valid
+	}
+	d.OfflineTrain(e, h.Opts.OfflineIters, nil)
+	h.mu.Lock()
+	h.deepcats[key] = d
+	h.mu.Unlock()
+	return d
+}
+
+// CDBTuneModel returns (training on first use) a CDBTune model.
+func (h *Harness) CDBTuneModel(e env.Environment, seedOffset int64) *cdbtune.CDBTune {
+	key := fmt.Sprintf("cb|%s|%d", e.Label(), seedOffset)
+	h.mu.Lock()
+	m, ok := h.cdbtunes[key]
+	h.mu.Unlock()
+	if ok {
+		return m
+	}
+	cfg := cdbtune.DefaultConfig(e.StateDim(), e.Space().Dim())
+	cfg.OnlineSteps = h.Opts.OnlineSteps
+	c, err := cdbtune.New(rand.New(rand.NewSource(h.Opts.Seed*2000+seedOffset)), cfg)
+	if err != nil {
+		panic(err) // default config is always valid
+	}
+	c.OfflineTrain(e, h.Opts.OfflineIters)
+	h.mu.Lock()
+	h.cdbtunes[key] = c
+	h.mu.Unlock()
+	return c
+}
+
+// Repository returns OtterTune's offline repository over all 12 Cluster-A
+// pairs, built on first use.
+func (h *Harness) Repository() *ottertune.Repository {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.repo == nil {
+		var envs []env.Environment
+		for _, p := range sparksim.AllPairs() {
+			envs = append(envs, env.NewSparkEnv(h.SimA, p.Workload, p.InputIdx))
+		}
+		h.repo = ottertune.BuildRepository(rand.New(rand.NewSource(h.Opts.Seed*3000+7)), envs, h.Opts.RepoSamples)
+	}
+	return h.repo
+}
+
+// OtterTuner builds an OtterTune instance over the shared repository.
+func (h *Harness) OtterTuner(seedOffset int64) *ottertune.OtterTune {
+	cfg := ottertune.DefaultConfig()
+	cfg.OnlineSteps = h.Opts.OnlineSteps
+	ot, err := ottertune.New(rand.New(rand.NewSource(h.Opts.Seed*4000+seedOffset)), h.Repository(), cfg)
+	if err != nil {
+		panic(err) // repository is non-empty by construction
+	}
+	return ot
+}
+
+// writeRow is a small helper for aligned text tables.
+func writeRow(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format+"\n", args...)
+}

@@ -1,0 +1,309 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps harness unit tests fast; shape-level assertions about
+// the paper's claims live in the integration tests below and in
+// EXPERIMENTS.md runs.
+func tinyOptions() Options {
+	return Options{
+		Seed:         1,
+		OfflineIters: 150,
+		Replications: 1,
+		RepoSamples:  25,
+		OnlineSteps:  5,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Short != "TS" || rows[1].Inputs != "3.2, 6, 10 (GB)" {
+		t.Fatalf("TS row = %+v", rows[1])
+	}
+	var buf bytes.Buffer
+	FprintTable1(&buf)
+	if !strings.Contains(buf.String(), "TeraSort") {
+		t.Fatal("Table 1 output missing TeraSort")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2()
+	want := map[string]int{"Spark": 20, "YARN": 7, "HDFS": 5}
+	for _, r := range rows {
+		if want[r.Component] != r.Count {
+			t.Fatalf("%s = %d, want %d", r.Component, r.Count, want[r.Component])
+		}
+	}
+	var buf bytes.Buffer
+	FprintTable2(&buf)
+	if !strings.Contains(buf.String(), "Spark") {
+		t.Fatal("Table 2 output missing Spark")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	h := New(tinyOptions())
+	r := h.RunFig2(100)
+	if len(r.RelativePerf) != 100 {
+		t.Fatalf("samples = %d", len(r.RelativePerf))
+	}
+	// Sorted ascending, all in (0, 1].
+	for i, v := range r.RelativePerf {
+		if v <= 0 || v > 1+1e-9 {
+			t.Fatalf("relative perf %v out of range", v)
+		}
+		if i > 0 && v < r.RelativePerf[i-1] {
+			t.Fatal("relative perf not sorted")
+		}
+	}
+	// Paper Fig. 2 shape: most beat default, few are close to optimal.
+	if r.FracBeatDefault < 0.5 {
+		t.Fatalf("only %.0f%% beat default", 100*r.FracBeatDefault)
+	}
+	if r.FracWithin10 > 0.15 {
+		t.Fatalf("%.0f%% within 10%% of best; should be sparse", 100*r.FracWithin10)
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Fatal("Fprint missing header")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	h := New(tinyOptions())
+	r := h.RunFig3(200, 50)
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if math.IsNaN(p.MinQ) || math.IsNaN(p.Reward) {
+			t.Fatal("NaN in trace")
+		}
+		if p.MinQ > p.Q1+1e-12 || p.MinQ > p.Q2+1e-12 {
+			t.Fatal("MinQ exceeds a critic output")
+		}
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Fatal("Fprint missing header")
+	}
+}
+
+func TestFig3CriticTracksReward(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long harness test in -short mode")
+	}
+	h := New(tinyOptions())
+	r := h.RunFig3(1500, 100)
+	if r.Corr < 0.5 {
+		t.Fatalf("minQ/reward correlation = %.2f, want > 0.5 (Fig. 3 premise)", r.Corr)
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	h := New(tinyOptions())
+	r := h.RunFig4([]int{100, 200})
+	if len(r.BestRDPER) != 2 || len(r.BestUniform) != 2 {
+		t.Fatalf("series lengths %d/%d", len(r.BestRDPER), len(r.BestUniform))
+	}
+	for i := range r.Marks {
+		if r.BestRDPER[i] <= 0 || r.BestUniform[i] <= 0 {
+			t.Fatalf("non-positive best time at mark %d", r.Marks[i])
+		}
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "RDPER") {
+		t.Fatal("Fprint missing series")
+	}
+}
+
+func TestFig5Structure(t *testing.T) {
+	h := New(tinyOptions())
+	r := h.RunFig5(150)
+	if len(r.StepsWith) != 5 || len(r.StepsWithout) != 5 {
+		t.Fatalf("steps %d/%d", len(r.StepsWith), len(r.StepsWithout))
+	}
+	if r.TotalWith <= 0 || r.TotalWithout <= 0 {
+		t.Fatal("non-positive totals")
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Twin-Q") {
+		t.Fatal("Fprint missing header")
+	}
+}
+
+func TestComparisonStructureAndCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping comparison in -short mode")
+	}
+	h := New(tinyOptions())
+	c := h.RunComparison()
+	if len(c.Pairs) != 12 {
+		t.Fatalf("pairs = %d", len(c.Pairs))
+	}
+	for _, p := range c.Pairs {
+		for _, tn := range TunerNames {
+			reps := p.Reports[tn]
+			if len(reps) != 1 {
+				t.Fatalf("%s/%s: %d reports", p.Pair, tn, len(reps))
+			}
+			if len(reps[0].Steps) == 0 {
+				t.Fatalf("%s/%s: no steps", p.Pair, tn)
+			}
+		}
+	}
+	// Second call returns the cached pointer (no retraining).
+	if h.RunComparison() != c {
+		t.Fatal("comparison not cached")
+	}
+	var buf bytes.Buffer
+	c.FprintFig6(&buf)
+	c.FprintFig7(&buf)
+	c.FprintFig8(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "Figure 7", "Figure 8", "AVG"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig9Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	h := New(tinyOptions())
+	r := h.RunFig9()
+	if len(r.DeepCATRows) != 4 {
+		t.Fatalf("rows = %d", len(r.DeepCATRows))
+	}
+	if r.DeepCATRows[0].Label != "M_PR->PR" {
+		t.Fatalf("first row %q", r.DeepCATRows[0].Label)
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "M_WC->PR") {
+		t.Fatal("Fprint missing row")
+	}
+}
+
+func TestFig10Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	h := New(tinyOptions())
+	r := h.RunFig10()
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Cost <= 0 {
+			t.Fatalf("%s/%s: non-positive cost", row.Pair, row.Tuner)
+		}
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Cluster-B") {
+		t.Fatal("Fprint missing header")
+	}
+}
+
+func TestFig11Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	h := New(tinyOptions())
+	r := h.RunFig11(120)
+	if len(r.Points) != 9 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for i, p := range r.Points {
+		if math.Abs(p.Beta-float64(i+1)/10) > 1e-9 {
+			t.Fatalf("beta[%d] = %v", i, p.Beta)
+		}
+		if p.BestTime <= 0 {
+			t.Fatalf("beta %.1f: best %v", p.Beta, p.BestTime)
+		}
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Figure 11") {
+		t.Fatal("Fprint missing header")
+	}
+}
+
+func TestFig12Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	h := New(tinyOptions())
+	ths := []float64{0.1, 0.3, 0.5}
+	r := h.RunFig12(150, ths)
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for i, p := range r.Points {
+		if p.QTh != ths[i] || p.BestTime <= 0 || p.Cost <= 0 {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Q_th") {
+		t.Fatal("Fprint missing header")
+	}
+}
+
+func TestAblationsStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	h := New(tinyOptions())
+	for _, res := range []AblationResult{
+		h.RunAblationReplay(120),
+		h.RunAblationTwinQ(120),
+		h.RunAblationBackbone(120),
+		h.RunAblationReward(120),
+	} {
+		if len(res.Rows) < 2 {
+			t.Fatalf("%s: %d rows", res.Name, len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			if row.BestTime <= 0 || row.Cost <= 0 {
+				t.Fatalf("%s/%s: %+v", res.Name, row.Variant, row)
+			}
+		}
+		var buf bytes.Buffer
+		res.Fprint(&buf)
+		if !strings.Contains(buf.String(), "Ablation") {
+			t.Fatal("Fprint missing header")
+		}
+	}
+}
+
+func TestDeepCATModelCached(t *testing.T) {
+	h := New(tinyOptions())
+	e := h.tsEnvA()
+	a := h.DeepCATModel(e, 0)
+	b := h.DeepCATModel(e, 0)
+	if a != b {
+		t.Fatal("model not cached")
+	}
+	c := h.DeepCATModel(e, 1)
+	if a == c {
+		t.Fatal("different seeds share a model")
+	}
+}

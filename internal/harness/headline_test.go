@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestHeadlineClaims is the end-to-end integration check of the paper's
+// central comparison at the quick profile: DeepCAT must beat the default
+// configuration by a wide margin, stay at least competitive with both
+// baselines on recommendation quality, and spend the least total online
+// tuning time. The thresholds are deliberately loose — the precise factors
+// live in EXPERIMENTS.md — but a regression that breaks the orderings the
+// paper is about must fail this test.
+func TestHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping headline integration test in -short mode")
+	}
+	opts := QuickOptions()
+	opts.Workers = AutoWorkers()
+	h := New(opts)
+	c := h.RunComparison()
+
+	dc := c.AvgSpeedup("DeepCAT")
+	cb := c.AvgSpeedup("CDBTune")
+	ot := c.AvgSpeedup("OtterTune")
+	t.Logf("avg speedups: DeepCAT %.2fx, CDBTune %.2fx, OtterTune %.2fx", dc, cb, ot)
+
+	if dc < 2.5 {
+		t.Errorf("DeepCAT average speedup %.2fx below 2.5x", dc)
+	}
+	if dc < 0.95*cb {
+		t.Errorf("DeepCAT speedup %.2fx clearly below CDBTune %.2fx", dc, cb)
+	}
+	if dc < 0.9*ot {
+		t.Errorf("DeepCAT speedup %.2fx clearly below OtterTune %.2fx", dc, ot)
+	}
+
+	dcost := c.AvgTotalCost("DeepCAT")
+	ccost := c.AvgTotalCost("CDBTune")
+	ocost := c.AvgTotalCost("OtterTune")
+	t.Logf("avg total costs: DeepCAT %.0fs, CDBTune %.0fs, OtterTune %.0fs", dcost, ccost, ocost)
+
+	if dcost >= ocost {
+		t.Errorf("DeepCAT cost %.0fs not below OtterTune %.0fs", dcost, ocost)
+	}
+	// The CDBTune cost margin is only ~11% at full scale and noisy at a
+	// single quick-profile seed, so assert just that DeepCAT is in the
+	// same cost class (the precise relation is measured in EXPERIMENTS.md).
+	if dcost >= 1.5*ccost {
+		t.Errorf("DeepCAT cost %.0fs far above CDBTune %.0fs", dcost, ccost)
+	}
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the effective worker count for fan-out experiments:
+// Options.Workers when positive, otherwise 1 (serial). Parallelism never
+// changes results — every unit of work owns its own seeded random state and
+// writes to a distinct slot — it only changes wall-clock time.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 1
+}
+
+// AutoWorkers is a convenient Workers setting: one worker per CPU, capped
+// at 8 (the experiments are memory-bandwidth-bound beyond that).
+func AutoWorkers() int {
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// forEach runs fn(i) for i in [0, n) on the harness's worker pool. Each
+// index is processed exactly once; fn must write its result to its own
+// slot, never shared state (the model cache inside Harness is internally
+// locked).
+func (h *Harness) forEach(n int, fn func(i int)) {
+	workers := h.Opts.workers()
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		h := New(Options{Seed: 1, OfflineIters: 10, Replications: 1, RepoSamples: 5, OnlineSteps: 1, Workers: workers})
+		const n = 37
+		var hits [n]int32
+		h.forEach(n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, c := range hits {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestAutoWorkersPositive(t *testing.T) {
+	if w := AutoWorkers(); w < 1 || w > 8 {
+		t.Fatalf("AutoWorkers = %d", w)
+	}
+}
+
+func TestParallelComparisonDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	optsSerial := tinyOptions()
+	optsPar := tinyOptions()
+	optsPar.Workers = 4
+	serial := New(optsSerial).RunComparison()
+	parallel := New(optsPar).RunComparison()
+	if len(serial.Pairs) != len(parallel.Pairs) {
+		t.Fatal("pair count differs")
+	}
+	for i := range serial.Pairs {
+		sp, pp := serial.Pairs[i], parallel.Pairs[i]
+		if sp.Pair != pp.Pair {
+			t.Fatalf("pair order differs: %s vs %s", sp.Pair, pp.Pair)
+		}
+		for _, tn := range TunerNames {
+			sr, pr := sp.Reports[tn], pp.Reports[tn]
+			for k := range sr {
+				if sr[k].BestTime != pr[k].BestTime {
+					t.Fatalf("%s/%s: best %.3f vs %.3f", sp.Pair, tn, sr[k].BestTime, pr[k].BestTime)
+				}
+				for si := range sr[k].Steps {
+					// Wall-clock recommendation time legitimately varies
+					// under contention; evaluated times must not.
+					if sr[k].Steps[si].ExecTime != pr[k].Steps[si].ExecTime {
+						t.Fatalf("%s/%s step %d: exec %.3f vs %.3f",
+							sp.Pair, tn, si, sr[k].Steps[si].ExecTime, pr[k].Steps[si].ExecTime)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"io"
+
+	"deepcat/internal/sparksim"
+)
+
+// Table1Row is one row of the paper's Table 1 (workload characteristics).
+type Table1Row struct {
+	Workload string
+	Short    string
+	Category string
+	Inputs   string
+}
+
+// Table1 reproduces the paper's Table 1.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, w := range sparksim.Workloads() {
+		rows = append(rows, Table1Row{
+			Workload: w.Name,
+			Short:    w.Short,
+			Category: w.Category,
+			Inputs:   w.InputLabel,
+		})
+	}
+	return rows
+}
+
+// FprintTable1 renders Table 1.
+func FprintTable1(w io.Writer) {
+	writeRow(w, "Table 1: Workload characteristics")
+	writeRow(w, "%-16s %-10s %s", "Workload", "Category", "Input Datasets (D1, D2, D3)")
+	for _, r := range Table1() {
+		writeRow(w, "%-16s %-10s %s", r.Workload+" ("+r.Short+")", r.Category, r.Inputs)
+	}
+}
+
+// Table2Row is one row of the paper's Table 2 (tuned parameter counts).
+type Table2Row struct {
+	Component string
+	Count     int
+}
+
+// Table2 reproduces the paper's Table 2 from the actual pipeline space.
+func Table2() []Table2Row {
+	counts := sparksim.PipelineSpace().CountByComponent()
+	return []Table2Row{
+		{Component: "Spark", Count: counts[sparksim.ComponentSpark]},
+		{Component: "YARN", Count: counts[sparksim.ComponentYARN]},
+		{Component: "HDFS", Count: counts[sparksim.ComponentHDFS]},
+	}
+}
+
+// FprintTable2 renders Table 2.
+func FprintTable2(w io.Writer) {
+	writeRow(w, "Table 2: Number of tuned parameters in the pipeline")
+	writeRow(w, "%-28s %s", "Component of the pipeline", "Number of parameters")
+	for _, r := range Table2() {
+		writeRow(w, "%-28s %d", r.Component, r.Count)
+	}
+}

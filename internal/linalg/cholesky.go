@@ -1,0 +1,142 @@
+// Package linalg provides the small set of dense linear-algebra routines
+// needed by the Gaussian-process substrate of the DeepCAT reproduction:
+// Cholesky factorization of symmetric positive-definite matrices,
+// forward/backward triangular solves, SPD linear solves and
+// log-determinants.
+//
+// All routines operate on mat.Matrix values and return errors (rather than
+// panicking) when a matrix is numerically not positive definite, because
+// that is a data condition — ill-conditioned kernels — not a programmer
+// error.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"deepcat/internal/mat"
+)
+
+// ErrNotPositiveDefinite is returned when Cholesky factorization encounters
+// a non-positive pivot, meaning the input matrix is not (numerically)
+// symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
+type Cholesky struct {
+	// L is the lower-triangular factor; entries above the diagonal are zero.
+	L *mat.Matrix
+}
+
+// NewCholesky factorizes the symmetric positive-definite matrix a and
+// returns its lower-triangular factor. The input is not modified. It returns
+// ErrNotPositiveDefinite if a pivot is not strictly positive.
+func NewCholesky(a *mat.Matrix) (*Cholesky, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	l := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			li := l.Row(i)
+			lj := l.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= li[k] * lj[k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, fmt.Errorf("%w: pivot %d = %g", ErrNotPositiveDefinite, i, sum)
+				}
+				li[j] = math.Sqrt(sum)
+			} else {
+				li[j] = sum / lj[j]
+			}
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// Size returns the dimension n of the factored matrix.
+func (c *Cholesky) Size() int { return c.L.Rows }
+
+// SolveVec solves A·x = b using the factorization and returns x. The
+// right-hand side b must have length Size().
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	y := ForwardSubst(c.L, b)
+	return BackwardSubstTrans(c.L, y)
+}
+
+// SolveVecTo is like SolveVec but writes into dst (which must have length
+// Size() and may alias b).
+func (c *Cholesky) SolveVecTo(dst, b []float64) {
+	x := c.SolveVec(b)
+	copy(dst, x)
+}
+
+// LogDet returns log|A| = 2·Σ log L[i][i].
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.L.Rows; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}
+
+// ForwardSubst solves L·y = b for lower-triangular L and returns y.
+func ForwardSubst(l *mat.Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: forward subst rhs length %d, want %d", len(b), n))
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			sum -= row[k] * y[k]
+		}
+		y[i] = sum / row[i]
+	}
+	return y
+}
+
+// BackwardSubstTrans solves Lᵀ·x = y for lower-triangular L and returns x.
+func BackwardSubstTrans(l *mat.Matrix, y []float64) []float64 {
+	n := l.Rows
+	if len(y) != n {
+		panic(fmt.Sprintf("linalg: backward subst rhs length %d, want %d", len(y), n))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves A·x = b for symmetric positive-definite A in one call.
+func SolveSPD(a *mat.Matrix, b []float64) ([]float64, error) {
+	ch, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return ch.SolveVec(b), nil
+}
+
+// AddJitter adds eps to the diagonal of a in place; the standard trick to
+// regularize a nearly singular kernel matrix before factorization.
+func AddJitter(a *mat.Matrix, eps float64) {
+	n := a.Rows
+	if a.Cols < n {
+		n = a.Cols
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+eps)
+	}
+}

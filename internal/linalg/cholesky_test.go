@@ -1,0 +1,185 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deepcat/internal/mat"
+)
+
+// randomSPD builds a random SPD matrix A = BᵀB + n·I.
+func randomSPD(rng *rand.Rand, n int) *mat.Matrix {
+	b := mat.New(n, n)
+	b.RandUniform(rng, 1)
+	a := b.Transpose().Mul(b)
+	AddJitter(a, float64(n))
+	return a
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := mat.FromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.FromRows([][]float64{
+		{2, 0, 0},
+		{6, 1, 0},
+		{-8, 5, 3},
+	})
+	if !ch.L.Equal(want, 1e-9) {
+		t.Fatalf("L = %v", ch.L)
+	}
+}
+
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(rng.Int31n(10))
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		recon := ch.L.Mul(ch.L.Transpose())
+		return recon.Equal(a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	_, err := NewCholesky(a)
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := NewCholesky(mat.New(2, 3)); err == nil {
+		t.Fatal("non-square Cholesky succeeded")
+	}
+}
+
+func TestSolveVecProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(rng.Int31n(12))
+		a := randomSPD(rng, n)
+		xTrue := mat.RandVec(rng, n, -5, 5)
+		b := make([]float64, n)
+		a.MulVecTo(b, xTrue)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := ch.SolveVec(b)
+		return mat.Dist2(x, xTrue) < 1e-6*(1+mat.Norm2(xTrue))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveVecTo(t *testing.T) {
+	a := mat.FromRows([][]float64{{2, 0}, {0, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 2)
+	ch.SolveVecTo(dst, []float64{4, 9})
+	if math.Abs(dst[0]-2) > 1e-12 || math.Abs(dst[1]-3) > 1e-12 {
+		t.Fatalf("SolveVecTo = %v", dst)
+	}
+}
+
+func TestLogDet(t *testing.T) {
+	a := mat.FromRows([][]float64{{2, 0}, {0, 8}}) // det = 16
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.LogDet(); math.Abs(got-math.Log(16)) > 1e-12 {
+		t.Fatalf("LogDet = %v, want %v", got, math.Log(16))
+	}
+}
+
+func TestForwardBackwardSubst(t *testing.T) {
+	l := mat.FromRows([][]float64{{2, 0}, {1, 3}})
+	// L y = b with b = (4, 11) -> y = (2, 3)
+	y := ForwardSubst(l, []float64{4, 11})
+	if math.Abs(y[0]-2) > 1e-12 || math.Abs(y[1]-3) > 1e-12 {
+		t.Fatalf("ForwardSubst = %v", y)
+	}
+	// Lᵀ x = y with y = (7, 6) -> x: 2x0 + x1 = 7; 3x1 = 6 -> x = (2.5, 2)
+	x := BackwardSubstTrans(l, []float64{7, 6})
+	if math.Abs(x[0]-2.5) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("BackwardSubstTrans = %v", x)
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := mat.FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := make([]float64, 2)
+	a.MulVecTo(check, x)
+	if mat.Dist2(check, b) > 1e-10 {
+		t.Fatalf("residual too large: Ax = %v, b = %v", check, b)
+	}
+}
+
+func TestSolveSPDError(t *testing.T) {
+	if _, err := SolveSPD(mat.New(2, 2), []float64{1, 1}); err == nil {
+		t.Fatal("SolveSPD on zero matrix succeeded")
+	}
+}
+
+func TestAddJitter(t *testing.T) {
+	a := mat.New(3, 3)
+	AddJitter(a, 0.5)
+	for i := 0; i < 3; i++ {
+		if a.At(i, i) != 0.5 {
+			t.Fatalf("diag %d = %v", i, a.At(i, i))
+		}
+	}
+	if a.At(0, 1) != 0 {
+		t.Fatal("off-diagonal modified")
+	}
+}
+
+func TestLogDetMatchesSumOfEigsProperty(t *testing.T) {
+	// For diagonal matrices the log-det is the sum of log entries.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(rng.Int31n(8))
+		a := mat.New(n, n)
+		want := 0.0
+		for i := 0; i < n; i++ {
+			d := 0.1 + rng.Float64()*10
+			a.Set(i, i, d)
+			want += math.Log(d)
+		}
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		return math.Abs(ch.LogDet()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

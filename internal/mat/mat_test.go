@@ -1,0 +1,314 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("New(3,4) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("entry %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1,2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(0, 1) != 2 || m.At(2, 0) != 5 {
+		t.Fatalf("At wrong: %v %v", m.At(0, 1), m.At(2, 0))
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("empty FromRows = %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestSetAndRowAliasing(t *testing.T) {
+	m := New(2, 2)
+	m.Set(1, 0, 7)
+	row := m.Row(1)
+	if row[0] != 7 {
+		t.Fatalf("row[0] = %v", row[0])
+	}
+	row[1] = 9
+	if m.At(1, 1) != 9 {
+		t.Fatal("Row does not alias storage")
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(2,0) did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(2, 2)
+	b := FromRows([][]float64{{1, 2}, {3, 4}})
+	a.CopyFrom(b)
+	if !a.Equal(b, 0) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-mismatched CopyFrom did not panic")
+		}
+	}()
+	New(2, 2).CopyFrom(New(2, 3))
+}
+
+func TestZeroFillScale(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	m.Scale(2)
+	for _, v := range m.Data {
+		if v != 6 {
+			t.Fatalf("got %v, want 6", v)
+		}
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("got %v after Zero", v)
+		}
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}})
+	b := FromRows([][]float64{{2, 4}})
+	a.AddScaled(b, 0.5)
+	want := FromRows([][]float64{{2, 3}})
+	if !a.Equal(want, 1e-12) {
+		t.Fatalf("AddScaled = %v", a)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := FromRows([][]float64{{0, 10}})
+	b := FromRows([][]float64{{10, 0}})
+	a.Lerp(b, 0.25)
+	want := FromRows([][]float64{{2.5, 7.5}})
+	if !a.Equal(want, 1e-12) {
+		t.Fatalf("Lerp = %v", a)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	// tau=0 leaves target unchanged; tau=1 copies source exactly.
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{5, -3}})
+	a0 := a.Clone()
+	a0.Lerp(b, 0)
+	if !a0.Equal(a, 0) {
+		t.Fatal("Lerp(0) changed the matrix")
+	}
+	a1 := a.Clone()
+	a1.Lerp(b, 1)
+	if !a1.Equal(b, 0) {
+		t.Fatal("Lerp(1) did not copy the source")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVecTo(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	x := []float64{1, -1}
+	dst := make([]float64, 3)
+	m.MulVecTo(dst, x)
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVecTo = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestMulVecTransTo(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	x := []float64{1, 0, -1}
+	dst := make([]float64, 2)
+	m.MulVecTransTo(dst, x)
+	want := []float64{-4, -4}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVecTransTo = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestMulVecTransMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(7, 5)
+	m.RandUniform(rng, 1)
+	x := RandVec(rng, 7, -1, 1)
+	got := make([]float64, 5)
+	m.MulVecTransTo(got, x)
+	want := make([]float64, 5)
+	m.Transpose().MulVecTo(want, x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("entry %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddOuterScaled(t *testing.T) {
+	m := New(2, 3)
+	m.AddOuterScaled([]float64{1, 2}, []float64{1, 0, -1}, 2)
+	want := FromRows([][]float64{{2, 0, -2}, {4, 0, -4}})
+	if !m.Equal(want, 1e-12) {
+		t.Fatalf("AddOuterScaled = %v", m)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul with bad shapes did not panic")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := New(3, 4), New(4, 2), New(2, 5)
+		a.RandUniform(r, 1)
+		b.RandUniform(r, 1)
+		c.RandUniform(r, 1)
+		left := a.Mul(b).Mul(c)
+		right := a.Mul(b.Mul(c))
+		return left.Equal(right, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + int(r.Int31n(6))
+		cols := 1 + int(r.Int31n(6))
+		m := New(rows, cols)
+		m.RandUniform(r, 10)
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXavierInitBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(64, 32)
+	m.XavierInit(rng, 32, 64)
+	bound := math.Sqrt(6.0 / (32 + 64))
+	if m.MaxAbs() > bound {
+		t.Fatalf("Xavier init exceeded bound: %v > %v", m.MaxAbs(), bound)
+	}
+	if m.MaxAbs() == 0 {
+		t.Fatal("Xavier init produced all zeros")
+	}
+}
+
+func TestRandUniformDeterministic(t *testing.T) {
+	a, b := New(4, 4), New(4, 4)
+	a.RandUniform(rand.New(rand.NewSource(42)), 1)
+	b.RandUniform(rand.New(rand.NewSource(42)), 1)
+	if !a.Equal(b, 0) {
+		t.Fatal("same seed produced different matrices")
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if New(2, 2).Equal(New(2, 3), 1) {
+		t.Fatal("matrices of different shape compared equal")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromRows([][]float64{{1}})
+	if s := small.String(); s == "" {
+		t.Fatal("empty String for small matrix")
+	}
+	large := New(100, 100)
+	if s := large.String(); s != "Matrix 100x100" {
+		t.Fatalf("large String = %q", s)
+	}
+}

@@ -1,0 +1,194 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpyTo(t *testing.T) {
+	dst := make([]float64, 2)
+	AxpyTo(dst, 2, []float64{1, 2}, []float64{10, 20})
+	if dst[0] != 12 || dst[1] != 24 {
+		t.Fatalf("AxpyTo = %v", dst)
+	}
+}
+
+func TestAddSubScaleHadamard(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+	dst := make([]float64, 2)
+	AddTo(dst, a, b)
+	if dst[0] != 4 || dst[1] != 7 {
+		t.Fatalf("AddTo = %v", dst)
+	}
+	SubTo(dst, b, a)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("SubTo = %v", dst)
+	}
+	ScaleTo(dst, 2, a)
+	if dst[0] != 2 || dst[1] != 4 {
+		t.Fatalf("ScaleTo = %v", dst)
+	}
+	HadamardTo(dst, a, b)
+	if dst[0] != 3 || dst[1] != 10 {
+		t.Fatalf("HadamardTo = %v", dst)
+	}
+}
+
+func TestAddToAliasing(t *testing.T) {
+	a := []float64{1, 2}
+	AddTo(a, a, a)
+	if a[0] != 2 || a[1] != 4 {
+		t.Fatalf("aliased AddTo = %v", a)
+	}
+}
+
+func TestNorm2AndDist2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	if got := Dist2([]float64{1, 1}, []float64{4, 5}); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Dist2 = %v", got)
+	}
+}
+
+func TestSumMeanStddev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Sum(v) != 40 {
+		t.Fatalf("Sum = %v", Sum(v))
+	}
+	if Mean(v) != 5 {
+		t.Fatalf("Mean = %v", Mean(v))
+	}
+	if !almostEq(Stddev(v), 2, 1e-12) {
+		t.Fatalf("Stddev = %v", Stddev(v))
+	}
+	if Mean(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Fatal("degenerate Mean/Stddev not zero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	v := []float64{3, -1, 7, -1, 7}
+	mn, mi := Min(v)
+	mx, xi := Max(v)
+	if mn != -1 || mi != 1 {
+		t.Fatalf("Min = %v@%d", mn, mi)
+	}
+	if mx != 7 || xi != 2 {
+		t.Fatalf("Max = %v@%d", mx, xi)
+	}
+}
+
+func TestMinEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestClip(t *testing.T) {
+	if Clip(-2, 0, 1) != 0 || Clip(2, 0, 1) != 1 || Clip(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clip wrong")
+	}
+	v := []float64{-5, 0.5, 5}
+	ClipSlice(v, 0, 1)
+	if v[0] != 0 || v[1] != 0.5 || v[2] != 1 {
+		t.Fatalf("ClipSlice = %v", v)
+	}
+}
+
+func TestCloneSliceIndependence(t *testing.T) {
+	a := []float64{1, 2}
+	c := CloneSlice(a)
+	c[0] = 9
+	if a[0] != 1 {
+		t.Fatal("CloneSlice shares storage")
+	}
+}
+
+func TestRandVecBoundsAndDeterminism(t *testing.T) {
+	v := RandVec(rand.New(rand.NewSource(5)), 100, -2, 3)
+	for _, x := range v {
+		if x < -2 || x >= 3 {
+			t.Fatalf("RandVec out of bounds: %v", x)
+		}
+	}
+	w := RandVec(rand.New(rand.NewSource(5)), 100, -2, 3)
+	for i := range v {
+		if v[i] != w[i] {
+			t.Fatal("RandVec not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestRandNormalVecMoments(t *testing.T) {
+	v := RandNormalVec(rand.New(rand.NewSource(11)), 20000, 1.5, 0.5)
+	if m := Mean(v); !almostEq(m, 1.5, 0.02) {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := Stddev(v); !almostEq(s, 0.5, 0.02) {
+		t.Fatalf("stddev = %v", s)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Fatal("finite slice reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN slipped through")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("Inf slipped through")
+	}
+}
+
+func TestCauchySchwarzProperty(t *testing.T) {
+	// |<a,b>| <= ||a|| * ||b||
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(r.Int31n(20))
+		a := RandVec(r, n, -10, 10)
+		b := RandVec(r, n, -10, 10)
+		return math.Abs(Dot(a, b)) <= Norm2(a)*Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(r.Int31n(20))
+		a := RandVec(r, n, -10, 10)
+		b := RandVec(r, n, -10, 10)
+		c := RandVec(r, n, -10, 10)
+		return Dist2(a, c) <= Dist2(a, b)+Dist2(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepcat/internal/mat"
+)
+
+// benchNet mirrors the tuner networks: 41 inputs (state 9 + action 32),
+// two hidden layers of 64, scalar output.
+func benchNet(b *testing.B) *MLP {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return NewMLP(rng, []int{41, 64, 64, 1}, []Activation{ReLU, ReLU, Linear})
+}
+
+func BenchmarkForward(b *testing.B) {
+	m := benchNet(b)
+	x := mat.RandVec(rand.New(rand.NewSource(2)), 41, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+func BenchmarkForwardBackward(b *testing.B) {
+	m := benchNet(b)
+	x := mat.RandVec(rand.New(rand.NewSource(3)), 41, 0, 1)
+	g := m.NewGrads()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tape := m.ForwardTape(x)
+		m.Backward(tape, []float64{1}, g)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	m := benchNet(b)
+	g := m.NewGrads()
+	tape := m.ForwardTape(mat.RandVec(rand.New(rand.NewSource(4)), 41, 0, 1))
+	m.Backward(tape, []float64{1}, g)
+	opt := NewAdam(m, 1e-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(m, g, 1)
+	}
+}
+
+func BenchmarkSoftUpdate(b *testing.B) {
+	m := benchNet(b)
+	target := m.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target.SoftUpdate(m, 0.005)
+	}
+}

@@ -1,0 +1,413 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deepcat/internal/mat"
+)
+
+func TestActivationValues(t *testing.T) {
+	cases := []struct {
+		act  Activation
+		x    float64
+		want float64
+	}{
+		{Linear, -2.5, -2.5},
+		{ReLU, -1, 0},
+		{ReLU, 2, 2},
+		{Tanh, 0, 0},
+		{Sigmoid, 0, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.act.apply(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v(%v) = %v, want %v", c.act, c.x, got, c.want)
+		}
+	}
+}
+
+func TestActivationDerivMatchesFiniteDiff(t *testing.T) {
+	const h = 1e-6
+	for _, act := range []Activation{Linear, Tanh, Sigmoid} {
+		for _, x := range []float64{-1.3, -0.2, 0.4, 2.1} {
+			y := act.apply(x)
+			want := (act.apply(x+h) - act.apply(x-h)) / (2 * h)
+			if got := act.derivFromOutput(y); math.Abs(got-want) > 1e-5 {
+				t.Errorf("%v'(%v) = %v, want %v", act, x, got, want)
+			}
+		}
+	}
+	// ReLU away from the kink.
+	if ReLU.derivFromOutput(ReLU.apply(2)) != 1 || ReLU.derivFromOutput(ReLU.apply(-2)) != 0 {
+		t.Error("ReLU derivative wrong")
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	if Linear.String() != "linear" || ReLU.String() != "relu" ||
+		Tanh.String() != "tanh" || Sigmoid.String() != "sigmoid" {
+		t.Fatal("Activation.String wrong")
+	}
+	if Activation(99).String() != "Activation(99)" {
+		t.Fatal("unknown activation String wrong")
+	}
+}
+
+func newTestNet(seed int64) *MLP {
+	rng := rand.New(rand.NewSource(seed))
+	return NewMLP(rng, []int{4, 8, 8, 3}, []Activation{ReLU, Tanh, Linear})
+}
+
+func TestNewMLPShapes(t *testing.T) {
+	m := newTestNet(1)
+	if m.InSize() != 4 || m.OutSize() != 3 {
+		t.Fatalf("sizes %d/%d", m.InSize(), m.OutSize())
+	}
+	want := 4*8 + 8 + 8*8 + 8 + 8*3 + 3
+	if m.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", m.NumParams(), want)
+	}
+}
+
+func TestNewMLPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, fn := range []func(){
+		func() { NewMLP(rng, []int{4}, nil) },
+		func() { NewMLP(rng, []int{4, 3}, []Activation{ReLU, Tanh}) },
+		func() { NewMLP(rng, []int{4, 0}, []Activation{ReLU}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NewMLP did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFinalLayerSmallInit(t *testing.T) {
+	m := newTestNet(2)
+	last := m.Layers[len(m.Layers)-1]
+	if last.W.MaxAbs() > 3e-3 {
+		t.Fatalf("final layer weight %v > 3e-3", last.W.MaxAbs())
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	m := newTestNet(3)
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	a := m.Forward(x)
+	b := m.Forward(x)
+	if mat.Dist2(a, b) != 0 {
+		t.Fatal("Forward not deterministic")
+	}
+}
+
+func TestForwardTapeMatchesForward(t *testing.T) {
+	m := newTestNet(4)
+	x := []float64{1, 2, -1, 0.5}
+	want := m.Forward(x)
+	got := m.ForwardTape(x).Output()
+	if mat.Dist2(want, got) > 1e-12 {
+		t.Fatalf("tape output %v vs forward %v", got, want)
+	}
+}
+
+func TestForwardWrongSizePanics(t *testing.T) {
+	m := newTestNet(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-size Forward did not panic")
+		}
+	}()
+	m.Forward([]float64{1, 2})
+}
+
+// numericalParamGrad estimates d loss / d w for one scalar weight by central
+// differences, where loss = 0.5*||f(x) - y||².
+func numericalParamGrad(m *MLP, x, y []float64, set func(float64), get func() float64) float64 {
+	const h = 1e-6
+	loss := func() float64 {
+		out := m.Forward(x)
+		var s float64
+		for i, o := range out {
+			d := o - y[i]
+			s += 0.5 * d * d
+		}
+		return s
+	}
+	orig := get()
+	set(orig + h)
+	lp := loss()
+	set(orig - h)
+	lm := loss()
+	set(orig)
+	return (lp - lm) / (2 * h)
+}
+
+func TestBackwardParamGradsMatchFiniteDiff(t *testing.T) {
+	m := newTestNet(6)
+	rng := rand.New(rand.NewSource(7))
+	x := mat.RandVec(rng, 4, -1, 1)
+	y := mat.RandVec(rng, 3, -1, 1)
+
+	tape := m.ForwardTape(x)
+	out := tape.Output()
+	gradOut := make([]float64, len(out))
+	mat.SubTo(gradOut, out, y) // d(0.5||out-y||²)/d out
+	g := m.NewGrads()
+	m.Backward(tape, gradOut, g)
+
+	// Spot-check a sample of weights and biases in every layer.
+	for li, l := range m.Layers {
+		for _, idx := range []int{0, len(l.W.Data) / 2, len(l.W.Data) - 1} {
+			got := g.W[li].Data[idx]
+			want := numericalParamGrad(m, x, y,
+				func(v float64) { l.W.Data[idx] = v },
+				func() float64 { return l.W.Data[idx] })
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("layer %d W[%d]: grad %v, want %v", li, idx, got, want)
+			}
+		}
+		bi := len(l.B) - 1
+		got := g.B[li][bi]
+		want := numericalParamGrad(m, x, y,
+			func(v float64) { l.B[bi] = v },
+			func() float64 { return l.B[bi] })
+		if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("layer %d B[%d]: grad %v, want %v", li, bi, got, want)
+		}
+	}
+}
+
+func TestInputGradMatchesFiniteDiff(t *testing.T) {
+	m := newTestNet(8)
+	rng := rand.New(rand.NewSource(9))
+	x := mat.RandVec(rng, 4, -1, 1)
+	selector := []float64{1, 0, 0} // gradient of output[0]
+
+	got := m.InputGrad(x, selector)
+	const h = 1e-6
+	for i := range x {
+		xp := mat.CloneSlice(x)
+		xm := mat.CloneSlice(x)
+		xp[i] += h
+		xm[i] -= h
+		want := (m.Forward(xp)[0] - m.Forward(xm)[0]) / (2 * h)
+		if math.Abs(got[i]-want) > 1e-5*(1+math.Abs(want)) {
+			t.Errorf("input grad[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestBackwardWrongGradSizePanics(t *testing.T) {
+	m := newTestNet(10)
+	tape := m.ForwardTape([]float64{1, 2, 3, 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-size Backward did not panic")
+		}
+	}()
+	m.Backward(tape, []float64{1}, nil)
+}
+
+func TestGradsZero(t *testing.T) {
+	m := newTestNet(11)
+	g := m.NewGrads()
+	tape := m.ForwardTape([]float64{1, 1, 1, 1})
+	m.Backward(tape, []float64{1, 1, 1}, g)
+	g.Zero()
+	for i := range g.W {
+		if g.W[i].MaxAbs() != 0 {
+			t.Fatal("Zero left weight grads")
+		}
+		for _, b := range g.B[i] {
+			if b != 0 {
+				t.Fatal("Zero left bias grads")
+			}
+		}
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	m := newTestNet(12)
+	c := m.Clone()
+	x := []float64{0.5, -0.5, 0.25, 0}
+	if mat.Dist2(m.Forward(x), c.Forward(x)) != 0 {
+		t.Fatal("clone differs from original")
+	}
+	c.Layers[0].W.Set(0, 0, 99)
+	if m.Layers[0].W.At(0, 0) == 99 {
+		t.Fatal("clone shares storage")
+	}
+	m.CopyFrom(c)
+	if m.Layers[0].W.At(0, 0) != 99 {
+		t.Fatal("CopyFrom did not copy")
+	}
+}
+
+func TestSoftUpdate(t *testing.T) {
+	m := newTestNet(13)
+	target := m.Clone()
+	src := newTestNet(14)
+	target.SoftUpdate(src, 0.5)
+	for li := range target.Layers {
+		for k, v := range target.Layers[li].W.Data {
+			want := 0.5*m.Layers[li].W.Data[k] + 0.5*src.Layers[li].W.Data[k]
+			if math.Abs(v-want) > 1e-12 {
+				t.Fatalf("layer %d weight %d: %v, want %v", li, k, v, want)
+			}
+		}
+	}
+	// tau = 1 copies the source exactly.
+	t2 := m.Clone()
+	t2.SoftUpdate(src, 1)
+	x := []float64{1, 0, -1, 2}
+	if mat.Dist2(t2.Forward(x), src.Forward(x)) > 1e-12 {
+		t.Fatal("SoftUpdate(1) is not a copy")
+	}
+}
+
+func TestSoftUpdateMismatchPanics(t *testing.T) {
+	m := newTestNet(15)
+	rng := rand.New(rand.NewSource(16))
+	other := NewMLP(rng, []int{4, 5, 3}, []Activation{ReLU, Linear})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched SoftUpdate did not panic")
+		}
+	}()
+	m.SoftUpdate(other, 0.5)
+}
+
+func TestAdamLearnsRegression(t *testing.T) {
+	// Learn y = sin(pi * x0) * x1 on [-1,1]^2: a smooth nonlinear target.
+	rng := rand.New(rand.NewSource(21))
+	m := NewMLP(rng, []int{2, 32, 32, 1}, []Activation{ReLU, ReLU, Linear})
+	opt := NewAdam(m, 1e-3)
+	g := m.NewGrads()
+	target := func(x []float64) float64 { return math.Sin(math.Pi*x[0]) * x[1] }
+
+	const batch = 32
+	var lastLoss float64
+	for step := 0; step < 1500; step++ {
+		g.Zero()
+		var loss float64
+		for b := 0; b < batch; b++ {
+			x := mat.RandVec(rng, 2, -1, 1)
+			y := target(x)
+			tape := m.ForwardTape(x)
+			d := tape.Output()[0] - y
+			loss += 0.5 * d * d
+			m.Backward(tape, []float64{d}, g)
+		}
+		opt.Step(m, g, 1.0/batch)
+		lastLoss = loss / batch
+	}
+	if lastLoss > 0.01 {
+		t.Fatalf("regression did not converge: final loss %v", lastLoss)
+	}
+	if opt.Steps() != 1500 {
+		t.Fatalf("Steps = %d", opt.Steps())
+	}
+}
+
+func TestAdamGradClipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	m := NewMLP(rng, []int{1, 2, 1}, []Activation{Tanh, Linear})
+	before := m.Clone()
+	opt := NewAdam(m, 0.1)
+	opt.MaxNorm = 1e-9 // clip essentially everything
+	g := m.NewGrads()
+	tape := m.ForwardTape([]float64{1})
+	m.Backward(tape, []float64{1e6}, g)
+	opt.Step(m, g, 1)
+	// With the gradient clipped to ~0, Adam's normalized step is bounded by
+	// lr; weights must not blow up.
+	for li := range m.Layers {
+		for k := range m.Layers[li].W.Data {
+			d := math.Abs(m.Layers[li].W.Data[k] - before.Layers[li].W.Data[k])
+			if d > 0.2 {
+				t.Fatalf("clipped step moved weight by %v", d)
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := newTestNet(31)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.7, 0.2, 0.9}
+	if mat.Dist2(m.Forward(x), got.Forward(x)) > 1e-15 {
+		t.Fatal("loaded network differs")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a gob stream")); err == nil {
+		t.Fatal("Load of garbage succeeded")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := newTestNet(32)
+	path := t.TempDir() + "/model.gob"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 1, 1, 1}
+	if mat.Dist2(m.Forward(x), got.Forward(x)) > 1e-15 {
+		t.Fatal("file round trip differs")
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatal("LoadFile on missing path succeeded")
+	}
+}
+
+func TestBackwardLinearityProperty(t *testing.T) {
+	// Backprop is linear in the output gradient:
+	// grad(a*g1 + g2) = a*grad(g1) + grad(g2) for parameter grads and
+	// input grads alike.
+	m := newTestNet(33)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := mat.RandVec(rng, 4, -1, 1)
+		g1 := mat.RandVec(rng, 3, -1, 1)
+		g2 := mat.RandVec(rng, 3, -1, 1)
+		a := rng.Float64()*4 - 2
+
+		tape := m.ForwardTape(x)
+		comb := make([]float64, 3)
+		for i := range comb {
+			comb[i] = a*g1[i] + g2[i]
+		}
+		in1 := m.Backward(m.ForwardTape(x), g1, nil)
+		in2 := m.Backward(m.ForwardTape(x), g2, nil)
+		inC := m.Backward(tape, comb, nil)
+		for i := range inC {
+			if math.Abs(inC[i]-(a*in1[i]+in2[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

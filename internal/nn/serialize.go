@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the network's architecture and weights to w using
+// encoding/gob. Optimizer state is not saved; a reloaded network is meant
+// for inference or fresh fine-tuning, matching the paper's offline-train /
+// online-tune split.
+func (m *MLP) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network previously written with Save.
+func Load(r io.Reader) (*MLP, error) {
+	dec := gob.NewDecoder(r)
+	var m MLP
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(m.Layers) == 0 {
+		return nil, fmt.Errorf("nn: load: empty network")
+	}
+	for i, l := range m.Layers {
+		if l == nil || l.W == nil || l.W.Rows*l.W.Cols != len(l.W.Data) || len(l.B) != l.W.Rows {
+			return nil, fmt.Errorf("nn: load: malformed layer %d", i)
+		}
+	}
+	return &m, nil
+}
+
+// SaveFile saves the network to the named file, creating or truncating it.
+func (m *MLP) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: save file: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile loads a network from the named file.
+func LoadFile(path string) (*MLP, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load file: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,80 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepcat/internal/mat"
+)
+
+// Noise is an exploration-noise process producing perturbation vectors of a
+// fixed dimension.
+type Noise interface {
+	// Sample returns the next noise vector (freshly allocated).
+	Sample(rng *rand.Rand) []float64
+	// Reset restarts the process (meaningful for stateful processes such as
+	// Ornstein-Uhlenbeck).
+	Reset()
+}
+
+// GaussianNoise is i.i.d. zero-mean Gaussian exploration noise, the process
+// both TD3 exploration and DeepCAT's Twin-Q Optimizer perturbations use.
+type GaussianNoise struct {
+	Dim   int
+	Sigma float64
+}
+
+// NewGaussianNoise returns a dim-dimensional N(0, sigma²) process.
+func NewGaussianNoise(dim int, sigma float64) *GaussianNoise {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rl: non-positive noise dim %d", dim))
+	}
+	return &GaussianNoise{Dim: dim, Sigma: sigma}
+}
+
+// Sample returns a fresh N(0, sigma²) vector.
+func (g *GaussianNoise) Sample(rng *rand.Rand) []float64 {
+	return mat.RandNormalVec(rng, g.Dim, 0, g.Sigma)
+}
+
+// Reset is a no-op: Gaussian noise is memoryless.
+func (g *GaussianNoise) Reset() {}
+
+// OUNoise is the Ornstein-Uhlenbeck process classically paired with DDPG
+// (Lillicrap et al., 2015): temporally correlated noise that mean-reverts to
+// Mu at rate Theta with volatility Sigma.
+type OUNoise struct {
+	Dim   int
+	Mu    float64
+	Theta float64
+	Sigma float64
+
+	state []float64
+}
+
+// NewOUNoise returns a dim-dimensional OU process with the conventional
+// parameters theta=0.15, sigma as given, mu=0.
+func NewOUNoise(dim int, sigma float64) *OUNoise {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rl: non-positive noise dim %d", dim))
+	}
+	n := &OUNoise{Dim: dim, Theta: 0.15, Sigma: sigma}
+	n.Reset()
+	return n
+}
+
+// Sample advances the process one step and returns a copy of its state.
+func (n *OUNoise) Sample(rng *rand.Rand) []float64 {
+	for i := range n.state {
+		n.state[i] += n.Theta*(n.Mu-n.state[i]) + n.Sigma*rng.NormFloat64()
+	}
+	return mat.CloneSlice(n.state)
+}
+
+// Reset returns the process to its mean.
+func (n *OUNoise) Reset() {
+	n.state = make([]float64, n.Dim)
+	for i := range n.state {
+		n.state[i] = n.Mu
+	}
+}

@@ -1,0 +1,103 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepcat/internal/mat"
+)
+
+func TestGaussianNoiseMoments(t *testing.T) {
+	g := NewGaussianNoise(4, 0.2)
+	rng := rand.New(rand.NewSource(1))
+	var all []float64
+	for i := 0; i < 5000; i++ {
+		all = append(all, g.Sample(rng)...)
+	}
+	if m := mat.Mean(all); math.Abs(m) > 0.01 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := mat.Stddev(all); math.Abs(s-0.2) > 0.01 {
+		t.Fatalf("stddev = %v", s)
+	}
+}
+
+func TestGaussianNoiseDim(t *testing.T) {
+	g := NewGaussianNoise(7, 1)
+	if got := len(g.Sample(rand.New(rand.NewSource(2)))); got != 7 {
+		t.Fatalf("dim = %d", got)
+	}
+	g.Reset() // no-op, must not panic
+}
+
+func TestGaussianNoiseValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim 0 did not panic")
+		}
+	}()
+	NewGaussianNoise(0, 1)
+}
+
+func TestOUNoiseMeanReversion(t *testing.T) {
+	n := NewOUNoise(1, 0) // zero volatility: pure decay towards mu
+	n.state[0] = 10
+	rng := rand.New(rand.NewSource(3))
+	prev := 10.0
+	for i := 0; i < 50; i++ {
+		v := n.Sample(rng)[0]
+		if math.Abs(v) > math.Abs(prev) {
+			t.Fatalf("OU process diverged at step %d: %v > %v", i, v, prev)
+		}
+		prev = v
+	}
+	if math.Abs(prev) > 1 {
+		t.Fatalf("OU did not decay towards mean: %v", prev)
+	}
+}
+
+func TestOUNoiseTemporalCorrelation(t *testing.T) {
+	// Consecutive OU samples should be positively correlated, unlike i.i.d.
+	// Gaussian noise.
+	n := NewOUNoise(1, 0.3)
+	rng := rand.New(rand.NewSource(4))
+	var xs, ys []float64
+	prev := n.Sample(rng)[0]
+	for i := 0; i < 5000; i++ {
+		cur := n.Sample(rng)[0]
+		xs = append(xs, prev)
+		ys = append(ys, cur)
+		prev = cur
+	}
+	mx, my := mat.Mean(xs), mat.Mean(ys)
+	var cov, vx, vy float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	corr := cov / math.Sqrt(vx*vy)
+	if corr < 0.5 {
+		t.Fatalf("OU autocorrelation = %v, want > 0.5", corr)
+	}
+}
+
+func TestOUNoiseReset(t *testing.T) {
+	n := NewOUNoise(3, 0.5)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		n.Sample(rng)
+	}
+	n.Reset()
+	for _, v := range n.state {
+		if v != 0 {
+			t.Fatalf("state after Reset = %v", n.state)
+		}
+	}
+}
+
+func TestNoiseInterfaceCompliance(t *testing.T) {
+	var _ Noise = NewGaussianNoise(1, 1)
+	var _ Noise = NewOUNoise(1, 1)
+}

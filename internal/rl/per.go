@@ -1,0 +1,122 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PrioritizedReplay is proportional prioritized experience replay (Schaul et
+// al., 2015): each transition's sampling probability is proportional to
+// |TD error|^Alpha, with importance-sampling weights annealed by BetaIS.
+// The paper attributes this mechanism to the CDBTune baseline, which DeepCAT
+// improves on with RDPER.
+type PrioritizedReplay struct {
+	// Alpha is the priority exponent (0 = uniform, 1 = fully proportional).
+	Alpha float64
+	// BetaIS is the importance-sampling exponent; 1 fully corrects the
+	// sampling bias.
+	BetaIS float64
+	// EpsPriority is added to every |TD error| so no transition starves.
+	EpsPriority float64
+
+	cap     int
+	buf     []Transition
+	tree    *SumTree
+	next    int
+	maxPrio float64
+}
+
+// NewPrioritizedReplay creates a prioritized buffer with conventional
+// hyper-parameters alpha=0.6, betaIS=0.4, eps=1e-3.
+func NewPrioritizedReplay(capacity int) *PrioritizedReplay {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: non-positive replay capacity %d", capacity))
+	}
+	return &PrioritizedReplay{
+		Alpha:       0.6,
+		BetaIS:      0.4,
+		EpsPriority: 1e-3,
+		cap:         capacity,
+		buf:         make([]Transition, 0, capacity),
+		tree:        NewSumTree(capacity),
+		maxPrio:     1,
+	}
+}
+
+// Add stores a transition with the maximum priority seen so far, the
+// standard trick that guarantees each new experience is replayed at least
+// once before its priority decays.
+func (p *PrioritizedReplay) Add(tr Transition) {
+	c := tr.Clone()
+	var idx int
+	if len(p.buf) < p.cap {
+		idx = len(p.buf)
+		p.buf = append(p.buf, c)
+	} else {
+		idx = p.next
+		p.buf[idx] = c
+		p.next = (p.next + 1) % p.cap
+	}
+	p.tree.Set(idx, p.maxPrio)
+}
+
+// Len returns the number of stored transitions.
+func (p *PrioritizedReplay) Len() int { return len(p.buf) }
+
+// Sample draws n transitions proportionally to priority and attaches
+// normalized importance-sampling weights.
+func (p *PrioritizedReplay) Sample(rng *rand.Rand, n int) Batch {
+	if len(p.buf) == 0 {
+		panic("rl: Sample from empty PrioritizedReplay")
+	}
+	b := Batch{
+		Transitions: make([]Transition, n),
+		Indices:     make([]int, n),
+		Weights:     make([]float64, n),
+	}
+	total := p.tree.Total()
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		idx := p.tree.SampleProportional(rng)
+		// Guard against stale mass on not-yet-filled slots (cannot happen
+		// through the public API, but cheap to keep safe).
+		if idx >= len(p.buf) {
+			idx = rng.Intn(len(p.buf))
+		}
+		b.Transitions[i] = p.buf[idx]
+		b.Indices[i] = idx
+		prob := p.tree.Get(idx) / total
+		w := math.Pow(float64(len(p.buf))*prob, -p.BetaIS)
+		b.Weights[i] = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 0 {
+		for i := range b.Weights {
+			b.Weights[i] /= maxW
+		}
+	}
+	return b
+}
+
+// UpdatePriorities refreshes the priorities of previously sampled
+// transitions using their new absolute TD errors.
+func (p *PrioritizedReplay) UpdatePriorities(indices []int, tdErrs []float64) {
+	if len(indices) != len(tdErrs) {
+		panic(fmt.Sprintf("rl: UpdatePriorities got %d indices, %d errors", len(indices), len(tdErrs)))
+	}
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(p.buf) {
+			continue
+		}
+		prio := math.Pow(math.Abs(tdErrs[i])+p.EpsPriority, p.Alpha)
+		p.tree.Set(idx, prio)
+		if prio > p.maxPrio {
+			p.maxPrio = prio
+		}
+	}
+}
+
+var _ PrioritySampler = (*PrioritizedReplay)(nil)

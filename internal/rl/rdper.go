@@ -1,0 +1,101 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RDPER is DeepCAT's reward-driven prioritized experience replay (§3.3).
+// Transitions are routed by their immediate reward into one of two memory
+// pools: those with reward >= RewardThreshold go to the high-reward pool
+// P_high, the rest to P_low. Each sampled mini-batch of size m draws
+// ceil(Beta*m) transitions from P_high and the remainder from P_low,
+// guaranteeing the proportion of the rare, valuable high-reward transitions
+// in every training batch regardless of how scarce they are in the stream.
+//
+// Unlike TD-error PER, no importance-sampling correction is applied: the
+// skew towards high-reward experiences is the point, not a bias to undo
+// (the paper argues collecting maximal environment information is
+// unnecessary for configuration tuning).
+type RDPER struct {
+	// RewardThreshold is R_th: transitions with Reward >= R_th are
+	// considered high-reward.
+	RewardThreshold float64
+	// Beta is the fraction of each batch drawn from the high-reward pool
+	// (the paper sweeps 0.1–0.9 in Fig. 11 and settles on 0.6).
+	Beta float64
+
+	high *UniformReplay
+	low  *UniformReplay
+}
+
+// NewRDPER creates a two-pool buffer. Each pool holds up to capacity
+// transitions. Beta must lie in [0, 1].
+func NewRDPER(capacity int, rewardThreshold, beta float64) *RDPER {
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("rl: RDPER beta %g outside [0,1]", beta))
+	}
+	return &RDPER{
+		RewardThreshold: rewardThreshold,
+		Beta:            beta,
+		high:            NewUniformReplay(capacity),
+		low:             NewUniformReplay(capacity),
+	}
+}
+
+// Add routes the transition into the high- or low-reward pool.
+func (r *RDPER) Add(tr Transition) {
+	if tr.Reward >= r.RewardThreshold {
+		r.high.Add(tr)
+	} else {
+		r.low.Add(tr)
+	}
+}
+
+// Len returns the total number of stored transitions across both pools.
+func (r *RDPER) Len() int { return r.high.Len() + r.low.Len() }
+
+// HighLen returns the number of transitions in the high-reward pool.
+func (r *RDPER) HighLen() int { return r.high.Len() }
+
+// LowLen returns the number of transitions in the low-reward pool.
+func (r *RDPER) LowLen() int { return r.low.Len() }
+
+// Sample draws ceil(Beta*n) transitions from P_high and the rest from
+// P_low. While one pool is still empty the whole batch comes from the other,
+// so learning can start before any high-reward experience exists.
+func (r *RDPER) Sample(rng *rand.Rand, n int) Batch {
+	if r.Len() == 0 {
+		panic("rl: Sample from empty RDPER")
+	}
+	nHigh := int(r.Beta*float64(n) + 0.999999)
+	if nHigh > n {
+		nHigh = n
+	}
+	switch {
+	case r.high.Len() == 0:
+		nHigh = 0
+	case r.low.Len() == 0:
+		nHigh = n
+	}
+	b := Batch{
+		Transitions: make([]Transition, 0, n),
+		Indices:     make([]int, 0, n),
+		Weights:     make([]float64, 0, n),
+	}
+	if nHigh > 0 {
+		hb := r.high.Sample(rng, nHigh)
+		b.Transitions = append(b.Transitions, hb.Transitions...)
+	}
+	if n-nHigh > 0 {
+		lb := r.low.Sample(rng, n-nHigh)
+		b.Transitions = append(b.Transitions, lb.Transitions...)
+	}
+	for i := range b.Transitions {
+		b.Indices = append(b.Indices, i)
+		b.Weights = append(b.Weights, 1)
+	}
+	return b
+}
+
+var _ Sampler = (*RDPER)(nil)

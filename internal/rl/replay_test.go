@@ -1,0 +1,293 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkTr(reward float64) Transition {
+	return Transition{
+		State:     []float64{reward},
+		Action:    []float64{0.5},
+		Reward:    reward,
+		NextState: []float64{reward + 1},
+	}
+}
+
+func TestTransitionClone(t *testing.T) {
+	tr := mkTr(1)
+	c := tr.Clone()
+	c.State[0] = 99
+	c.Action[0] = 99
+	c.NextState[0] = 99
+	if tr.State[0] == 99 || tr.Action[0] == 99 || tr.NextState[0] == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestUniformReplayAddSample(t *testing.T) {
+	u := NewUniformReplay(10)
+	for i := 0; i < 5; i++ {
+		u.Add(mkTr(float64(i)))
+	}
+	if u.Len() != 5 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+	b := u.Sample(rand.New(rand.NewSource(1)), 8)
+	if b.Len() != 8 {
+		t.Fatalf("batch len = %d", b.Len())
+	}
+	for _, w := range b.Weights {
+		if w != 1 {
+			t.Fatal("uniform weights must be 1")
+		}
+	}
+}
+
+func TestUniformReplayEviction(t *testing.T) {
+	u := NewUniformReplay(3)
+	for i := 0; i < 7; i++ {
+		u.Add(mkTr(float64(i)))
+	}
+	if u.Len() != 3 {
+		t.Fatalf("Len = %d after overflow", u.Len())
+	}
+	// All retained rewards must be among the most recent 3 (4, 5, 6).
+	seen := map[float64]bool{}
+	for _, tr := range u.buf {
+		seen[tr.Reward] = true
+	}
+	for r := range seen {
+		if r < 4 {
+			t.Fatalf("stale transition with reward %v retained", r)
+		}
+	}
+}
+
+func TestUniformReplayIsolatesCallerSlices(t *testing.T) {
+	u := NewUniformReplay(4)
+	tr := mkTr(1)
+	u.Add(tr)
+	tr.State[0] = 42
+	b := u.Sample(rand.New(rand.NewSource(2)), 1)
+	if b.Transitions[0].State[0] == 42 {
+		t.Fatal("buffer aliases caller's slices")
+	}
+}
+
+func TestUniformReplayEmptyPanics(t *testing.T) {
+	u := NewUniformReplay(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Sample did not panic")
+		}
+	}()
+	u.Sample(rand.New(rand.NewSource(1)), 1)
+}
+
+func TestNewUniformReplayValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 did not panic")
+		}
+	}()
+	NewUniformReplay(0)
+}
+
+func TestPrioritizedReplaySamplesHighTDMore(t *testing.T) {
+	p := NewPrioritizedReplay(100)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		p.Add(mkTr(float64(i)))
+	}
+	// Give transition 7 a huge TD error, everything else tiny.
+	idx := make([]int, 100)
+	errs := make([]float64, 100)
+	for i := range idx {
+		idx[i] = i
+		errs[i] = 0.001
+	}
+	errs[7] = 100
+	p.UpdatePriorities(idx, errs)
+
+	counts := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		b := p.Sample(rng, 1)
+		if b.Indices[0] == 7 {
+			counts++
+		}
+	}
+	if counts < draws/2 {
+		t.Fatalf("high-priority transition sampled only %d/%d times", counts, draws)
+	}
+}
+
+func TestPrioritizedReplayWeightsNormalized(t *testing.T) {
+	p := NewPrioritizedReplay(50)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		p.Add(mkTr(float64(i)))
+	}
+	b := p.Sample(rng, 16)
+	maxW := 0.0
+	for _, w := range b.Weights {
+		if w <= 0 || w > 1+1e-12 {
+			t.Fatalf("weight %v outside (0,1]", w)
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if math.Abs(maxW-1) > 1e-12 {
+		t.Fatalf("max weight = %v, want 1", maxW)
+	}
+}
+
+func TestPrioritizedReplayUpdateValidation(t *testing.T) {
+	p := NewPrioritizedReplay(10)
+	p.Add(mkTr(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched UpdatePriorities did not panic")
+		}
+	}()
+	p.UpdatePriorities([]int{0, 1}, []float64{1})
+}
+
+func TestPrioritizedReplayIgnoresStaleIndices(t *testing.T) {
+	p := NewPrioritizedReplay(10)
+	p.Add(mkTr(0))
+	// Out-of-range index silently skipped.
+	p.UpdatePriorities([]int{5}, []float64{1})
+}
+
+func TestPrioritizedReplayEviction(t *testing.T) {
+	p := NewPrioritizedReplay(4)
+	for i := 0; i < 9; i++ {
+		p.Add(mkTr(float64(i)))
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestRDPERPoolRouting(t *testing.T) {
+	r := NewRDPER(100, 0.5, 0.6)
+	r.Add(mkTr(0.7)) // high
+	r.Add(mkTr(0.5)) // boundary -> high (>=)
+	r.Add(mkTr(0.2)) // low
+	r.Add(mkTr(-1))  // low
+	if r.HighLen() != 2 || r.LowLen() != 2 {
+		t.Fatalf("pools = %d/%d, want 2/2", r.HighLen(), r.LowLen())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRDPERBatchComposition(t *testing.T) {
+	r := NewRDPER(1000, 0.5, 0.6)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		r.Add(mkTr(1)) // high pool
+	}
+	for i := 0; i < 500; i++ {
+		r.Add(mkTr(0)) // low pool
+	}
+	b := r.Sample(rng, 10)
+	if b.Len() != 10 {
+		t.Fatalf("batch len %d", b.Len())
+	}
+	var high int
+	for _, tr := range b.Transitions {
+		if tr.Reward >= 0.5 {
+			high++
+		}
+	}
+	// ceil(0.6*10) = 6 exactly: RDPER guarantees the ratio.
+	if high != 6 {
+		t.Fatalf("high-reward samples = %d, want 6", high)
+	}
+}
+
+func TestRDPERFallbackWhenPoolEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	onlyLow := NewRDPER(10, 0.5, 0.6)
+	onlyLow.Add(mkTr(0))
+	b := onlyLow.Sample(rng, 4)
+	if b.Len() != 4 {
+		t.Fatalf("batch len %d", b.Len())
+	}
+	onlyHigh := NewRDPER(10, 0.5, 0.6)
+	onlyHigh.Add(mkTr(1))
+	b = onlyHigh.Sample(rng, 4)
+	if b.Len() != 4 {
+		t.Fatalf("batch len %d", b.Len())
+	}
+}
+
+func TestRDPEREmptyPanics(t *testing.T) {
+	r := NewRDPER(10, 0.5, 0.6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty RDPER Sample did not panic")
+		}
+	}()
+	r.Sample(rand.New(rand.NewSource(1)), 1)
+}
+
+func TestRDPERBetaValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("beta > 1 did not panic")
+		}
+	}()
+	NewRDPER(10, 0.5, 1.5)
+}
+
+func TestRDPERBetaExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, beta := range []float64{0, 1} {
+		r := NewRDPER(100, 0.5, beta)
+		for i := 0; i < 20; i++ {
+			r.Add(mkTr(1))
+			r.Add(mkTr(0))
+		}
+		b := r.Sample(rng, 10)
+		var high int
+		for _, tr := range b.Transitions {
+			if tr.Reward >= 0.5 {
+				high++
+			}
+		}
+		want := int(beta * 10)
+		if high != want {
+			t.Fatalf("beta=%v: high = %d, want %d", beta, high, want)
+		}
+	}
+}
+
+func TestRDPERAccountingProperty(t *testing.T) {
+	// Property: for any sequence of rewards, HighLen+LowLen == total added
+	// (within per-pool capacity), and every stored transition sits in the
+	// pool its reward dictates.
+	f := func(rewards []float64) bool {
+		r := NewRDPER(10000, 0.3, 0.5)
+		var wantHigh, wantLow int
+		for _, rew := range rewards {
+			r.Add(mkTr(rew))
+			if rew >= 0.3 {
+				wantHigh++
+			} else {
+				wantLow++
+			}
+		}
+		return r.HighLen() == wantHigh && r.LowLen() == wantLow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

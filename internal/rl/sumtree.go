@@ -1,0 +1,92 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SumTree is a complete binary tree whose leaves hold non-negative
+// priorities and whose internal nodes hold the sum of their children. It
+// supports O(log n) priority updates and O(log n) sampling proportional to
+// priority, and backs the TD-error prioritized replay used by the CDBTune
+// baseline (Schaul et al., 2015).
+type SumTree struct {
+	cap   int       // logical leaf capacity
+	leafN int       // internal leaf count, next power of two >= cap
+	tree  []float64 // 1-based heap layout; leaves occupy [leafN, 2*leafN)
+}
+
+// NewSumTree creates a tree with the given leaf capacity. Internally the
+// leaf level is padded to the next power of two so the descend logic stays
+// branch-free; padded leaves keep priority zero and are never returned.
+func NewSumTree(capacity int) *SumTree {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: non-positive sum-tree capacity %d", capacity))
+	}
+	leafN := 1
+	for leafN < capacity {
+		leafN *= 2
+	}
+	return &SumTree{cap: capacity, leafN: leafN, tree: make([]float64, 2*leafN)}
+}
+
+// Capacity returns the number of leaves.
+func (s *SumTree) Capacity() int { return s.cap }
+
+// Total returns the sum of all leaf priorities.
+func (s *SumTree) Total() float64 { return s.tree[1] }
+
+// Get returns the priority at leaf i.
+func (s *SumTree) Get(i int) float64 {
+	s.checkLeaf(i)
+	return s.tree[s.leafN+i]
+}
+
+// Set assigns priority p (>= 0) to leaf i and propagates the change to the
+// root.
+func (s *SumTree) Set(i int, p float64) {
+	s.checkLeaf(i)
+	if p < 0 {
+		panic(fmt.Sprintf("rl: negative priority %g", p))
+	}
+	node := s.leafN + i
+	delta := p - s.tree[node]
+	s.tree[node] = p
+	for node > 1 {
+		node /= 2
+		s.tree[node] += delta
+	}
+}
+
+// FindPrefix returns the index of the leaf l such that the cumulative sum of
+// priorities of leaves 0..l-1 is <= v < cumulative sum through l. v should
+// lie in [0, Total()).
+func (s *SumTree) FindPrefix(v float64) int {
+	node := 1
+	for node < s.leafN {
+		left := 2 * node
+		if v < s.tree[left] {
+			node = left
+		} else {
+			v -= s.tree[left]
+			node = left + 1
+		}
+	}
+	return node - s.leafN
+}
+
+// SampleProportional draws a leaf index with probability proportional to its
+// priority. It panics when the total priority is zero.
+func (s *SumTree) SampleProportional(rng *rand.Rand) int {
+	total := s.Total()
+	if total <= 0 {
+		panic("rl: SampleProportional on zero-mass sum-tree")
+	}
+	return s.FindPrefix(rng.Float64() * total)
+}
+
+func (s *SumTree) checkLeaf(i int) {
+	if i < 0 || i >= s.cap {
+		panic(fmt.Sprintf("rl: sum-tree leaf %d out of range %d", i, s.cap))
+	}
+}

@@ -1,0 +1,137 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumTreeSetGetTotal(t *testing.T) {
+	s := NewSumTree(4)
+	s.Set(0, 1)
+	s.Set(1, 2)
+	s.Set(2, 3)
+	s.Set(3, 4)
+	if s.Total() != 10 {
+		t.Fatalf("Total = %v", s.Total())
+	}
+	if s.Get(2) != 3 {
+		t.Fatalf("Get(2) = %v", s.Get(2))
+	}
+	s.Set(2, 0)
+	if s.Total() != 7 {
+		t.Fatalf("Total after update = %v", s.Total())
+	}
+}
+
+func TestSumTreeFindPrefix(t *testing.T) {
+	s := NewSumTree(4)
+	s.Set(0, 1)
+	s.Set(1, 2)
+	s.Set(2, 3)
+	s.Set(3, 4)
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.99, 0}, {1, 1}, {2.99, 1}, {3, 2}, {5.99, 2}, {6, 3}, {9.99, 3},
+	}
+	for _, c := range cases {
+		if got := s.FindPrefix(c.v); got != c.want {
+			t.Errorf("FindPrefix(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSumTreeNonPowerOfTwo(t *testing.T) {
+	s := NewSumTree(5)
+	for i := 0; i < 5; i++ {
+		s.Set(i, float64(i+1))
+	}
+	if s.Total() != 15 {
+		t.Fatalf("Total = %v", s.Total())
+	}
+	if got := s.FindPrefix(14.5); got != 4 {
+		t.Fatalf("FindPrefix(14.5) = %d", got)
+	}
+}
+
+func TestSumTreeInvariantProperty(t *testing.T) {
+	// Property: after arbitrary Set operations the root equals the sum of
+	// all leaves and every internal node equals the sum of its children.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(rng.Int31n(32))
+		s := NewSumTree(n)
+		for k := 0; k < 100; k++ {
+			s.Set(rng.Intn(n), rng.Float64()*10)
+		}
+		var leafSum float64
+		for i := 0; i < n; i++ {
+			leafSum += s.Get(i)
+		}
+		if math.Abs(leafSum-s.Total()) > 1e-9 {
+			return false
+		}
+		for node := 1; node < n; node++ {
+			if math.Abs(s.tree[node]-(s.tree[2*node]+s.tree[2*node+1])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumTreeProportionalSampling(t *testing.T) {
+	s := NewSumTree(3)
+	s.Set(0, 1)
+	s.Set(1, 0)
+	s.Set(2, 3)
+	rng := rand.New(rand.NewSource(8))
+	counts := make([]int, 3)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[s.SampleProportional(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-priority leaf sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.25 {
+		t.Fatalf("sampling ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestSumTreeZeroMassPanics(t *testing.T) {
+	s := NewSumTree(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-mass sample did not panic")
+		}
+	}()
+	s.SampleProportional(rand.New(rand.NewSource(1)))
+}
+
+func TestSumTreeNegativePriorityPanics(t *testing.T) {
+	s := NewSumTree(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative priority did not panic")
+		}
+	}()
+	s.Set(0, -1)
+}
+
+func TestSumTreeLeafRangePanics(t *testing.T) {
+	s := NewSumTree(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range leaf did not panic")
+		}
+	}()
+	s.Get(2)
+}

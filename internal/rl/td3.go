@@ -1,0 +1,305 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepcat/internal/mat"
+	"deepcat/internal/nn"
+)
+
+// TD3Config collects the hyper-parameters of a TD3 agent. The zero value is
+// not usable; start from DefaultTD3Config.
+type TD3Config struct {
+	StateDim  int
+	ActionDim int
+	// Hidden lists the hidden-layer widths shared by actor and critics.
+	Hidden []int
+
+	ActorLR  float64
+	CriticLR float64
+	// Gamma is the discount factor. The tuners in this repo use a small
+	// gamma so that Q stays in immediate-reward units, keeping the Twin-Q
+	// threshold Q_th (Fig. 12) directly comparable to Eq. (1) rewards.
+	Gamma float64
+	// Tau is the Polyak soft-update coefficient for the target networks.
+	Tau float64
+	// PolicyDelay is the number of critic updates per actor/target update
+	// (the "delayed" in TD3; canonical value 2).
+	PolicyDelay int
+	// TargetNoiseStd and TargetNoiseClip parameterize target policy
+	// smoothing: a' = clip(actorTarget(s') + clip(eps, ±Clip), 0, 1).
+	TargetNoiseStd  float64
+	TargetNoiseClip float64
+	// MaxGradNorm, when positive, clips gradients by global norm.
+	MaxGradNorm float64
+}
+
+// DefaultTD3Config returns the configuration used throughout the
+// reproduction for a given state/action dimensionality.
+func DefaultTD3Config(stateDim, actionDim int) TD3Config {
+	return TD3Config{
+		StateDim:        stateDim,
+		ActionDim:       actionDim,
+		Hidden:          []int{128, 128},
+		ActorLR:         1e-3,
+		CriticLR:        1e-3,
+		Gamma:           0.35,
+		Tau:             0.005,
+		PolicyDelay:     2,
+		TargetNoiseStd:  0.05,
+		TargetNoiseClip: 0.1,
+		MaxGradNorm:     5,
+	}
+}
+
+func (c TD3Config) validate() error {
+	switch {
+	case c.StateDim <= 0 || c.ActionDim <= 0:
+		return fmt.Errorf("rl: non-positive dimensions state=%d action=%d", c.StateDim, c.ActionDim)
+	case len(c.Hidden) == 0:
+		return fmt.Errorf("rl: no hidden layers")
+	case c.Gamma < 0 || c.Gamma >= 1:
+		return fmt.Errorf("rl: gamma %g outside [0,1)", c.Gamma)
+	case c.Tau <= 0 || c.Tau > 1:
+		return fmt.Errorf("rl: tau %g outside (0,1]", c.Tau)
+	case c.PolicyDelay <= 0:
+		return fmt.Errorf("rl: policy delay %d <= 0", c.PolicyDelay)
+	}
+	return nil
+}
+
+// actorSizes/criticSizes build layer-size slices for the two network roles.
+// The actor maps state -> action in [0,1]^d via a sigmoid output; a critic
+// maps concat(state, action) -> scalar Q.
+func actorSizes(c TD3Config) ([]int, []nn.Activation) {
+	sizes := append([]int{c.StateDim}, c.Hidden...)
+	sizes = append(sizes, c.ActionDim)
+	acts := make([]nn.Activation, len(sizes)-1)
+	for i := range acts {
+		acts[i] = nn.ReLU
+	}
+	acts[len(acts)-1] = nn.Sigmoid
+	return sizes, acts
+}
+
+func criticSizes(c TD3Config) ([]int, []nn.Activation) {
+	sizes := append([]int{c.StateDim + c.ActionDim}, c.Hidden...)
+	sizes = append(sizes, 1)
+	acts := make([]nn.Activation, len(sizes)-1)
+	for i := range acts {
+		acts[i] = nn.ReLU
+	}
+	acts[len(acts)-1] = nn.Linear
+	return sizes, acts
+}
+
+// TD3 is the Twin Delayed Deep Deterministic policy gradient agent
+// (Fujimoto et al., 2018): two critics whose minimum forms the bootstrap
+// target, target policy smoothing, and delayed policy updates.
+type TD3 struct {
+	Cfg TD3Config
+
+	Actor       *nn.MLP
+	ActorTarget *nn.MLP
+	Critic1     *nn.MLP
+	Critic2     *nn.MLP
+	Critic1T    *nn.MLP
+	Critic2T    *nn.MLP
+
+	actorOpt *nn.Adam
+	c1Opt    *nn.Adam
+	c2Opt    *nn.Adam
+
+	actorGrads *nn.Grads
+	c1Grads    *nn.Grads
+	c2Grads    *nn.Grads
+
+	updates int
+	saBuf   []float64 // scratch concat(state, action)
+}
+
+// NewTD3 constructs an agent with freshly initialized networks.
+func NewTD3(rng *rand.Rand, cfg TD3Config) (*TD3, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	aSizes, aActs := actorSizes(cfg)
+	cSizes, cActs := criticSizes(cfg)
+	t := &TD3{Cfg: cfg}
+	t.Actor = nn.NewMLP(rng, aSizes, aActs)
+	t.Critic1 = nn.NewMLP(rng, cSizes, cActs)
+	t.Critic2 = nn.NewMLP(rng, cSizes, cActs)
+	t.ActorTarget = t.Actor.Clone()
+	t.Critic1T = t.Critic1.Clone()
+	t.Critic2T = t.Critic2.Clone()
+	t.actorOpt = nn.NewAdam(t.Actor, cfg.ActorLR)
+	t.c1Opt = nn.NewAdam(t.Critic1, cfg.CriticLR)
+	t.c2Opt = nn.NewAdam(t.Critic2, cfg.CriticLR)
+	t.actorOpt.MaxNorm = cfg.MaxGradNorm
+	t.c1Opt.MaxNorm = cfg.MaxGradNorm
+	t.c2Opt.MaxNorm = cfg.MaxGradNorm
+	t.actorGrads = t.Actor.NewGrads()
+	t.c1Grads = t.Critic1.NewGrads()
+	t.c2Grads = t.Critic2.NewGrads()
+	t.saBuf = make([]float64, cfg.StateDim+cfg.ActionDim)
+	return t, nil
+}
+
+// Act returns the deterministic policy's action for state, each dimension
+// in [0,1].
+func (t *TD3) Act(state []float64) []float64 {
+	return t.Actor.Forward(state)
+}
+
+// ActNoisy returns the policy action perturbed with N(0, sigma²) exploration
+// noise and clipped back into [0,1].
+func (t *TD3) ActNoisy(rng *rand.Rand, state []float64, sigma float64) []float64 {
+	a := t.Act(state)
+	for i := range a {
+		a[i] = mat.Clip(a[i]+sigma*rng.NormFloat64(), 0, 1)
+	}
+	return a
+}
+
+// QValues evaluates both online critics at (state, action). The Twin-Q
+// Optimizer (Algorithm 1) consumes min(q1, q2) as its cost-free quality
+// indicator.
+func (t *TD3) QValues(state, action []float64) (q1, q2 float64) {
+	sa := t.concat(state, action)
+	return t.Critic1.Forward(sa)[0], t.Critic2.Forward(sa)[0]
+}
+
+// MinQ returns min(Q1, Q2) at (state, action).
+func (t *TD3) MinQ(state, action []float64) float64 {
+	q1, q2 := t.QValues(state, action)
+	if q2 < q1 {
+		return q2
+	}
+	return q1
+}
+
+func (t *TD3) concat(state, action []float64) []float64 {
+	if len(state) != t.Cfg.StateDim || len(action) != t.Cfg.ActionDim {
+		panic(fmt.Sprintf("rl: concat dims state=%d action=%d, want %d/%d",
+			len(state), len(action), t.Cfg.StateDim, t.Cfg.ActionDim))
+	}
+	copy(t.saBuf, state)
+	copy(t.saBuf[t.Cfg.StateDim:], action)
+	return t.saBuf
+}
+
+// TrainStats summarizes one Train call.
+type TrainStats struct {
+	CriticLoss float64
+	MeanQ      float64
+	// TDErrors holds the per-sample |target - Q1| values, ready for
+	// PrioritySampler.UpdatePriorities.
+	TDErrors []float64
+	// ActorUpdated reports whether this step performed the delayed policy
+	// and target updates.
+	ActorUpdated bool
+}
+
+// Train performs one TD3 update from the mini-batch: both critics always,
+// actor and targets every PolicyDelay-th call.
+func (t *TD3) Train(rng *rand.Rand, batch Batch) TrainStats {
+	n := batch.Len()
+	if n == 0 {
+		panic("rl: Train on empty batch")
+	}
+	stats := TrainStats{TDErrors: make([]float64, n)}
+
+	// Build bootstrap targets y_i with target policy smoothing and the
+	// min of the twin target critics.
+	targets := make([]float64, n)
+	for i, tr := range batch.Transitions {
+		y := tr.Reward
+		if !tr.Done {
+			aNext := t.ActorTarget.Forward(tr.NextState)
+			for j := range aNext {
+				eps := mat.Clip(t.Cfg.TargetNoiseStd*rng.NormFloat64(),
+					-t.Cfg.TargetNoiseClip, t.Cfg.TargetNoiseClip)
+				aNext[j] = mat.Clip(aNext[j]+eps, 0, 1)
+			}
+			sa := make([]float64, t.Cfg.StateDim+t.Cfg.ActionDim)
+			copy(sa, tr.NextState)
+			copy(sa[t.Cfg.StateDim:], aNext)
+			q1 := t.Critic1T.Forward(sa)[0]
+			q2 := t.Critic2T.Forward(sa)[0]
+			if q2 < q1 {
+				q1 = q2
+			}
+			y += t.Cfg.Gamma * q1
+		}
+		targets[i] = y
+	}
+
+	// Critic regression towards y with importance weights.
+	t.c1Grads.Zero()
+	t.c2Grads.Zero()
+	var loss, sumQ float64
+	for i, tr := range batch.Transitions {
+		w := 1.0
+		if batch.Weights != nil {
+			w = batch.Weights[i]
+		}
+		sa := make([]float64, t.Cfg.StateDim+t.Cfg.ActionDim)
+		copy(sa, tr.State)
+		copy(sa[t.Cfg.StateDim:], tr.Action)
+
+		tape1 := t.Critic1.ForwardTape(sa)
+		q1 := tape1.Output()[0]
+		d1 := q1 - targets[i]
+		t.Critic1.Backward(tape1, []float64{w * d1}, t.c1Grads)
+
+		tape2 := t.Critic2.ForwardTape(sa)
+		q2 := tape2.Output()[0]
+		d2 := q2 - targets[i]
+		t.Critic2.Backward(tape2, []float64{w * d2}, t.c2Grads)
+
+		loss += w * 0.5 * (d1*d1 + d2*d2)
+		sumQ += q1
+		stats.TDErrors[i] = d1
+	}
+	scale := 1.0 / float64(n)
+	t.c1Opt.Step(t.Critic1, t.c1Grads, scale)
+	t.c2Opt.Step(t.Critic2, t.c2Grads, scale)
+	stats.CriticLoss = loss * scale
+	stats.MeanQ = sumQ * scale
+
+	t.updates++
+	if t.updates%t.Cfg.PolicyDelay == 0 {
+		t.updateActor(batch)
+		t.ActorTarget.SoftUpdate(t.Actor, t.Cfg.Tau)
+		t.Critic1T.SoftUpdate(t.Critic1, t.Cfg.Tau)
+		t.Critic2T.SoftUpdate(t.Critic2, t.Cfg.Tau)
+		stats.ActorUpdated = true
+	}
+	return stats
+}
+
+// updateActor performs one deterministic policy gradient ascent step on
+// J = E[Q1(s, actor(s))].
+func (t *TD3) updateActor(batch Batch) {
+	t.actorGrads.Zero()
+	for _, tr := range batch.Transitions {
+		aTape := t.Actor.ForwardTape(tr.State)
+		a := aTape.Output()
+
+		sa := make([]float64, t.Cfg.StateDim+t.Cfg.ActionDim)
+		copy(sa, tr.State)
+		copy(sa[t.Cfg.StateDim:], a)
+		// dQ1/d(sa), then take the action block.
+		dSA := t.Critic1.InputGrad(sa, []float64{1})
+		dA := dSA[t.Cfg.StateDim:]
+		// Gradient ascent on Q => descend on -Q.
+		neg := make([]float64, len(dA))
+		mat.ScaleTo(neg, -1, dA)
+		t.Actor.Backward(aTape, neg, t.actorGrads)
+	}
+	t.actorOpt.Step(t.Actor, t.actorGrads, 1.0/float64(batch.Len()))
+}
+
+// Updates returns the number of Train calls performed.
+func (t *TD3) Updates() int { return t.updates }

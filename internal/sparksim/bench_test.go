@@ -1,0 +1,47 @@
+package sparksim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEvaluate(b *testing.B) {
+	sim := NewSimulator(ClusterA(), 1)
+	ts, err := WorkloadByShort("TS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	u := sim.Space().RandomAction(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Evaluate(ts, 0, u)
+	}
+}
+
+func BenchmarkEvaluateAllWorkloads(b *testing.B) {
+	sim := NewSimulator(ClusterA(), 1)
+	rng := rand.New(rand.NewSource(3))
+	pairs := AllPairs()
+	actions := make([][]float64, len(pairs))
+	for i := range actions {
+		actions[i] = sim.Space().RandomAction(rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		sim.Evaluate(p.Workload, p.InputIdx, actions[i%len(actions)])
+	}
+}
+
+func BenchmarkDenormalize(b *testing.B) {
+	space := PipelineSpace()
+	u := space.DefaultAction()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space.Denormalize(u)
+	}
+}

@@ -1,0 +1,158 @@
+package sparksim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBreakdownComponentsPositive(t *testing.T) {
+	sim := NewSimulator(ClusterA(), 1)
+	sim.NoiseSigma = 0
+	for _, w := range Workloads() {
+		r := sim.DefaultResult(w, 0)
+		bk := r.Breakdown
+		if bk.Startup <= 0 || bk.ReadMap <= 0 || bk.Reduce <= 0 {
+			t.Errorf("%s: non-positive core phases %+v", w.Short, bk)
+		}
+		if bk.GCFrac < 0 || bk.GCFrac > 0.4 {
+			t.Errorf("%s: gc fraction %v outside [0, 0.4]", w.Short, bk.GCFrac)
+		}
+		if bk.SpillRat < 0 {
+			t.Errorf("%s: negative spill ratio", w.Short)
+		}
+	}
+}
+
+func TestBreakdownSumConsistent(t *testing.T) {
+	// For a successful noise-free run, the total must equal the sum of
+	// phases with the GC inflation on compute plus the multiplicative
+	// penalty remainder.
+	sim := NewSimulator(ClusterA(), 1)
+	sim.NoiseSigma = 0
+	ts, _ := WorkloadByShort("TS")
+	r := sim.DefaultResult(ts, 0)
+	bk := r.Breakdown
+	compute := (bk.ReadMap + bk.Reduce) / (1 - bk.GCFrac)
+	sum := bk.Startup + compute + bk.Shuffle + bk.Recache + bk.Write + bk.Penalty
+	if math.Abs(sum-r.ExecTime) > 1e-6*r.ExecTime {
+		t.Fatalf("breakdown sum %.3f != total %.3f", sum, r.ExecTime)
+	}
+}
+
+func TestShuffleHeavyWorkloadShuffleDominant(t *testing.T) {
+	// TeraSort's shuffle phase must dwarf WordCount's at the same input
+	// size and configuration.
+	sim := NewSimulator(ClusterA(), 1)
+	sim.NoiseSigma = 0
+	ts, _ := WorkloadByShort("TS")
+	wc, _ := WorkloadByShort("WC")
+	v := sim.Space().DefaultValues()
+	st := sim.EvaluateValues(ts, 0, v).Breakdown.Shuffle
+	sw := sim.EvaluateValues(wc, 0, v).Breakdown.Shuffle
+	if st < 4*sw {
+		t.Fatalf("TeraSort shuffle %.1fs not >> WordCount shuffle %.1fs", st, sw)
+	}
+}
+
+func TestIterativeWorkloadRecache(t *testing.T) {
+	// Under the memory-starved default, KMeans must pay recompute cost in
+	// later iterations; TeraSort (non-iterative) must not.
+	sim := NewSimulator(ClusterA(), 1)
+	sim.NoiseSigma = 0
+	km, _ := WorkloadByShort("KM")
+	ts, _ := WorkloadByShort("TS")
+	if got := sim.DefaultResult(km, 0).Breakdown.Recache; got <= 0 {
+		t.Fatalf("KMeans default recache = %v, want > 0", got)
+	}
+	if got := sim.DefaultResult(ts, 0).Breakdown.Recache; got != 0 {
+		t.Fatalf("TeraSort recache = %v, want 0", got)
+	}
+}
+
+func TestPageCachePenaltyInteriorOptimum(t *testing.T) {
+	// For the I/O-heavy TeraSort, maxing executor memory must at some
+	// point stop helping: the page-cache starvation penalty makes blanket
+	// max-memory configurations worse than moderate ones.
+	sim := NewSimulator(ClusterA(), 1)
+	sim.NoiseSigma = 0
+	ts, _ := WorkloadByShort("TS")
+	v := sim.Space().DefaultValues()
+	setValue(t, sim, v, "spark.executor.memory", 4)
+	setValue(t, sim, v, "spark.executor.cores", 4)
+	setValue(t, sim, v, "yarn.nodemanager.resource.memory-mb", 15360)
+	setValue(t, sim, v, "yarn.scheduler.maximum-allocation-mb", 15360)
+	setValue(t, sim, v, "yarn.nodemanager.resource.cpu-vcores", 16)
+
+	// Two 4 GB executors per node leave the OS its file cache; packing a
+	// third consumes nearly all physical memory and throttles disk.
+	setValue(t, sim, v, "spark.executor.instances", 6)
+	moderate := sim.EvaluateValues(ts, 0, v)
+	setValue(t, sim, v, "spark.executor.instances", 9)
+	packed := sim.EvaluateValues(ts, 0, v)
+	if moderate.Failed || packed.Failed {
+		t.Fatalf("unexpected failures: %v %v", moderate.Failed, packed.Failed)
+	}
+	if packed.TotalCores <= moderate.TotalCores {
+		t.Fatalf("packed run did not get more cores (%d vs %d)", packed.TotalCores, moderate.TotalCores)
+	}
+	if packed.ExecTime <= moderate.ExecTime {
+		t.Fatalf("dense packing (%.1fs, %d cores) not worse than moderate (%.1fs, %d cores); interior optimum missing",
+			packed.ExecTime, packed.TotalCores, moderate.ExecTime, moderate.TotalCores)
+	}
+}
+
+func TestCPUOversubscriptionPenalty(t *testing.T) {
+	// Cluster A's NodeManager cannot advertise beyond its 16 physical
+	// cores, but Cluster B's 8-core VMs can (the knob goes to 16): YARN
+	// then schedules more concurrent tasks than the silicon runs, and the
+	// extra cores must not pay off.
+	sim := NewSimulator(ClusterB(), 1)
+	sim.NoiseSigma = 0
+	wc, _ := WorkloadByShort("WC")
+	v := sim.Space().DefaultValues()
+	setValue(t, sim, v, "spark.executor.memory", 1)
+	setValue(t, sim, v, "yarn.nodemanager.resource.cpu-vcores", 16)
+	setValue(t, sim, v, "yarn.scheduler.maximum-allocation-vcores", 16)
+	setValue(t, sim, v, "spark.executor.instances", 12)
+
+	setValue(t, sim, v, "spark.executor.cores", 2) // fits 24 physical cores
+	fit := sim.EvaluateValues(wc, 2, v)
+	setValue(t, sim, v, "spark.executor.cores", 4) // 32 tasks on 24 cores
+	over := sim.EvaluateValues(wc, 2, v)
+	if fit.Failed || over.Failed {
+		t.Fatalf("unexpected failures: %v %v", fit.Failed, over.Failed)
+	}
+	if over.TotalCores <= fit.TotalCores {
+		t.Fatalf("oversubscribed run did not get more vcores (%d vs %d)", over.TotalCores, fit.TotalCores)
+	}
+	if over.ExecTime <= fit.ExecTime {
+		t.Fatalf("oversubscribed (%.1fs) not slower than fitted (%.1fs)", over.ExecTime, fit.ExecTime)
+	}
+}
+
+func TestExecutorsReportedMatchRequest(t *testing.T) {
+	sim := NewSimulator(ClusterA(), 1)
+	ts, _ := WorkloadByShort("TS")
+	v := sim.Space().DefaultValues()
+	setValue(t, sim, v, "spark.executor.instances", 4)
+	r := sim.EvaluateValues(ts, 0, v)
+	if r.Executors != 4 {
+		t.Fatalf("granted %d executors, requested 4 with ample capacity", r.Executors)
+	}
+	if r.TotalCores != 4 {
+		t.Fatalf("total cores %d for 4 single-core executors", r.TotalCores)
+	}
+}
+
+func TestLargerClusterBInputsStillDeterministic(t *testing.T) {
+	simB := NewSimulator(ClusterB(), 7)
+	rng := rand.New(rand.NewSource(2))
+	km, _ := WorkloadByShort("KM")
+	u := simB.Space().RandomAction(rng)
+	a := simB.Evaluate(km, 2, u)
+	b := simB.Evaluate(km, 2, u)
+	if a.ExecTime != b.ExecTime {
+		t.Fatal("repeat evaluation differs")
+	}
+}

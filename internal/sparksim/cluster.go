@@ -1,0 +1,88 @@
+// Package sparksim is the evaluation substrate of the DeepCAT reproduction:
+// an analytic performance model of a 3-node Spark-on-YARN-on-HDFS pipeline
+// running the four HiBench workloads of the paper's Table 1 under the 32
+// configuration parameters of Table 2.
+//
+// The original paper measures execution time on a physical cluster; that
+// hardware is unavailable here, so this package substitutes a deterministic
+// cost model that preserves the structure the tuning problem exposes to a
+// tuner:
+//
+//   - a black-box config -> execution-time mapping with strong parameter
+//     interactions (resources x parallelism x memory pressure),
+//   - hard cliffs (YARN container rejection, OOM for cache-heavy
+//     workloads) that make close-to-optimal configurations sparse
+//     (the paper's Fig. 2),
+//   - workload- and input-size-dependent optima (Table 1),
+//   - hardware-environment dependence (the paper's Cluster-A/Cluster-B
+//     adaptability study, §5.3.2),
+//   - observable system state (per-node load averages, §3.1) and internal
+//     metrics (for OtterTune-style workload mapping),
+//   - seeded multiplicative run-to-run noise.
+//
+// Every evaluation is deterministic given (cluster, workload, input,
+// configuration, seed), which makes experiments exactly reproducible.
+package sparksim
+
+import "fmt"
+
+// Cluster describes a hardware environment. The model treats nodes as
+// homogeneous.
+type Cluster struct {
+	// Name identifies the environment in reports ("cluster-a").
+	Name string
+	// Nodes is the number of worker nodes.
+	Nodes int
+	// CoresPerNode is the number of physical cores per node.
+	CoresPerNode int
+	// MemMBPerNode is the physical memory per node in MB.
+	MemMBPerNode int
+	// DiskMBps is the sequential disk bandwidth per node in MB/s.
+	DiskMBps float64
+	// NetMBps is the network bandwidth per node in MB/s.
+	NetMBps float64
+	// CPUFactor scales per-core compute speed relative to the paper's
+	// Cluster-A i7-10700 (1.0 = Cluster-A speed).
+	CPUFactor float64
+}
+
+// TotalCores returns the cluster-wide core count.
+func (c Cluster) TotalCores() int { return c.Nodes * c.CoresPerNode }
+
+// TotalMemMB returns the cluster-wide physical memory in MB.
+func (c Cluster) TotalMemMB() int { return c.Nodes * c.MemMBPerNode }
+
+// String renders a one-line summary.
+func (c Cluster) String() string {
+	return fmt.Sprintf("%s: %d nodes x %d cores/%d MB, disk %.0f MB/s, net %.0f MB/s, cpu x%.2f",
+		c.Name, c.Nodes, c.CoresPerNode, c.MemMBPerNode, c.DiskMBps, c.NetMBps, c.CPUFactor)
+}
+
+// ClusterA is the paper's physical environment (§4.1): 3 nodes, each one
+// i7-10700 with 16 cores and 16 GB DDR4, 1 TB HDD, 1-Gigabit Ethernet.
+func ClusterA() Cluster {
+	return Cluster{
+		Name:         "cluster-a",
+		Nodes:        3,
+		CoresPerNode: 16,
+		MemMBPerNode: 16384,
+		DiskMBps:     160, // HDD sequential
+		NetMBps:      110, // ~1 GbE after protocol overhead
+		CPUFactor:    1.0,
+	}
+}
+
+// ClusterB is the paper's VM environment (§5.3.2): 3 VMs with 24 cores, 24
+// GB memory and 150 GB disk in total, used to evaluate hardware
+// adaptability. Virtualization makes CPU and I/O slower than Cluster-A.
+func ClusterB() Cluster {
+	return Cluster{
+		Name:         "cluster-b",
+		Nodes:        3,
+		CoresPerNode: 8,
+		MemMBPerNode: 8192,
+		DiskMBps:     110,
+		NetMBps:      90,
+		CPUFactor:    0.8,
+	}
+}

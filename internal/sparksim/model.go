@@ -1,0 +1,601 @@
+package sparksim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"deepcat/internal/config"
+)
+
+// StateDim is the dimensionality of the load-average state vector: three
+// nodes x (1, 5, 15)-minute load averages, matching the paper's use of the
+// uptime command on each server (§3.1).
+const StateDim = 9
+
+// MetricsDim is the dimensionality of the internal-metrics vector exposed
+// for OtterTune-style workload mapping.
+const MetricsDim = 12
+
+// Indices into Result.Metrics.
+const (
+	MetricExecTime = iota
+	MetricCPUUtil
+	MetricMemUtil
+	MetricShuffleGB
+	MetricSpillRatio
+	MetricGCFrac
+	MetricDiskBusy
+	MetricNetBusy
+	MetricMapTasks
+	MetricReduceTasks
+	MetricCacheHit
+	MetricFailed
+)
+
+// Result is the outcome of evaluating one configuration.
+type Result struct {
+	// ExecTime is the modelled wall-clock execution time in seconds.
+	ExecTime float64
+	// OOM reports that the run failed with an out-of-memory error
+	// (cache-heavy workloads under-provisioned, §5.2.1).
+	OOM bool
+	// Failed reports any failure (OOM, unschedulable containers, driver
+	// exhaustion). Failed runs still carry a (penalty) ExecTime.
+	Failed bool
+	// Executors and TotalCores record the resources YARN actually granted.
+	Executors  int
+	TotalCores int
+	// LoadAvg is the StateDim-dimensional post-run load-average state.
+	LoadAvg []float64
+	// Metrics is the MetricsDim-dimensional internal-metrics vector.
+	Metrics []float64
+	// Breakdown decomposes the execution time for analysis and tests.
+	Breakdown Breakdown
+}
+
+// Breakdown decomposes ExecTime into model components (seconds).
+type Breakdown struct {
+	Startup  float64
+	ReadMap  float64
+	Shuffle  float64
+	Reduce   float64
+	Write    float64
+	Recache  float64
+	Penalty  float64
+	GCFrac   float64
+	SpillRat float64
+}
+
+// Simulator evaluates configurations of the HDFS+YARN+Spark pipeline on a
+// cluster. It is safe for concurrent use.
+type Simulator struct {
+	cluster Cluster
+	space   *config.Space
+	seed    int64
+	// NoiseSigma is the multiplicative run-to-run noise level (0 disables
+	// noise entirely).
+	NoiseSigma float64
+
+	idx paramIdx
+}
+
+// paramIdx caches parameter positions in the pipeline space.
+type paramIdx struct {
+	execInstances, execCores, execMem, driverMem, driverCores    int
+	parallelism, memFraction, storageFraction                    int
+	shuffleCompress, spillCompress, shuffleBuf, maxSizeInFlight  int
+	codec, serializer, kryoBuf, rddCompress, broadcastBlock      int
+	localityWait, schedulerMode, amMem                           int
+	yarnNMMem, yarnNMCores, yarnMaxMB, yarnMinMB, yarnMaxVcores  int
+	vmemRatio, pmemCheck                                         int
+	blocksize, replication, nnHandlers, dnHandlers, ioFileBuffer int
+}
+
+// NewSimulator creates a simulator for the given cluster. The seed fixes
+// the run-to-run noise stream; two simulators with equal (cluster, seed)
+// produce identical results for identical inputs.
+func NewSimulator(cluster Cluster, seed int64) *Simulator {
+	s := &Simulator{
+		cluster:    cluster,
+		space:      PipelineSpace(),
+		seed:       seed,
+		NoiseSigma: 0.04,
+	}
+	must := func(name string) int {
+		i, ok := s.space.Lookup(name)
+		if !ok {
+			panic(fmt.Sprintf("sparksim: parameter %q missing from pipeline space", name))
+		}
+		return i
+	}
+	s.idx = paramIdx{
+		execInstances:   must("spark.executor.instances"),
+		execCores:       must("spark.executor.cores"),
+		execMem:         must("spark.executor.memory"),
+		driverMem:       must("spark.driver.memory"),
+		driverCores:     must("spark.driver.cores"),
+		parallelism:     must("spark.default.parallelism"),
+		memFraction:     must("spark.memory.fraction"),
+		storageFraction: must("spark.memory.storageFraction"),
+		shuffleCompress: must("spark.shuffle.compress"),
+		spillCompress:   must("spark.shuffle.spill.compress"),
+		shuffleBuf:      must("spark.shuffle.file.buffer"),
+		maxSizeInFlight: must("spark.reducer.maxSizeInFlight"),
+		codec:           must("spark.io.compression.codec"),
+		serializer:      must("spark.serializer"),
+		kryoBuf:         must("spark.kryoserializer.buffer.max"),
+		rddCompress:     must("spark.rdd.compress"),
+		broadcastBlock:  must("spark.broadcast.blockSize"),
+		localityWait:    must("spark.locality.wait"),
+		schedulerMode:   must("spark.scheduler.mode"),
+		amMem:           must("spark.yarn.am.memory"),
+		yarnNMMem:       must("yarn.nodemanager.resource.memory-mb"),
+		yarnNMCores:     must("yarn.nodemanager.resource.cpu-vcores"),
+		yarnMaxMB:       must("yarn.scheduler.maximum-allocation-mb"),
+		yarnMinMB:       must("yarn.scheduler.minimum-allocation-mb"),
+		yarnMaxVcores:   must("yarn.scheduler.maximum-allocation-vcores"),
+		vmemRatio:       must("yarn.nodemanager.vmem-pmem-ratio"),
+		pmemCheck:       must("yarn.nodemanager.pmem-check-enabled"),
+		blocksize:       must("dfs.blocksize"),
+		replication:     must("dfs.replication"),
+		nnHandlers:      must("dfs.namenode.handler.count"),
+		dnHandlers:      must("dfs.datanode.handler.count"),
+		ioFileBuffer:    must("io.file.buffer.size"),
+	}
+	return s
+}
+
+// Space returns the 32-parameter pipeline configuration space.
+func (s *Simulator) Space() *config.Space { return s.space }
+
+// Cluster returns the simulated hardware environment.
+func (s *Simulator) Cluster() Cluster { return s.cluster }
+
+// Evaluate runs workload w's input dataset inputIdx (0-2) under the
+// normalized action u in [0,1]^32 and returns the modelled outcome.
+func (s *Simulator) Evaluate(w Workload, inputIdx int, u []float64) Result {
+	v := s.space.Denormalize(u)
+	return s.EvaluateValues(w, inputIdx, v)
+}
+
+// EvaluateValues is Evaluate for concrete (denormalized) parameter values.
+func (s *Simulator) EvaluateValues(w Workload, inputIdx int, v []float64) Result {
+	res := s.evaluate(w, inputIdx, v, true)
+	return res
+}
+
+// DefaultResult evaluates the out-of-the-box configuration (noise-free, so
+// reward baselines are stable).
+func (s *Simulator) DefaultResult(w Workload, inputIdx int) Result {
+	return s.evaluate(w, inputIdx, s.space.DefaultValues(), false)
+}
+
+// DefaultTime returns the noise-free default-configuration execution time.
+func (s *Simulator) DefaultTime(w Workload, inputIdx int) float64 {
+	return s.DefaultResult(w, inputIdx).ExecTime
+}
+
+func checkInput(w Workload, inputIdx int) float64 {
+	if inputIdx < 0 || inputIdx > 2 {
+		panic(fmt.Sprintf("sparksim: input index %d outside 0..2 for %s", inputIdx, w.Name))
+	}
+	return w.InputGB[inputIdx]
+}
+
+// codec characteristics: compression ratio (compressed/raw) and per-core
+// throughput in GB/s.
+var codecTable = []struct {
+	ratio float64
+	gbps  float64
+}{
+	{0.55, 0.45}, // lz4
+	{0.60, 0.30}, // lzf
+	{0.52, 0.38}, // snappy
+}
+
+func (s *Simulator) evaluate(w Workload, inputIdx int, v []float64, noisy bool) Result {
+	d := checkInput(w, inputIdx)
+	c := s.cluster
+	ix := s.idx
+
+	res := Result{
+		LoadAvg: make([]float64, StateDim),
+		Metrics: make([]float64, MetricsDim),
+	}
+
+	// ---- 1. YARN resource allocation --------------------------------
+	execMemGB := v[ix.execMem]
+	execCores := v[ix.execCores]
+	if maxV := v[ix.yarnMaxVcores]; execCores > maxV {
+		execCores = maxV // YARN clamps the vcore request
+	}
+	minAlloc := v[ix.yarnMinMB]
+	overheadMB := math.Max(384, 0.10*execMemGB*1024)
+	containerMB := math.Ceil((execMemGB*1024+overheadMB)/minAlloc) * minAlloc
+	amMB := math.Ceil((v[ix.amMem]*1024+384)/minAlloc) * minAlloc
+
+	// NodeManager capacity: advertised memory, capped at physical minus OS
+	// reserve. Advertising more than physical enables overcommit (handled
+	// as a thrash penalty below), it does not create memory.
+	physMB := float64(c.MemMBPerNode) - 1024
+	advertisedMB := v[ix.yarnNMMem]
+	effNodeMB := math.Min(advertisedMB, physMB)
+	overcommit := advertisedMB > physMB*1.02
+
+	if containerMB > v[ix.yarnMaxMB] || containerMB > effNodeMB {
+		// YARN rejects the container request: the job cannot start.
+		return s.failResult(w, inputIdx, res, "unschedulable", noisy, v)
+	}
+
+	perNodeMem := math.Floor(effNodeMB / containerMB)
+	perNodeCores := math.Floor(v[ix.yarnNMCores] / execCores)
+	perNode := math.Min(perNodeMem, perNodeCores)
+	totalSlots := perNode * float64(c.Nodes)
+	// The application master displaces an executor when it does not fit in
+	// the first node's leftover memory.
+	leftover := effNodeMB - perNode*containerMB
+	if leftover < amMB && totalSlots > 0 {
+		totalSlots--
+	}
+	executors := math.Min(v[ix.execInstances], totalSlots)
+	if executors < 1 {
+		return s.failResult(w, inputIdx, res, "no-executors", noisy, v)
+	}
+	totalCores := executors * execCores
+	res.Executors = int(executors)
+	res.TotalCores = int(totalCores)
+
+	// CPU oversubscription: advertising more vcores than physical cores
+	// lets YARN schedule more concurrent tasks than the silicon can run.
+	activeNodes := math.Min(executors, float64(c.Nodes))
+	usedCoresPerNode := totalCores/float64(c.Nodes) + v[ix.driverCores]/float64(c.Nodes)
+	cpuEff := 1.0
+	if usedCoresPerNode > float64(c.CoresPerNode) {
+		// Oversubscribed cores lose more than proportional throughput to
+		// context switching and cache contention.
+		rho := usedCoresPerNode / float64(c.CoresPerNode)
+		cpuEff = 1 / (rho * (1 + 0.3*(rho-1)))
+	}
+
+	// Page-cache starvation: when containers consume most of a node's
+	// physical memory, the OS loses its file cache and effective disk
+	// bandwidth drops. This makes blanket max-memory configurations hurt
+	// I/O-heavy workloads and pushes the optimum into the interior.
+	perNodeUsedMB := executors / float64(c.Nodes) * containerMB
+	memPressure := perNodeUsedMB / physMB
+	diskFactor := 1.0
+	if memPressure > 0.75 {
+		diskFactor = 1 + 1.4*(memPressure-0.75)/0.25
+	}
+
+	// ---- 2. Task layout ----------------------------------------------
+	blockMB := v[ix.blocksize]
+	mapTasks := math.Max(1, math.Ceil(d*1024/blockMB))
+	reduceTasks := math.Max(8, v[ix.parallelism])
+
+	// ---- 3. Serializer / codec factors --------------------------------
+	kryo := v[ix.serializer] == 1
+	serCPU := 1.0   // shuffle serialization CPU cost multiplier
+	deser := 2.2    // in-memory expansion of deserialized java objects
+	cacheSer := 2.2 // cached-data expansion factor
+	if kryo {
+		serCPU = 0.7
+		deser = 1.5
+		cacheSer = 1.5
+	}
+	codec := codecTable[int(v[ix.codec])]
+	shuffleRatio := 1.0
+	compressCPU := 0.0 // core-seconds per shuffled GB
+	if v[ix.shuffleCompress] == 1 {
+		shuffleRatio = codec.ratio
+		compressCPU = 1 / codec.gbps
+	}
+
+	// ---- 4. Phase times ------------------------------------------------
+	bk := &res.Breakdown
+
+	// Startup: AM negotiation + executor launches + NameNode metadata.
+	nnFactor := 1 + 0.10*math.Max(0, mapTasks/v[ix.nnHandlers]-1)
+	bk.Startup = (6 + 0.35*executors) * nnFactor
+	if v[ix.schedulerMode] == 1 { // FAIR adds bookkeeping for a single job
+		bk.Startup += 1.5
+	}
+
+	// HDFS read bandwidth shared by executors on each node.
+	ioBufFactor := 1 + 0.18*(4/v[ix.ioFileBuffer])
+	dnFactor := 1 + 0.15*math.Max(0, totalCores/(v[ix.dnHandlers]*float64(c.Nodes))-1)
+	readTime := d * 1024 / (activeNodes * c.DiskMBps) * ioBufFactor * dnFactor * diskFactor
+
+	// Map phase CPU (70 % of per-iteration compute), wave-quantized.
+	iters := float64(w.Iterations)
+	cpuWorkIter := w.ComputePerGB * d / c.CPUFactor // core-seconds per iteration
+	taskOverhead := 0.15
+	if v[ix.schedulerMode] == 1 {
+		taskOverhead += 0.03
+	}
+	mapWaves := math.Ceil(mapTasks / totalCores)
+	perMapTask := cpuWorkIter * 0.7 / mapTasks
+	mapCPUTime := mapWaves * (perMapTask + taskOverhead) / cpuEff
+
+	// Locality: with fewer executors than nodes, a share of blocks is
+	// remote and the scheduler waits spark.locality.wait per wave before
+	// falling back.
+	remoteFrac := 1 - activeNodes/float64(c.Nodes)
+	localityPenalty := v[ix.localityWait] * mapWaves * remoteFrac * 0.5
+	// Large waits also stall imbalanced final waves.
+	if math.Mod(mapTasks, totalCores) != 0 {
+		localityPenalty += v[ix.localityWait] * 0.1 * mapWaves
+	}
+
+	// Read and map compute overlap; the slower one dominates.
+	bk.ReadMap = math.Max(readTime, mapCPUTime) + localityPenalty
+
+	// Shuffle volume per iteration.
+	shuffleGB := d * w.ShuffleFrac
+	shuffleComp := shuffleGB * shuffleRatio
+	shufBufFactor := 1 + 0.12*(32/v[ix.shuffleBuf])
+	fetchFactor := 1 + 0.10*(48/v[ix.maxSizeInFlight])
+	shuffleDisk := shuffleComp * 1024 * 1.6 / (activeNodes * c.DiskMBps) * shufBufFactor * diskFactor
+	crossFrac := (float64(c.Nodes) - 1) / float64(c.Nodes)
+	shuffleNet := shuffleComp * crossFrac * 1024 / (activeNodes * c.NetMBps) * fetchFactor
+	shuffleCPU := (shuffleGB*compressCPU + shuffleGB*serCPU*0.6) / totalCores / cpuEff
+	shuffleTimeIter := shuffleDisk + shuffleNet + shuffleCPU
+
+	// Spill: execution memory per concurrently running task.
+	memFraction := v[ix.memFraction]
+	storageFraction := v[ix.storageFraction]
+	execHeapPerTask := execMemGB * memFraction * (1 - storageFraction) / execCores
+	wsPerTask := shuffleGB*deser/reduceTasks + 0.05
+	spillRatio := wsPerTask / math.Max(execHeapPerTask, 1e-6)
+	bk.SpillRat = spillRatio
+	if spillRatio > 1 && shuffleGB > 0.01 {
+		spillBytesRatio := codec.ratio
+		if v[ix.spillCompress] == 0 {
+			spillBytesRatio = 1.0
+		}
+		extraPasses := math.Min(spillRatio-1, 3)
+		bk.Shuffle += extraPasses * shuffleGB * spillBytesRatio * 2 * 1024 / (activeNodes * c.DiskMBps) * iters
+	}
+
+	// Reduce phase CPU (30 % of compute), wave-quantized.
+	reduceWaves := math.Ceil(reduceTasks / totalCores)
+	perReduceTask := cpuWorkIter * 0.3 / reduceTasks
+	reduceCPUTime := reduceWaves * (perReduceTask + taskOverhead) / cpuEff
+
+	// Broadcast per iteration: small blocks mean many fetch round trips,
+	// oversized blocks serialize poorly.
+	bcastMB := v[ix.broadcastBlock]
+	bcastTime := w.BroadcastMB / 1024 * crossFrac * 1024 / c.NetMBps * (1 + 0.5*math.Abs(math.Log2(bcastMB/4)))
+
+	// Per-stage driver barriers: every iteration has a map and a reduce
+	// stage whose scheduling round-trips do not parallelize (Amdahl floor).
+	stageBarrier := 1.3 * 2 * iters
+
+	bk.Shuffle += shuffleTimeIter * iters
+	bk.Reduce = (reduceCPUTime+bcastTime)*iters + stageBarrier
+
+	// ---- 5. Caching across iterations ----------------------------------
+	cacheHit := 1.0
+	if w.CacheFrac > 0 && iters > 1 {
+		cacheNeedGB := d * w.CacheFrac * cacheSer
+		cacheCPUPerIter := 0.0
+		if v[ix.rddCompress] == 1 {
+			cacheNeedGB *= 0.55
+			cacheCPUPerIter = d * w.CacheFrac / codec.gbps / totalCores / cpuEff
+		}
+		storageGB := executors * execMemGB * memFraction * storageFraction
+		cacheHit = math.Min(1, storageGB/math.Max(cacheNeedGB, 1e-6))
+		missFrac := 1 - cacheHit
+		// Each later iteration re-reads and re-computes missed partitions.
+		perIterMiss := missFrac*(readTime+mapCPUTime*0.4) + cacheCPUPerIter
+		bk.Recache = perIterMiss * (iters - 1)
+		// Subsequent iterations scan cached data instead of HDFS.
+		bk.ReadMap += (mapCPUTime*0.4 + taskOverhead*mapWaves) * (iters - 1)
+	}
+
+	// ---- 6. Failure cliffs ----------------------------------------------
+	// OOM: concurrent task working sets exceeding the execution heap kill
+	// cache-heavy executors (the paper's KMeans OOM behaviour).
+	if w.CacheFrac > 0.3 {
+		partGB := d / mapTasks
+		taskNeedGB := partGB * deser * execCores
+		execHeapGB := execMemGB * memFraction
+		if taskNeedGB > execHeapGB*1.5 {
+			res.OOM = true
+			return s.failResult(w, inputIdx, res, "oom", noisy, v)
+		}
+	}
+	// Driver exhaustion: task metadata and collected results.
+	driverNeedGB := 0.35 + 0.06*d + (mapTasks+reduceTasks*iters)*0.0008
+	if v[ix.driverMem] < driverNeedGB*0.5 {
+		res.OOM = true
+		return s.failResult(w, inputIdx, res, "driver-oom", noisy, v)
+	}
+	driverPenalty := 1.0
+	if v[ix.driverMem] < driverNeedGB {
+		driverPenalty = 1.3
+	}
+
+	// ---- 7. Residual penalties ------------------------------------------
+	// GC pressure grows with heap occupancy.
+	heapUse := (wsPerTask*execCores + d*w.CacheFrac*cacheSer/math.Max(executors, 1)) / execMemGB
+	gcFrac := 0.02 + 0.10*math.Pow(math.Max(0, heapUse-0.5), 2)
+	// Very large JVM heaps pay longer stop-the-world collections.
+	if execMemGB > 6 {
+		gcFrac += 0.015 * (execMemGB - 6)
+	}
+	if gcFrac > 0.4 {
+		gcFrac = 0.4
+	}
+	bk.GCFrac = gcFrac
+
+	// Overcommitted NodeManager memory causes paging for memory-heavy jobs.
+	thrash := 1.0
+	if overcommit && (w.CacheFrac > 0.3 || spillRatio > 1) {
+		thrash = 1.25
+	}
+	// Aggressive vmem enforcement kills containers of cache-heavy java
+	// jobs, forcing task retries.
+	vmemPenalty := 1.0
+	if v[ix.pmemCheck] == 1 && v[ix.vmemRatio] < 2.1 && !kryo && w.CacheFrac > 0.8 {
+		vmemPenalty = 1.2
+	}
+
+	// ---- 8. Output write --------------------------------------------------
+	outGB := d * w.OutputFrac
+	repl := v[ix.replication]
+	writeDisk := outGB * repl * 1024 / (activeNodes * c.DiskMBps) * ioBufFactor * diskFactor
+	writeNet := outGB * (repl - 1) * 1024 / (activeNodes * c.NetMBps)
+	bk.Write = writeDisk + writeNet
+
+	// ---- total ------------------------------------------------------------
+	compute := (bk.ReadMap + bk.Reduce) / (1 - gcFrac)
+	total := bk.Startup + compute + bk.Shuffle + bk.Recache + bk.Write
+	total *= driverPenalty * thrash * vmemPenalty
+	bk.Penalty = total - (bk.Startup + compute + bk.Shuffle + bk.Recache + bk.Write)
+
+	if noisy && s.NoiseSigma > 0 {
+		total *= s.noiseFactor(w, inputIdx, v)
+	}
+	res.ExecTime = total
+
+	s.fillObservables(&res, w, c, executors, totalCores, usedCoresPerNode,
+		execMemGB, containerMB, effNodeMB, shuffleComp, spillRatio, gcFrac,
+		cacheHit, mapTasks, reduceTasks, v)
+	return res
+}
+
+// failResult produces the outcome of a failed run: a penalty execution time
+// proportional to the default-configuration time, so failures are sharply
+// worse than any completed run.
+func (s *Simulator) failResult(w Workload, inputIdx int, res Result, reason string, noisy bool, v []float64) Result {
+	res.Failed = true
+	def := s.DefaultTime(w, inputIdx)
+	t := 2.5 * def
+	if reason == "unschedulable" || reason == "no-executors" {
+		// Submission failures surface faster than mid-run OOMs.
+		t = 1.8 * def
+	}
+	if noisy && s.NoiseSigma > 0 {
+		t *= s.noiseFactor(w, inputIdx, v)
+	}
+	res.ExecTime = t
+	res.Metrics[MetricExecTime] = t
+	res.Metrics[MetricFailed] = 1
+	// A failed run leaves the cluster lightly loaded.
+	for i := range res.LoadAvg {
+		res.LoadAvg[i] = 0.5
+	}
+	return res
+}
+
+// fillObservables computes the load-average state and internal metrics.
+func (s *Simulator) fillObservables(res *Result, w Workload, c Cluster,
+	executors, totalCores, usedCoresPerNode, execMemGB, containerMB, effNodeMB,
+	shuffleComp, spillRatio, gcFrac, cacheHit, mapTasks, reduceTasks float64, v []float64) {
+
+	cpuUtil := math.Min(1.2, totalCores/float64(c.TotalCores()))
+	memUtil := math.Min(1.2, executors*containerMB/(effNodeMB*float64(c.Nodes)))
+	diskBusy := math.Min(1, (shuffleComp*2+w.OutputFrac)/(res.ExecTime*c.DiskMBps*float64(c.Nodes)/1024+1e-9))
+	netBusy := math.Min(1, shuffleComp/(res.ExecTime*c.NetMBps*float64(c.Nodes)/1024+1e-9))
+
+	rng := s.obsRand(w, v)
+	perNodeLoad := usedCoresPerNode * (0.85 + 0.3*cpuUtil)
+	for n := 0; n < c.Nodes; n++ {
+		base := perNodeLoad
+		if n == 0 {
+			base += v[s.idx.driverCores] * 0.5 // driver + AM on node 0
+		}
+		jitter := 1 + 0.05*rng.NormFloat64()
+		res.LoadAvg[n*3+0] = base * jitter
+		res.LoadAvg[n*3+1] = base * 0.85 * jitter
+		res.LoadAvg[n*3+2] = base * 0.65 * jitter
+	}
+
+	m := res.Metrics
+	m[MetricExecTime] = res.ExecTime
+	m[MetricCPUUtil] = cpuUtil
+	m[MetricMemUtil] = memUtil
+	m[MetricShuffleGB] = shuffleComp
+	m[MetricSpillRatio] = spillRatio
+	m[MetricGCFrac] = gcFrac
+	m[MetricDiskBusy] = diskBusy
+	m[MetricNetBusy] = netBusy
+	m[MetricMapTasks] = mapTasks
+	m[MetricReduceTasks] = reduceTasks
+	m[MetricCacheHit] = cacheHit
+	m[MetricFailed] = 0
+}
+
+// noiseFactor returns the deterministic multiplicative noise for one
+// evaluation, keyed by (seed, cluster, workload, input, quantized config).
+func (s *Simulator) noiseFactor(w Workload, inputIdx int, v []float64) float64 {
+	rng := s.evalRand(w, inputIdx, v)
+	return math.Exp(s.NoiseSigma*rng.NormFloat64() - 0.5*s.NoiseSigma*s.NoiseSigma)
+}
+
+func (s *Simulator) evalRand(w Workload, inputIdx int, v []float64) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", s.seed, s.cluster.Name, w.Short, inputIdx)
+	for _, x := range v {
+		fmt.Fprintf(h, "|%.4g", x)
+	}
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+func (s *Simulator) obsRand(w Workload, v []float64) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "obs|%d|%s|%s", s.seed, s.cluster.Name, w.Short)
+	for _, x := range v {
+		fmt.Fprintf(h, "|%.4g", x)
+	}
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// ClampToCluster clips concrete parameter values that exceed the cluster's
+// physical capacity down to the largest feasible setting: executor/AM/driver
+// memory and the YARN memory knobs are bounded by per-node physical memory.
+// This implements the paper's rule for applying a model trained on one
+// hardware environment to a smaller one (§5.3.2): "if the recommended
+// configuration parameters are outside the scope of the new environment, we
+// need to clip it to the boundary".
+func (s *Simulator) ClampToCluster(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	ix := s.idx
+	physMB := float64(s.cluster.MemMBPerNode) - 1024
+	// Largest executor heap whose container (heap + 10% overhead) fits.
+	maxExecGB := math.Floor(physMB / 1.1 / 1024)
+	if out[ix.execMem] > maxExecGB {
+		out[ix.execMem] = maxExecGB
+	}
+	if out[ix.yarnNMMem] > physMB {
+		out[ix.yarnNMMem] = math.Floor(physMB)
+	}
+	if out[ix.yarnMaxMB] > physMB {
+		out[ix.yarnMaxMB] = math.Floor(physMB)
+	}
+	if out[ix.driverMem] > maxExecGB {
+		out[ix.driverMem] = maxExecGB
+	}
+	cores := float64(s.cluster.CoresPerNode)
+	if out[ix.execCores] > cores {
+		out[ix.execCores] = cores
+	}
+	if out[ix.yarnNMCores] > cores*2 {
+		out[ix.yarnNMCores] = cores * 2
+	}
+	return out
+}
+
+// IdleState returns the load-average vector of an idle cluster, used as the
+// initial tuner state before any evaluation.
+func (s *Simulator) IdleState() []float64 {
+	st := make([]float64, StateDim)
+	for i := range st {
+		st[i] = 0.3
+	}
+	return st
+}

@@ -1,0 +1,461 @@
+package sparksim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deepcat/internal/mat"
+)
+
+func simA(t *testing.T) *Simulator {
+	t.Helper()
+	return NewSimulator(ClusterA(), 1)
+}
+
+// setValue sets the named parameter on a concrete-values vector.
+func setValue(t *testing.T, s *Simulator, v []float64, name string, x float64) {
+	t.Helper()
+	i, ok := s.Space().Lookup(name)
+	if !ok {
+		t.Fatalf("parameter %q missing", name)
+	}
+	v[i] = x
+}
+
+func TestTable1Workloads(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 4 {
+		t.Fatalf("workloads = %d, want 4", len(ws))
+	}
+	wantShort := []string{"WC", "TS", "PR", "KM"}
+	wantCat := []string{"micro", "micro", "websearch", "ml"}
+	for i, w := range ws {
+		if w.Short != wantShort[i] || w.Category != wantCat[i] {
+			t.Errorf("workload %d = %s/%s, want %s/%s", i, w.Short, w.Category, wantShort[i], wantCat[i])
+		}
+		for d := 0; d < 3; d++ {
+			if w.InputGB[d] <= 0 {
+				t.Errorf("%s D%d size %v", w.Short, d+1, w.InputGB[d])
+			}
+		}
+		if w.InputGB[0] >= w.InputGB[1] || w.InputGB[1] >= w.InputGB[2] {
+			t.Errorf("%s input sizes not increasing: %v", w.Short, w.InputGB)
+		}
+	}
+}
+
+func TestTable2ParameterCounts(t *testing.T) {
+	space := PipelineSpace()
+	if space.Dim() != 32 {
+		t.Fatalf("space dim = %d, want 32", space.Dim())
+	}
+	counts := space.CountByComponent()
+	if counts[ComponentSpark] != 20 {
+		t.Errorf("spark params = %d, want 20", counts[ComponentSpark])
+	}
+	if counts[ComponentYARN] != 7 {
+		t.Errorf("yarn params = %d, want 7", counts[ComponentYARN])
+	}
+	if counts[ComponentHDFS] != 5 {
+		t.Errorf("hdfs params = %d, want 5", counts[ComponentHDFS])
+	}
+}
+
+func TestWorkloadByShort(t *testing.T) {
+	w, err := WorkloadByShort("TS")
+	if err != nil || w.Name != "TeraSort" {
+		t.Fatalf("WorkloadByShort(TS) = %v, %v", w.Name, err)
+	}
+	if _, err := WorkloadByShort("XX"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestAllPairsAndLabels(t *testing.T) {
+	pairs := AllPairs()
+	if len(pairs) != 12 {
+		t.Fatalf("pairs = %d, want 12", len(pairs))
+	}
+	if got := PairLabel(pairs[0].Workload, pairs[0].InputIdx); got != "WC-D1" {
+		t.Fatalf("label = %q", got)
+	}
+	if got := PairLabel(pairs[11].Workload, pairs[11].InputIdx); got != "KM-D3" {
+		t.Fatalf("label = %q", got)
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	a := ClusterA()
+	if a.TotalCores() != 48 || a.TotalMemMB() != 3*16384 {
+		t.Fatalf("cluster A totals: %d cores, %d MB", a.TotalCores(), a.TotalMemMB())
+	}
+	if a.String() == "" || ClusterB().String() == "" {
+		t.Fatal("empty cluster String")
+	}
+	b := ClusterB()
+	if b.TotalCores() != 24 || b.TotalMemMB() != 3*8192 {
+		t.Fatalf("cluster B totals: %d cores, %d MB", b.TotalCores(), b.TotalMemMB())
+	}
+}
+
+func TestDefaultNeverFails(t *testing.T) {
+	for _, cl := range []Cluster{ClusterA(), ClusterB()} {
+		sim := NewSimulator(cl, 1)
+		for _, p := range AllPairs() {
+			r := sim.DefaultResult(p.Workload, p.InputIdx)
+			if r.Failed || r.OOM {
+				t.Errorf("%s default on %s failed (oom=%v)", PairLabel(p.Workload, p.InputIdx), cl.Name, r.OOM)
+			}
+			if r.ExecTime <= 0 || math.IsNaN(r.ExecTime) {
+				t.Errorf("%s default time = %v", PairLabel(p.Workload, p.InputIdx), r.ExecTime)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sim1 := NewSimulator(ClusterA(), 42)
+	sim2 := NewSimulator(ClusterA(), 42)
+	rng := rand.New(rand.NewSource(9))
+	ts, _ := WorkloadByShort("TS")
+	for i := 0; i < 20; i++ {
+		u := sim1.Space().RandomAction(rng)
+		r1 := sim1.Evaluate(ts, 0, u)
+		r2 := sim2.Evaluate(ts, 0, u)
+		if r1.ExecTime != r2.ExecTime || r1.Failed != r2.Failed {
+			t.Fatalf("same (seed, action) produced different results: %v vs %v", r1.ExecTime, r2.ExecTime)
+		}
+	}
+}
+
+func TestSeedChangesNoise(t *testing.T) {
+	ts, _ := WorkloadByShort("TS")
+	u := PipelineSpace().DefaultAction()
+	a := NewSimulator(ClusterA(), 1).Evaluate(ts, 0, u).ExecTime
+	b := NewSimulator(ClusterA(), 2).Evaluate(ts, 0, u).ExecTime
+	if a == b {
+		t.Fatal("different seeds produced identical noisy times")
+	}
+}
+
+func TestNoiseMagnitude(t *testing.T) {
+	sim := simA(t)
+	ts, _ := WorkloadByShort("TS")
+	noiseless := sim.DefaultTime(ts, 0)
+	noisy := sim.Evaluate(ts, 0, sim.Space().DefaultAction()).ExecTime
+	if rel := math.Abs(noisy-noiseless) / noiseless; rel > 0.2 {
+		t.Fatalf("noise moved time by %.1f%%", rel*100)
+	}
+}
+
+func TestNoiseDisabled(t *testing.T) {
+	sim := simA(t)
+	sim.NoiseSigma = 0
+	ts, _ := WorkloadByShort("TS")
+	if got := sim.Evaluate(ts, 0, sim.Space().DefaultAction()).ExecTime; got != sim.DefaultTime(ts, 0) {
+		t.Fatal("NoiseSigma=0 still noisy")
+	}
+}
+
+func TestMoreResourcesHelp(t *testing.T) {
+	// Scaling default resources up (more executors, cores, memory) must
+	// improve every workload's D1 time.
+	sim := simA(t)
+	sim.NoiseSigma = 0
+	for _, w := range Workloads() {
+		def := sim.DefaultTime(w, 0)
+		v := sim.Space().DefaultValues()
+		setValue(t, sim, v, "spark.executor.instances", 6)
+		setValue(t, sim, v, "spark.executor.cores", 4)
+		setValue(t, sim, v, "spark.executor.memory", 4)
+		setValue(t, sim, v, "spark.default.parallelism", 48)
+		setValue(t, sim, v, "yarn.nodemanager.resource.memory-mb", 14336)
+		setValue(t, sim, v, "yarn.nodemanager.resource.cpu-vcores", 16)
+		setValue(t, sim, v, "yarn.scheduler.maximum-allocation-mb", 14336)
+		setValue(t, sim, v, "spark.driver.memory", 4)
+		r := sim.EvaluateValues(w, 0, v)
+		if r.Failed {
+			t.Errorf("%s: scaled-up config failed", w.Short)
+			continue
+		}
+		if r.ExecTime >= def {
+			t.Errorf("%s: scaled-up config %.1fs not faster than default %.1fs", w.Short, r.ExecTime, def)
+		}
+	}
+}
+
+func TestKryoHelpsShuffleHeavy(t *testing.T) {
+	sim := simA(t)
+	sim.NoiseSigma = 0
+	ts, _ := WorkloadByShort("TS")
+	v := sim.Space().DefaultValues()
+	base := sim.EvaluateValues(ts, 0, v).ExecTime
+	setValue(t, sim, v, "spark.serializer", 1) // kryo
+	kryo := sim.EvaluateValues(ts, 0, v).ExecTime
+	if kryo >= base {
+		t.Fatalf("kryo %.2fs not faster than java %.2fs on TeraSort", kryo, base)
+	}
+}
+
+func TestLargerInputTakesLonger(t *testing.T) {
+	sim := simA(t)
+	sim.NoiseSigma = 0
+	for _, w := range Workloads() {
+		t1 := sim.DefaultTime(w, 0)
+		t2 := sim.DefaultTime(w, 1)
+		t3 := sim.DefaultTime(w, 2)
+		if !(t1 < t2 && t2 < t3) {
+			t.Errorf("%s: times not increasing with input: %v %v %v", w.Short, t1, t2, t3)
+		}
+	}
+}
+
+func TestClusterBSlower(t *testing.T) {
+	a := NewSimulator(ClusterA(), 1)
+	b := NewSimulator(ClusterB(), 1)
+	for _, w := range Workloads() {
+		ta := a.DefaultTime(w, 0)
+		tb := b.DefaultTime(w, 0)
+		if tb <= ta {
+			t.Errorf("%s: cluster B default %.1fs not slower than A %.1fs", w.Short, tb, ta)
+		}
+	}
+}
+
+func TestUnschedulableContainerFails(t *testing.T) {
+	sim := simA(t)
+	ts, _ := WorkloadByShort("TS")
+	v := sim.Space().DefaultValues()
+	setValue(t, sim, v, "spark.executor.memory", 10)
+	setValue(t, sim, v, "yarn.scheduler.maximum-allocation-mb", 8192)
+	r := sim.EvaluateValues(ts, 0, v)
+	if !r.Failed {
+		t.Fatal("oversized container was scheduled")
+	}
+	def := sim.DefaultTime(ts, 0)
+	if r.ExecTime < def {
+		t.Fatalf("failure penalty %.1fs below default %.1fs", r.ExecTime, def)
+	}
+}
+
+func TestNoExecutorFails(t *testing.T) {
+	sim := simA(t)
+	ts, _ := WorkloadByShort("TS")
+	v := sim.Space().DefaultValues()
+	setValue(t, sim, v, "spark.executor.cores", 8)
+	setValue(t, sim, v, "yarn.nodemanager.resource.cpu-vcores", 6)
+	setValue(t, sim, v, "yarn.scheduler.maximum-allocation-vcores", 16)
+	r := sim.EvaluateValues(ts, 0, v)
+	if !r.Failed {
+		t.Fatal("zero-slot config did not fail")
+	}
+}
+
+func TestKMeansOOMCliff(t *testing.T) {
+	sim := simA(t)
+	km, _ := WorkloadByShort("KM")
+	v := sim.Space().DefaultValues()
+	// Many concurrent tasks per executor with a tiny heap: working sets
+	// exceed execution memory.
+	setValue(t, sim, v, "spark.executor.cores", 8)
+	setValue(t, sim, v, "spark.executor.memory", 1)
+	setValue(t, sim, v, "yarn.nodemanager.resource.cpu-vcores", 16)
+	setValue(t, sim, v, "yarn.scheduler.maximum-allocation-vcores", 16)
+	setValue(t, sim, v, "dfs.blocksize", 256)
+	r := sim.EvaluateValues(km, 0, v)
+	if !r.OOM || !r.Failed {
+		t.Fatalf("expected OOM, got oom=%v failed=%v", r.OOM, r.Failed)
+	}
+	// TeraSort spills instead of OOMing under the same squeeze.
+	ts, _ := WorkloadByShort("TS")
+	r = sim.EvaluateValues(ts, 0, v)
+	if r.OOM {
+		t.Fatal("non-caching TeraSort reported OOM")
+	}
+}
+
+func TestYarnVcoreCapClampsExecutorCores(t *testing.T) {
+	sim := simA(t)
+	sim.NoiseSigma = 0
+	ts, _ := WorkloadByShort("TS")
+	v := sim.Space().DefaultValues()
+	setValue(t, sim, v, "spark.executor.cores", 8)
+	setValue(t, sim, v, "yarn.scheduler.maximum-allocation-vcores", 4)
+	setValue(t, sim, v, "yarn.nodemanager.resource.cpu-vcores", 16)
+	r := sim.EvaluateValues(ts, 0, v)
+	if r.Failed {
+		t.Fatal("clamped request failed")
+	}
+	if r.TotalCores != r.Executors*4 {
+		t.Fatalf("vcore cap not applied: %d cores for %d executors", r.TotalCores, r.Executors)
+	}
+}
+
+func TestLoadAverageState(t *testing.T) {
+	sim := simA(t)
+	ts, _ := WorkloadByShort("TS")
+	r := sim.Evaluate(ts, 0, sim.Space().DefaultAction())
+	if len(r.LoadAvg) != StateDim {
+		t.Fatalf("state dim = %d, want %d", len(r.LoadAvg), StateDim)
+	}
+	for i, l := range r.LoadAvg {
+		if l <= 0 || math.IsNaN(l) {
+			t.Fatalf("load[%d] = %v", i, l)
+		}
+	}
+	// Node 0 hosts driver + AM and must carry at least the load of others.
+	if r.LoadAvg[0] < r.LoadAvg[3]*0.9 {
+		t.Fatalf("node0 load %.2f below node1 load %.2f", r.LoadAvg[0], r.LoadAvg[3])
+	}
+	// 1-minute load >= 15-minute load for a just-finished burst.
+	if r.LoadAvg[0] < r.LoadAvg[2] {
+		t.Fatalf("load1 %.2f < load15 %.2f", r.LoadAvg[0], r.LoadAvg[2])
+	}
+	if len(sim.IdleState()) != StateDim {
+		t.Fatal("IdleState dim wrong")
+	}
+}
+
+func TestMetricsVector(t *testing.T) {
+	sim := simA(t)
+	ts, _ := WorkloadByShort("TS")
+	r := sim.Evaluate(ts, 0, sim.Space().DefaultAction())
+	if len(r.Metrics) != MetricsDim {
+		t.Fatalf("metrics dim = %d, want %d", len(r.Metrics), MetricsDim)
+	}
+	if r.Metrics[MetricExecTime] != r.ExecTime {
+		t.Fatal("MetricExecTime mismatch")
+	}
+	if r.Metrics[MetricShuffleGB] <= 0 {
+		t.Fatal("TeraSort shuffle volume must be positive")
+	}
+	if r.Metrics[MetricFailed] != 0 {
+		t.Fatal("successful run flagged as failed")
+	}
+	if !mat.AllFinite(r.Metrics) {
+		t.Fatal("non-finite metrics")
+	}
+}
+
+func TestMetricsDistinguishWorkloads(t *testing.T) {
+	// TeraSort shuffles far more than KMeans; KMeans caches, TeraSort does
+	// not — the signal OtterTune's workload mapping relies on.
+	sim := simA(t)
+	u := sim.Space().DefaultAction()
+	ts, _ := WorkloadByShort("TS")
+	km, _ := WorkloadByShort("KM")
+	mts := sim.Evaluate(ts, 0, u).Metrics
+	mkm := sim.Evaluate(km, 0, u).Metrics
+	if mts[MetricShuffleGB] <= mkm[MetricShuffleGB] {
+		t.Fatal("TeraSort should shuffle more than KMeans")
+	}
+	if mkm[MetricCacheHit] >= 1 && mts[MetricCacheHit] >= 1 {
+		// KMeans under default memory cannot fully cache.
+		t.Fatal("KMeans default cache hit should be partial")
+	}
+}
+
+func TestClampToCluster(t *testing.T) {
+	simB := NewSimulator(ClusterB(), 1)
+	v := simB.Space().DefaultValues()
+	setValue(t, simB, v, "spark.executor.memory", 10)
+	setValue(t, simB, v, "yarn.nodemanager.resource.memory-mb", 15360)
+	setValue(t, simB, v, "yarn.scheduler.maximum-allocation-mb", 15360)
+	setValue(t, simB, v, "spark.executor.cores", 8)
+	clamped := simB.ClampToCluster(v)
+	ts, _ := WorkloadByShort("TS")
+	r := simB.EvaluateValues(ts, 0, clamped)
+	if r.Failed {
+		t.Fatal("clamped config still unschedulable on cluster B")
+	}
+	// Original vector untouched.
+	i, _ := simB.Space().Lookup("spark.executor.memory")
+	if v[i] != 10 {
+		t.Fatal("ClampToCluster mutated its input")
+	}
+	if clamped[i] >= 10 {
+		t.Fatalf("executor memory not clamped: %v", clamped[i])
+	}
+}
+
+func TestEvaluateFiniteProperty(t *testing.T) {
+	sim := simA(t)
+	ws := Workloads()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := ws[rng.Intn(len(ws))]
+		d := rng.Intn(3)
+		r := sim.Evaluate(w, d, sim.Space().RandomAction(rng))
+		return r.ExecTime > 0 && !math.IsNaN(r.ExecTime) && !math.IsInf(r.ExecTime, 0) &&
+			mat.AllFinite(r.Metrics) && mat.AllFinite(r.LoadAvg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailurePenaltyDominatesProperty(t *testing.T) {
+	// Any failed run must cost more than the default configuration: cliffs
+	// are never attractive.
+	sim := simA(t)
+	ws := Workloads()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := ws[rng.Intn(len(ws))]
+		d := rng.Intn(3)
+		r := sim.Evaluate(w, d, sim.Space().RandomAction(rng))
+		if !r.Failed {
+			return true
+		}
+		return r.ExecTime > sim.DefaultTime(w, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputIndexPanics(t *testing.T) {
+	sim := simA(t)
+	ts, _ := WorkloadByShort("TS")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad input index did not panic")
+		}
+	}()
+	sim.Evaluate(ts, 3, sim.Space().DefaultAction())
+}
+
+func TestCloseToOptimalSparsity(t *testing.T) {
+	// The Fig. 2 premise: most random configurations beat the default, but
+	// few come within 10% of the best found.
+	sim := simA(t)
+	rng := rand.New(rand.NewSource(7))
+	ts, _ := WorkloadByShort("TS")
+	def := sim.DefaultTime(ts, 0)
+	var times []float64
+	best := def
+	for i := 0; i < 200; i++ {
+		r := sim.Evaluate(ts, 0, sim.Space().RandomAction(rng))
+		times = append(times, r.ExecTime)
+		if !r.Failed && r.ExecTime < best {
+			best = r.ExecTime
+		}
+	}
+	var beatDef, within10 int
+	for _, x := range times {
+		if x < def {
+			beatDef++
+		}
+		if x <= best*1.10 {
+			within10++
+		}
+	}
+	if beatDef < 100 {
+		t.Fatalf("only %d/200 random configs beat default; expected a majority", beatDef)
+	}
+	if within10 > 20 {
+		t.Fatalf("%d/200 within 10%% of best; close-to-optimal should be sparse", within10)
+	}
+}

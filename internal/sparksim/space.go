@@ -1,0 +1,58 @@
+package sparksim
+
+import "deepcat/internal/config"
+
+// Component labels for CountByComponent accounting (Table 2).
+const (
+	ComponentSpark = "spark"
+	ComponentYARN  = "yarn"
+	ComponentHDFS  = "hdfs"
+)
+
+// PipelineSpace returns the paper's 32-parameter configuration space for
+// the HDFS + YARN + Spark pipeline (Table 2): 20 Spark parameters
+// (including the Spark-YARN connector), 7 YARN parameters and 5 HDFS
+// parameters. Defaults follow Apache Spark 2.2 / Hadoop 2.7 out-of-the-box
+// values; ranges follow the official tuning guides for a 16 GB, 16-core
+// node.
+func PipelineSpace() *config.Space {
+	return config.MustNewSpace([]config.Param{
+		// --- Spark (20, incl. Spark-YARN connector) ---
+		{Name: "spark.executor.instances", Component: ComponentSpark, Kind: config.Numeric, Min: 1, Max: 12, Default: 2, Integer: true},
+		{Name: "spark.executor.cores", Component: ComponentSpark, Kind: config.Numeric, Min: 1, Max: 8, Default: 1, Integer: true},
+		{Name: "spark.executor.memory", Component: ComponentSpark, Kind: config.Numeric, Min: 1, Max: 10, Default: 1, Integer: true, Unit: "GB"},
+		{Name: "spark.driver.memory", Component: ComponentSpark, Kind: config.Numeric, Min: 1, Max: 8, Default: 1, Integer: true, Unit: "GB"},
+		{Name: "spark.driver.cores", Component: ComponentSpark, Kind: config.Numeric, Min: 1, Max: 4, Default: 1, Integer: true},
+		{Name: "spark.default.parallelism", Component: ComponentSpark, Kind: config.Numeric, Min: 8, Max: 256, Default: 16, Integer: true},
+		{Name: "spark.memory.fraction", Component: ComponentSpark, Kind: config.Numeric, Min: 0.4, Max: 0.9, Default: 0.6},
+		{Name: "spark.memory.storageFraction", Component: ComponentSpark, Kind: config.Numeric, Min: 0.2, Max: 0.8, Default: 0.5},
+		{Name: "spark.shuffle.compress", Component: ComponentSpark, Kind: config.Bool, Default: 1},
+		{Name: "spark.shuffle.spill.compress", Component: ComponentSpark, Kind: config.Bool, Default: 1},
+		{Name: "spark.shuffle.file.buffer", Component: ComponentSpark, Kind: config.Numeric, Min: 16, Max: 128, Default: 32, Integer: true, Unit: "KB"},
+		{Name: "spark.reducer.maxSizeInFlight", Component: ComponentSpark, Kind: config.Numeric, Min: 24, Max: 144, Default: 48, Integer: true, Unit: "MB"},
+		{Name: "spark.io.compression.codec", Component: ComponentSpark, Kind: config.Categorical, Choices: []string{"lz4", "lzf", "snappy"}, Default: 0},
+		{Name: "spark.serializer", Component: ComponentSpark, Kind: config.Categorical, Choices: []string{"java", "kryo"}, Default: 0},
+		{Name: "spark.kryoserializer.buffer.max", Component: ComponentSpark, Kind: config.Numeric, Min: 32, Max: 128, Default: 64, Integer: true, Unit: "MB"},
+		{Name: "spark.rdd.compress", Component: ComponentSpark, Kind: config.Bool, Default: 0},
+		{Name: "spark.broadcast.blockSize", Component: ComponentSpark, Kind: config.Numeric, Min: 1, Max: 16, Default: 4, Integer: true, Unit: "MB"},
+		{Name: "spark.locality.wait", Component: ComponentSpark, Kind: config.Numeric, Min: 0, Max: 10, Default: 3, Integer: true, Unit: "s"},
+		{Name: "spark.scheduler.mode", Component: ComponentSpark, Kind: config.Categorical, Choices: []string{"FIFO", "FAIR"}, Default: 0},
+		{Name: "spark.yarn.am.memory", Component: ComponentSpark, Kind: config.Numeric, Min: 1, Max: 4, Default: 1, Integer: true, Unit: "GB"},
+
+		// --- YARN (7) ---
+		{Name: "yarn.nodemanager.resource.memory-mb", Component: ComponentYARN, Kind: config.Numeric, Min: 4096, Max: 15360, Default: 8192, Integer: true, Unit: "MB"},
+		{Name: "yarn.nodemanager.resource.cpu-vcores", Component: ComponentYARN, Kind: config.Numeric, Min: 6, Max: 16, Default: 8, Integer: true},
+		{Name: "yarn.scheduler.maximum-allocation-mb", Component: ComponentYARN, Kind: config.Numeric, Min: 8192, Max: 15360, Default: 8192, Integer: true, Unit: "MB"},
+		{Name: "yarn.scheduler.minimum-allocation-mb", Component: ComponentYARN, Kind: config.Numeric, Min: 256, Max: 2048, Default: 1024, Integer: true, Unit: "MB"},
+		{Name: "yarn.scheduler.maximum-allocation-vcores", Component: ComponentYARN, Kind: config.Numeric, Min: 4, Max: 16, Default: 8, Integer: true},
+		{Name: "yarn.nodemanager.vmem-pmem-ratio", Component: ComponentYARN, Kind: config.Numeric, Min: 2, Max: 5, Default: 2.1},
+		{Name: "yarn.nodemanager.pmem-check-enabled", Component: ComponentYARN, Kind: config.Bool, Default: 1},
+
+		// --- HDFS (5) ---
+		{Name: "dfs.blocksize", Component: ComponentHDFS, Kind: config.Numeric, Min: 32, Max: 256, Default: 128, Integer: true, Unit: "MB"},
+		{Name: "dfs.replication", Component: ComponentHDFS, Kind: config.Numeric, Min: 1, Max: 3, Default: 3, Integer: true},
+		{Name: "dfs.namenode.handler.count", Component: ComponentHDFS, Kind: config.Numeric, Min: 10, Max: 100, Default: 10, Integer: true},
+		{Name: "dfs.datanode.handler.count", Component: ComponentHDFS, Kind: config.Numeric, Min: 10, Max: 64, Default: 10, Integer: true},
+		{Name: "io.file.buffer.size", Component: ComponentHDFS, Kind: config.Numeric, Min: 4, Max: 128, Default: 4, Integer: true, Unit: "KB"},
+	})
+}

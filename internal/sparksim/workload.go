@@ -1,0 +1,120 @@
+package sparksim
+
+import "fmt"
+
+// Workload describes one HiBench benchmark application together with the
+// cost-model coefficients that shape its performance landscape. The four
+// workloads and their three input datasets follow the paper's Table 1.
+type Workload struct {
+	// Name is the full HiBench name ("TeraSort").
+	Name string
+	// Short is the paper's abbreviation ("TS").
+	Short string
+	// Category is the HiBench category ("micro", "websearch", "ml").
+	Category string
+	// InputLabel describes the input datasets in the paper's units
+	// ("3.2, 6, 10 (GB)").
+	InputLabel string
+	// InputGB holds the three dataset sizes D1-D3 converted to on-disk GB.
+	InputGB [3]float64
+
+	// --- cost-model coefficients ---
+
+	// ComputePerGB is CPU work in core-seconds per GB of input per
+	// iteration on a CPUFactor-1.0 core.
+	ComputePerGB float64
+	// ShuffleFrac is the shuffle volume per iteration as a fraction of
+	// input size.
+	ShuffleFrac float64
+	// OutputFrac is the HDFS output volume as a fraction of input size.
+	OutputFrac float64
+	// Iterations is the number of computation passes (PageRank and KMeans
+	// are iterative; micro benchmarks run once).
+	Iterations int
+	// CacheFrac is the fraction of the input held in Spark block-manager
+	// storage across iterations (0 for non-caching workloads). Workloads
+	// with a high CacheFrac hit OOM cliffs when executor memory is scarce,
+	// the behaviour the paper reports for KMeans (§5.2.1).
+	CacheFrac float64
+	// MemPerTaskGB is the per-task working-set at 1 GB of input spread
+	// over the task count; used for spill modelling.
+	MemPerTaskGB float64
+	// BroadcastMB is per-iteration broadcast volume (KMeans centroids,
+	// PageRank dangling mass), sensitive to spark.broadcast.blockSize.
+	BroadcastMB float64
+}
+
+// Workloads returns the paper's four benchmark applications (Table 1).
+// The index into the returned slice is stable and used in reports.
+func Workloads() []Workload {
+	return []Workload{
+		{
+			Name: "WordCount", Short: "WC", Category: "micro",
+			InputLabel: "3.2, 10, 20 (GB)",
+			InputGB:    [3]float64{3.2, 10, 20},
+			// Map-side combining collapses the shuffle; mostly scan+CPU.
+			ComputePerGB: 22, ShuffleFrac: 0.08, OutputFrac: 0.04,
+			Iterations: 1, CacheFrac: 0, MemPerTaskGB: 0.25, BroadcastMB: 1,
+		},
+		{
+			Name: "TeraSort", Short: "TS", Category: "micro",
+			InputLabel: "3.2, 6, 10 (GB)",
+			InputGB:    [3]float64{3.2, 6, 10},
+			// Full-data shuffle and full-size replicated output.
+			ComputePerGB: 16, ShuffleFrac: 1.0, OutputFrac: 1.0,
+			Iterations: 1, CacheFrac: 0, MemPerTaskGB: 0.45, BroadcastMB: 1,
+		},
+		{
+			Name: "PageRank", Short: "PR", Category: "websearch",
+			InputLabel: "0.5, 1, 1.6 (Million Pages)",
+			// ~2 GB of edges per 0.5M pages in HiBench's generator.
+			InputGB:      [3]float64{1.0, 2.0, 3.2},
+			ComputePerGB: 30, ShuffleFrac: 0.85, OutputFrac: 0.10,
+			Iterations: 3, CacheFrac: 1.1, MemPerTaskGB: 0.5, BroadcastMB: 8,
+		},
+		{
+			Name: "KMeans", Short: "KM", Category: "ml",
+			InputLabel: "20, 30, 40 (Million Points)",
+			// 20 dimensions x 8 bytes per sample.
+			InputGB:      [3]float64{3.2, 4.8, 6.4},
+			ComputePerGB: 34, ShuffleFrac: 0.05, OutputFrac: 0.01,
+			Iterations: 4, CacheFrac: 1.4, MemPerTaskGB: 0.6, BroadcastMB: 16,
+		},
+	}
+}
+
+// WorkloadByShort returns the workload with the given abbreviation.
+func WorkloadByShort(short string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.Short == short {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("sparksim: unknown workload %q (want WC, TS, PR or KM)", short)
+}
+
+// PairLabel names a (workload, input) pair the way the paper's figures do,
+// e.g. "TS-D1".
+func PairLabel(w Workload, inputIdx int) string {
+	return fmt.Sprintf("%s-D%d", w.Short, inputIdx+1)
+}
+
+// AllPairs enumerates the 12 workload-input pairs of the evaluation.
+func AllPairs() []struct {
+	Workload Workload
+	InputIdx int
+} {
+	var out []struct {
+		Workload Workload
+		InputIdx int
+	}
+	for _, w := range Workloads() {
+		for d := 0; d < 3; d++ {
+			out = append(out, struct {
+				Workload Workload
+				InputIdx int
+			}{w, d})
+		}
+	}
+	return out
+}
