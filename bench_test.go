@@ -173,7 +173,10 @@ func BenchmarkExtensions(b *testing.B) {
 	h := bench()
 	var last harness.ExtensionResult
 	for i := 0; i < b.N; i++ {
-		last = h.RunExtensions()
+		var err error
+		if last, err = h.RunExtensions(); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(last.DeepCATBest, "deepcat-5step-best-s")
 	b.ReportMetric(last.Rows[0].BestTime, "bestconfig-5step-best-s")
@@ -184,7 +187,10 @@ func BenchmarkDynamicStream(b *testing.B) {
 	h := bench()
 	var last harness.DynamicResult
 	for i := 0; i < b.N; i++ {
-		last = h.RunDynamic([]string{"TS", "PR"}, 4)
+		var err error
+		if last, err = h.RunDynamic([]string{"TS", "PR"}, 4); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(last.MeanSpeedup["DeepCAT"], "deepcat-stream-speedup")
 	b.ReportMetric(last.MeanSpeedup["OtterTune"], "ottertune-stream-speedup")
@@ -194,7 +200,10 @@ func BenchmarkAblationReplay(b *testing.B) {
 	h := bench()
 	var last harness.AblationResult
 	for i := 0; i < b.N; i++ {
-		last = h.RunAblationReplay(h.Opts.OfflineIters / 2)
+		var err error
+		if last, err = h.RunAblationReplay(h.Opts.OfflineIters / 2); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, row := range last.Rows {
 		if row.Variant == "replay=rdper" {
@@ -207,7 +216,10 @@ func BenchmarkAblationTwinQ(b *testing.B) {
 	h := bench()
 	var last harness.AblationResult
 	for i := 0; i < b.N; i++ {
-		last = h.RunAblationTwinQ(h.Opts.OfflineIters * 2 / 5)
+		var err error
+		if last, err = h.RunAblationTwinQ(h.Opts.OfflineIters * 2 / 5); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(last.Rows[0].Cost, "minq-gate-cost-s")
 	b.ReportMetric(last.Rows[2].Cost, "no-gate-cost-s")
@@ -217,7 +229,10 @@ func BenchmarkAblationBackbone(b *testing.B) {
 	h := bench()
 	var last harness.AblationResult
 	for i := 0; i < b.N; i++ {
-		last = h.RunAblationBackbone(h.Opts.OfflineIters / 2)
+		var err error
+		if last, err = h.RunAblationBackbone(h.Opts.OfflineIters / 2); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(last.Rows[0].BestTime, "td3-best-s")
 	b.ReportMetric(last.Rows[1].BestTime, "ddpg-best-s")
@@ -227,7 +242,10 @@ func BenchmarkAblationReward(b *testing.B) {
 	h := bench()
 	var last harness.AblationResult
 	for i := 0; i < b.N; i++ {
-		last = h.RunAblationReward(h.Opts.OfflineIters / 2)
+		var err error
+		if last, err = h.RunAblationReward(h.Opts.OfflineIters / 2); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(last.Rows[0].BestTime, "immediate-best-s")
 	b.ReportMetric(last.Rows[1].BestTime, "delta-best-s")

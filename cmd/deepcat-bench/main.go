@@ -25,70 +25,102 @@ import (
 // harness.CSVWriter when the experiment has an exportable data series.
 var experiments = []struct {
 	id  string
-	run func(h *harness.Harness, w io.Writer) harness.CSVWriter
+	run func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error)
 }{
-	{"table1", func(h *harness.Harness, w io.Writer) harness.CSVWriter { harness.FprintTable1(w); return nil }},
-	{"table2", func(h *harness.Harness, w io.Writer) harness.CSVWriter { harness.FprintTable2(w); return nil }},
-	{"fig2", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+	{"table1", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
+		harness.FprintTable1(w)
+		return nil, nil
+	}},
+	{"table2", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
+		harness.FprintTable2(w)
+		return nil, nil
+	}},
+	{"fig2", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
 		r := h.RunFig2(200)
 		r.Fprint(w)
-		return r
+		return r, nil
 	}},
-	{"fig3", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+	{"fig3", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
 		r := h.RunFig3(h.Opts.OfflineIters, h.Opts.OfflineIters/15)
 		r.Fprint(w)
-		return r
+		return r, nil
 	}},
-	{"fig4", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+	{"fig4", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
 		r := h.RunFig4(fig4Marks(h))
 		r.Fprint(w)
-		return r
+		return r, nil
 	}},
-	{"fig5", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+	{"fig5", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
 		r := h.RunFig5(h.Opts.OfflineIters * 2 / 5)
 		r.Fprint(w)
-		return r
+		return r, nil
 	}},
-	{"fig6", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+	{"fig6", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
 		c := h.RunComparison()
 		c.FprintFig6(w)
-		return c
+		return c, nil
 	}},
-	{"fig7", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+	{"fig7", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
 		h.RunComparison().FprintFig7(w)
-		return nil // data shared with fig6.csv
+		return nil, nil // data shared with fig6.csv
 	}},
-	{"fig8", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+	{"fig8", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
 		h.RunComparison().FprintFig8(w)
-		return nil // data shared with fig6.csv
+		return nil, nil // data shared with fig6.csv
 	}},
-	{"fig9", func(h *harness.Harness, w io.Writer) harness.CSVWriter { h.RunFig9().Fprint(w); return nil }},
-	{"fig10", func(h *harness.Harness, w io.Writer) harness.CSVWriter { h.RunFig10().Fprint(w); return nil }},
-	{"fig11", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+	{"fig9", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
+		h.RunFig9().Fprint(w)
+		return nil, nil
+	}},
+	{"fig10", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
+		h.RunFig10().Fprint(w)
+		return nil, nil
+	}},
+	{"fig11", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
 		r := h.RunFig11(h.Opts.OfflineIters / 2)
 		r.Fprint(w)
-		return r
+		return r, nil
 	}},
-	{"fig12", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+	{"fig12", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
 		r := h.RunFig12(h.Opts.OfflineIters*2/5, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
 		r.Fprint(w)
-		return r
+		return r, nil
 	}},
-	{"extensions", func(h *harness.Harness, w io.Writer) harness.CSVWriter { h.RunExtensions().Fprint(w); return nil }},
-	{"dynamic", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
-		h.RunDynamic([]string{"TS", "PR", "WC", "KM"}, 8).Fprint(w)
-		return nil
+	{"extensions", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
+		r, err := h.RunExtensions()
+		if err != nil {
+			return nil, err
+		}
+		r.Fprint(w)
+		return nil, nil
 	}},
-	{"ablations", func(h *harness.Harness, w io.Writer) harness.CSVWriter {
+	{"dynamic", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
+		r, err := h.RunDynamic([]string{"TS", "PR", "WC", "KM"}, 8)
+		if err != nil {
+			return nil, err
+		}
+		r.Fprint(w)
+		return nil, nil
+	}},
+	{"ablations", func(h *harness.Harness, w io.Writer) (harness.CSVWriter, error) {
 		it := h.Opts.OfflineIters / 2
-		h.RunAblationReplay(it).Fprint(w)
-		fmt.Fprintln(w)
-		h.RunAblationTwinQ(h.Opts.OfflineIters * 2 / 5).Fprint(w)
-		fmt.Fprintln(w)
-		h.RunAblationBackbone(it).Fprint(w)
-		fmt.Fprintln(w)
-		h.RunAblationReward(it).Fprint(w)
-		return nil
+		runs := []func() (harness.AblationResult, error){
+			func() (harness.AblationResult, error) { return h.RunAblationReplay(it) },
+			func() (harness.AblationResult, error) { return h.RunAblationTwinQ(h.Opts.OfflineIters * 2 / 5) },
+			func() (harness.AblationResult, error) { return h.RunAblationBackbone(it) },
+			func() (harness.AblationResult, error) { return h.RunAblationReward(it) },
+		}
+		for i, run := range runs {
+			r, err := run()
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			r.Fprint(w)
+		}
+		return nil, nil
 	}},
 }
 
@@ -160,7 +192,11 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Fprintf(w, "=== %s ===\n", e.id)
-		data := e.run(h, w)
+		data, err := e.run(h, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deepcat-bench:", err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(w, "(%s took %.1fs)\n\n", e.id, time.Since(start).Seconds())
 		if *csvDir != "" && data != nil {
 			if err := writeCSVFile(filepath.Join(*csvDir, e.id+".csv"), data); err != nil {

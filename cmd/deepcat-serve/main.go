@@ -1,0 +1,80 @@
+// Command deepcat-serve runs the tuning-as-a-service daemon: a long-lived
+// process hosting many concurrent tuning sessions behind an HTTP/JSON API,
+// checkpointing every session's agent and replay state to disk so a
+// restart resumes mid-tuning.
+//
+// Example:
+//
+//	deepcat-serve -addr :8080 -data ./deepcat-data -max-sessions 64
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests, checkpoints every session and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deepcat/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataDir     = flag.String("data", "deepcat-data", "checkpoint directory")
+		maxSessions = flag.Int("max-sessions", 64, "maximum live sessions (0 = unlimited)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	store, err := service.NewFSStore(*dataDir)
+	if err != nil {
+		fatal(err)
+	}
+	manager := service.NewManager(store, *maxSessions)
+	resumed, err := manager.Resume()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deepcat-serve: some checkpoints not resumed:", err)
+	}
+	if resumed > 0 {
+		fmt.Printf("resumed %d session(s) from %s\n", resumed, store.Dir())
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(manager)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("deepcat-serve listening on %s (checkpoints in %s, max %d sessions)\n",
+		*addr, store.Dir(), *maxSessions)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("shutting down: draining in-flight requests...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "deepcat-serve: shutdown:", err)
+	}
+	if err := manager.CheckpointAll(); err != nil {
+		fmt.Fprintln(os.Stderr, "deepcat-serve: final checkpoint:", err)
+	}
+	fmt.Println("all sessions checkpointed; bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deepcat-serve:", err)
+	os.Exit(1)
+}

@@ -19,26 +19,24 @@ import (
 )
 
 func main() {
+	var ef cli.EnvFlags
+	ef.Register(flag.CommandLine)
 	var (
-		workload = flag.String("workload", "TS", "workload to train on: WC, TS, PR or KM")
-		input    = flag.Int("input", 1, "input dataset: 1, 2 or 3 (Table 1)")
-		cluster  = flag.String("cluster", "a", "hardware environment: a or b")
-		iters    = flag.Int("iters", 2000, "offline training iterations")
-		seed     = flag.Int64("seed", 1, "random seed")
-		beta     = flag.Float64("beta", 0.6, "RDPER high-reward batch ratio")
-		replay   = flag.String("replay", "rdper", "replay mechanism: rdper, uniform or per")
-		out      = flag.String("o", "deepcat.model", "output model file")
+		iters  = flag.Int("iters", 2000, "offline training iterations")
+		beta   = flag.Float64("beta", 0.6, "RDPER high-reward batch ratio")
+		replay = flag.String("replay", "rdper", "replay mechanism: rdper, uniform or per")
+		out    = flag.String("o", "deepcat.model", "output model file")
 	)
 	flag.Parse()
 
-	e, err := cli.BuildEnv(*cluster, *workload, *input, *seed)
+	e, err := ef.Build()
 	if err != nil {
 		fatal(err)
 	}
 	cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
 	cfg.Beta = *beta
 	cfg.ReplayMode = *replay
-	d, err := core.New(rand.New(rand.NewSource(*seed)), cfg)
+	d, err := core.New(rand.New(rand.NewSource(ef.Seed)), cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -21,40 +21,38 @@ import (
 )
 
 func main() {
+	var ef cli.EnvFlags
+	ef.Register(flag.CommandLine)
 	var (
 		model      = flag.String("model", "", "offline model file (from deepcat-train); empty trains fresh")
 		trainIters = flag.Int("train-iters", 2000, "offline iterations when no -model is given")
-		workload   = flag.String("workload", "TS", "target workload: WC, TS, PR or KM")
-		input      = flag.Int("input", 1, "input dataset: 1, 2 or 3")
-		cluster    = flag.String("cluster", "a", "hardware environment: a or b")
 		steps      = flag.Int("steps", 5, "online tuning steps")
 		budget     = flag.Float64("budget", 0, "total tuning time budget in seconds (0 = none)")
 		qth        = flag.Float64("qth", 0.3, "Twin-Q Optimizer threshold Q_th")
 		noTwinQ    = flag.Bool("no-twinq", false, "disable the Twin-Q Optimizer")
-		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
-	e, err := cli.BuildEnv(*cluster, *workload, *input, *seed)
+	e, err := ef.Build()
 	if err != nil {
 		fatal(err)
 	}
 	// Models trained on Cluster A may recommend values outside Cluster B's
 	// physical bounds; clamp per the paper's hardware-migration rule.
-	if *cluster == "b" {
+	if ef.Cluster == "b" {
 		e.Clamp = true
 	}
 
 	var d *core.DeepCAT
 	if *model != "" {
-		d, err = core.LoadFile(*model, *seed)
+		d, err = core.LoadFile(*model, ef.Seed)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("loaded model from %s\n", *model)
 	} else {
 		cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
-		d, err = core.New(rand.New(rand.NewSource(*seed)), cfg)
+		d, err = core.New(rand.New(rand.NewSource(ef.Seed)), cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,14 +1,39 @@
 // Package cli holds the small pieces shared by the command-line tools:
-// resolving a (cluster, workload, input) flag triple into a simulated
-// environment.
+// registering the (cluster, workload, input, seed) flag quartet and
+// resolving it into a simulated environment.
 package cli
 
 import (
+	"flag"
 	"fmt"
 
 	"deepcat/internal/env"
 	"deepcat/internal/sparksim"
 )
+
+// EnvFlags bundles the flags shared by every command that binds to a
+// simulated environment (deepcat-train, deepcat-tune, deepcat-serve), so
+// the flag names, defaults and validation live in one place.
+type EnvFlags struct {
+	Workload string
+	Input    int
+	Cluster  string
+	Seed     int64
+}
+
+// Register installs the shared flags on fs (pass flag.CommandLine from a
+// main package).
+func (f *EnvFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Workload, "workload", "TS", "workload: WC, TS, PR or KM")
+	fs.IntVar(&f.Input, "input", 1, "input dataset: 1, 2 or 3")
+	fs.StringVar(&f.Cluster, "cluster", "a", "hardware environment: a or b")
+	fs.Int64Var(&f.Seed, "seed", 1, "random seed")
+}
+
+// Build validates the parsed flags and constructs the environment.
+func (f *EnvFlags) Build() (*env.SparkEnv, error) {
+	return BuildEnv(f.Cluster, f.Workload, f.Input, f.Seed)
+}
 
 // BuildEnv resolves command-line flags into a Spark environment: cluster is
 // "a" or "b", workload a Table-1 abbreviation (WC, TS, PR, KM) and input

@@ -250,6 +250,47 @@ func (d *DeepCAT) Clone() *DeepCAT {
 	return c
 }
 
+// Suggest proposes the next configuration for the given system state: the
+// actor's deterministic action (or a recovery-noise perturbation when the
+// previous evaluation failed), repaired by the Twin-Q Optimizer when its
+// twin-critic score falls below Q_th. This is one half of the incremental
+// online-tuning API used by the tuning service; OnlineTune composes it with
+// Observe into the paper's closed loop.
+func (d *DeepCAT) Suggest(state []float64, lastFailed bool) (action []float64, optimized bool) {
+	if lastFailed && d.Cfg.RecoverySigma > 0 {
+		action = d.Agent.ActNoisy(d.rng, state, d.Cfg.RecoverySigma)
+	} else {
+		action = d.Agent.Act(state)
+	}
+	if d.Cfg.UseTwinQ {
+		action, _, optimized = d.Cfg.TwinQ.Optimize(d.rng, d.Agent, state, action)
+	}
+	return action, optimized
+}
+
+// Observe records a measured outcome for a previously suggested action and
+// fine-tunes the agent on the new experience. state is the system state the
+// action was suggested for, nextState the post-run state, execTime the
+// measured runtime, and prevTime/defTime the previous and default runtimes
+// that parameterize the reward. It returns the reward assigned to the
+// transition. This is the other half of the incremental API; callers that
+// own the evaluation loop (e.g. an external job scheduler talking to the
+// tuning service) alternate Suggest and Observe.
+func (d *DeepCAT) Observe(state, action []float64, execTime, prevTime, defTime float64, nextState []float64, done bool) float64 {
+	r := d.reward(execTime, prevTime, defTime)
+	d.Buffer.Add(rl.Transition{
+		State:     state,
+		Action:    action,
+		Reward:    r,
+		NextState: nextState,
+		Done:      done,
+	})
+	for i := 0; i < d.Cfg.FineTuneIters && d.Buffer.Len() >= 2; i++ {
+		d.trainOnce(minI(d.Cfg.BatchSize, d.Buffer.Len()))
+	}
+	return r
+}
+
 // OnlineTune runs the online tuning stage on environment e: at each step
 // the actor proposes a configuration for the current state, the Twin-Q
 // Optimizer repairs it if its twin-critic score is sub-optimal, the result
@@ -267,28 +308,10 @@ func (d *DeepCAT) OnlineTune(e env.Environment) *env.Report {
 			break
 		}
 		recStart := time.Now()
-		var action []float64
-		if lastFailed && d.Cfg.RecoverySigma > 0 {
-			action = d.Agent.ActNoisy(d.rng, state, d.Cfg.RecoverySigma)
-		} else {
-			action = d.Agent.Act(state)
-		}
-		optimized := false
-		if d.Cfg.UseTwinQ {
-			action, _, optimized = d.Cfg.TwinQ.Optimize(d.rng, d.Agent, state, action)
-		}
+		action, optimized := d.Suggest(state, lastFailed)
 		outcome := e.Evaluate(action)
-		r := d.reward(outcome.ExecTime, prevTime, defTime)
-		d.Buffer.Add(rl.Transition{
-			State:     state,
-			Action:    action,
-			Reward:    r,
-			NextState: outcome.State,
-			Done:      step == d.Cfg.OnlineSteps-1,
-		})
-		for i := 0; i < d.Cfg.FineTuneIters && d.Buffer.Len() >= 2; i++ {
-			d.trainOnce(minI(d.Cfg.BatchSize, d.Buffer.Len()))
-		}
+		d.Observe(state, action, outcome.ExecTime, prevTime, defTime,
+			outcome.State, step == d.Cfg.OnlineSteps-1)
 		rec := time.Since(recStart).Seconds()
 
 		rep.Steps = append(rep.Steps, env.TuningStep{

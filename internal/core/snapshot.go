@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deepcat/internal/rl"
+)
+
+// Snapshot is the complete serializable state of a mid-training DeepCAT
+// tuner: configuration, the TD3 agent with optimizer moments and update
+// counter, the replay buffer contents, and a seed for the restored tuner's
+// randomness. Unlike the offline model format in model.go (weights only,
+// meant for the offline-train / online-tune hand-off), a Snapshot preserves
+// everything the online stage accumulates, so a restarted tuning service
+// resumes mid-session instead of re-paying offline training.
+type Snapshot struct {
+	Cfg    Config
+	Agent  rl.TD3State
+	Replay rl.ReplayState
+	// Seed drives the restored tuner's rng. Snapshot derives it from the
+	// live tuner's rng and re-seeds the live tuner with the same value, so
+	// the original and any restore of it continue with identical random
+	// streams (and therefore identical behavior on identical inputs).
+	Seed int64
+}
+
+// Snapshot captures the tuner's full state. As a side effect it re-seeds
+// the tuner's rng with the same seed stored in the snapshot; this keeps the
+// live tuner and future restores on identical random streams, which makes
+// checkpoint/restore transparent to reproducibility.
+func (d *DeepCAT) Snapshot() (*Snapshot, error) {
+	replay, err := rl.CaptureReplay(d.Buffer)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	seed := d.rng.Int63()
+	d.rng = rand.New(rand.NewSource(seed))
+	return &Snapshot{
+		Cfg:    d.Cfg,
+		Agent:  d.Agent.CaptureState(),
+		Replay: replay,
+		Seed:   seed,
+	}, nil
+}
+
+// Restore reconstructs a tuner from a snapshot. The result continues
+// exactly where the snapshotted tuner was: same weights, optimizer moments,
+// replay contents and random stream.
+func Restore(s *Snapshot) (*DeepCAT, error) {
+	d, err := New(rand.New(rand.NewSource(s.Seed)), s.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	// New consumed rng draws initializing throwaway networks; reset the
+	// stream so it matches the live tuner's re-seeded rng exactly.
+	d.rng = rand.New(rand.NewSource(s.Seed))
+	if err := d.Agent.RestoreState(s.Agent); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	if err := rl.RestoreReplay(d.Buffer, s.Replay); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	return d, nil
+}
+
+// Encode writes the snapshot to w with encoding/gob.
+func (s *Snapshot) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a snapshot previously written with Encode.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	return &s, nil
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -33,19 +34,22 @@ func (r AblationResult) Fprint(w io.Writer) {
 }
 
 // tsEnvA returns the TS-D1 Cluster-A environment.
-func (h *Harness) tsEnvA() *env.SparkEnv {
+func (h *Harness) tsEnvA() (*env.SparkEnv, error) {
 	ts, err := sparksim.WorkloadByShort("TS")
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("harness: %w", err)
 	}
-	return h.EnvA(ts, 0)
+	return h.EnvA(ts, 0), nil
 }
 
 // RunAblationReplay compares RDPER against uniform replay and TD-error PER
 // under the same TD3 backbone and training budget — the design choice of
 // §3.3.
-func (h *Harness) RunAblationReplay(offlineIters int) AblationResult {
-	e := h.tsEnvA()
+func (h *Harness) RunAblationReplay(offlineIters int) (AblationResult, error) {
+	e, err := h.tsEnvA()
+	if err != nil {
+		return AblationResult{}, err
+	}
 	res := AblationResult{Name: "replay mechanism (TD3 backbone)"}
 	reps := float64(h.Opts.Replications)
 	for _, mode := range []string{"rdper", "uniform", "per"} {
@@ -56,7 +60,7 @@ func (h *Harness) RunAblationReplay(offlineIters int) AblationResult {
 			cfg.OnlineSteps = h.Opts.OnlineSteps
 			d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*11000+s)), cfg)
 			if err != nil {
-				panic(err)
+				return AblationResult{}, fmt.Errorf("harness: replay ablation %s: %w", mode, err)
 			}
 			d.OfflineTrain(e, offlineIters, nil)
 			rep := d.Clone().OnlineTune(e)
@@ -65,14 +69,17 @@ func (h *Harness) RunAblationReplay(offlineIters int) AblationResult {
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	return res
+	return res, nil
 }
 
 // RunAblationTwinQ compares the online gate variants: min(Q1,Q2) (the
 // paper's indicator), a single-critic gate, and no gate at all — the design
 // choice of §3.4.
-func (h *Harness) RunAblationTwinQ(offlineIters int) AblationResult {
-	e := h.tsEnvA()
+func (h *Harness) RunAblationTwinQ(offlineIters int) (AblationResult, error) {
+	e, err := h.tsEnvA()
+	if err != nil {
+		return AblationResult{}, err
+	}
 	res := AblationResult{Name: "Twin-Q Optimizer gate"}
 	reps := float64(h.Opts.Replications)
 	variants := []struct {
@@ -88,7 +95,7 @@ func (h *Harness) RunAblationTwinQ(offlineIters int) AblationResult {
 		cfg.OnlineSteps = h.Opts.OnlineSteps
 		d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*12000+s)), cfg)
 		if err != nil {
-			panic(err)
+			return AblationResult{}, fmt.Errorf("harness: twin-q ablation: %w", err)
 		}
 		d.OfflineTrain(e, offlineIters, nil)
 		for i, v := range variants {
@@ -102,15 +109,18 @@ func (h *Harness) RunAblationTwinQ(offlineIters int) AblationResult {
 			res.Rows[i].Cost += rep.TotalCost() / reps
 		}
 	}
-	return res
+	return res, nil
 }
 
 // RunAblationBackbone compares the TD3 backbone against DDPG under
 // identical replay (RDPER is DeepCAT-only; both use their canonical
 // setup: TD3+RDPER+Eq.1 reward vs DDPG+TD-PER+delta reward) — isolating
 // what swapping the agent family buys.
-func (h *Harness) RunAblationBackbone(offlineIters int) AblationResult {
-	e := h.tsEnvA()
+func (h *Harness) RunAblationBackbone(offlineIters int) (AblationResult, error) {
+	e, err := h.tsEnvA()
+	if err != nil {
+		return AblationResult{}, err
+	}
 	res := AblationResult{Name: "agent backbone"}
 	reps := float64(h.Opts.Replications)
 
@@ -122,7 +132,7 @@ func (h *Harness) RunAblationBackbone(offlineIters int) AblationResult {
 		cfg.UseTwinQ = false // isolate the backbone, not the gate
 		d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*13000+s)), cfg)
 		if err != nil {
-			panic(err)
+			return AblationResult{}, fmt.Errorf("harness: backbone ablation (TD3): %w", err)
 		}
 		d.OfflineTrain(e, offlineIters, nil)
 		rep := d.Clone().OnlineTune(e)
@@ -133,7 +143,7 @@ func (h *Harness) RunAblationBackbone(offlineIters int) AblationResult {
 		ccfg.OnlineSteps = h.Opts.OnlineSteps
 		c, err := cdbtune.New(rand.New(rand.NewSource(h.Opts.Seed*13000+s)), ccfg)
 		if err != nil {
-			panic(err)
+			return AblationResult{}, fmt.Errorf("harness: backbone ablation (DDPG): %w", err)
 		}
 		c.OfflineTrain(e, offlineIters)
 		crep := c.Clone().OnlineTune(e)
@@ -141,14 +151,17 @@ func (h *Harness) RunAblationBackbone(offlineIters int) AblationResult {
 		rowDDPG.Cost += crep.TotalCost() / reps
 	}
 	res.Rows = []AblationRow{rowTD3, rowDDPG}
-	return res
+	return res, nil
 }
 
 // RunAblationReward compares DeepCAT's immediate reward (Eq. 1) against the
 // CDBTune-style delta reward on the same TD3+RDPER stack — the design
 // choice of §3.1.
-func (h *Harness) RunAblationReward(offlineIters int) AblationResult {
-	e := h.tsEnvA()
+func (h *Harness) RunAblationReward(offlineIters int) (AblationResult, error) {
+	e, err := h.tsEnvA()
+	if err != nil {
+		return AblationResult{}, err
+	}
 	res := AblationResult{Name: "reward function (TD3+RDPER stack)"}
 	reps := float64(h.Opts.Replications)
 
@@ -159,7 +172,7 @@ func (h *Harness) RunAblationReward(offlineIters int) AblationResult {
 		cfg.OnlineSteps = h.Opts.OnlineSteps
 		d, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*14000+s)), cfg)
 		if err != nil {
-			panic(err)
+			return AblationResult{}, fmt.Errorf("harness: reward ablation: %w", err)
 		}
 		d.OfflineTrain(e, offlineIters, nil)
 		rep := d.Clone().OnlineTune(e)
@@ -172,7 +185,7 @@ func (h *Harness) RunAblationReward(offlineIters int) AblationResult {
 		cfg2.RewardMode = "delta"
 		d2, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*14000+s)), cfg2)
 		if err != nil {
-			panic(err)
+			return AblationResult{}, fmt.Errorf("harness: reward ablation (delta): %w", err)
 		}
 		d2.OfflineTrain(e, offlineIters, nil)
 		rep2 := d2.Clone().OnlineTune(e)
@@ -180,5 +193,5 @@ func (h *Harness) RunAblationReward(offlineIters int) AblationResult {
 		rowDelta.Cost += rep2.TotalCost() / reps
 	}
 	res.Rows = []AblationRow{rowImm, rowDelta}
-	return res
+	return res, nil
 }

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -40,15 +42,15 @@ type DynamicResult struct {
 // stream length. The DRL tuners are trained offline once, on the first
 // pair only — the realistic setting where the standard environment used
 // for offline training does not match most later requests.
-func (h *Harness) RunDynamic(shorts []string, requests int) DynamicResult {
+func (h *Harness) RunDynamic(shorts []string, requests int) (DynamicResult, error) {
 	if len(shorts) == 0 {
-		panic("harness: RunDynamic needs at least one workload")
+		return DynamicResult{}, errors.New("harness: RunDynamic needs at least one workload")
 	}
 	envs := make([]*env.SparkEnv, len(shorts))
 	for i, s := range shorts {
 		w, err := sparksim.WorkloadByShort(s)
 		if err != nil {
-			panic(err)
+			return DynamicResult{}, fmt.Errorf("harness: %w", err)
 		}
 		envs[i] = h.EnvA(w, 0)
 	}
@@ -64,7 +66,7 @@ func (h *Harness) RunDynamic(shorts []string, requests int) DynamicResult {
 	dcCfg.OnlineSteps = h.Opts.OnlineSteps
 	dc, err := core.New(rand.New(rand.NewSource(h.Opts.Seed*16000)), dcCfg)
 	if err != nil {
-		panic(err)
+		return DynamicResult{}, fmt.Errorf("harness: dynamic stream: %w", err)
 	}
 	dc.OfflineTrain(envs[0], h.Opts.OfflineIters, nil)
 
@@ -91,7 +93,7 @@ func (h *Harness) RunDynamic(shorts []string, requests int) DynamicResult {
 	for _, tn := range TunerNames {
 		res.MeanSpeedup[tn] /= n
 	}
-	return res
+	return res, nil
 }
 
 // record appends a step and accumulates the aggregates.

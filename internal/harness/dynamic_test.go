@@ -11,7 +11,10 @@ func TestRunDynamicStructure(t *testing.T) {
 		t.Skip("skipping in -short mode")
 	}
 	h := New(tinyOptions())
-	r := h.RunDynamic([]string{"TS", "WC"}, 4)
+	r, err := h.RunDynamic([]string{"TS", "WC"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Steps) != 4*3 {
 		t.Fatalf("steps = %d, want 12", len(r.Steps))
 	}
@@ -42,7 +45,10 @@ func TestRunDynamicAccumulatesExperience(t *testing.T) {
 	opts := tinyOptions()
 	opts.OfflineIters = 500
 	h := New(opts)
-	r := h.RunDynamic([]string{"TS"}, 6)
+	r, err := h.RunDynamic([]string{"TS"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var first, second float64
 	var n1, n2 int
 	for _, s := range r.Steps {
@@ -64,11 +70,11 @@ func TestRunDynamicAccumulatesExperience(t *testing.T) {
 	}
 }
 
-func TestRunDynamicEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty workload list did not panic")
-		}
-	}()
-	New(tinyOptions()).RunDynamic(nil, 3)
+func TestRunDynamicEmptyErrors(t *testing.T) {
+	if _, err := New(tinyOptions()).RunDynamic(nil, 3); err == nil {
+		t.Fatal("empty workload list did not return an error")
+	}
+	if _, err := New(tinyOptions()).RunDynamic([]string{"XX"}, 3); err == nil {
+		t.Fatal("unknown workload short did not return an error")
+	}
 }

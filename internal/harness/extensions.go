@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -29,8 +30,11 @@ type ExtensionResult struct {
 }
 
 // RunExtensions runs the extension study on TeraSort D1.
-func (h *Harness) RunExtensions() ExtensionResult {
-	e := h.tsEnvA()
+func (h *Harness) RunExtensions() (ExtensionResult, error) {
+	e, err := h.tsEnvA()
+	if err != nil {
+		return ExtensionResult{}, err
+	}
 	var res ExtensionResult
 	reps := float64(h.Opts.Replications)
 
@@ -50,7 +54,7 @@ func (h *Harness) RunExtensions() ExtensionResult {
 		for s := int64(0); s < int64(h.Opts.Replications); s++ {
 			bc, err := bestconfig.New(rand.New(rand.NewSource(h.Opts.Seed*15000+s)), bestconfig.DefaultConfig())
 			if err != nil {
-				panic(err)
+				return ExtensionResult{}, fmt.Errorf("harness: bestconfig baseline: %w", err)
 			}
 			rep := bc.OnlineTune(e, steps)
 			row.BestTime += rep.BestTime / reps
@@ -69,7 +73,7 @@ func (h *Harness) RunExtensions() ExtensionResult {
 		row.EvalCost += rep.EvaluationCost() / reps
 	}
 	res.Rows = append(res.Rows, row)
-	return res
+	return res, nil
 }
 
 // Fprint renders the extension table.

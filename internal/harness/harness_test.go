@@ -272,12 +272,17 @@ func TestAblationsStructure(t *testing.T) {
 		t.Skip("skipping in -short mode")
 	}
 	h := New(tinyOptions())
-	for _, res := range []AblationResult{
-		h.RunAblationReplay(120),
-		h.RunAblationTwinQ(120),
-		h.RunAblationBackbone(120),
-		h.RunAblationReward(120),
-	} {
+	runs := []func(int) (AblationResult, error){
+		h.RunAblationReplay,
+		h.RunAblationTwinQ,
+		h.RunAblationBackbone,
+		h.RunAblationReward,
+	}
+	for _, run := range runs {
+		res, err := run(120)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(res.Rows) < 2 {
 			t.Fatalf("%s: %d rows", res.Name, len(res.Rows))
 		}
@@ -296,7 +301,10 @@ func TestAblationsStructure(t *testing.T) {
 
 func TestDeepCATModelCached(t *testing.T) {
 	h := New(tinyOptions())
-	e := h.tsEnvA()
+	e, err := h.tsEnvA()
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := h.DeepCATModel(e, 0)
 	b := h.DeepCATModel(e, 0)
 	if a != b {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"deepcat/internal/mat"
 )
 
 // Save writes the network's architecture and weights to w using
@@ -35,6 +37,61 @@ func Load(r io.Reader) (*MLP, error) {
 		}
 	}
 	return &m, nil
+}
+
+// AdamState is the serializable state of an Adam optimizer: the step count
+// and the per-parameter moment estimates. Capturing it alongside network
+// weights lets a restored agent continue training with exactly the update
+// dynamics it would have had without the save/load cycle.
+type AdamState struct {
+	T      int
+	MW, VW []*mat.Matrix
+	MB, VB [][]float64
+}
+
+// State returns a deep copy of the optimizer's mutable state. The
+// hyper-parameters (LR, betas, eps, clipping) are not included; they are
+// reconstructed from configuration when the owning agent is rebuilt.
+func (a *Adam) State() AdamState {
+	s := AdamState{
+		T:  a.t,
+		MW: make([]*mat.Matrix, len(a.mW)),
+		VW: make([]*mat.Matrix, len(a.vW)),
+		MB: make([][]float64, len(a.mB)),
+		VB: make([][]float64, len(a.vB)),
+	}
+	for i := range a.mW {
+		s.MW[i] = a.mW[i].Clone()
+		s.VW[i] = a.vW[i].Clone()
+		s.MB[i] = append([]float64(nil), a.mB[i]...)
+		s.VB[i] = append([]float64(nil), a.vB[i]...)
+	}
+	return s
+}
+
+// SetState restores state captured by State into a, which must have been
+// created for a network of the same architecture.
+func (a *Adam) SetState(s AdamState) error {
+	if len(s.MW) != len(a.mW) || len(s.VW) != len(a.vW) ||
+		len(s.MB) != len(a.mB) || len(s.VB) != len(a.vB) {
+		return fmt.Errorf("nn: adam state has %d layers, want %d", len(s.MW), len(a.mW))
+	}
+	for i := range a.mW {
+		if s.MW[i] == nil || s.VW[i] == nil ||
+			s.MW[i].Rows != a.mW[i].Rows || s.MW[i].Cols != a.mW[i].Cols ||
+			s.VW[i].Rows != a.vW[i].Rows || s.VW[i].Cols != a.vW[i].Cols ||
+			len(s.MB[i]) != len(a.mB[i]) || len(s.VB[i]) != len(a.vB[i]) {
+			return fmt.Errorf("nn: adam state layer %d shape mismatch", i)
+		}
+	}
+	a.t = s.T
+	for i := range a.mW {
+		a.mW[i].CopyFrom(s.MW[i])
+		a.vW[i].CopyFrom(s.VW[i])
+		copy(a.mB[i], s.MB[i])
+		copy(a.vB[i], s.VB[i])
+	}
+	return nil
 }
 
 // SaveFile saves the network to the named file, creating or truncating it.

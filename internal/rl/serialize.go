@@ -1,0 +1,188 @@
+package rl
+
+import (
+	"fmt"
+
+	"deepcat/internal/nn"
+)
+
+// PoolState is the serializable state of one UniformReplay ring buffer:
+// the full transition contents plus the ring cursor, so a restored pool
+// evicts in exactly the order the original would have.
+type PoolState struct {
+	Cap         int
+	Next        int
+	Full        bool
+	Transitions []Transition
+}
+
+// State returns a deep copy of the buffer's state.
+func (u *UniformReplay) State() PoolState {
+	s := PoolState{
+		Cap:         u.cap,
+		Next:        u.next,
+		Full:        u.full,
+		Transitions: make([]Transition, len(u.buf)),
+	}
+	for i, tr := range u.buf {
+		s.Transitions[i] = tr.Clone()
+	}
+	return s
+}
+
+// SetState replaces the buffer's contents with a previously captured state.
+func (u *UniformReplay) SetState(s PoolState) error {
+	if s.Cap <= 0 {
+		return fmt.Errorf("rl: pool state with non-positive capacity %d", s.Cap)
+	}
+	if len(s.Transitions) > s.Cap {
+		return fmt.Errorf("rl: pool state holds %d transitions, capacity %d", len(s.Transitions), s.Cap)
+	}
+	if s.Next < 0 || s.Next >= s.Cap {
+		return fmt.Errorf("rl: pool state cursor %d outside [0,%d)", s.Next, s.Cap)
+	}
+	u.cap = s.Cap
+	u.next = s.Next
+	u.full = s.Full
+	u.buf = make([]Transition, len(s.Transitions))
+	for i, tr := range s.Transitions {
+		u.buf[i] = tr.Clone()
+	}
+	return nil
+}
+
+// ReplayState is the serializable state of any Sampler in this package,
+// discriminated by Mode. For "per" buffers only the transitions survive a
+// round trip: priorities are reset to the maximum on restore (the standard
+// new-experience treatment), since TD errors are recomputed within a few
+// training steps anyway.
+type ReplayState struct {
+	// Mode is "uniform", "rdper" or "per".
+	Mode string
+	// Uniform is set for mode "uniform" and "per".
+	Uniform *PoolState
+	// High and Low are set for mode "rdper".
+	High, Low *PoolState
+	// RewardThreshold and Beta echo the RDPER routing parameters.
+	RewardThreshold, Beta float64
+}
+
+// CaptureReplay snapshots any of the package's samplers.
+func CaptureReplay(s Sampler) (ReplayState, error) {
+	switch b := s.(type) {
+	case *UniformReplay:
+		st := b.State()
+		return ReplayState{Mode: "uniform", Uniform: &st}, nil
+	case *RDPER:
+		hi, lo := b.high.State(), b.low.State()
+		return ReplayState{
+			Mode: "rdper", High: &hi, Low: &lo,
+			RewardThreshold: b.RewardThreshold, Beta: b.Beta,
+		}, nil
+	case *PrioritizedReplay:
+		st := PoolState{Cap: b.cap, Transitions: make([]Transition, len(b.buf))}
+		for i, tr := range b.buf {
+			st.Transitions[i] = tr.Clone()
+		}
+		return ReplayState{Mode: "per", Uniform: &st}, nil
+	default:
+		return ReplayState{}, fmt.Errorf("rl: cannot capture replay of type %T", s)
+	}
+}
+
+// RestoreReplay loads a captured state into dst, which must be the same
+// sampler type the state was captured from.
+func RestoreReplay(dst Sampler, st ReplayState) error {
+	switch b := dst.(type) {
+	case *UniformReplay:
+		if st.Mode != "uniform" || st.Uniform == nil {
+			return fmt.Errorf("rl: replay state mode %q cannot restore a UniformReplay", st.Mode)
+		}
+		return b.SetState(*st.Uniform)
+	case *RDPER:
+		if st.Mode != "rdper" || st.High == nil || st.Low == nil {
+			return fmt.Errorf("rl: replay state mode %q cannot restore an RDPER", st.Mode)
+		}
+		b.RewardThreshold = st.RewardThreshold
+		b.Beta = st.Beta
+		if err := b.high.SetState(*st.High); err != nil {
+			return err
+		}
+		return b.low.SetState(*st.Low)
+	case *PrioritizedReplay:
+		if st.Mode != "per" || st.Uniform == nil {
+			return fmt.Errorf("rl: replay state mode %q cannot restore a PrioritizedReplay", st.Mode)
+		}
+		if len(st.Uniform.Transitions) > b.cap {
+			return fmt.Errorf("rl: per state holds %d transitions, capacity %d", len(st.Uniform.Transitions), b.cap)
+		}
+		for _, tr := range st.Uniform.Transitions {
+			b.Add(tr)
+		}
+		return nil
+	default:
+		return fmt.Errorf("rl: cannot restore replay of type %T", dst)
+	}
+}
+
+// TD3State is the full serializable state of a TD3 agent: every network
+// (online and target), all three optimizers' moment estimates, and the
+// update counter that schedules the delayed policy updates. Restoring it
+// into a fresh agent built from the same TD3Config reproduces the original
+// agent's training trajectory exactly.
+type TD3State struct {
+	Actor, ActorTarget *nn.MLP
+	Critic1, Critic2   *nn.MLP
+	Critic1T, Critic2T *nn.MLP
+
+	ActorOpt, Critic1Opt, Critic2Opt nn.AdamState
+
+	Updates int
+}
+
+// CaptureState returns a deep copy of the agent's mutable state.
+func (t *TD3) CaptureState() TD3State {
+	return TD3State{
+		Actor:       t.Actor.Clone(),
+		ActorTarget: t.ActorTarget.Clone(),
+		Critic1:     t.Critic1.Clone(),
+		Critic2:     t.Critic2.Clone(),
+		Critic1T:    t.Critic1T.Clone(),
+		Critic2T:    t.Critic2T.Clone(),
+		ActorOpt:    t.actorOpt.State(),
+		Critic1Opt:  t.c1Opt.State(),
+		Critic2Opt:  t.c2Opt.State(),
+		Updates:     t.updates,
+	}
+}
+
+// RestoreState loads a captured state into t, which must have been built
+// from the same configuration (architectures must match).
+func (t *TD3) RestoreState(s TD3State) error {
+	for _, m := range []*nn.MLP{s.Actor, s.ActorTarget, s.Critic1, s.Critic2, s.Critic1T, s.Critic2T} {
+		if m == nil || len(m.Layers) == 0 {
+			return fmt.Errorf("rl: TD3 state with missing network")
+		}
+	}
+	if s.Actor.InSize() != t.Cfg.StateDim || s.Actor.OutSize() != t.Cfg.ActionDim {
+		return fmt.Errorf("rl: TD3 state actor is %d->%d, want %d->%d",
+			s.Actor.InSize(), s.Actor.OutSize(), t.Cfg.StateDim, t.Cfg.ActionDim)
+	}
+	if err := t.actorOpt.SetState(s.ActorOpt); err != nil {
+		return err
+	}
+	if err := t.c1Opt.SetState(s.Critic1Opt); err != nil {
+		return err
+	}
+	if err := t.c2Opt.SetState(s.Critic2Opt); err != nil {
+		return err
+	}
+	t.Actor.CopyFrom(s.Actor)
+	t.ActorTarget.CopyFrom(s.ActorTarget)
+	t.Critic1.CopyFrom(s.Critic1)
+	t.Critic2.CopyFrom(s.Critic2)
+	t.Critic1T.CopyFrom(s.Critic1T)
+	t.Critic2T.CopyFrom(s.Critic2T)
+	t.updates = s.Updates
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package client is the typed Go client for the deepcat-serve HTTP API.
+// External schedulers written in Go use it instead of hand-rolling JSON;
+// the end-to-end service tests drive a real daemon through it.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"deepcat/internal/service"
+)
+
+// APIError is a non-2xx response decoded from the server's error envelope.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Client talks to one deepcat-serve daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30 s timeout.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// do sends a request with optional JSON body `in`, decoding a 2xx response
+// into `out` (may be nil) and any other status into an *APIError.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env service.ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Error != "" {
+			msg = env.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Health checks the daemon's liveness endpoint.
+func (c *Client) Health() (service.HealthResponse, error) {
+	var h service.HealthResponse
+	err := c.do(http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// CreateSession opens a tuning session.
+func (c *Client) CreateSession(req service.CreateSessionRequest) (service.SessionInfo, error) {
+	var info service.SessionInfo
+	err := c.do(http.MethodPost, "/v1/sessions", req, &info)
+	return info, err
+}
+
+// Session fetches one session's state.
+func (c *Client) Session(id string) (service.SessionInfo, error) {
+	var info service.SessionInfo
+	err := c.do(http.MethodGet, "/v1/sessions/"+id, nil, &info)
+	return info, err
+}
+
+// Sessions lists every live session.
+func (c *Client) Sessions() ([]service.SessionInfo, error) {
+	var infos []service.SessionInfo
+	err := c.do(http.MethodGet, "/v1/sessions", nil, &infos)
+	return infos, err
+}
+
+// DeleteSession closes a session and drops its checkpoint.
+func (c *Client) DeleteSession(id string) error {
+	return c.do(http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Suggest asks for the session's next configuration.
+func (c *Client) Suggest(id string) (service.SuggestResponse, error) {
+	var resp service.SuggestResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/suggest", nil, &resp)
+	return resp, err
+}
+
+// Observe reports the measured outcome of a suggestion.
+func (c *Client) Observe(id string, req service.ObserveRequest) (service.ObserveResponse, error) {
+	var resp service.ObserveResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/observe", req, &resp)
+	return resp, err
+}

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Manager owns the daemon's sessions: creation against a capacity bound,
+// lookup, listing, deletion, and write-through checkpointing to a Store.
+// All methods are safe for concurrent use; per-session work happens under
+// the session's own lock so slow fine-tuning in one session never blocks
+// the others.
+type Manager struct {
+	store Store
+	max   int
+
+	mu sync.Mutex
+	// sessions maps id -> session; a nil value reserves an id whose
+	// (possibly slow, offline-training) construction is still in flight.
+	sessions map[string]*Session
+}
+
+// NewManager creates a manager persisting to store and admitting at most
+// maxSessions live sessions (<= 0 means unlimited).
+func NewManager(store Store, maxSessions int) *Manager {
+	return &Manager{
+		store:    store,
+		max:      maxSessions,
+		sessions: make(map[string]*Session),
+	}
+}
+
+// Count returns the number of sessions, including reservations in flight.
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// MaxSessions returns the admission bound (0 = unlimited).
+func (m *Manager) MaxSessions() int { return m.max }
+
+// newID generates a random session id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "s-" + hex.EncodeToString(b[:])
+}
+
+// Create opens a new session, warm-starting it per the request, and writes
+// its initial checkpoint. The manager lock is only held to reserve the id,
+// so concurrent creates and calls on other sessions proceed in parallel.
+func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
+	if req.Cluster == "" {
+		req.Cluster = "a"
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	id := req.ID
+	if id == "" {
+		id = newID()
+	}
+	if err := ValidateID(id); err != nil {
+		return SessionInfo{}, err
+	}
+
+	m.mu.Lock()
+	if _, exists := m.sessions[id]; exists {
+		m.mu.Unlock()
+		return SessionInfo{}, fmt.Errorf("session %s already exists: %w", id, ErrConflict)
+	}
+	if m.max > 0 && len(m.sessions) >= m.max {
+		m.mu.Unlock()
+		return SessionInfo{}, fmt.Errorf("%d sessions live: %w", len(m.sessions), ErrFull)
+	}
+	m.sessions[id] = nil // reserve
+	m.mu.Unlock()
+
+	s, err := newSession(id, req, time.Now())
+	if err == nil {
+		err = m.checkpoint(s)
+	}
+	m.mu.Lock()
+	if err != nil {
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		return SessionInfo{}, err
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	return s.Info(), nil
+}
+
+// Get returns the session with the given id.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("session %s is still being created: %w", id, ErrConflict)
+	}
+	return s, nil
+}
+
+// List returns the info of every live session, sorted by id.
+func (m *Manager) List() []SessionInfo {
+	m.mu.Lock()
+	live := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	m.mu.Unlock()
+	infos := make([]SessionInfo, len(live))
+	for i, s := range live {
+		infos[i] = s.Info()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// Suggest forwards to the session.
+func (m *Manager) Suggest(id string) (SuggestResponse, error) {
+	s, err := m.Get(id)
+	if err != nil {
+		return SuggestResponse{}, err
+	}
+	return s.Suggest(time.Now())
+}
+
+// Observe forwards to the session and checkpoints the advanced state, so a
+// daemon crash after the response never loses an acknowledged observation.
+func (m *Manager) Observe(id string, req ObserveRequest) (ObserveResponse, error) {
+	s, err := m.Get(id)
+	if err != nil {
+		return ObserveResponse{}, err
+	}
+	resp, err := s.Observe(req, time.Now())
+	if err != nil {
+		return ObserveResponse{}, err
+	}
+	if err := m.checkpoint(s); err != nil {
+		return ObserveResponse{}, fmt.Errorf("observation recorded but checkpoint failed: %w", err)
+	}
+	return resp, nil
+}
+
+// Delete closes the session and removes it and its checkpoint.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok && s != nil {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	if s == nil {
+		return fmt.Errorf("session %s is still being created: %w", id, ErrConflict)
+	}
+	s.Close()
+	return m.store.Delete(id)
+}
+
+// checkpoint writes the session's current state through to the store.
+func (m *Manager) checkpoint(s *Session) error {
+	data, err := s.Checkpoint()
+	if err != nil {
+		return err
+	}
+	return m.store.Save(s.ID(), data)
+}
+
+// CheckpointAll persists every live session; used at graceful shutdown.
+func (m *Manager) CheckpointAll() error {
+	var errs []error
+	for _, s := range m.snapshotSessions() {
+		if err := m.checkpoint(s); err != nil && !errors.Is(err, ErrClosed) {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Resume loads every checkpoint in the store into a live session. It
+// returns the number resumed; unreadable checkpoints are skipped and
+// reported in the joined error without aborting the rest.
+func (m *Manager) Resume() (int, error) {
+	ids, err := m.store.List()
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(ids)
+	var (
+		resumed int
+		errs    []error
+	)
+	for _, id := range ids {
+		if m.max > 0 && m.Count() >= m.max {
+			errs = append(errs, fmt.Errorf("checkpoint %s not resumed: %w", id, ErrFull))
+			continue
+		}
+		data, err := m.store.Load(id)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		s, err := resumeSession(data)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("checkpoint %s: %w", id, err))
+			continue
+		}
+		m.mu.Lock()
+		if _, exists := m.sessions[id]; exists {
+			m.mu.Unlock()
+			errs = append(errs, fmt.Errorf("checkpoint %s collides with a live session: %w", id, ErrConflict))
+			continue
+		}
+		m.sessions[id] = s
+		m.mu.Unlock()
+		resumed++
+	}
+	return resumed, errors.Join(errs...)
+}
+
+// snapshotSessions returns the live sessions without holding the lock
+// while touching them.
+func (m *Manager) snapshotSessions() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}

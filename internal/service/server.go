@@ -1,0 +1,141 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate body (an
+// observation with a state vector) is well under 1 MiB.
+const maxBodyBytes = 1 << 20
+
+// Server is the HTTP front end over a Manager. It is an http.Handler;
+// mount it on any listener.
+type Server struct {
+	manager *Manager
+	mux     *http.ServeMux
+}
+
+// NewServer builds the route table over m.
+func NewServer(m *Manager) *Server {
+	s := &Server{manager: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/suggest", s.handleSuggest)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/observe", s.handleObserve)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:      "ok",
+		Sessions:    s.manager.Count(),
+		MaxSessions: s.manager.MaxSessions(),
+	})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	info, err := s.manager.Create(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.manager.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.manager.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.manager.Suggest(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.manager.Observe(r.PathValue("id"), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBody parses a JSON body into v, writing a 400 and returning false
+// on failure. An empty body decodes the zero value.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return true
+		}
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("malformed request body: %s", err)})
+		return false
+	}
+	return true
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps the service sentinel errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrInvalid):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		status = http.StatusGone
+	case errors.Is(err, ErrFull):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,301 @@
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"deepcat/internal/cli"
+	"deepcat/internal/core"
+	"deepcat/internal/env"
+	"deepcat/internal/mat"
+)
+
+// Sentinel errors; the HTTP layer maps them to status codes.
+var (
+	// ErrNotFound marks a missing session or checkpoint (404).
+	ErrNotFound = errors.New("not found")
+	// ErrInvalid marks a malformed request (400).
+	ErrInvalid = errors.New("invalid request")
+	// ErrConflict marks a request that contradicts session state, e.g. an
+	// observation with no pending suggestion (409).
+	ErrConflict = errors.New("conflict")
+	// ErrClosed marks calls against a deleted session (410).
+	ErrClosed = errors.New("session closed")
+	// ErrFull marks session creation beyond the daemon's capacity (503).
+	ErrFull = errors.New("session limit reached")
+)
+
+// sessionMeta is the persisted bookkeeping of one session; everything the
+// agent itself does not carry.
+type sessionMeta struct {
+	ID       string
+	Workload string
+	Input    int
+	Cluster  string
+	Seed     int64
+
+	Step       int
+	PrevTime   float64
+	LastFailed bool
+	BestTime   float64
+	BestAction []float64
+	State      []float64
+
+	CreatedAt, UpdatedAt time.Time
+}
+
+// sessionCheckpoint is the on-disk format: metadata plus the tuner's full
+// snapshot. A pending (unobserved) suggestion is deliberately not
+// persisted: suggestions are free to recompute, so after a restart the
+// session simply suggests again.
+type sessionCheckpoint struct {
+	Meta sessionMeta
+	Snap *core.Snapshot
+}
+
+// pendingSuggest is an outstanding suggestion awaiting its observation.
+type pendingSuggest struct {
+	step      int
+	action    []float64
+	optimized bool
+	// state is the system state the action was suggested for; the
+	// transition recorded at observe time starts from it.
+	state []float64
+}
+
+// Session is one tuning session: a DeepCAT agent bound to a workload,
+// advancing through a suggest/observe loop under a mutex. All methods are
+// safe for concurrent use.
+type Session struct {
+	mu      sync.Mutex
+	meta    sessionMeta
+	tuner   *core.DeepCAT
+	env     *env.SparkEnv
+	pending *pendingSuggest
+	closed  bool
+}
+
+// newSession builds (and optionally warm-starts) a session. The simulated
+// environment provides the configuration space, state dimensionality and
+// default runtime; measured outcomes come from the caller via Observe.
+func newSession(id string, req CreateSessionRequest, now time.Time) (*Session, error) {
+	e, err := cli.BuildEnv(req.Cluster, req.Workload, req.Input, req.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrInvalid, err)
+	}
+	if req.Cluster == "b" {
+		e.Clamp = true
+	}
+	if req.OfflineIters < 0 {
+		return nil, fmt.Errorf("%w: negative offline_iters %d", ErrInvalid, req.OfflineIters)
+	}
+	cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+	tuner, err := core.New(rand.New(rand.NewSource(req.Seed)), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if req.OfflineIters > 0 {
+		tuner.OfflineTrain(e, req.OfflineIters, nil)
+	}
+	s := &Session{
+		meta: sessionMeta{
+			ID:        id,
+			Workload:  req.Workload,
+			Input:     req.Input,
+			Cluster:   req.Cluster,
+			Seed:      req.Seed,
+			PrevTime:  e.DefaultTime(),
+			State:     e.IdleState(),
+			CreatedAt: now,
+			UpdatedAt: now,
+		},
+		tuner: tuner,
+		env:   e,
+	}
+	return s, nil
+}
+
+// ID returns the session id.
+func (s *Session) ID() string {
+	return s.meta.ID // immutable after construction
+}
+
+// Info returns a snapshot of the session's public state.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked()
+}
+
+func (s *Session) infoLocked() SessionInfo {
+	state := StateReady
+	switch {
+	case s.closed:
+		state = StateClosed
+	case s.pending != nil:
+		state = StateAwaitingObservation
+	}
+	return SessionInfo{
+		ID:          s.meta.ID,
+		Workload:    s.meta.Workload,
+		Input:       s.meta.Input,
+		Cluster:     s.meta.Cluster,
+		Seed:        s.meta.Seed,
+		State:       state,
+		Step:        s.meta.Step,
+		DefaultTime: s.env.DefaultTime(),
+		BestTime:    s.meta.BestTime,
+		BestAction:  mat.CloneSlice(s.meta.BestAction),
+		ReplayLen:   s.tuner.Buffer.Len(),
+		CreatedAt:   s.meta.CreatedAt,
+		UpdatedAt:   s.meta.UpdatedAt,
+	}
+}
+
+// Suggest returns the next configuration to evaluate. While an observation
+// is outstanding it idempotently re-returns the same suggestion, so
+// schedulers can safely retry.
+func (s *Session) Suggest(now time.Time) (SuggestResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SuggestResponse{}, fmt.Errorf("session %s: %w", s.meta.ID, ErrClosed)
+	}
+	if s.pending == nil {
+		action, optimized := s.tuner.Suggest(s.meta.State, s.meta.LastFailed)
+		s.pending = &pendingSuggest{
+			step:      s.meta.Step + 1,
+			action:    mat.CloneSlice(action),
+			optimized: optimized,
+			state:     mat.CloneSlice(s.meta.State),
+		}
+		s.meta.UpdatedAt = now
+	}
+	return s.suggestResponseLocked(), nil
+}
+
+func (s *Session) suggestResponseLocked() SuggestResponse {
+	space := s.env.Space()
+	values := space.Denormalize(s.pending.action)
+	cfg := make(map[string]float64, space.Dim())
+	for i, p := range space.Params() {
+		cfg[p.Name] = values[i]
+	}
+	return SuggestResponse{
+		Step:      s.pending.step,
+		Action:    mat.CloneSlice(s.pending.action),
+		Config:    cfg,
+		Optimized: s.pending.optimized,
+	}
+}
+
+// Observe records the measured outcome of the pending suggestion and
+// fine-tunes the agent on it. req.Step 0 targets the pending suggestion;
+// any other value must match it.
+func (s *Session) Observe(req ObserveRequest, now time.Time) (ObserveResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ObserveResponse{}, fmt.Errorf("session %s: %w", s.meta.ID, ErrClosed)
+	}
+	if s.pending == nil {
+		return ObserveResponse{}, fmt.Errorf("session %s has no pending suggestion: %w", s.meta.ID, ErrConflict)
+	}
+	if req.Step != 0 && req.Step != s.pending.step {
+		return ObserveResponse{}, fmt.Errorf("session %s: observation for step %d, pending step is %d: %w",
+			s.meta.ID, req.Step, s.pending.step, ErrConflict)
+	}
+	if req.ExecTime <= 0 {
+		return ObserveResponse{}, fmt.Errorf("session %s: non-positive exec_time %g: %w",
+			s.meta.ID, req.ExecTime, ErrInvalid)
+	}
+	if req.State != nil && len(req.State) != s.env.StateDim() {
+		return ObserveResponse{}, fmt.Errorf("session %s: state has %d dims, want %d: %w",
+			s.meta.ID, len(req.State), s.env.StateDim(), ErrInvalid)
+	}
+
+	nextState := s.meta.State
+	if req.State != nil {
+		nextState = mat.CloneSlice(req.State)
+	}
+	p := s.pending
+	reward := s.tuner.Observe(p.state, p.action, req.ExecTime, s.meta.PrevTime,
+		s.env.DefaultTime(), nextState, false)
+
+	improved := !req.Failed && (s.meta.BestTime == 0 || req.ExecTime < s.meta.BestTime)
+	if improved {
+		s.meta.BestTime = req.ExecTime
+		s.meta.BestAction = mat.CloneSlice(p.action)
+	}
+	s.meta.Step = p.step
+	s.meta.PrevTime = req.ExecTime
+	s.meta.LastFailed = req.Failed
+	s.meta.State = nextState
+	s.meta.UpdatedAt = now
+	s.pending = nil
+
+	return ObserveResponse{
+		Step:     s.meta.Step,
+		Reward:   reward,
+		BestTime: s.meta.BestTime,
+		Improved: improved,
+	}, nil
+}
+
+// Close marks the session closed; subsequent calls fail with ErrClosed.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// Checkpoint serializes the session (metadata plus the tuner's full
+// snapshot) for the Store. The pending suggestion, if any, is dropped: it
+// is recomputed for free after a restart.
+func (s *Session) Checkpoint() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session %s: %w", s.meta.ID, ErrClosed)
+	}
+	snap, err := s.tuner.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	ck := sessionCheckpoint{Meta: s.meta, Snap: snap}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, fmt.Errorf("service: encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// resumeSession rebuilds a session from a checkpoint written by Checkpoint.
+// The environment binding is reconstructed from the persisted metadata; the
+// agent, replay pool and tuning progress come from the snapshot.
+func resumeSession(data []byte) (*Session, error) {
+	var ck sessionCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("service: decode checkpoint: %w", err)
+	}
+	if ck.Snap == nil {
+		return nil, fmt.Errorf("service: checkpoint without snapshot: %w", ErrInvalid)
+	}
+	e, err := cli.BuildEnv(ck.Meta.Cluster, ck.Meta.Workload, ck.Meta.Input, ck.Meta.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("service: checkpoint metadata: %w", err)
+	}
+	if ck.Meta.Cluster == "b" {
+		e.Clamp = true
+	}
+	tuner, err := core.Restore(ck.Snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{meta: ck.Meta, tuner: tuner, env: e}, nil
+}

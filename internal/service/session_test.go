@@ -1,0 +1,252 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testManager(t *testing.T, max int) *Manager {
+	t.Helper()
+	return NewManager(NewMemStore(), max)
+}
+
+func createTestSession(t *testing.T, m *Manager, id string) SessionInfo {
+	t.Helper()
+	info, err := m.Create(CreateSessionRequest{ID: id, Workload: "TS", Input: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	m := testManager(t, 0)
+	info := createTestSession(t, m, "life")
+	if info.State != StateReady || info.Step != 0 {
+		t.Fatalf("fresh session info = %+v", info)
+	}
+	if info.DefaultTime <= 0 {
+		t.Fatalf("default time %g, want > 0", info.DefaultTime)
+	}
+
+	// Observe before any suggestion is a conflict.
+	if _, err := m.Observe("life", ObserveRequest{ExecTime: 100}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("observe without suggestion = %v, want ErrConflict", err)
+	}
+
+	sug, err := m.Suggest("life")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sug.Step != 1 || len(sug.Action) == 0 || len(sug.Config) != len(sug.Action) {
+		t.Fatalf("suggestion = %+v", sug)
+	}
+	for _, v := range sug.Action {
+		if v < 0 || v > 1 {
+			t.Fatalf("action outside [0,1]: %v", sug.Action)
+		}
+	}
+
+	// Re-suggesting while an observation is pending is idempotent.
+	again, err := m.Suggest("life")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Step != sug.Step {
+		t.Fatalf("re-suggest step = %d, want %d", again.Step, sug.Step)
+	}
+	for i := range sug.Action {
+		if again.Action[i] != sug.Action[i] {
+			t.Fatalf("re-suggest changed the action at dim %d", i)
+		}
+	}
+
+	// Wrong step and bad payloads are rejected without consuming the
+	// pending suggestion.
+	if _, err := m.Observe("life", ObserveRequest{Step: 99, ExecTime: 100}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("mismatched step = %v, want ErrConflict", err)
+	}
+	if _, err := m.Observe("life", ObserveRequest{ExecTime: 0}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("zero exec time = %v, want ErrInvalid", err)
+	}
+	if _, err := m.Observe("life", ObserveRequest{ExecTime: 50, State: []float64{1}}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("short state vector = %v, want ErrInvalid", err)
+	}
+
+	obs, err := m.Observe("life", ObserveRequest{Step: sug.Step, ExecTime: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Step != 1 || !obs.Improved || obs.BestTime != 120 {
+		t.Fatalf("observation = %+v", obs)
+	}
+
+	sess, err := m.Get("life")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Info(); got.Step != 1 || got.State != StateReady || got.ReplayLen != 1 {
+		t.Fatalf("after observe: %+v", got)
+	}
+
+	// A slower run does not displace the best.
+	sug2, _ := m.Suggest("life")
+	obs2, err := m.Observe("life", ObserveRequest{Step: sug2.Step, ExecTime: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs2.Improved || obs2.BestTime != 120 {
+		t.Fatalf("second observation = %+v", obs2)
+	}
+
+	// Failed runs never count as best.
+	sug3, _ := m.Suggest("life")
+	obs3, err := m.Observe("life", ObserveRequest{Step: sug3.Step, ExecTime: 60, Failed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs3.Improved || obs3.BestTime != 120 {
+		t.Fatalf("failed observation = %+v", obs3)
+	}
+
+	if err := m.Delete("life"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Suggest("life"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("suggest after delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestManagerCapacityAndDuplicates(t *testing.T) {
+	m := testManager(t, 2)
+	createTestSession(t, m, "one")
+	if _, err := m.Create(CreateSessionRequest{ID: "one", Workload: "TS", Input: 1}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("duplicate id = %v, want ErrConflict", err)
+	}
+	createTestSession(t, m, "two")
+	if _, err := m.Create(CreateSessionRequest{ID: "three", Workload: "TS", Input: 1}); !errors.Is(err, ErrFull) {
+		t.Fatalf("over capacity = %v, want ErrFull", err)
+	}
+	if err := m.Delete("one"); err != nil {
+		t.Fatal(err)
+	}
+	createTestSession(t, m, "three")
+
+	m2 := testManager(t, 0)
+	if _, err := m2.Create(CreateSessionRequest{ID: "bad", Workload: "XX", Input: 1}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("bad workload = %v, want ErrInvalid", err)
+	}
+	if _, err := m2.Create(CreateSessionRequest{ID: "../evil", Workload: "TS", Input: 1}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("path-traversal id = %v, want ErrInvalid", err)
+	}
+	// A failed create releases its reservation.
+	if m2.Count() != 0 {
+		t.Fatalf("failed creates left %d reservations", m2.Count())
+	}
+}
+
+// TestSessionConcurrentHammer pounds one session with suggest and observe
+// calls from 8 goroutines. Run under -race this is the service's
+// thread-safety gate; functionally it checks the session never loses or
+// double-counts a step no matter how calls interleave.
+func TestSessionConcurrentHammer(t *testing.T) {
+	m := testManager(t, 0)
+	createTestSession(t, m, "hammer")
+
+	const (
+		goroutines = 8
+		iterations = 30
+	)
+	var observed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				if g%2 == 0 {
+					sug, err := m.Suggest("hammer")
+					if err != nil {
+						t.Errorf("suggest: %v", err)
+						return
+					}
+					if sug.Step <= 0 {
+						t.Errorf("suggest returned step %d", sug.Step)
+						return
+					}
+				} else {
+					_, err := m.Observe("hammer", ObserveRequest{ExecTime: 100 + float64(i)})
+					switch {
+					case err == nil:
+						observed.Add(1)
+					case errors.Is(err, ErrConflict):
+						// No pending suggestion right now; expected.
+					default:
+						t.Errorf("observe: %v", err)
+						return
+					}
+				}
+				if g == 0 && i%10 == 0 {
+					// Interleave read-only traffic.
+					if infos := m.List(); len(infos) != 1 {
+						t.Errorf("List() returned %d sessions", len(infos))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s, err := m.Get("hammer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := s.Info()
+	if int64(info.Step) != observed.Load() {
+		t.Fatalf("session advanced to step %d but %d observations succeeded", info.Step, observed.Load())
+	}
+	if info.ReplayLen != info.Step {
+		t.Fatalf("replay holds %d transitions after %d observed steps", info.ReplayLen, info.Step)
+	}
+}
+
+// TestConcurrentSessionsIsolated drives several sessions in parallel and
+// checks their progress stays independent.
+func TestConcurrentSessionsIsolated(t *testing.T) {
+	m := testManager(t, 0)
+	ids := []string{"w1", "w2", "w3", "w4"}
+	for _, id := range ids {
+		createTestSession(t, m, id)
+	}
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(id string, rounds int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				sug, err := m.Suggest(id)
+				if err != nil {
+					t.Errorf("%s: suggest: %v", id, err)
+					return
+				}
+				if _, err := m.Observe(id, ObserveRequest{Step: sug.Step, ExecTime: 200}); err != nil {
+					t.Errorf("%s: observe: %v", id, err)
+					return
+				}
+			}
+		}(id, 3+i)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		s, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Info().Step; got != 3+i {
+			t.Errorf("%s at step %d, want %d", id, got, 3+i)
+		}
+	}
+}

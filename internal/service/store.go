@@ -1,0 +1,189 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store persists session checkpoints keyed by session id. Implementations
+// must be safe for concurrent use; Load of a missing id returns
+// ErrNotFound.
+type Store interface {
+	Save(id string, data []byte) error
+	Load(id string) ([]byte, error)
+	List() ([]string, error)
+	Delete(id string) error
+}
+
+// ckptExt is the filename extension used by FSStore.
+const ckptExt = ".ckpt"
+
+// FSStore keeps one checkpoint file per session under a directory. Writes
+// go to a temp file first and are renamed into place, so a crash mid-write
+// never corrupts the previous checkpoint.
+type FSStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFSStore creates (if needed) the directory and returns a store over it.
+func NewFSStore(dir string) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: store dir: %w", err)
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *FSStore) Dir() string { return s.dir }
+
+func (s *FSStore) path(id string) string {
+	return filepath.Join(s.dir, id+ckptExt)
+}
+
+// Save atomically writes the checkpoint for id.
+func (s *FSStore) Save(id string, data []byte) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: save checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: save checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("service: save checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
+		return fmt.Errorf("service: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads the checkpoint for id.
+func (s *FSStore) Load(id string) ([]byte, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.path(id))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("service: checkpoint %s: %w", id, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: load checkpoint: %w", err)
+	}
+	return data, nil
+}
+
+// List returns the ids of all stored checkpoints.
+func (s *FSStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: list checkpoints: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ckptExt) {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(name, ckptExt))
+	}
+	return ids, nil
+}
+
+// Delete removes the checkpoint for id; deleting a missing id is not an
+// error.
+func (s *FSStore) Delete(id string) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("service: delete checkpoint: %w", err)
+	}
+	return nil
+}
+
+// MemStore is an in-memory Store for tests and ephemeral daemons.
+type MemStore struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[string][]byte)}
+}
+
+// Save stores a copy of data under id.
+func (s *MemStore) Save(id string, data []byte) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[id] = append([]byte(nil), data...)
+	return nil
+}
+
+// Load returns a copy of the checkpoint for id.
+func (s *MemStore) Load(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.data[id]
+	if !ok {
+		return nil, fmt.Errorf("service: checkpoint %s: %w", id, ErrNotFound)
+	}
+	return append([]byte(nil), d...), nil
+}
+
+// List returns all stored ids.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.data))
+	for id := range s.data {
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Delete removes the checkpoint for id.
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, id)
+	return nil
+}
+
+// ValidateID rejects ids that are empty, overlong, or contain characters
+// outside [A-Za-z0-9._-]; this keeps FSStore paths safe by construction.
+func ValidateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("service: empty session id: %w", ErrInvalid)
+	}
+	if len(id) > 128 {
+		return fmt.Errorf("service: session id longer than 128 bytes: %w", ErrInvalid)
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("service: session id %q contains %q: %w", id, r, ErrInvalid)
+		}
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("service: session id %q starts with '.': %w", id, ErrInvalid)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"errors"
+	"sort"
+	"testing"
+)
+
+func testStores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"fs": fs, "mem": NewMemStore()}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Load("absent"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Load(absent) = %v, want ErrNotFound", err)
+			}
+			if err := s.Save("a", []byte("one")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Save("b", []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Save("a", []byte("one-v2")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Load("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "one-v2" {
+				t.Fatalf("Load(a) = %q, want %q", got, "one-v2")
+			}
+			ids, err := s.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(ids)
+			if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+				t.Fatalf("List() = %v, want [a b]", ids)
+			}
+			if err := s.Delete("a"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Load("a"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Load after delete = %v, want ErrNotFound", err)
+			}
+			// Deleting a missing checkpoint is idempotent.
+			if err := s.Delete("a"); err != nil {
+				t.Fatalf("second Delete = %v", err)
+			}
+		})
+	}
+}
+
+func TestValidateID(t *testing.T) {
+	for _, id := range []string{"s-1", "job_42", "A.b-C_9"} {
+		if err := ValidateID(id); err != nil {
+			t.Errorf("ValidateID(%q) = %v", id, err)
+		}
+	}
+	bad := []string{"", ".hidden", "a/b", "../x", "a b", "ü", string(make([]byte, 129))}
+	for _, id := range bad {
+		if err := ValidateID(id); !errors.Is(err, ErrInvalid) {
+			t.Errorf("ValidateID(%q) = %v, want ErrInvalid", id, err)
+		}
+	}
+}

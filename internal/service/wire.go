@@ -1,0 +1,114 @@
+// Package service implements the tuning-as-a-service daemon: a registry of
+// concurrent tuning sessions, each wrapping a core.DeepCAT agent bound to a
+// workload, driven over a stdlib net/http JSON API by external job
+// schedulers. Sessions checkpoint their full agent and replay state to a
+// pluggable Store after every observation, so a restarted daemon resumes
+// mid-tuning instead of re-paying offline training — the paper's
+// cost-efficiency argument extended to process lifetime.
+//
+// API surface (all bodies JSON):
+//
+//	POST   /v1/sessions               create a session
+//	GET    /v1/sessions               list sessions
+//	GET    /v1/sessions/{id}          inspect one session
+//	DELETE /v1/sessions/{id}          close a session and drop its checkpoint
+//	POST   /v1/sessions/{id}/suggest  get the next configuration to run
+//	POST   /v1/sessions/{id}/observe  report the measured outcome
+//	GET    /healthz                   liveness and session counts
+package service
+
+import "time"
+
+// Session lifecycle states.
+const (
+	// StateReady means the session will produce a fresh suggestion on the
+	// next suggest call.
+	StateReady = "ready"
+	// StateAwaitingObservation means a suggestion is outstanding; suggest
+	// re-returns it idempotently until the matching observe arrives.
+	StateAwaitingObservation = "awaiting_observation"
+	// StateClosed means the session was deleted and accepts no more calls.
+	StateClosed = "closed"
+)
+
+// CreateSessionRequest asks the daemon to open a tuning session for one
+// workload-input pair.
+type CreateSessionRequest struct {
+	// ID optionally fixes the session id (letters, digits, '.', '_', '-');
+	// empty lets the daemon generate one.
+	ID string `json:"id,omitempty"`
+	// Workload is the Table-1 abbreviation: WC, TS, PR or KM.
+	Workload string `json:"workload"`
+	// Input is the 1-based dataset index (D1-D3).
+	Input int `json:"input"`
+	// Cluster is the hardware environment, "a" (default) or "b".
+	Cluster string `json:"cluster,omitempty"`
+	// Seed drives the session's randomness; 0 defaults to 1.
+	Seed int64 `json:"seed,omitempty"`
+	// OfflineIters optionally warm-starts the agent with that many offline
+	// training iterations against the simulated environment before the
+	// session starts serving suggestions. 0 starts cold.
+	OfflineIters int `json:"offline_iters,omitempty"`
+}
+
+// SessionInfo describes a session's public state.
+type SessionInfo struct {
+	ID          string    `json:"id"`
+	Workload    string    `json:"workload"`
+	Input       int       `json:"input"`
+	Cluster     string    `json:"cluster"`
+	Seed        int64     `json:"seed"`
+	State       string    `json:"state"`
+	Step        int       `json:"step"`
+	DefaultTime float64   `json:"default_time"`
+	BestTime    float64   `json:"best_time,omitempty"`
+	BestAction  []float64 `json:"best_action,omitempty"`
+	ReplayLen   int       `json:"replay_len"`
+	CreatedAt   time.Time `json:"created_at"`
+	UpdatedAt   time.Time `json:"updated_at"`
+}
+
+// SuggestResponse carries the next configuration to evaluate. Action is the
+// normalized [0,1]^d vector (what observe echoes back implicitly via Step);
+// Config is the same configuration denormalized to parameter values keyed
+// by parameter name, ready to apply to a framework.
+type SuggestResponse struct {
+	Step      int                `json:"step"`
+	Action    []float64          `json:"action"`
+	Config    map[string]float64 `json:"config"`
+	Optimized bool               `json:"optimized"`
+}
+
+// ObserveRequest reports the measured outcome of the suggestion identified
+// by Step (0 means "the pending one").
+type ObserveRequest struct {
+	Step int `json:"step,omitempty"`
+	// ExecTime is the measured execution time in seconds.
+	ExecTime float64 `json:"exec_time"`
+	// Failed marks a run that crashed or violated constraints.
+	Failed bool `json:"failed,omitempty"`
+	// State optionally carries the post-run system state (load averages);
+	// when omitted the session keeps its previous state vector.
+	State []float64 `json:"state,omitempty"`
+}
+
+// ObserveResponse acknowledges an observation.
+type ObserveResponse struct {
+	Step     int     `json:"step"`
+	Reward   float64 `json:"reward"`
+	BestTime float64 `json:"best_time"`
+	// Improved reports whether this observation set a new best.
+	Improved bool `json:"improved"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status      string `json:"status"`
+	Sessions    int    `json:"sessions"`
+	MaxSessions int    `json:"max_sessions"`
+}
+
+// ErrorResponse is the envelope for every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
