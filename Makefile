@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench bench-warehouse
 
 all: check
 
@@ -27,3 +27,8 @@ check: fmt vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Warehouse ingest throughput only; emits BENCH_warehouse.json for CI to
+# archive. Fast enough to run on every push.
+bench-warehouse:
+	$(GO) test -run='^$$' -bench=BenchmarkWarehouseIngest -benchmem .

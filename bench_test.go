@@ -11,11 +11,15 @@
 package deepcat
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"sync"
 	"testing"
 
 	"deepcat/internal/harness"
+	"deepcat/internal/rl"
+	"deepcat/internal/warehouse"
 )
 
 var (
@@ -236,6 +240,75 @@ func BenchmarkAblationBackbone(b *testing.B) {
 	}
 	b.ReportMetric(last.Rows[0].BestTime, "td3-best-s")
 	b.ReportMetric(last.Rows[1].BestTime, "ddpg-best-s")
+}
+
+// BenchmarkWarehouseIngest measures the experience warehouse's append
+// path — gob encoding, CRC framing, segment writes and in-memory indexing —
+// at the transition shape of the TS workload (9-dim state, 32-dim action).
+// Besides the standard metrics it writes BENCH_warehouse.json so CI can
+// archive ingest throughput across commits.
+func BenchmarkWarehouseIngest(b *testing.B) {
+	wh, err := warehouse.Open(warehouse.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wh.Close()
+
+	tr := rl.Transition{
+		State:     make([]float64, 9),
+		Action:    make([]float64, 32),
+		NextState: make([]float64, 9),
+	}
+	for i := range tr.Action {
+		tr.Action[i] = float64(i) / 32
+	}
+	rec := warehouse.Record{Signature: "a.TS.1", Session: "bench", Transition: tr}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Transition.Reward = float64(i%10)/10 - 0.5
+		if err := wh.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	secs := b.Elapsed().Seconds()
+	st := wh.Stats()
+	recsPerSec := float64(b.N) / secs
+	mbPerSec := float64(st.LogBytes) / (1 << 20) / secs
+	b.ReportMetric(recsPerSec, "records/s")
+	b.ReportMetric(mbPerSec, "MB/s")
+
+	out := struct {
+		Records     int     `json:"records"`
+		Seconds     float64 `json:"seconds"`
+		RecordsPerS float64 `json:"records_per_sec"`
+		LogBytes    int64   `json:"log_bytes"`
+		MBPerS      float64 `json:"mb_per_sec"`
+		NsPerRecord float64 `json:"ns_per_record"`
+		Segments    int     `json:"segments"`
+		StateDim    int     `json:"state_dim"`
+		ActionDim   int     `json:"action_dim"`
+	}{
+		Records:     b.N,
+		Seconds:     secs,
+		RecordsPerS: recsPerSec,
+		LogBytes:    st.LogBytes,
+		MBPerS:      mbPerSec,
+		NsPerRecord: secs / float64(b.N) * 1e9,
+		Segments:    st.Segments,
+		StateDim:    9,
+		ActionDim:   32,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_warehouse.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 func BenchmarkAblationReward(b *testing.B) {

@@ -5,10 +5,17 @@
 //
 // Example:
 //
-//	deepcat-serve -addr :8080 -data ./deepcat-data -max-sessions 64
+//	deepcat-serve -addr :8080 -data ./deepcat-data -max-sessions 64 \
+//	    -warehouse ./deepcat-data/warehouse
+//
+// The -warehouse flag enables the fleet experience warehouse: every
+// session's transitions are appended to a crash-safe log under that
+// directory, a background pool distills each workload family into donor
+// agents, and new sessions on a known workload warm-start from them.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
-// in-flight requests, checkpoints every session and exits.
+// in-flight requests, checkpoints every session, flushes the warehouse and
+// exits.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"deepcat/internal/service"
+	"deepcat/internal/warehouse"
 )
 
 func main() {
@@ -31,6 +39,11 @@ func main() {
 		dataDir     = flag.String("data", "deepcat-data", "checkpoint directory")
 		maxSessions = flag.Int("max-sessions", 64, "maximum live sessions (0 = unlimited)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+
+		whDir      = flag.String("warehouse", "", "experience warehouse directory (empty = disabled)")
+		whInterval = flag.Duration("warehouse-interval", time.Minute, "warehouse trainer/compactor period")
+		whIters    = flag.Int("warehouse-train-iters", 500, "gradient updates per donor training")
+		whWorkers  = flag.Int("warehouse-workers", 2, "concurrent donor trainings")
 	)
 	flag.Parse()
 
@@ -39,6 +52,27 @@ func main() {
 		fatal(err)
 	}
 	manager := service.NewManager(store, *maxSessions)
+	var wh *warehouse.Warehouse
+	if *whDir != "" {
+		wh, err = warehouse.Open(warehouse.Options{
+			Dir:           *whDir,
+			TrainInterval: *whInterval,
+			TrainIters:    *whIters,
+			TrainWorkers:  *whWorkers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		manager.AttachWarehouse(wh)
+		st := wh.Stats()
+		fmt.Printf("warehouse in %s: %d records across %d families recovered",
+			st.Dir, st.Records, len(st.Families))
+		if st.TruncatedBytes > 0 || st.DroppedBytes > 0 {
+			fmt.Printf(" (torn tail truncated: %dB, corrupt skipped: %dB)",
+				st.TruncatedBytes, st.DroppedBytes)
+		}
+		fmt.Println()
+	}
 	resumed, err := manager.Resume()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "deepcat-serve: some checkpoints not resumed:", err)
@@ -70,6 +104,11 @@ func main() {
 	}
 	if err := manager.CheckpointAll(); err != nil {
 		fmt.Fprintln(os.Stderr, "deepcat-serve: final checkpoint:", err)
+	}
+	if wh != nil {
+		if err := wh.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "deepcat-serve: warehouse close:", err)
+		}
 	}
 	fmt.Println("all sessions checkpointed; bye")
 }

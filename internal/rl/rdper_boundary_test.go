@@ -1,0 +1,94 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRDPERThresholdBoundary pins the routing rule at the exact threshold:
+// the paper's P_high is defined by reward >= R_th, so a transition whose
+// reward equals R_th is high-reward, not low.
+func TestRDPERThresholdBoundary(t *testing.T) {
+	const rth = 0.25
+	r := NewRDPER(8, rth, 0.6)
+
+	r.Add(mkTr(rth)) // exactly at the threshold
+	if r.HighLen() != 1 || r.LowLen() != 0 {
+		t.Fatalf("reward == R_th routed to (high=%d, low=%d), want (1, 0)", r.HighLen(), r.LowLen())
+	}
+	r.Add(mkTr(rth - 1e-12)) // just below
+	if r.HighLen() != 1 || r.LowLen() != 1 {
+		t.Fatalf("reward < R_th routed to (high=%d, low=%d), want (1, 1)", r.HighLen(), r.LowLen())
+	}
+	r.Add(mkTr(rth + 1e-12)) // just above
+	if r.HighLen() != 2 || r.LowLen() != 1 {
+		t.Fatalf("reward > R_th routed to (high=%d, low=%d), want (2, 1)", r.HighLen(), r.LowLen())
+	}
+}
+
+// TestRDPEREmptyHighPoolFallsBackToLow checks that with Beta > 0 but no
+// high-reward experience yet, whole batches come from P_low instead of
+// panicking or under-filling — learning must be able to start before the
+// first good configuration is found.
+func TestRDPEREmptyHighPoolFallsBackToLow(t *testing.T) {
+	r := NewRDPER(8, 0, 0.6)
+	for i := 0; i < 4; i++ {
+		r.Add(mkTr(-1 - float64(i)))
+	}
+	if r.HighLen() != 0 {
+		t.Fatalf("high pool has %d transitions, want 0", r.HighLen())
+	}
+	rng := rand.New(rand.NewSource(1))
+	b := r.Sample(rng, 6)
+	if len(b.Transitions) != 6 {
+		t.Fatalf("sampled %d transitions, want 6", len(b.Transitions))
+	}
+	for i, tr := range b.Transitions {
+		if tr.Reward >= 0 {
+			t.Fatalf("sample %d has reward %g: drawn from the empty high pool?", i, tr.Reward)
+		}
+	}
+
+	// The symmetric case: an empty low pool sources the batch from P_high.
+	r2 := NewRDPER(8, 0, 0.3)
+	r2.Add(mkTr(0.5))
+	b2 := r2.Sample(rng, 4)
+	if len(b2.Transitions) != 4 {
+		t.Fatalf("sampled %d transitions, want 4", len(b2.Transitions))
+	}
+	for i, tr := range b2.Transitions {
+		if tr.Reward != 0.5 {
+			t.Fatalf("sample %d has reward %g, want 0.5 from the high pool", i, tr.Reward)
+		}
+	}
+}
+
+// TestRDPEREvictionOrder checks that a full pool evicts oldest-first: after
+// overflowing a capacity-3 pool with rewards 1..5, exactly {3,4,5} remain.
+func TestRDPEREvictionOrder(t *testing.T) {
+	r := NewRDPER(3, 0, 0.6)
+	for i := 1; i <= 5; i++ {
+		r.Add(mkTr(float64(i)))
+	}
+	if r.HighLen() != 3 {
+		t.Fatalf("high pool holds %d transitions, want capacity 3", r.HighLen())
+	}
+	trs, err := ExportTransitions(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[float64]bool, len(trs))
+	for _, tr := range trs {
+		got[tr.Reward] = true
+	}
+	for _, want := range []float64{3, 4, 5} {
+		if !got[want] {
+			t.Fatalf("newest transition with reward %g was evicted; pool holds %v", want, got)
+		}
+	}
+	for _, gone := range []float64{1, 2} {
+		if got[gone] {
+			t.Fatalf("oldest transition with reward %g survived eviction; pool holds %v", gone, got)
+		}
+	}
+}

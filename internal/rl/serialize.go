@@ -125,6 +125,31 @@ func RestoreReplay(dst Sampler, st ReplayState) error {
 	}
 }
 
+// ExportTransitions returns a deep copy of every transition stored in s:
+// uniform and prioritized buffers in storage order, RDPER high pool first
+// then low. Sessions use it to stream accumulated experience into the fleet
+// warehouse without knowing which sampler they run.
+func ExportTransitions(s Sampler) ([]Transition, error) {
+	switch b := s.(type) {
+	case *UniformReplay:
+		return cloneTransitions(b.buf, nil), nil
+	case *RDPER:
+		out := cloneTransitions(b.high.buf, nil)
+		return cloneTransitions(b.low.buf, out), nil
+	case *PrioritizedReplay:
+		return cloneTransitions(b.buf, nil), nil
+	default:
+		return nil, fmt.Errorf("rl: cannot export transitions of type %T", s)
+	}
+}
+
+func cloneTransitions(buf, dst []Transition) []Transition {
+	for _, tr := range buf {
+		dst = append(dst, tr.Clone())
+	}
+	return dst
+}
+
 // TD3State is the full serializable state of a TD3 agent: every network
 // (online and target), all three optimizers' moment estimates, and the
 // update counter that schedules the delayed policy updates. Restoring it

@@ -7,7 +7,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -26,38 +26,118 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
 }
 
+// RetryPolicy controls how the client retries transient failures: network
+// errors (connection refused/reset, timeouts) and HTTP 429/502/503/504.
+// Other statuses — including every 4xx the daemon emits for caller mistakes —
+// are returned immediately. Backoff is exponential from BaseDelay, capped at
+// MaxDelay, with up to Jitter fraction of each delay randomized away so a
+// fleet of schedulers hammered off the same failure doesn't retry in
+// lockstep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values <= 1 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff.
+	MaxDelay time.Duration
+	// Jitter in [0,1] is the fraction of each delay drawn uniformly at
+	// random and subtracted from it.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is what New installs: 4 attempts, 50ms → 2s backoff,
+// half-jittered.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.5}
+}
+
+// delay returns the backoff before retry number n (n >= 1).
+func (p RetryPolicy) delay(n int) time.Duration {
+	d := p.BaseDelay << (n - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0 guards shift overflow
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		d -= time.Duration(p.Jitter * rand.Float64() * float64(d))
+	}
+	return d
+}
+
+// retriableStatus reports whether an HTTP status is worth retrying: the
+// daemon at capacity (503 from ErrFull), rate limiting, or a gateway in
+// front of it flapping.
+func retriableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
 // Client talks to one deepcat-serve daemon.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// HTTPClient defaults to a client with a 30 s timeout.
 	HTTPClient *http.Client
+	// Retry governs transient-failure retries; the zero value disables
+	// them.
+	Retry RetryPolicy
 }
 
-// New returns a client for the daemon at baseURL.
+// New returns a client for the daemon at baseURL with the default retry
+// policy.
 func New(baseURL string) *Client {
 	return &Client{
 		BaseURL:    strings.TrimRight(baseURL, "/"),
 		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		Retry:      DefaultRetryPolicy(),
 	}
 }
 
 // do sends a request with optional JSON body `in`, decoding a 2xx response
-// into `out` (may be nil) and any other status into an *APIError.
+// into `out` (may be nil) and any other status into an *APIError. Transient
+// failures are retried per c.Retry; the body is marshalled once and replayed
+// on each attempt.
 func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
-		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(c.Retry.delay(attempt - 1))
+		}
+		err, retriable := c.doOnce(method, path, in != nil, data, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retriable {
+			break
+		}
+	}
+	return lastErr
+}
+
+// doOnce performs a single attempt, reporting whether a failure is
+// transient and worth retrying.
+func (c *Client) doOnce(method, path string, hasBody bool, data []byte, out any) (err error, retriable bool) {
+	req, err := http.NewRequest(method, c.BaseURL+path, bytes.NewReader(data))
 	if err != nil {
-		return fmt.Errorf("client: build request: %w", err)
+		return fmt.Errorf("client: build request: %w", err), false
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -66,7 +146,7 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		return fmt.Errorf("client: %s %s: %w", method, path, err), true
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
@@ -75,15 +155,15 @@ func (c *Client) do(method, path string, in, out any) error {
 		if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Error != "" {
 			msg = env.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{Status: resp.StatusCode, Message: msg}, retriableStatus(resp.StatusCode)
 	}
 	if out == nil {
-		return nil
+		return nil, false
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode response: %w", err)
+		return fmt.Errorf("client: decode response: %w", err), false
 	}
-	return nil
+	return nil, false
 }
 
 // Health checks the daemon's liveness endpoint.
@@ -130,5 +210,19 @@ func (c *Client) Suggest(id string) (service.SuggestResponse, error) {
 func (c *Client) Observe(id string, req service.ObserveRequest) (service.ObserveResponse, error) {
 	var resp service.ObserveResponse
 	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/observe", req, &resp)
+	return resp, err
+}
+
+// WarehouseStats fetches the daemon's experience-warehouse summary.
+func (c *Client) WarehouseStats() (service.WarehouseStatsResponse, error) {
+	var resp service.WarehouseStatsResponse
+	err := c.do(http.MethodGet, "/v1/warehouse/stats", nil, &resp)
+	return resp, err
+}
+
+// Donors lists the donor generations of one workload family.
+func (c *Client) Donors(signature string) (service.DonorListResponse, error) {
+	var resp service.DonorListResponse
+	err := c.do(http.MethodGet, "/v1/warehouse/families/"+signature+"/donors", nil, &resp)
 	return resp, err
 }

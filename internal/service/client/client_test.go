@@ -1,0 +1,158 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepcat/internal/service"
+)
+
+// fastRetry keeps the tests quick while still exercising the backoff path.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Jitter: 0.5}
+}
+
+// flakyHandler fails the first n requests with status, then serves a
+// healthy /healthz body.
+func flakyHandler(n int64, status int) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			http.Error(w, "transient", status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok","sessions":1,"max_sessions":8}`))
+	})
+	return h, &calls
+}
+
+func TestRetryRecoversFromTransientStatus(t *testing.T) {
+	h, calls := flakyHandler(2, http.StatusServiceUnavailable)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry(4)
+	health, err := c.Health()
+	if err != nil {
+		t.Fatalf("Health after retries: %v", err)
+	}
+	if health.Status != "ok" || health.Sessions != 1 {
+		t.Fatalf("unexpected health body: %+v", health)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+// flakyTransport fails the first n round trips at the network layer, then
+// delegates to the real transport.
+type flakyTransport struct {
+	calls atomic.Int64
+	n     int64
+	next  http.RoundTripper
+}
+
+func (t *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if t.calls.Add(1) <= t.n {
+		return nil, errors.New("connection reset by peer")
+	}
+	return t.next.RoundTrip(r)
+}
+
+func TestRetryRecoversFromNetworkError(t *testing.T) {
+	h, served := flakyHandler(0, 0)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	ft := &flakyTransport{n: 2, next: http.DefaultTransport}
+	c := New(srv.URL)
+	c.Retry = fastRetry(4)
+	c.HTTPClient = &http.Client{Transport: ft, Timeout: time.Second}
+
+	health, err := c.Health()
+	if err != nil {
+		t.Fatalf("Health after network-error retries: %v", err)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("unexpected health body: %+v", health)
+	}
+	if got := ft.calls.Load(); got != 3 {
+		t.Fatalf("transport saw %d round trips, want 3", got)
+	}
+	if got := served.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestRetryDoesNotRetryCallerErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"bad workload"}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry(4)
+	_, err := c.CreateSession(service.CreateSessionRequest{Workload: "nope"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want 400 APIError, got %v", err)
+	}
+	if apiErr.Message != "bad workload" {
+		t.Fatalf("error envelope not decoded: %q", apiErr.Message)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("400 was retried: server saw %d requests", got)
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	h, calls := flakyHandler(100, http.StatusBadGateway)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry(3)
+	_, err := c.Health()
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("want 502 APIError after exhaustion, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly MaxAttempts=3", got)
+	}
+}
+
+func TestRetryDisabledByZeroPolicy(t *testing.T) {
+	h, calls := flakyHandler(100, http.StatusServiceUnavailable)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = RetryPolicy{} // zero value: single attempt
+	if _, err := c.Health(); err == nil {
+		t.Fatal("expected error from always-failing server")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("zero policy retried: server saw %d requests", got)
+	}
+}
+
+func TestRetryDelayBounded(t *testing.T) {
+	p := DefaultRetryPolicy()
+	for n := 1; n < 40; n++ { // far past shift overflow
+		d := p.delay(n)
+		if d < 0 || d > p.MaxDelay {
+			t.Fatalf("delay(%d) = %v out of [0, %v]", n, d, p.MaxDelay)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDeleteRacesObserve drives a session delete concurrently with an
+// in-flight observe, repeatedly, and asserts the invariant the checkpoint
+// lock exists to protect: whatever the interleaving, once both calls return
+// the session's checkpoint is gone from the store — an observe must never
+// resurrect a deleted session's checkpoint — and neither call deadlocks.
+// Run with -race.
+func TestDeleteRacesObserve(t *testing.T) {
+	store := NewMemStore()
+	m := NewManager(store, 0)
+	for i := 0; i < 25; i++ {
+		id := fmt.Sprintf("race-%d", i)
+		if _, err := m.Create(CreateSessionRequest{ID: id, Workload: "WC", Input: 1, Cluster: "a", Seed: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		sug, err := m.Suggest(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			// Either outcome is legal: the observation lands (and its
+			// checkpoint is subsequently deleted) or the session is already
+			// gone/closed. What matters is the postcondition below.
+			_, _ = m.Observe(id, ObserveRequest{Step: sug.Step, ExecTime: 100})
+		}()
+		go func() {
+			defer wg.Done()
+			if err := m.Delete(id); err != nil {
+				t.Errorf("delete %s: %v", id, err)
+			}
+		}()
+		wg.Wait()
+
+		if _, err := store.Load(id); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("iteration %d: checkpoint for deleted session %s still in store (err=%v)", i, id, err)
+		}
+		if _, err := m.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("iteration %d: deleted session %s still live (err=%v)", i, id, err)
+		}
+	}
+}

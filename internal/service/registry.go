@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"deepcat/internal/warehouse"
 )
 
 // Manager owns the daemon's sessions: creation against a capacity bound,
@@ -18,6 +20,9 @@ import (
 type Manager struct {
 	store Store
 	max   int
+	// wh, when non-nil, is the fleet experience warehouse new sessions
+	// warm-start from and all sessions stream transitions into.
+	wh *warehouse.Warehouse
 
 	mu sync.Mutex
 	// sessions maps id -> session; a nil value reserves an id whose
@@ -44,6 +49,16 @@ func (m *Manager) Count() int {
 
 // MaxSessions returns the admission bound (0 = unlimited).
 func (m *Manager) MaxSessions() int { return m.max }
+
+// AttachWarehouse wires the fleet experience warehouse into the manager.
+// Call it once at daemon startup, before Resume or any Create; sessions
+// created (or resumed) afterwards stream their transitions into it and new
+// sessions warm-start from its donors.
+func (m *Manager) AttachWarehouse(wh *warehouse.Warehouse) { m.wh = wh }
+
+// Warehouse returns the attached warehouse, or nil when the daemon runs
+// without one.
+func (m *Manager) Warehouse() *warehouse.Warehouse { return m.wh }
 
 // newID generates a random session id.
 func newID() string {
@@ -84,7 +99,7 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	m.sessions[id] = nil // reserve
 	m.mu.Unlock()
 
-	s, err := newSession(id, req, time.Now())
+	s, err := newSession(id, req, time.Now(), m.wh)
 	if err == nil {
 		err = m.checkpoint(s)
 	}
@@ -172,11 +187,22 @@ func (m *Manager) Delete(id string) error {
 		return fmt.Errorf("session %s is still being created: %w", id, ErrConflict)
 	}
 	s.Close()
+	// Taking the session's checkpoint lock after Close guarantees ordering
+	// against an in-flight checkpoint: either it already passed the closed
+	// check and its Save lands before this Delete, or it observes the
+	// session closed and skips the Save. Without this, an observe racing
+	// the delete could resurrect the checkpoint file after it was removed.
+	s.ckpt.Lock()
+	defer s.ckpt.Unlock()
 	return m.store.Delete(id)
 }
 
-// checkpoint writes the session's current state through to the store.
+// checkpoint writes the session's current state through to the store. The
+// session's checkpoint lock spans the closed check and the store write, so
+// a concurrent Delete can never interleave between them (see Delete).
 func (m *Manager) checkpoint(s *Session) error {
+	s.ckpt.Lock()
+	defer s.ckpt.Unlock()
 	data, err := s.Checkpoint()
 	if err != nil {
 		return err
@@ -218,7 +244,7 @@ func (m *Manager) Resume() (int, error) {
 			errs = append(errs, err)
 			continue
 		}
-		s, err := resumeSession(data)
+		s, err := resumeSession(data, m.wh)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("checkpoint %s: %w", id, err))
 			continue

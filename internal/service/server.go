@@ -29,6 +29,8 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/suggest", s.handleSuggest)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/observe", s.handleObserve)
+	s.mux.HandleFunc("GET /v1/warehouse/stats", s.handleWarehouseStats)
+	s.mux.HandleFunc("GET /v1/warehouse/families/{sig}/donors", s.handleWarehouseDonors)
 	return s
 }
 
@@ -99,6 +101,31 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {
+	wh := s.manager.Warehouse()
+	if wh == nil {
+		writeJSON(w, http.StatusOK, WarehouseStatsResponse{Enabled: false})
+		return
+	}
+	st := wh.Stats()
+	writeJSON(w, http.StatusOK, WarehouseStatsResponse{Enabled: true, Stats: &st})
+}
+
+func (s *Server) handleWarehouseDonors(w http.ResponseWriter, r *http.Request) {
+	wh := s.manager.Warehouse()
+	if wh == nil {
+		writeErr(w, fmt.Errorf("warehouse not enabled: %w", ErrNotFound))
+		return
+	}
+	sig := r.PathValue("sig")
+	donors, err := wh.Donors(sig)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%s: %w", err, ErrNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, DonorListResponse{Signature: sig, Donors: donors})
 }
 
 // decodeBody parses a JSON body into v, writing a 400 and returning false

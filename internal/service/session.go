@@ -13,7 +13,14 @@ import (
 	"deepcat/internal/core"
 	"deepcat/internal/env"
 	"deepcat/internal/mat"
+	"deepcat/internal/rl"
+	"deepcat/internal/warehouse"
 )
+
+// warmSeedMax caps how many high-reward transitions a warm-started session
+// pre-fills its replay pools with; enough to dominate early mini-batches
+// without letting a huge family swamp session creation.
+const warmSeedMax = 256
 
 // Sentinel errors; the HTTP layer maps them to status codes.
 var (
@@ -45,6 +52,11 @@ type sessionMeta struct {
 	BestTime   float64
 	BestAction []float64
 	State      []float64
+
+	// WarmStarted records that the session was seeded from the named
+	// warehouse donor (e.g. "a.TS.1-g3") instead of starting cold.
+	WarmStarted bool
+	Donor       string
 
 	CreatedAt, UpdatedAt time.Time
 }
@@ -78,12 +90,26 @@ type Session struct {
 	env     *env.SparkEnv
 	pending *pendingSuggest
 	closed  bool
+
+	// wh, when set, receives every observed transition under the session's
+	// workload signature sig; nil when the daemon runs without a warehouse.
+	wh  *warehouse.Warehouse
+	sig string
+
+	// ckpt serializes this session's store writes against its deletion;
+	// see Manager.checkpoint and Manager.Delete.
+	ckpt sync.Mutex
 }
 
 // newSession builds (and optionally warm-starts) a session. The simulated
 // environment provides the configuration space, state dimensionality and
 // default runtime; measured outcomes come from the caller via Observe.
-func newSession(id string, req CreateSessionRequest, now time.Time) (*Session, error) {
+//
+// When the daemon runs a warehouse and the workload signature has a donor,
+// the session adopts the donor's networks and pre-fills its replay pools
+// with the family's high-reward transitions before any optional offline
+// training; a missing or mismatched donor falls back to a cold start.
+func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehouse.Warehouse) (*Session, error) {
 	e, err := cli.BuildEnv(req.Cluster, req.Workload, req.Input, req.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrInvalid, err)
@@ -99,9 +125,6 @@ func newSession(id string, req CreateSessionRequest, now time.Time) (*Session, e
 	if err != nil {
 		return nil, err
 	}
-	if req.OfflineIters > 0 {
-		tuner.OfflineTrain(e, req.OfflineIters, nil)
-	}
 	s := &Session{
 		meta: sessionMeta{
 			ID:        id,
@@ -116,6 +139,34 @@ func newSession(id string, req CreateSessionRequest, now time.Time) (*Session, e
 		},
 		tuner: tuner,
 		env:   e,
+		wh:    wh,
+		sig:   warehouse.Signature(req.Cluster, req.Workload, req.Input),
+	}
+	if wh != nil && !req.NoWarmStart {
+		if ws, ok := wh.WarmStart(s.sig, cfg.RewardThreshold, warmSeedMax); ok {
+			if err := tuner.AdoptAgent(ws.Snap); err == nil {
+				tuner.SeedReplay(ws.Seeds)
+				s.meta.WarmStarted = true
+				s.meta.Donor = fmt.Sprintf("%s-g%d", ws.Donor.Signature, ws.Donor.Generation)
+			}
+			// An adoption error (e.g. a donor from an incompatible build)
+			// is not fatal: the session simply starts cold.
+		}
+	}
+	if req.OfflineIters > 0 {
+		tuner.OfflineTrain(e, req.OfflineIters, nil)
+		if wh != nil && !s.meta.WarmStarted {
+			// Contribute the offline experience to the fleet. Warm-started
+			// sessions skip the bulk export: their buffer already holds
+			// warehouse transitions and re-logging them would double-count.
+			if trs, err := rl.ExportTransitions(tuner.Buffer); err == nil {
+				recs := make([]warehouse.Record, len(trs))
+				for i, tr := range trs {
+					recs[i] = warehouse.Record{Signature: s.sig, Session: id, Transition: tr}
+				}
+				_ = wh.AppendBatch(recs)
+			}
+		}
 	}
 	return s, nil
 }
@@ -140,7 +191,7 @@ func (s *Session) infoLocked() SessionInfo {
 	case s.pending != nil:
 		state = StateAwaitingObservation
 	}
-	return SessionInfo{
+	info := SessionInfo{
 		ID:          s.meta.ID,
 		Workload:    s.meta.Workload,
 		Input:       s.meta.Input,
@@ -152,9 +203,15 @@ func (s *Session) infoLocked() SessionInfo {
 		BestTime:    s.meta.BestTime,
 		BestAction:  mat.CloneSlice(s.meta.BestAction),
 		ReplayLen:   s.tuner.Buffer.Len(),
+		WarmStarted: s.meta.WarmStarted,
+		Donor:       s.meta.Donor,
 		CreatedAt:   s.meta.CreatedAt,
 		UpdatedAt:   s.meta.UpdatedAt,
 	}
+	if rd, ok := s.tuner.Buffer.(*rl.RDPER); ok {
+		info.HighReplayLen = rd.HighLen()
+	}
+	return info
 }
 
 // Suggest returns the next configuration to evaluate. While an observation
@@ -226,6 +283,22 @@ func (s *Session) Observe(req ObserveRequest, now time.Time) (ObserveResponse, e
 	p := s.pending
 	reward := s.tuner.Observe(p.state, p.action, req.ExecTime, s.meta.PrevTime,
 		s.env.DefaultTime(), nextState, false)
+	if s.wh != nil {
+		// Stream the observed experience into the fleet warehouse. The
+		// warehouse is advisory — a full disk there must not fail the
+		// observation the tuner already learned from.
+		_ = s.wh.Append(warehouse.Record{
+			Signature: s.sig,
+			Session:   s.meta.ID,
+			Transition: rl.Transition{
+				State:     p.state,
+				Action:    p.action,
+				Reward:    reward,
+				NextState: nextState,
+				Done:      false,
+			},
+		})
+	}
 
 	improved := !req.Failed && (s.meta.BestTime == 0 || req.ExecTime < s.meta.BestTime)
 	if improved {
@@ -277,8 +350,10 @@ func (s *Session) Checkpoint() ([]byte, error) {
 
 // resumeSession rebuilds a session from a checkpoint written by Checkpoint.
 // The environment binding is reconstructed from the persisted metadata; the
-// agent, replay pool and tuning progress come from the snapshot.
-func resumeSession(data []byte) (*Session, error) {
+// agent, replay pool and tuning progress come from the snapshot. The
+// warehouse binding, when the daemon runs one, is re-established from the
+// same metadata.
+func resumeSession(data []byte, wh *warehouse.Warehouse) (*Session, error) {
 	var ck sessionCheckpoint
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
 		return nil, fmt.Errorf("service: decode checkpoint: %w", err)
@@ -297,5 +372,11 @@ func resumeSession(data []byte) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{meta: ck.Meta, tuner: tuner, env: e}, nil
+	return &Session{
+		meta:  ck.Meta,
+		tuner: tuner,
+		env:   e,
+		wh:    wh,
+		sig:   warehouse.Signature(ck.Meta.Cluster, ck.Meta.Workload, ck.Meta.Input),
+	}, nil
 }

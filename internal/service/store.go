@@ -44,7 +44,10 @@ func (s *FSStore) path(id string) string {
 	return filepath.Join(s.dir, id+ckptExt)
 }
 
-// Save atomically writes the checkpoint for id.
+// Save atomically and durably writes the checkpoint for id: the temp file
+// is fsynced before the rename, and the directory is fsynced after, so the
+// new checkpoint (content and name) survives a power loss — not just a
+// process crash.
 func (s *FSStore) Save(id string, data []byte) error {
 	if err := ValidateID(id); err != nil {
 		return err
@@ -60,13 +63,30 @@ func (s *FSStore) Save(id string, data []byte) error {
 		tmp.Close()
 		return fmt.Errorf("service: save checkpoint: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: save checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("service: save checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
 		return fmt.Errorf("service: save checkpoint: %w", err)
 	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("service: save checkpoint: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry in it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Load reads the checkpoint for id.

@@ -1,0 +1,197 @@
+package service_test
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"testing"
+
+	"deepcat/internal/cli"
+	"deepcat/internal/service"
+	"deepcat/internal/service/client"
+	"deepcat/internal/warehouse"
+)
+
+// startWarehouseDaemon is startDaemon with a fleet experience warehouse
+// attached before resume, mirroring deepcat-serve's -warehouse startup order.
+func startWarehouseDaemon(t *testing.T, dir string, wh *warehouse.Warehouse) (*service.Manager, *client.Client, func()) {
+	t.Helper()
+	store, err := service.NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manager := service.NewManager(store, 0)
+	manager.AttachWarehouse(wh)
+	if _, err := manager.Resume(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewServer(manager)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	stop := func() {
+		srv.Close()
+		<-done
+	}
+	return manager, client.New("http://" + ln.Addr().String()), stop
+}
+
+// TestEndToEndWarmStart is the acceptance test for cross-session
+// warm-starting: session A tunes a workload and feeds the warehouse, a donor
+// is distilled from the family, and session B on the same workload signature
+// starts from that donor with a pre-filled high-reward pool and out-performs
+// a cold-started control with the same seed over its first rounds.
+func TestEndToEndWarmStart(t *testing.T) {
+	whDir := t.TempDir()
+	wh, err := warehouse.Open(warehouse.Options{
+		Dir:              whDir,
+		TrainInterval:    0, // background trainer off: the test trains synchronously
+		TrainIters:       600,
+		MinFamilyRecords: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+
+	_, c, stop := startWarehouseDaemon(t, t.TempDir(), wh)
+	defer stop()
+
+	// Before any session exists the endpoints answer but are empty.
+	stats, err := c.WarehouseStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Enabled || stats.Stats == nil || stats.Stats.Records != 0 {
+		t.Fatalf("pristine warehouse stats = %+v", stats)
+	}
+	if _, err := c.Donors("a.TS.1"); err == nil {
+		t.Fatal("donor listing for an unknown family should 404")
+	}
+
+	// Session A: offline-train against the simulator and stream the
+	// experience into the warehouse, then run a few live rounds.
+	const sig = "a.TS.1"
+	infoA, err := c.CreateSession(service.CreateSessionRequest{
+		ID: "donor-feeder", Workload: "TS", Input: 1, Seed: 7, OfflineIters: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoA.WarmStarted {
+		t.Fatalf("first session on an empty warehouse warm-started: %+v", infoA)
+	}
+	driveSession(t, c, infoA.ID, 5, 4242)
+
+	stats, err = c.WarehouseStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stats.Records < 400+5 {
+		t.Fatalf("warehouse holds %d records, want >= 405", stats.Stats.Records)
+	}
+	var fam *warehouse.FamilyStats
+	for i := range stats.Stats.Families {
+		if stats.Stats.Families[i].Signature == sig {
+			fam = &stats.Stats.Families[i]
+		}
+	}
+	if fam == nil || fam.Donors != 0 {
+		t.Fatalf("family %s pre-training = %+v", sig, fam)
+	}
+
+	// Distill the family into a donor (in production the background pool
+	// does this on its own schedule).
+	meta, err := wh.TrainFamily(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Generation != 1 || meta.Records < 400 {
+		t.Fatalf("donor meta = %+v", meta)
+	}
+	donors, err := c.Donors(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(donors.Donors) != 1 || donors.Donors[0].Generation != 1 {
+		t.Fatalf("donor listing = %+v", donors)
+	}
+
+	// Session B inherits: donor networks adopted, high-reward pool
+	// pre-filled, no offline training of its own.
+	infoB, err := c.CreateSession(service.CreateSessionRequest{
+		ID: "warm", Workload: "TS", Input: 1, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !infoB.WarmStarted || infoB.Donor != sig+"-g1" {
+		t.Fatalf("session B did not warm-start: %+v", infoB)
+	}
+	if infoB.HighReplayLen == 0 || infoB.ReplayLen == 0 {
+		t.Fatalf("warm-started session has empty pools: %+v", infoB)
+	}
+
+	// The control: identical request except it opts out of warm-starting.
+	infoC, err := c.CreateSession(service.CreateSessionRequest{
+		ID: "cold-control", Workload: "TS", Input: 1, Seed: 99, NoWarmStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoC.WarmStarted || infoC.ReplayLen != 0 {
+		t.Fatalf("control session was not cold: %+v", infoC)
+	}
+
+	// Early rounds: the warm session must beat the cold control on the same
+	// (separately instantiated, identically seeded) target system.
+	const earlyRounds = 3
+	bestWarm := driveSession(t, c, infoB.ID, earlyRounds, 555)
+	bestCold := driveSession(t, c, infoC.ID, earlyRounds, 555)
+	if !(bestWarm < bestCold) {
+		t.Fatalf("warm-started best %.3fs did not beat cold control best %.3fs in %d rounds",
+			bestWarm, bestCold, earlyRounds)
+	}
+}
+
+// driveSession plays n suggest/observe rounds for one session against a
+// fresh simulator built with targetSeed and returns the best execution time.
+func driveSession(t *testing.T, c *client.Client, id string, n int, targetSeed int64) float64 {
+	t.Helper()
+	info, err := c.Session(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := cli.BuildEnv(info.Cluster, info.Workload, info.Input, targetSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for i := 0; i < n; i++ {
+		sug, err := c.Suggest(id)
+		if err != nil {
+			t.Fatalf("suggest %s round %d: %v", id, i, err)
+		}
+		outcome := target.Evaluate(sug.Action)
+		obs, err := c.Observe(id, service.ObserveRequest{
+			Step:     sug.Step,
+			ExecTime: outcome.ExecTime,
+			Failed:   outcome.Failed,
+			State:    outcome.State,
+		})
+		if err != nil {
+			t.Fatalf("observe %s round %d: %v", id, i, err)
+		}
+		if !outcome.Failed && outcome.ExecTime < best {
+			best = outcome.ExecTime
+		}
+		_ = obs
+	}
+	return best
+}

@@ -15,9 +15,20 @@
 //	POST   /v1/sessions/{id}/suggest  get the next configuration to run
 //	POST   /v1/sessions/{id}/observe  report the measured outcome
 //	GET    /healthz                   liveness and session counts
+//
+// When the daemon runs a fleet experience warehouse, sessions additionally
+// stream every observed transition into it, new sessions warm-start from
+// its donor agents, and two more endpoints expose its state:
+//
+//	GET /v1/warehouse/stats                  log, family and donor summary
+//	GET /v1/warehouse/families/{sig}/donors  donor generations of one family
 package service
 
-import "time"
+import (
+	"time"
+
+	"deepcat/internal/warehouse"
+)
 
 // Session lifecycle states.
 const (
@@ -49,6 +60,10 @@ type CreateSessionRequest struct {
 	// training iterations against the simulated environment before the
 	// session starts serving suggestions. 0 starts cold.
 	OfflineIters int `json:"offline_iters,omitempty"`
+	// NoWarmStart opts the session out of warehouse warm-starting even
+	// when the daemon runs a warehouse with a matching donor; control and
+	// benchmark sessions use it to measure cold-start behavior.
+	NoWarmStart bool `json:"no_warm_start,omitempty"`
 }
 
 // SessionInfo describes a session's public state.
@@ -64,6 +79,13 @@ type SessionInfo struct {
 	BestTime    float64   `json:"best_time,omitempty"`
 	BestAction  []float64 `json:"best_action,omitempty"`
 	ReplayLen   int       `json:"replay_len"`
+	// HighReplayLen is the size of the RDPER high-reward pool (0 for
+	// non-RDPER replay modes).
+	HighReplayLen int `json:"high_replay_len,omitempty"`
+	// WarmStarted reports that the session was seeded from the warehouse
+	// donor named by Donor instead of starting cold.
+	WarmStarted bool      `json:"warm_started,omitempty"`
+	Donor       string    `json:"donor,omitempty"`
 	CreatedAt   time.Time `json:"created_at"`
 	UpdatedAt   time.Time `json:"updated_at"`
 }
@@ -106,6 +128,19 @@ type HealthResponse struct {
 	Status      string `json:"status"`
 	Sessions    int    `json:"sessions"`
 	MaxSessions int    `json:"max_sessions"`
+}
+
+// WarehouseStatsResponse is the /v1/warehouse/stats body. Stats is absent
+// when the daemon runs without a warehouse.
+type WarehouseStatsResponse struct {
+	Enabled bool             `json:"enabled"`
+	Stats   *warehouse.Stats `json:"stats,omitempty"`
+}
+
+// DonorListResponse is the per-family donor listing body.
+type DonorListResponse struct {
+	Signature string                `json:"signature"`
+	Donors    []warehouse.DonorMeta `json:"donors"`
 }
 
 // ErrorResponse is the envelope for every non-2xx response.

@@ -1,0 +1,311 @@
+package warehouse
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"deepcat/internal/core"
+	"deepcat/internal/rl"
+)
+
+// donorEntry pairs a donor's metadata with its in-memory snapshot.
+type donorEntry struct {
+	meta donorFileMeta
+	snap *core.Snapshot
+}
+
+// donorFileMeta is DonorMeta; aliased so the on-disk format below reads as
+// a unit.
+type donorFileMeta = DonorMeta
+
+// donorFile is the on-disk donor format: metadata plus the agent snapshot.
+type donorFile struct {
+	Meta donorFileMeta
+	Snap *core.Snapshot
+}
+
+// loop is the background trainer/compactor: every TrainInterval it compacts
+// the log once enough sealed segments accumulate and dispatches donor
+// trainings for families with enough new experience, bounded by the worker
+// pool. It exits when Close signals stopc; Close then waits for in-flight
+// trainings.
+func (w *Warehouse) loop() {
+	defer w.loopWG.Done()
+	ticker := time.NewTicker(w.opts.TrainInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stopc:
+			return
+		case <-ticker.C:
+		}
+		w.mu.Lock()
+		if w.log.sealedCount() >= w.opts.CompactAfterSegments {
+			if err := w.compactLocked(); err != nil {
+				w.trainErrs++
+			}
+		}
+		due := w.dueFamiliesLocked()
+		w.mu.Unlock()
+		for _, sig := range due {
+			select {
+			case w.trainSlots <- struct{}{}:
+			default:
+				// Pool is saturated; the family stays due and the next
+				// tick retries, so nothing queues without bound.
+				continue
+			}
+			w.trainWG.Add(1)
+			go func(sig string) {
+				defer w.trainWG.Done()
+				defer func() { <-w.trainSlots }()
+				if _, err := w.TrainFamily(sig); err != nil {
+					w.mu.Lock()
+					w.trainErrs++
+					w.mu.Unlock()
+				}
+			}(sig)
+		}
+	}
+}
+
+// dueFamiliesLocked returns the families whose donors should be
+// (re)trained: big enough, enough new experience, not already training.
+func (w *Warehouse) dueFamiliesLocked() []string {
+	var due []string
+	for sig, fam := range w.families {
+		if w.training[sig] || len(fam.recs) < w.opts.MinFamilyRecords {
+			continue
+		}
+		if fam.appended-fam.lastTrained < w.opts.TrainMinNew {
+			continue
+		}
+		due = append(due, sig)
+	}
+	sort.Strings(due)
+	return due
+}
+
+// TrainFamily synchronously trains the next donor generation for one
+// family: a fresh TD3 agent's replay is seeded with the family's retained
+// transitions and trained with TrainIters gradient updates — batch RL over
+// the log, no environment interaction, so a donor costs compute but zero
+// cluster runs. The result is persisted next to the log (atomic rename) and
+// becomes the family's warm-start source. At most one training per family
+// runs at a time; concurrent calls fail with ErrTraining.
+func (w *Warehouse) TrainFamily(sig string) (DonorMeta, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return DonorMeta{}, ErrClosed
+	}
+	fam, ok := w.families[sig]
+	if !ok || len(fam.recs) == 0 {
+		w.mu.Unlock()
+		return DonorMeta{}, fmt.Errorf("warehouse: %s: %w", sig, ErrUnknownFamily)
+	}
+	if w.training[sig] {
+		w.mu.Unlock()
+		return DonorMeta{}, fmt.Errorf("warehouse: %s: %w", sig, ErrTraining)
+	}
+	w.training[sig] = true
+	gen := fam.nextGen
+	fam.nextGen++
+	appended := fam.appended
+	high := fam.high
+	// The slice header is copied under the lock; appends only ever grow the
+	// backing array past len, so the training goroutine's view is stable.
+	recs := fam.recs
+	w.mu.Unlock()
+
+	meta, entry, err := w.trainDonor(sig, gen, recs, high)
+
+	w.mu.Lock()
+	delete(w.training, sig)
+	if err == nil {
+		fam.lastTrained = appended
+		fam.donors = append(fam.donors, entry)
+		for len(fam.donors) > w.opts.DonorKeep {
+			old := fam.donors[0]
+			fam.donors = fam.donors[1:]
+			os.Remove(w.donorPath(sig, old.meta.Generation))
+		}
+	}
+	w.mu.Unlock()
+	return meta, err
+}
+
+// trainDonor does the actual (lock-free) training and persistence.
+func (w *Warehouse) trainDonor(sig string, gen int, recs []Record, high int) (DonorMeta, *donorEntry, error) {
+	trs := make([]rl.Transition, len(recs))
+	for i, rec := range recs {
+		trs[i] = rec.Transition
+	}
+	stateDim, actionDim := len(trs[0].State), len(trs[0].Action)
+	cfg := core.DefaultConfig(stateDim, actionDim)
+	cfg.RewardThreshold = w.opts.RewardThreshold
+	tuner, err := core.New(rand.New(rand.NewSource(donorSeed(w.opts.Seed, sig, gen))), cfg)
+	if err != nil {
+		return DonorMeta{}, nil, fmt.Errorf("warehouse: donor %s g%d: %w", sig, gen, err)
+	}
+	tuner.SeedReplay(trs)
+	iters := tuner.TrainFromReplay(w.opts.TrainIters)
+	// Clone drops the replay buffer, so the persisted snapshot carries only
+	// the learned networks — the warm-start path refills replay from the
+	// log itself.
+	snap, err := tuner.Clone().Snapshot()
+	if err != nil {
+		return DonorMeta{}, nil, fmt.Errorf("warehouse: donor %s g%d: %w", sig, gen, err)
+	}
+	meta := DonorMeta{
+		Signature:  sig,
+		Generation: gen,
+		Records:    len(trs),
+		HighReward: high,
+		Iters:      iters,
+		TrainedAt:  time.Now().UTC(),
+	}
+	if err := w.saveDonor(meta, snap); err != nil {
+		return DonorMeta{}, nil, err
+	}
+	return meta, &donorEntry{meta: meta, snap: snap}, nil
+}
+
+// donorSeed derives a deterministic per-(family, generation) seed.
+func donorSeed(base int64, sig string, gen int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(sig))
+	return base ^ int64(h.Sum64()&0x7fffffffffff) ^ int64(gen)<<48
+}
+
+// saveDonor writes the donor file atomically (temp + fsync + rename).
+func (w *Warehouse) saveDonor(meta DonorMeta, snap *core.Snapshot) error {
+	tmp, err := os.CreateTemp(w.opts.Dir, "donor-*.tmp")
+	if err != nil {
+		return fmt.Errorf("warehouse: save donor: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(donorFile{Meta: meta, Snap: snap}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("warehouse: save donor: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("warehouse: save donor: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("warehouse: save donor: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), w.donorPath(meta.Signature, meta.Generation)); err != nil {
+		return fmt.Errorf("warehouse: save donor: %w", err)
+	}
+	return nil
+}
+
+// loadDonors scans the directory for persisted donors and attaches them to
+// their families (creating a family entry when the log was compacted away
+// but the donor survived). Unreadable donor files are skipped.
+func (w *Warehouse) loadDonors() error {
+	entries, err := os.ReadDir(w.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("warehouse: scan donors: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "donor-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(w.opts.Dir, name))
+		if err != nil {
+			continue
+		}
+		var df donorFile
+		decErr := gob.NewDecoder(f).Decode(&df)
+		f.Close()
+		if decErr != nil || df.Snap == nil || df.Meta.Signature == "" {
+			continue
+		}
+		fam := w.families[df.Meta.Signature]
+		if fam == nil {
+			fam = &family{sig: df.Meta.Signature, nextGen: 1}
+			w.families[df.Meta.Signature] = fam
+		}
+		fam.donors = append(fam.donors, &donorEntry{meta: df.Meta, snap: df.Snap})
+		if df.Meta.Generation >= fam.nextGen {
+			fam.nextGen = df.Meta.Generation + 1
+		}
+	}
+	for _, fam := range w.families {
+		sort.Slice(fam.donors, func(i, j int) bool {
+			return fam.donors[i].meta.Generation < fam.donors[j].meta.Generation
+		})
+	}
+	return nil
+}
+
+// WarmStart is what a new session receives from the warehouse: the best
+// donor's snapshot (networks only) and the family's retained high-reward
+// transitions to pre-fill the session's replay pools.
+type WarmStart struct {
+	Donor DonorMeta
+	// Snap carries the donor agent; callers must treat it as read-only
+	// (core's restore paths copy out of it).
+	Snap *core.Snapshot
+	// Seeds are transitions with reward >= the threshold passed to
+	// WarmStart, newest-first capped at the requested maximum, returned
+	// oldest-first so replay insertion order matches arrival order.
+	Seeds []rl.Transition
+}
+
+// WarmStart returns warm-start material for a signature: the latest donor
+// (trained on the most experience) plus up to maxSeeds high-reward
+// (reward >= rth) retained transitions. ok is false when the family is
+// unknown or has no donor yet — callers fall back to a cold start.
+func (w *Warehouse) WarmStart(sig string, rth float64, maxSeeds int) (WarmStart, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fam, ok := w.families[sig]
+	if !ok || len(fam.donors) == 0 {
+		return WarmStart{}, false
+	}
+	best := fam.donors[len(fam.donors)-1]
+	ws := WarmStart{Donor: best.meta, Snap: best.snap}
+	if maxSeeds > 0 {
+		for i := len(fam.recs) - 1; i >= 0 && len(ws.Seeds) < maxSeeds; i-- {
+			if tr := fam.recs[i].Transition; tr.Reward >= rth {
+				ws.Seeds = append(ws.Seeds, tr.Clone())
+			}
+		}
+		// Reverse back to arrival order.
+		for i, j := 0, len(ws.Seeds)-1; i < j; i, j = i+1, j-1 {
+			ws.Seeds[i], ws.Seeds[j] = ws.Seeds[j], ws.Seeds[i]
+		}
+	}
+	return ws, true
+}
+
+// parseDonorGen is used only in tests; it extracts the generation from a
+// donor file name, returning 0 when the name does not parse.
+func parseDonorGen(name string) int {
+	if !strings.HasPrefix(name, "donor-") || !strings.HasSuffix(name, ".snap") {
+		return 0
+	}
+	base := strings.TrimSuffix(name, ".snap")
+	i := strings.LastIndex(base, "-g")
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(base[i+2:])
+	if err != nil {
+		return 0
+	}
+	return n
+}

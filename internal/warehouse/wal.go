@@ -1,0 +1,300 @@
+package warehouse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The log is a sequence of segment files, each holding length-prefixed,
+// CRC-checked frames:
+//
+//	| length uint32 LE | crc32(payload) uint32 LE | payload (gob Record) |
+//
+// Appends go to the active (highest-numbered) "seg-" file; when it exceeds
+// the size limit it is sealed and a new one opened. Compaction rewrites all
+// sealed segments into a single "cmp-N" file covering segments 1..N (after
+// per-family retention), then deletes the covered files; recovery reads the
+// newest cmp file followed by the seg files it does not cover, so a crash at
+// any point between those steps loses nothing.
+const (
+	frameHeaderBytes = 8
+	// maxRecordBytes rejects absurd length prefixes during recovery, which
+	// otherwise could make a single flipped bit swallow the rest of a
+	// segment.
+	maxRecordBytes = 16 << 20
+)
+
+func segmentName(n int) string { return fmt.Sprintf("seg-%08d.wal", n) }
+func compactName(n int) string { return fmt.Sprintf("cmp-%08d.wal", n) }
+
+// parseLogName returns the index of a seg/cmp file, or ok=false for
+// unrelated directory entries.
+func parseLogName(name string) (idx int, compacted, ok bool) {
+	var prefix string
+	switch {
+	case strings.HasPrefix(name, "seg-"):
+		prefix = "seg-"
+	case strings.HasPrefix(name, "cmp-"):
+		prefix, compacted = "cmp-", true
+	default:
+		return 0, false, false
+	}
+	if !strings.HasSuffix(name, ".wal") {
+		return 0, false, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".wal"))
+	if err != nil || n <= 0 {
+		return 0, false, false
+	}
+	return n, compacted, true
+}
+
+// wal is the on-disk half of the warehouse. It is not safe for concurrent
+// use; the Warehouse serializes access under its mutex.
+type wal struct {
+	dir      string
+	maxBytes int64
+
+	active     *os.File
+	activeIdx  int
+	activeSize int64
+	sealed     []int // sealed seg indices still on disk, ascending
+	cmpIdx     int   // coverage of the newest cmp file (0 = none)
+}
+
+// walRecovery reports what opening an existing log found.
+type walRecovery struct {
+	// Records is the number of committed frames recovered.
+	Records int
+	// TruncatedBytes is how much of a torn tail was cut off the active
+	// segment.
+	TruncatedBytes int64
+	// DroppedBytes counts bytes abandoned mid-log (a corrupt frame in a
+	// sealed segment ends that segment's recovery but not the log's).
+	DroppedBytes int64
+}
+
+// openWAL recovers the log under dir and returns the committed payloads in
+// append order.
+func openWAL(dir string, maxBytes int64) (*wal, [][]byte, walRecovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, walRecovery{}, fmt.Errorf("warehouse: log dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, walRecovery{}, fmt.Errorf("warehouse: scan log dir: %w", err)
+	}
+	var segs, cmps []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if idx, compacted, ok := parseLogName(e.Name()); ok {
+			if compacted {
+				cmps = append(cmps, idx)
+			} else {
+				segs = append(segs, idx)
+			}
+		}
+	}
+	sort.Ints(segs)
+	sort.Ints(cmps)
+
+	w := &wal{dir: dir, maxBytes: maxBytes}
+	if len(cmps) > 0 {
+		w.cmpIdx = cmps[len(cmps)-1]
+		// Older cmp files and the segments the newest one covers are
+		// leftovers of a crash between compaction's rename and cleanup.
+		for _, idx := range cmps[:len(cmps)-1] {
+			os.Remove(filepath.Join(dir, compactName(idx)))
+		}
+	}
+	var (
+		payloads [][]byte
+		rec      walRecovery
+	)
+	if w.cmpIdx > 0 {
+		ps, _, dropped := readFrames(filepath.Join(dir, compactName(w.cmpIdx)))
+		payloads = append(payloads, ps...)
+		rec.DroppedBytes += dropped
+	}
+	live := segs[:0]
+	for _, idx := range segs {
+		if idx <= w.cmpIdx {
+			os.Remove(filepath.Join(dir, segmentName(idx)))
+			continue
+		}
+		live = append(live, idx)
+	}
+	for i, idx := range live {
+		path := filepath.Join(dir, segmentName(idx))
+		ps, good, dropped := readFrames(path)
+		payloads = append(payloads, ps...)
+		if i == len(live)-1 {
+			// The active segment may end in a torn frame from a crash
+			// mid-append; cut it off so new appends start on a frame
+			// boundary.
+			if dropped > 0 {
+				if err := os.Truncate(path, good); err != nil {
+					return nil, nil, walRecovery{}, fmt.Errorf("warehouse: truncate torn tail: %w", err)
+				}
+				rec.TruncatedBytes += dropped
+			}
+			w.activeIdx = idx
+			w.activeSize = good
+			w.sealed = append([]int(nil), live[:i]...)
+		} else {
+			rec.DroppedBytes += dropped
+		}
+	}
+	if w.activeIdx == 0 {
+		w.activeIdx = w.cmpIdx + 1
+		w.activeSize = 0
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(w.activeIdx)),
+		os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, walRecovery{}, fmt.Errorf("warehouse: open active segment: %w", err)
+	}
+	w.active = f
+	rec.Records = len(payloads)
+	return w, payloads, rec, nil
+}
+
+// readFrames decodes every committed frame of one log file. It returns the
+// payloads, the offset of the first byte after the last good frame, and the
+// number of bytes past that offset (0 for a clean file).
+func readFrames(path string) (payloads [][]byte, good int64, dropped int64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0
+	}
+	off := 0
+	for off+frameHeaderBytes <= len(data) {
+		ln := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if ln == 0 || ln > maxRecordBytes || off+frameHeaderBytes+ln > len(data) {
+			break
+		}
+		payload := data[off+frameHeaderBytes : off+frameHeaderBytes+ln]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		payloads = append(payloads, append([]byte(nil), payload...))
+		off += frameHeaderBytes + ln
+	}
+	return payloads, int64(off), int64(len(data) - off)
+}
+
+// append writes one frame to the active segment, rotating first when the
+// segment is over its size limit.
+func (w *wal) append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > maxRecordBytes {
+		return fmt.Errorf("warehouse: record payload of %d bytes", len(payload))
+	}
+	if w.activeSize > 0 && w.activeSize+int64(frameHeaderBytes+len(payload)) > w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	frame := make([]byte, frameHeaderBytes+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderBytes:], payload)
+	// A single write keeps the frame contiguous; the OS page cache makes it
+	// durable against process death (kill -9), and the CRC catches whatever
+	// a harder crash leaves half-written.
+	if _, err := w.active.Write(frame); err != nil {
+		return fmt.Errorf("warehouse: append: %w", err)
+	}
+	w.activeSize += int64(len(frame))
+	return nil
+}
+
+// rotate seals the active segment and opens the next one.
+func (w *wal) rotate() error {
+	if err := w.active.Close(); err != nil {
+		return fmt.Errorf("warehouse: seal segment: %w", err)
+	}
+	w.sealed = append(w.sealed, w.activeIdx)
+	w.activeIdx++
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(w.activeIdx)),
+		os.O_WRONLY|os.O_APPEND|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("warehouse: open segment: %w", err)
+	}
+	w.active = f
+	w.activeSize = 0
+	return nil
+}
+
+// compact seals the active segment, writes the given payloads (the retained
+// state of every family) as cmp-N covering all segments before the new
+// active one, and deletes the covered files. The rename publishes the cmp
+// file atomically, so a crash anywhere in compact leaves a recoverable log —
+// at worst with stale covered files that the next open removes.
+func (w *wal) compact(payloads [][]byte) error {
+	if w.activeSize > 0 {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	cover := w.activeIdx - 1
+	if cover <= w.cmpIdx {
+		return nil // nothing sealed since the last compaction
+	}
+	tmp, err := os.CreateTemp(w.dir, "cmp-*.tmp")
+	if err != nil {
+		return fmt.Errorf("warehouse: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	for _, payload := range payloads {
+		frame := make([]byte, frameHeaderBytes+len(payload))
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+		copy(frame[frameHeaderBytes:], payload)
+		if _, err := tmp.Write(frame); err != nil {
+			tmp.Close()
+			return fmt.Errorf("warehouse: compact: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("warehouse: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("warehouse: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(w.dir, compactName(cover))); err != nil {
+		return fmt.Errorf("warehouse: compact: %w", err)
+	}
+	oldCmp := w.cmpIdx
+	w.cmpIdx = cover
+	if oldCmp > 0 {
+		os.Remove(filepath.Join(w.dir, compactName(oldCmp)))
+	}
+	for _, idx := range w.sealed {
+		os.Remove(filepath.Join(w.dir, segmentName(idx)))
+	}
+	w.sealed = w.sealed[:0]
+	return nil
+}
+
+// sealedCount returns how many sealed segments await compaction.
+func (w *wal) sealedCount() int { return len(w.sealed) }
+
+// close releases the active segment file.
+func (w *wal) close() error {
+	if w.active == nil {
+		return nil
+	}
+	err := w.active.Close()
+	w.active = nil
+	return err
+}
