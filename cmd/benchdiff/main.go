@@ -1,0 +1,282 @@
+// Command benchdiff turns `go test -bench` text output into a machine-
+// readable JSON summary and compares such summaries across commits, so CI
+// can fail when a named hot path regresses.
+//
+// Two modes:
+//
+//	benchdiff -parse BENCH_all.txt -o BENCH_all.json
+//	    Parse benchmark text (as produced by `go test -bench -benchmem`,
+//	    possibly spanning several packages) into a JSON summary.
+//
+//	benchdiff -baseline bench_baseline.json -current BENCH_all.json
+//	    Compare a fresh summary against the committed baseline. Exits 1
+//	    when any benchmark named in the baseline's "hot" list is slower
+//	    than baseline ns/op by more than the threshold (default 20%), or
+//	    has disappeared. Benchmarks outside the hot list are reported but
+//	    never fail the run — micro-benchmarks on shared CI runners are too
+//	    noisy to block on wholesale; the hot list is the contract.
+//
+// Benchmarks are keyed "pkg.BenchmarkName" (the -cpu/-procs suffix is
+// stripped), so equally named benchmarks in different packages never
+// collide.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed numbers.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	// Metrics carries b.ReportMetric extras, keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the JSON summary format shared by BENCH_all.json and the
+// committed bench_baseline.json.
+type File struct {
+	// Hot names the benchmarks whose ns/op regressions fail CI; only
+	// meaningful in the baseline file.
+	Hot []string `json:"hot,omitempty"`
+	// Threshold overrides the default 0.20 regression bound (fraction,
+	// not percent); only meaningful in the baseline file.
+	Threshold  float64           `json:"threshold,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// parseBench reads `go test -bench` text output. Package clauses ("pkg:
+// deepcat/internal/nn") scope the benchmark names that follow.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is at least "BenchmarkName-8 N value unit".
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a header or some other line that happens to match
+		}
+		res := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "." + name
+		}
+		out[key] = res
+	}
+	return out, sc.Err()
+}
+
+// Row is one line of the comparison report.
+type Row struct {
+	Name    string
+	Base    float64 // baseline ns/op
+	Cur     float64 // current ns/op; 0 when missing
+	Delta   float64 // (cur-base)/base
+	Hot     bool
+	Failed  bool
+	Missing bool
+}
+
+// compare evaluates current against baseline. threshold is the allowed
+// fractional ns/op growth for hot benchmarks (e.g. 0.2 = +20%).
+func compare(baseline, current File, threshold float64) (rows []Row, failed bool) {
+	hot := make(map[string]bool, len(baseline.Hot))
+	for _, name := range baseline.Hot {
+		hot[name] = true
+	}
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		row := Row{Name: name, Base: base.NsPerOp, Hot: hot[name]}
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			row.Missing = true
+			// A vanished hot path means the gate lost its subject; that is
+			// a CI wiring error, not a pass.
+			row.Failed = row.Hot
+		} else {
+			row.Cur = cur.NsPerOp
+			if base.NsPerOp > 0 {
+				row.Delta = (cur.NsPerOp - base.NsPerOp) / base.NsPerOp
+			}
+			row.Failed = row.Hot && row.Delta > threshold
+		}
+		failed = failed || row.Failed
+		rows = append(rows, row)
+	}
+	return rows, failed
+}
+
+// report renders the comparison table.
+func report(w io.Writer, rows []Row, threshold float64) {
+	fmt.Fprintf(w, "%-64s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, r := range rows {
+		mark := "    "
+		switch {
+		case r.Failed:
+			mark = "FAIL"
+		case r.Hot:
+			mark = "hot "
+		}
+		if r.Missing {
+			fmt.Fprintf(w, "%-64s %14.0f %14s %9s %s (missing from current run)\n",
+				r.Name, r.Base, "-", "-", mark)
+			continue
+		}
+		fmt.Fprintf(w, "%-64s %14.0f %14.0f %8.1f%% %s\n", r.Name, r.Base, r.Cur, 100*r.Delta, mark)
+	}
+	fmt.Fprintf(w, "hot-path regression threshold: +%.0f%% ns/op\n", 100*threshold)
+}
+
+func loadFile(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("benchdiff: parse %s: %w", path, err)
+	}
+	if f.Benchmarks == nil {
+		return File{}, fmt.Errorf("benchdiff: %s has no benchmarks", path)
+	}
+	return f, nil
+}
+
+func main() {
+	var (
+		parse     = flag.String("parse", "", "parse `go test -bench` text output from this file ('-' = stdin) into JSON")
+		out       = flag.String("o", "", "with -parse: output JSON path (default stdout)")
+		baseline  = flag.String("baseline", "", "committed baseline JSON to compare against")
+		current   = flag.String("current", "", "fresh run JSON to compare")
+		threshold = flag.Float64("threshold", 0, "allowed fractional ns/op growth on hot paths (0 = baseline's, default 0.20)")
+	)
+	flag.Parse()
+
+	switch {
+	case *parse != "":
+		if err := runParse(*parse, *out); err != nil {
+			fatal(err)
+		}
+	case *baseline != "" && *current != "":
+		failed, err := runCompare(*baseline, *current, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "benchdiff: hot-path regression detected")
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse bench.txt [-o out.json]")
+		fmt.Fprintln(os.Stderr, "       benchdiff -baseline base.json -current cur.json [-threshold 0.2]")
+		os.Exit(2)
+	}
+}
+
+func runParse(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("benchdiff: no benchmark results in %s", in)
+	}
+	data, err := json.MarshalIndent(File{Benchmarks: benches}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func runCompare(basePath, curPath string, threshold float64) (failed bool, err error) {
+	base, err := loadFile(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := loadFile(curPath)
+	if err != nil {
+		return false, err
+	}
+	if threshold == 0 {
+		threshold = base.Threshold
+	}
+	if threshold == 0 {
+		threshold = 0.20
+	}
+	rows, failed := compare(base, cur, threshold)
+	report(os.Stdout, rows, threshold)
+	return failed, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchText = `goos: linux
+goarch: amd64
+pkg: deepcat/internal/nn
+cpu: AMD EPYC 7B13
+BenchmarkForward-8             	  500000	      2100 ns/op	     384 B/op	       6 allocs/op
+BenchmarkForwardBackward-8     	  100000	     11000 ns/op	    1536 B/op	      24 allocs/op
+PASS
+ok  	deepcat/internal/nn	2.511s
+pkg: deepcat
+BenchmarkWarehouseIngest-8     	    2000	    520000 ns/op	        1923 records/s	   48000 B/op	     310 allocs/op
+PASS
+ok  	deepcat	1.902s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBenchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	fwd, ok := got["deepcat/internal/nn.BenchmarkForward"]
+	if !ok {
+		t.Fatalf("missing pkg-qualified key, got %v", got)
+	}
+	if fwd.NsPerOp != 2100 || fwd.BytesPerOp != 384 || fwd.AllocsPerOp != 6 || fwd.Iterations != 500000 {
+		t.Errorf("BenchmarkForward parsed as %+v", fwd)
+	}
+	ing := got["deepcat.BenchmarkWarehouseIngest"]
+	if ing.NsPerOp != 520000 {
+		t.Errorf("ingest ns/op = %v, want 520000", ing.NsPerOp)
+	}
+	if ing.Metrics["records/s"] != 1923 {
+		t.Errorf("custom metric records/s = %v, want 1923", ing.Metrics)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := File{
+		Hot: []string{"p.BenchmarkHot", "p.BenchmarkGone"},
+		Benchmarks: map[string]Result{
+			"p.BenchmarkHot":  {NsPerOp: 1000},
+			"p.BenchmarkCold": {NsPerOp: 1000},
+			"p.BenchmarkGone": {NsPerOp: 1000},
+		},
+	}
+
+	t.Run("within threshold passes", func(t *testing.T) {
+		cur := File{Benchmarks: map[string]Result{
+			"p.BenchmarkHot":  {NsPerOp: 1190},
+			"p.BenchmarkCold": {NsPerOp: 9000},
+			"p.BenchmarkGone": {NsPerOp: 1000},
+		}}
+		rows, failed := compare(base, cur, 0.20)
+		if failed {
+			t.Errorf("failed on +19%% hot / +800%% cold, rows: %+v", rows)
+		}
+	})
+
+	t.Run("hot regression over threshold fails", func(t *testing.T) {
+		cur := File{Benchmarks: map[string]Result{
+			"p.BenchmarkHot":  {NsPerOp: 1300},
+			"p.BenchmarkCold": {NsPerOp: 1000},
+			"p.BenchmarkGone": {NsPerOp: 1000},
+		}}
+		rows, failed := compare(base, cur, 0.20)
+		if !failed {
+			t.Fatal("did not fail on +30% hot regression")
+		}
+		for _, r := range rows {
+			if r.Name == "p.BenchmarkHot" && !r.Failed {
+				t.Error("hot row not marked failed")
+			}
+			if r.Name == "p.BenchmarkCold" && r.Failed {
+				t.Error("cold row marked failed despite not being hot")
+			}
+		}
+	})
+
+	t.Run("missing hot benchmark fails", func(t *testing.T) {
+		cur := File{Benchmarks: map[string]Result{
+			"p.BenchmarkHot":  {NsPerOp: 1000},
+			"p.BenchmarkCold": {NsPerOp: 1000},
+		}}
+		_, failed := compare(base, cur, 0.20)
+		if !failed {
+			t.Fatal("vanished hot benchmark did not fail the comparison")
+		}
+	})
+}
+
+// TestRegressionExitCode runs the real binary (via `go run` on this
+// package) against a synthetic fixture with a +50% regression on a hot
+// path and asserts the process exits non-zero — the exact contract CI
+// depends on.
+func TestRegressionExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a go build")
+	}
+	dir := t.TempDir()
+	write := func(name string, f File) string {
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := write("base.json", File{
+		Hot:        []string{"p.BenchmarkHot"},
+		Benchmarks: map[string]Result{"p.BenchmarkHot": {NsPerOp: 1000}},
+	})
+	curPath := write("cur.json", File{
+		Benchmarks: map[string]Result{"p.BenchmarkHot": {NsPerOp: 1500}},
+	})
+
+	cmd := exec.Command("go", "run", ".", "-baseline", basePath, "-current", curPath)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("benchdiff exited 0 on a +50%% hot regression; output:\n%s", out)
+	}
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("benchdiff did not run: %v\n%s", err, out)
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "FAIL") {
+		t.Errorf("report does not mark the regressed row FAIL:\n%s", out)
+	}
+
+	// Same binary, healthy numbers: must exit 0.
+	okPath := write("ok.json", File{
+		Benchmarks: map[string]Result{"p.BenchmarkHot": {NsPerOp: 1100}},
+	})
+	cmd = exec.Command("go", "run", ".", "-baseline", basePath, "-current", okPath)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("benchdiff failed on a +10%% change: %v\n%s", err, out)
+	}
+}
+
+func TestParseRoundTripThroughFiles(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleBenchText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runParse(in, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := loadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Benchmarks["deepcat/internal/nn.BenchmarkForwardBackward"].NsPerOp != 11000 {
+		t.Errorf("round-tripped file wrong: %+v", f.Benchmarks)
+	}
+}

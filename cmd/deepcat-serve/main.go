@@ -6,12 +6,20 @@
 // Example:
 //
 //	deepcat-serve -addr :8080 -data ./deepcat-data -max-sessions 64 \
-//	    -warehouse ./deepcat-data/warehouse
+//	    -warehouse ./deepcat-data/warehouse -metrics-addr 127.0.0.1:9090
 //
 // The -warehouse flag enables the fleet experience warehouse: every
 // session's transitions are appended to a crash-safe log under that
 // directory, a background pool distills each workload family into donor
 // agents, and new sessions on a known workload warm-start from them.
+//
+// The -metrics-addr flag starts a second listener serving Prometheus
+// metrics on /metrics and the standard net/http/pprof profiling endpoints
+// under /debug/pprof/. Keeping them off the tuning port means a scraper or
+// an attached profiler can never contend with suggest/observe traffic, and
+// the operations port can stay firewalled to the operator network. When
+// the flag is unset no registry exists and every recording site in the
+// stack is a no-op.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests, checkpoints every session, flushes the warehouse and
@@ -24,11 +32,13 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"deepcat/internal/obs"
 	"deepcat/internal/service"
 	"deepcat/internal/warehouse"
 )
@@ -40,6 +50,9 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 64, "maximum live sessions (0 = unlimited)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 
+		metricsAddr = flag.String("metrics-addr", "", "operations listen address serving /metrics and /debug/pprof (empty = disabled)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+
 		whDir      = flag.String("warehouse", "", "experience warehouse directory (empty = disabled)")
 		whInterval = flag.Duration("warehouse-interval", time.Minute, "warehouse trainer/compactor period")
 		whIters    = flag.Int("warehouse-train-iters", 500, "gradient updates per donor training")
@@ -47,11 +60,24 @@ func main() {
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	// The registry only exists when something will scrape it; without it
+	// every instrument in the stack is nil and recording is a nil check.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+
 	store, err := service.NewFSStore(*dataDir)
 	if err != nil {
 		fatal(err)
 	}
 	manager := service.NewManager(store, *maxSessions)
+	manager.AttachObs(reg, logger)
 	var wh *warehouse.Warehouse
 	if *whDir != "" {
 		wh, err = warehouse.Open(warehouse.Options{
@@ -59,6 +85,8 @@ func main() {
 			TrainInterval: *whInterval,
 			TrainIters:    *whIters,
 			TrainWorkers:  *whWorkers,
+			Registry:      reg,
+			Logger:        logger,
 		})
 		if err != nil {
 			fatal(err)
@@ -90,6 +118,19 @@ func main() {
 	fmt.Printf("deepcat-serve listening on %s (checkpoints in %s, max %d sessions)\n",
 		*addr, store.Dir(), *maxSessions)
 
+	var opsSrv *http.Server
+	if *metricsAddr != "" {
+		opsSrv = &http.Server{Addr: *metricsAddr, Handler: opsMux(reg)}
+		go func() {
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				// The ops listener failing must not take tuning down with
+				// it; losing observability is an error, not an outage.
+				logger.Error("metrics listener failed", "addr", *metricsAddr, "err", err)
+			}
+		}()
+		fmt.Printf("metrics and pprof on %s (/metrics, /debug/pprof/)\n", *metricsAddr)
+	}
+
 	select {
 	case err := <-errc:
 		fatal(err)
@@ -102,6 +143,9 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "deepcat-serve: shutdown:", err)
 	}
+	if opsSrv != nil {
+		opsSrv.Close()
+	}
 	if err := manager.CheckpointAll(); err != nil {
 		fmt.Fprintln(os.Stderr, "deepcat-serve: final checkpoint:", err)
 	}
@@ -111,6 +155,20 @@ func main() {
 		}
 	}
 	fmt.Println("all sessions checkpointed; bye")
+}
+
+// opsMux builds the operations handler: Prometheus exposition plus the
+// pprof suite, registered explicitly so nothing rides on
+// http.DefaultServeMux.
+func opsMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func fatal(err error) {

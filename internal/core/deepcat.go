@@ -250,6 +250,20 @@ func (d *DeepCAT) Clone() *DeepCAT {
 	return c
 }
 
+// SuggestStats reports how the Twin-Q Optimizer treated one suggestion:
+// how many candidate actions it scored (1 when the raw recommendation
+// passed Q_th immediately) and whether the raw recommendation was rejected
+// and replaced by a perturbation. The observability layer aggregates these
+// into the fleet-wide rejection rate — the paper's measure of how many
+// sub-optimal configurations were never paid for with a real run.
+type SuggestStats struct {
+	// Tries is the number of candidate actions the twin critics scored.
+	Tries int
+	// Optimized reports that the raw actor output scored below Q_th and a
+	// perturbed action was returned instead.
+	Optimized bool
+}
+
 // Suggest proposes the next configuration for the given system state: the
 // actor's deterministic action (or a recovery-noise perturbation when the
 // previous evaluation failed), repaired by the Twin-Q Optimizer when its
@@ -257,15 +271,24 @@ func (d *DeepCAT) Clone() *DeepCAT {
 // online-tuning API used by the tuning service; OnlineTune composes it with
 // Observe into the paper's closed loop.
 func (d *DeepCAT) Suggest(state []float64, lastFailed bool) (action []float64, optimized bool) {
+	action, st := d.SuggestWithStats(state, lastFailed)
+	return action, st.Optimized
+}
+
+// SuggestWithStats is Suggest plus the Twin-Q search statistics; the
+// tuning service uses it to feed perturbation/rejection metrics.
+func (d *DeepCAT) SuggestWithStats(state []float64, lastFailed bool) ([]float64, SuggestStats) {
+	var action []float64
 	if lastFailed && d.Cfg.RecoverySigma > 0 {
 		action = d.Agent.ActNoisy(d.rng, state, d.Cfg.RecoverySigma)
 	} else {
 		action = d.Agent.Act(state)
 	}
+	st := SuggestStats{Tries: 1}
 	if d.Cfg.UseTwinQ {
-		action, _, optimized = d.Cfg.TwinQ.Optimize(d.rng, d.Agent, state, action)
+		action, st.Tries, st.Optimized = d.Cfg.TwinQ.Optimize(d.rng, d.Agent, state, action)
 	}
-	return action, optimized
+	return action, st
 }
 
 // Observe records a measured outcome for a previously suggested action and

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Severity levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error") to a
+// Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// output is the shared sink behind a Logger and all its With children, so
+// concurrent writes from different derived loggers never interleave.
+type output struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Logger writes leveled key=value lines:
+//
+//	time=2026-08-05T12:00:00.000Z level=info msg="session created" id=s-1f
+//
+// A nil *Logger discards everything, so call sites never branch.
+type Logger struct {
+	out *output
+	min Level
+	ctx string // pre-rendered bound key=value pairs, leading space included
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{out: &output{w: w}, min: min, now: time.Now}
+}
+
+// With returns a child logger with kv (alternating key, value) appended to
+// every line. The child shares the parent's writer and level.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	var b strings.Builder
+	b.WriteString(l.ctx)
+	appendPairs(&b, kv)
+	return &Logger{out: l.out, min: l.min, ctx: b.String(), now: l.now}
+}
+
+// Enabled reports whether level would be written; guard expensive argument
+// construction with it.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.min
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("time=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(formatValue(msg))
+	b.WriteString(l.ctx)
+	appendPairs(&b, kv)
+	b.WriteByte('\n')
+	l.out.mu.Lock()
+	defer l.out.mu.Unlock()
+	_, _ = io.WriteString(l.out.w, b.String())
+}
+
+// appendPairs renders alternating key/value arguments; a trailing odd
+// value is logged under the key "!extra" rather than dropped.
+func appendPairs(b *strings.Builder, kv []any) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(formatKey(kv[i]))
+		b.WriteByte('=')
+		b.WriteString(formatValue(kv[i+1]))
+	}
+	if len(kv)%2 != 0 {
+		b.WriteString(" !extra=")
+		b.WriteString(formatValue(kv[len(kv)-1]))
+	}
+}
+
+func formatKey(k any) string {
+	s, ok := k.(string)
+	if !ok {
+		s = fmt.Sprint(k)
+	}
+	if strings.ContainsAny(s, " =\"\n") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func formatValue(v any) string {
+	var s string
+	switch t := v.(type) {
+	case string:
+		s = t
+	case error:
+		s = t.Error()
+	case time.Duration:
+		s = t.String()
+	case fmt.Stringer:
+		s = t.String()
+	default:
+		s = fmt.Sprint(v)
+	}
+	if s == "" || strings.ContainsAny(s, " =\"\n") {
+		return strconv.Quote(s)
+	}
+	return s
+}

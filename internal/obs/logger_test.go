@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedClock makes log lines deterministic.
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelDebug)
+	l.now = fixedClock
+	l.Info("session created", "id", "s-1f", "warm", true, "iters", 25)
+	l.Warn("slow suggest", "dur", 1500*time.Millisecond)
+	l.Error("boom", "err", errors.New("disk full: no space"))
+
+	want := `time=2026-08-05T12:00:00.000Z level=info msg="session created" id=s-1f warm=true iters=25
+time=2026-08-05T12:00:00.000Z level=warn msg="slow suggest" dur=1.5s
+time=2026-08-05T12:00:00.000Z level=error msg=boom err="disk full: no space"
+`
+	if b.String() != want {
+		t.Fatalf("log mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelWarn)
+	l.now = fixedClock
+	l.Debug("hidden")
+	l.Info("hidden too")
+	l.Warn("visible")
+	if got := b.String(); strings.Contains(got, "hidden") || !strings.Contains(got, "visible") {
+		t.Fatalf("level filtering broken: %q", got)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Fatal("Enabled disagrees with the configured level")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo).With("request_id", "r-abc")
+	l.now = fixedClock
+	l.Info("handled", "code", 200)
+	got := b.String()
+	if !strings.Contains(got, "request_id=r-abc") || !strings.Contains(got, "code=200") {
+		t.Fatalf("With context missing: %q", got)
+	}
+}
+
+func TestNilLogger(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x")
+	if l.With("k", "v") != nil {
+		t.Fatal("nil logger With should stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "WARN": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted junk")
+	}
+}
+
+func TestOddKeyValuePairs(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo)
+	l.now = fixedClock
+	l.Info("odd", "k1", "v1", "dangling")
+	if got := b.String(); !strings.Contains(got, "!extra=dangling") {
+		t.Fatalf("dangling value dropped: %q", got)
+	}
+}

@@ -1,0 +1,35 @@
+package service_test
+
+import (
+	"testing"
+
+	"deepcat/internal/service"
+)
+
+// BenchmarkSessionSuggestObserve measures the daemon's tuning hot path at
+// the manager level: one suggest (actor forward pass + Twin-Q search) and
+// one observe (reward, replay insert, 24 fine-tune gradient updates,
+// write-through checkpoint) per iteration — exactly the work one
+// scheduler round-trip costs the daemon, minus HTTP.
+func BenchmarkSessionSuggestObserve(b *testing.B) {
+	store, err := service.NewFSStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	manager := service.NewManager(store, 1)
+	info, err := manager.Create(service.CreateSessionRequest{Workload: "TS", Input: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := manager.Suggest(info.ID); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := manager.Observe(info.ID, service.ObserveRequest{ExecTime: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

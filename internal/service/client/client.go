@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"deepcat/internal/obs"
 	"deepcat/internal/service"
 )
 
@@ -19,10 +20,17 @@ import (
 type APIError struct {
 	Status  int
 	Message string
+	// RequestID is the server-assigned X-Request-Id of the failed call;
+	// quote it when filing a report so the operator can find the matching
+	// server-side log line and histogram sample.
+	RequestID string
 }
 
 // Error implements the error interface.
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("service: HTTP %d: %s (request_id %s)", e.Status, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
 }
 
@@ -85,6 +93,11 @@ type Client struct {
 	// Retry governs transient-failure retries; the zero value disables
 	// them.
 	Retry RetryPolicy
+	// Log, when set, records one debug line per call carrying the
+	// server-assigned X-Request-Id, so a slow suggest seen here can be
+	// correlated with the daemon's own access log and latency histograms.
+	// Nil disables client-side logging.
+	Log *obs.Logger
 }
 
 // New returns a client for the daemon at baseURL with the default retry
@@ -133,6 +146,7 @@ func (c *Client) do(method, path string, in, out any) error {
 // doOnce performs a single attempt, reporting whether a failure is
 // transient and worth retrying.
 func (c *Client) doOnce(method, path string, hasBody bool, data []byte, out any) (err error, retriable bool) {
+	start := time.Now()
 	req, err := http.NewRequest(method, c.BaseURL+path, bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err), false
@@ -146,16 +160,20 @@ func (c *Client) doOnce(method, path string, hasBody bool, data []byte, out any)
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
+		c.Log.Debug("request error", "method", method, "path", path, "err", err)
 		return fmt.Errorf("client: %s %s: %w", method, path, err), true
 	}
 	defer resp.Body.Close()
+	reqID := resp.Header.Get("X-Request-Id")
+	c.Log.Debug("request", "request_id", reqID, "method", method, "path", path,
+		"code", resp.StatusCode, "dur", time.Since(start))
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var env service.ErrorResponse
 		msg := resp.Status
 		if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Error != "" {
 			msg = env.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}, retriableStatus(resp.StatusCode)
+		return &APIError{Status: resp.StatusCode, Message: msg, RequestID: reqID}, retriableStatus(resp.StatusCode)
 	}
 	if out == nil {
 		return nil, false

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"deepcat/internal/obs"
 	"deepcat/internal/service"
 )
 
@@ -154,5 +156,65 @@ func TestRetryDelayBounded(t *testing.T) {
 		if d < 0 || d > p.MaxDelay {
 			t.Fatalf("delay(%d) = %v out of [0, %v]", n, d, p.MaxDelay)
 		}
+	}
+}
+
+// TestRequestIDSurfaced verifies the X-Request-Id correlation path: the
+// server-assigned id lands in the APIError for failed calls and in the
+// client's debug log for every call, matching what the daemon logs on its
+// end.
+func TestRequestIDSurfaced(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-Id", "r-deadbeef")
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"nope"}`))
+	}))
+	defer srv.Close()
+
+	var buf strings.Builder
+	c := New(srv.URL)
+	c.Log = obs.NewLogger(&buf, obs.LevelDebug)
+
+	if _, err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Session("missing")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	if apiErr.RequestID != "r-deadbeef" {
+		t.Fatalf("APIError.RequestID = %q, want r-deadbeef", apiErr.RequestID)
+	}
+	if !strings.Contains(apiErr.Error(), "r-deadbeef") {
+		t.Fatalf("request id missing from error string: %s", apiErr)
+	}
+	if n := strings.Count(buf.String(), "request_id=r-deadbeef"); n != 2 {
+		t.Fatalf("client log mentions the request id %d times, want 2:\n%s", n, buf.String())
+	}
+}
+
+// TestEndToEndRequestID drives a real daemon and asserts the generated id
+// shows up on the response of a failing call.
+func TestEndToEndRequestID(t *testing.T) {
+	store, err := service.NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.NewServer(service.NewManager(store, 1)))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	_, err = c.Session("s-missing")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("want 404 APIError, got %v", err)
+	}
+	if !strings.HasPrefix(apiErr.RequestID, "r-") {
+		t.Fatalf("server did not assign a request id: %+v", apiErr)
 	}
 }

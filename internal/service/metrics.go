@@ -1,0 +1,71 @@
+package service
+
+import (
+	"deepcat/internal/obs"
+)
+
+// metrics holds the daemon's service-level instruments. It is always
+// non-nil on a Manager; built over a nil registry every instrument is nil
+// and every recording site degenerates to a nil check, so a daemon run
+// without -metrics-addr pays nothing for the layer.
+type metrics struct {
+	reg *obs.Registry
+
+	// Session lifecycle.
+	sessionsCreated *obs.Counter
+	sessionsResumed *obs.Counter
+	sessionsDeleted *obs.Counter
+	warmStarts      *obs.Counter
+
+	// Tuning hot path: how long the agent takes to recommend and to learn.
+	suggestDur *obs.Histogram
+	observeDur *obs.Histogram
+
+	// Twin-Q Optimizer economics: candidates scored beyond the raw actor
+	// output, and raw recommendations rejected as sub-optimal. The ratio
+	// rejections/suggests is the fraction of configurations DeepCAT refused
+	// to pay a cluster run for.
+	twinqCandidates *obs.Counter
+	twinqRejections *obs.Counter
+
+	// Checkpoint write-through cost after every observation.
+	checkpointDur   *obs.Histogram
+	checkpointBytes *obs.Counter
+}
+
+// newMetrics registers the service instruments on reg (nil for no-op).
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		reg:             reg,
+		sessionsCreated: reg.Counter("deepcat_sessions_created_total"),
+		sessionsResumed: reg.Counter("deepcat_sessions_resumed_total"),
+		sessionsDeleted: reg.Counter("deepcat_sessions_deleted_total"),
+		warmStarts:      reg.Counter("deepcat_sessions_warm_started_total"),
+		suggestDur:      reg.Histogram("deepcat_suggest_duration_seconds", nil),
+		observeDur:      reg.Histogram("deepcat_observe_duration_seconds", nil),
+		twinqCandidates: reg.Counter("deepcat_twinq_candidates_total"),
+		twinqRejections: reg.Counter("deepcat_twinq_rejections_total"),
+		checkpointDur:   reg.Histogram("deepcat_checkpoint_duration_seconds", nil),
+		checkpointBytes: reg.Counter("deepcat_checkpoint_bytes_total"),
+	}
+}
+
+// httpMetrics instruments one endpoint's request handling; the Server
+// resolves these per route at construction so the per-request cost is two
+// map-free atomic updates.
+type httpMetrics struct {
+	inFlight *obs.Gauge
+	dur      *obs.Histogram
+	requests func(code string) *obs.Counter
+}
+
+// newHTTPMetrics builds the instruments for one endpoint label.
+func newHTTPMetrics(reg *obs.Registry, endpoint string) httpMetrics {
+	return httpMetrics{
+		inFlight: reg.Gauge("deepcat_http_in_flight_requests"),
+		dur:      reg.Histogram("deepcat_http_request_duration_seconds", nil, "endpoint", endpoint),
+		requests: func(code string) *obs.Counter {
+			return reg.Counter("deepcat_http_requests_total", "endpoint", endpoint, "code", code)
+		},
+	}
+}

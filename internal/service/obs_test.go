@@ -1,0 +1,94 @@
+package service_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deepcat/internal/obs"
+	"deepcat/internal/service"
+	"deepcat/internal/service/client"
+)
+
+// TestMetricsReflectRoundTrip is the acceptance test for the observability
+// layer: after one suggest/observe round-trip through the HTTP API, the
+// registry's exposition must show non-zero suggest/observe latency
+// histograms, per-endpoint request counts and session counters — the same
+// page a Prometheus scrape of deepcat-serve's -metrics-addr would see.
+func TestMetricsReflectRoundTrip(t *testing.T) {
+	store, err := service.NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manager := service.NewManager(store, 4)
+	reg := obs.NewRegistry()
+	manager.AttachObs(reg, nil)
+	srv := httptest.NewServer(service.NewServer(manager))
+	defer srv.Close()
+
+	info, err := manager.Create(service.CreateSessionRequest{Workload: "TS", Input: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the round trip over HTTP so the endpoint instruments fire too.
+	c := client.New(srv.URL)
+	if _, err := c.Suggest(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Observe(info.ID, service.ObserveRequest{ExecTime: 120}); err != nil {
+		t.Fatal(err)
+	}
+
+	page := scrape(t, reg)
+	for _, want := range []string{
+		"deepcat_suggest_duration_seconds_count 1",
+		"deepcat_observe_duration_seconds_count 1",
+		"deepcat_sessions_created_total 1",
+		`deepcat_http_requests_total{endpoint="suggest",code="200"} 1`,
+		`deepcat_http_requests_total{endpoint="observe",code="200"} 1`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Latency histogram sums must be non-zero: a suggest runs the actor and
+	// the Twin-Q search, an observe runs 24 fine-tune iterations.
+	for _, family := range []string{"deepcat_suggest_duration_seconds_sum", "deepcat_observe_duration_seconds_sum"} {
+		if strings.Contains(page, family+" 0\n") {
+			t.Errorf("%s is zero after a round trip", family)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", page)
+	}
+}
+
+// TestMetricsEndpointCodes asserts error paths land in the right status
+// label, keeping the request counter usable as an error-rate source.
+func TestMetricsEndpointCodes(t *testing.T) {
+	store, err := service.NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manager := service.NewManager(store, 4)
+	reg := obs.NewRegistry()
+	manager.AttachObs(reg, nil)
+	srv := httptest.NewServer(service.NewServer(manager))
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	if _, err := c.Suggest("s-missing"); err == nil {
+		t.Fatal("suggest on a missing session succeeded")
+	}
+	if !strings.Contains(scrape(t, reg), `deepcat_http_requests_total{endpoint="suggest",code="404"} 1`) {
+		t.Fatal("404 not counted under the suggest endpoint")
+	}
+}
+
+// scrape renders the registry the way the /metrics handler would.
+func scrape(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	return rec.Body.String()
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"deepcat/internal/obs"
 	"deepcat/internal/warehouse"
 )
 
@@ -23,6 +24,9 @@ type Manager struct {
 	// wh, when non-nil, is the fleet experience warehouse new sessions
 	// warm-start from and all sessions stream transitions into.
 	wh *warehouse.Warehouse
+	// met is never nil; over a nil registry every instrument no-ops.
+	met *metrics
+	log *obs.Logger
 
 	mu sync.Mutex
 	// sessions maps id -> session; a nil value reserves an id whose
@@ -36,6 +40,7 @@ func NewManager(store Store, maxSessions int) *Manager {
 	return &Manager{
 		store:    store,
 		max:      maxSessions,
+		met:      newMetrics(nil),
 		sessions: make(map[string]*Session),
 	}
 }
@@ -55,6 +60,19 @@ func (m *Manager) MaxSessions() int { return m.max }
 // created (or resumed) afterwards stream their transitions into it and new
 // sessions warm-start from its donors.
 func (m *Manager) AttachWarehouse(wh *warehouse.Warehouse) { m.wh = wh }
+
+// AttachObs wires the observability layer into the manager: session and
+// checkpoint metrics register on reg, lifecycle events log to logger.
+// Call it once at daemon startup, before Resume or any Create. Either
+// argument may be nil; the corresponding half stays a no-op.
+func (m *Manager) AttachObs(reg *obs.Registry, logger *obs.Logger) {
+	m.met = newMetrics(reg)
+	m.log = logger
+}
+
+// Obs returns the manager's registry (possibly nil) and logger (possibly
+// nil); the HTTP server instruments itself from the same pair.
+func (m *Manager) Obs() (*obs.Registry, *obs.Logger) { return m.met.reg, m.log }
 
 // Warehouse returns the attached warehouse, or nil when the daemon runs
 // without one.
@@ -99,7 +117,7 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	m.sessions[id] = nil // reserve
 	m.mu.Unlock()
 
-	s, err := newSession(id, req, time.Now(), m.wh)
+	s, err := newSession(id, req, time.Now(), m.wh, m.met)
 	if err == nil {
 		err = m.checkpoint(s)
 	}
@@ -107,11 +125,19 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	if err != nil {
 		delete(m.sessions, id)
 		m.mu.Unlock()
+		m.log.Warn("session create failed", "id", id, "workload", req.Workload, "err", err)
 		return SessionInfo{}, err
 	}
 	m.sessions[id] = s
 	m.mu.Unlock()
-	return s.Info(), nil
+	m.met.sessionsCreated.Inc()
+	info := s.Info()
+	if info.WarmStarted {
+		m.met.warmStarts.Inc()
+	}
+	m.log.Info("session created", "id", id, "workload", req.Workload, "input", req.Input,
+		"cluster", info.Cluster, "warm_started", info.WarmStarted, "donor", info.Donor)
+	return info, nil
 }
 
 // Get returns the session with the given id.
@@ -194,20 +220,31 @@ func (m *Manager) Delete(id string) error {
 	// the delete could resurrect the checkpoint file after it was removed.
 	s.ckpt.Lock()
 	defer s.ckpt.Unlock()
-	return m.store.Delete(id)
+	err := m.store.Delete(id)
+	if err == nil {
+		m.met.sessionsDeleted.Inc()
+		m.log.Info("session deleted", "id", id)
+	}
+	return err
 }
 
 // checkpoint writes the session's current state through to the store. The
 // session's checkpoint lock spans the closed check and the store write, so
 // a concurrent Delete can never interleave between them (see Delete).
 func (m *Manager) checkpoint(s *Session) error {
+	start := time.Now()
 	s.ckpt.Lock()
 	defer s.ckpt.Unlock()
 	data, err := s.Checkpoint()
 	if err != nil {
 		return err
 	}
-	return m.store.Save(s.ID(), data)
+	err = m.store.Save(s.ID(), data)
+	if err == nil {
+		m.met.checkpointDur.ObserveSince(start)
+		m.met.checkpointBytes.Add(uint64(len(data)))
+	}
+	return err
 }
 
 // CheckpointAll persists every live session; used at graceful shutdown.
@@ -244,7 +281,7 @@ func (m *Manager) Resume() (int, error) {
 			errs = append(errs, err)
 			continue
 		}
-		s, err := resumeSession(data, m.wh)
+		s, err := resumeSession(data, m.wh, m.met)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("checkpoint %s: %w", id, err))
 			continue
@@ -257,6 +294,8 @@ func (m *Manager) Resume() (int, error) {
 		}
 		m.sessions[id] = s
 		m.mu.Unlock()
+		m.met.sessionsResumed.Inc()
+		m.log.Info("session resumed", "id", id, "step", s.Info().Step)
 		resumed++
 	}
 	return resumed, errors.Join(errs...)

@@ -1,42 +1,113 @@
 package service
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
+
+	"deepcat/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate body (an
 // observation with a state vector) is well under 1 MiB.
 const maxBodyBytes = 1 << 20
 
+// requestIDHeader carries the per-request correlation id. The server
+// generates one (or adopts a caller-supplied one) and echoes it on the
+// response, and both ends log it, so a slow suggest in a scheduler's log
+// can be matched to the server-side histogram sample it produced.
+const requestIDHeader = "X-Request-Id"
+
 // Server is the HTTP front end over a Manager. It is an http.Handler;
-// mount it on any listener.
+// mount it on any listener. Every route is instrumented with the
+// registry/logger attached to the Manager (see Manager.AttachObs): request
+// counts and latency histograms per endpoint, an in-flight gauge, and a
+// request-id-tagged access log line per call.
 type Server struct {
 	manager *Manager
 	mux     *http.ServeMux
+	log     *obs.Logger
 }
 
 // NewServer builds the route table over m.
 func NewServer(m *Manager) *Server {
-	s := &Server{manager: m, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/suggest", s.handleSuggest)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/observe", s.handleObserve)
-	s.mux.HandleFunc("GET /v1/warehouse/stats", s.handleWarehouseStats)
-	s.mux.HandleFunc("GET /v1/warehouse/families/{sig}/donors", s.handleWarehouseDonors)
+	reg, logger := m.Obs()
+	s := &Server{manager: m, mux: http.NewServeMux(), log: logger}
+	route := func(pattern, endpoint string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(newHTTPMetrics(reg, endpoint), endpoint, h))
+	}
+	route("GET /healthz", "healthz", s.handleHealth)
+	route("POST /v1/sessions", "session_create", s.handleCreate)
+	route("GET /v1/sessions", "session_list", s.handleList)
+	route("GET /v1/sessions/{id}", "session_get", s.handleGet)
+	route("DELETE /v1/sessions/{id}", "session_delete", s.handleDelete)
+	route("POST /v1/sessions/{id}/suggest", "suggest", s.handleSuggest)
+	route("POST /v1/sessions/{id}/observe", "observe", s.handleObserve)
+	route("GET /v1/warehouse/stats", "warehouse_stats", s.handleWarehouseStats)
+	route("GET /v1/warehouse/families/{sig}/donors", "warehouse_donors", s.handleWarehouseDonors)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// statusRecorder captures the response status for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// newRequestID generates a short random correlation id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "r-" + hex.EncodeToString(b[:])
+}
+
+// instrument wraps a handler with the per-endpoint bookkeeping: request-id
+// assignment, in-flight gauge, duration histogram, status-labelled request
+// counter and one access log line.
+func (s *Server) instrument(hm httpMetrics, endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get(requestIDHeader)
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, reqID)
+		hm.inFlight.Inc()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sr, r)
+		hm.inFlight.Dec()
+		hm.dur.ObserveSince(start)
+		hm.requests(strconv.Itoa(sr.status)).Inc()
+		// Per-request lines go out at debug so an info-level daemon is not
+		// spammed by healthy traffic; server-side failures always surface.
+		if sr.status >= 500 {
+			s.log.Warn("request failed", "request_id", reqID, "endpoint", endpoint,
+				"method", r.Method, "path", r.URL.Path, "code", sr.status,
+				"dur", time.Since(start))
+		} else {
+			s.log.Debug("request", "request_id", reqID, "endpoint", endpoint,
+				"method", r.Method, "path", r.URL.Path, "code", sr.status,
+				"dur", time.Since(start))
+		}
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

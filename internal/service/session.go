@@ -96,6 +96,10 @@ type Session struct {
 	wh  *warehouse.Warehouse
 	sig string
 
+	// met is the daemon's shared instrument bundle (never nil; no-op
+	// without a registry).
+	met *metrics
+
 	// ckpt serializes this session's store writes against its deletion;
 	// see Manager.checkpoint and Manager.Delete.
 	ckpt sync.Mutex
@@ -109,7 +113,7 @@ type Session struct {
 // the session adopts the donor's networks and pre-fills its replay pools
 // with the family's high-reward transitions before any optional offline
 // training; a missing or mismatched donor falls back to a cold start.
-func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehouse.Warehouse) (*Session, error) {
+func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehouse.Warehouse, met *metrics) (*Session, error) {
 	e, err := cli.BuildEnv(req.Cluster, req.Workload, req.Input, req.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrInvalid, err)
@@ -141,6 +145,7 @@ func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehous
 		env:   e,
 		wh:    wh,
 		sig:   warehouse.Signature(req.Cluster, req.Workload, req.Input),
+		met:   met,
 	}
 	if wh != nil && !req.NoWarmStart {
 		if ws, ok := wh.WarmStart(s.sig, cfg.RewardThreshold, warmSeedMax); ok {
@@ -224,11 +229,19 @@ func (s *Session) Suggest(now time.Time) (SuggestResponse, error) {
 		return SuggestResponse{}, fmt.Errorf("session %s: %w", s.meta.ID, ErrClosed)
 	}
 	if s.pending == nil {
-		action, optimized := s.tuner.Suggest(s.meta.State, s.meta.LastFailed)
+		start := time.Now()
+		action, st := s.tuner.SuggestWithStats(s.meta.State, s.meta.LastFailed)
+		s.met.suggestDur.ObserveSince(start)
+		if st.Tries > 1 {
+			s.met.twinqCandidates.Add(uint64(st.Tries - 1))
+		}
+		if st.Optimized {
+			s.met.twinqRejections.Inc()
+		}
 		s.pending = &pendingSuggest{
 			step:      s.meta.Step + 1,
 			action:    mat.CloneSlice(action),
-			optimized: optimized,
+			optimized: st.Optimized,
 			state:     mat.CloneSlice(s.meta.State),
 		}
 		s.meta.UpdatedAt = now
@@ -281,8 +294,10 @@ func (s *Session) Observe(req ObserveRequest, now time.Time) (ObserveResponse, e
 		nextState = mat.CloneSlice(req.State)
 	}
 	p := s.pending
+	start := time.Now()
 	reward := s.tuner.Observe(p.state, p.action, req.ExecTime, s.meta.PrevTime,
 		s.env.DefaultTime(), nextState, false)
+	s.met.observeDur.ObserveSince(start)
 	if s.wh != nil {
 		// Stream the observed experience into the fleet warehouse. The
 		// warehouse is advisory — a full disk there must not fail the
@@ -353,7 +368,7 @@ func (s *Session) Checkpoint() ([]byte, error) {
 // agent, replay pool and tuning progress come from the snapshot. The
 // warehouse binding, when the daemon runs one, is re-established from the
 // same metadata.
-func resumeSession(data []byte, wh *warehouse.Warehouse) (*Session, error) {
+func resumeSession(data []byte, wh *warehouse.Warehouse, met *metrics) (*Session, error) {
 	var ck sessionCheckpoint
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
 		return nil, fmt.Errorf("service: decode checkpoint: %w", err)
@@ -378,5 +393,6 @@ func resumeSession(data []byte, wh *warehouse.Warehouse) (*Session, error) {
 		env:   e,
 		wh:    wh,
 		sig:   warehouse.Signature(ck.Meta.Cluster, ck.Meta.Workload, ck.Meta.Input),
+		met:   met,
 	}, nil
 }

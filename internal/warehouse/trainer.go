@@ -126,7 +126,17 @@ func (w *Warehouse) TrainFamily(sig string) (DonorMeta, error) {
 	recs := fam.recs
 	w.mu.Unlock()
 
+	start := time.Now()
 	meta, entry, err := w.trainDonor(sig, gen, recs, high)
+	if err == nil {
+		w.met.trainingsOK.Inc()
+		w.met.trainingDur.ObserveSince(start)
+		w.logg.Info("donor trained", "signature", sig, "generation", gen,
+			"records", meta.Records, "iters", meta.Iters, "dur", time.Since(start))
+	} else {
+		w.met.trainingsErr.Inc()
+		w.logg.Warn("donor training failed", "signature", sig, "generation", gen, "err", err)
+	}
 
 	w.mu.Lock()
 	delete(w.training, sig)

@@ -66,6 +66,10 @@ type wal struct {
 	activeSize int64
 	sealed     []int // sealed seg indices still on disk, ascending
 	cmpIdx     int   // coverage of the newest cmp file (0 = none)
+
+	// onSeal, when set, is called once per sealed segment (rotation);
+	// the warehouse points it at its segments-sealed counter.
+	onSeal func()
 }
 
 // walRecovery reports what opening an existing log found.
@@ -223,6 +227,9 @@ func (w *wal) rotate() error {
 		return fmt.Errorf("warehouse: seal segment: %w", err)
 	}
 	w.sealed = append(w.sealed, w.activeIdx)
+	if w.onSeal != nil {
+		w.onSeal()
+	}
 	w.activeIdx++
 	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(w.activeIdx)),
 		os.O_WRONLY|os.O_APPEND|os.O_CREATE|os.O_EXCL, 0o644)

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"deepcat/internal/obs"
 	"deepcat/internal/rl"
 )
 
@@ -94,6 +95,14 @@ type Options struct {
 	DonorKeep int
 	// Seed drives donor-training randomness (default 1).
 	Seed int64
+
+	// Registry, when non-nil, receives the warehouse's metrics: ingest
+	// rate and latency, WAL segment/compaction activity, donor-training
+	// durations. Nil keeps the whole layer a no-op.
+	Registry *obs.Registry
+	// Logger, when non-nil, receives warehouse events (compactions, donor
+	// trainings, recovery findings).
+	Logger *obs.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -145,10 +154,45 @@ type family struct {
 	donors []*donorEntry
 }
 
+// whMetrics bundles the warehouse's instruments; every field is nil (and
+// so no-op) when the warehouse runs without a registry.
+type whMetrics struct {
+	ingestRecords  *obs.Counter
+	ingestBytes    *obs.Counter
+	ingestDur      *obs.Histogram
+	retained       *obs.Gauge
+	segmentsSealed *obs.Counter
+	compactions    *obs.Counter
+	compactionDur  *obs.Histogram
+	trainingsOK    *obs.Counter
+	trainingsErr   *obs.Counter
+	trainingDur    *obs.Histogram
+}
+
+func newWHMetrics(reg *obs.Registry) whMetrics {
+	// Donor trainings run batch RL for hundreds of gradient updates;
+	// stretch the latency buckets accordingly.
+	trainBuckets := []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+	return whMetrics{
+		ingestRecords:  reg.Counter("deepcat_warehouse_ingest_records_total"),
+		ingestBytes:    reg.Counter("deepcat_warehouse_ingest_bytes_total"),
+		ingestDur:      reg.Histogram("deepcat_warehouse_ingest_duration_seconds", nil),
+		retained:       reg.Gauge("deepcat_warehouse_retained_records"),
+		segmentsSealed: reg.Counter("deepcat_warehouse_segments_sealed_total"),
+		compactions:    reg.Counter("deepcat_warehouse_compactions_total"),
+		compactionDur:  reg.Histogram("deepcat_warehouse_compaction_duration_seconds", nil),
+		trainingsOK:    reg.Counter("deepcat_warehouse_donor_trainings_total", "result", "ok"),
+		trainingsErr:   reg.Counter("deepcat_warehouse_donor_trainings_total", "result", "error"),
+		trainingDur:    reg.Histogram("deepcat_warehouse_donor_training_duration_seconds", trainBuckets),
+	}
+}
+
 // Warehouse is the fleet experience store. All methods are safe for
 // concurrent use.
 type Warehouse struct {
 	opts Options
+	met  whMetrics
+	logg *obs.Logger
 
 	mu        sync.Mutex
 	log       *wal
@@ -156,6 +200,7 @@ type Warehouse struct {
 	recovered walRecovery
 	training  map[string]bool
 	trainErrs int
+	retained  int // total records across family indexes, mirrored to met.retained
 	closed    bool
 
 	stopc      chan struct{}
@@ -181,6 +226,8 @@ func Open(opts Options) (*Warehouse, error) {
 	}
 	w := &Warehouse{
 		opts:       opts,
+		met:        newWHMetrics(opts.Registry),
+		logg:       opts.Logger,
 		log:        log,
 		families:   make(map[string]*family),
 		recovered:  recovered,
@@ -188,6 +235,7 @@ func Open(opts Options) (*Warehouse, error) {
 		stopc:      make(chan struct{}),
 		trainSlots: make(chan struct{}, opts.TrainWorkers),
 	}
+	log.onSeal = w.met.segmentsSealed.Inc
 	for _, payload := range payloads {
 		rec, err := decodeRecord(payload)
 		if err != nil {
@@ -207,6 +255,9 @@ func Open(opts Options) (*Warehouse, error) {
 		w.loopWG.Add(1)
 		go w.loop()
 	}
+	w.logg.Info("warehouse opened", "dir", opts.Dir, "records", w.recovered.Records,
+		"families", len(w.families), "truncated_bytes", recovered.TruncatedBytes,
+		"dropped_bytes", recovered.DroppedBytes)
 	return w, nil
 }
 
@@ -238,11 +289,20 @@ func (w *Warehouse) Append(rec Record) error {
 // AppendBatch logs several records under one lock acquisition; sessions use
 // it to dump a whole replay buffer after offline training.
 func (w *Warehouse) AppendBatch(recs []Record) error {
+	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
 	}
+	var appended, appendedBytes int
+	defer func() {
+		if appended > 0 {
+			w.met.ingestRecords.Add(uint64(appended))
+			w.met.ingestBytes.Add(uint64(appendedBytes))
+			w.met.ingestDur.ObserveSince(start)
+		}
+	}()
 	for _, rec := range recs {
 		if err := validateRecord(rec); err != nil {
 			return err
@@ -264,6 +324,8 @@ func (w *Warehouse) AppendBatch(recs []Record) error {
 			return err
 		}
 		w.indexLocked(rec)
+		appended++
+		appendedBytes += frameHeaderBytes + len(payload)
 	}
 	return nil
 }
@@ -287,6 +349,7 @@ func (w *Warehouse) indexLocked(rec Record) {
 	}
 	fam.recs = append(fam.recs, rec)
 	fam.appended++
+	w.retained++
 	if rec.Transition.Reward >= w.opts.RewardThreshold {
 		fam.high++
 	}
@@ -295,7 +358,9 @@ func (w *Warehouse) indexLocked(rec Record) {
 			fam.high--
 		}
 		fam.recs = fam.recs[1:]
+		w.retained--
 	}
+	w.met.retained.Set(int64(w.retained))
 }
 
 // Compact seals the active segment and rewrites the log as one compacted
@@ -312,6 +377,7 @@ func (w *Warehouse) Compact() error {
 }
 
 func (w *Warehouse) compactLocked() error {
+	start := time.Now()
 	sigs := make([]string, 0, len(w.families))
 	for sig := range w.families {
 		sigs = append(sigs, sig)
@@ -327,7 +393,15 @@ func (w *Warehouse) compactLocked() error {
 			payloads = append(payloads, payload)
 		}
 	}
-	return w.log.compact(payloads)
+	err := w.log.compact(payloads)
+	if err == nil {
+		w.met.compactions.Inc()
+		w.met.compactionDur.ObserveSince(start)
+		w.logg.Info("log compacted", "retained_records", len(payloads), "dur", time.Since(start))
+	} else {
+		w.logg.Warn("log compaction failed", "err", err)
+	}
+	return err
 }
 
 // DonorMeta describes one trained donor generation.
