@@ -21,6 +21,14 @@
 // the flag is unset no registry exists and every recording site in the
 // stack is a no-op.
 //
+// The -trace-ring flag (on by default) keeps a bounded flight-recorder
+// ring of decision events per session, served on
+// GET /v1/sessions/{id}/trace and exportable as Chrome trace-event JSON on
+// GET /v1/sessions/{id}/trace/export?format=chrome; -trace-dir additionally
+// spools every event to <dir>/<session>.jsonl for inspection with
+// deepcat-trace after the session is gone. -log-format json switches the
+// daemon's log lines from key=value to one JSON object per line.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests, checkpoints every session, flushes the warehouse and
 // exits.
@@ -52,6 +60,10 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "operations listen address serving /metrics and /debug/pprof (empty = disabled)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "kv", "log line format: kv or json")
+
+		traceRing = flag.Int("trace-ring", 512, "per-session flight-recorder ring size (0 = tracing disabled)")
+		traceDir  = flag.String("trace-dir", "", "directory for per-session trace spools (empty = ring only)")
 
 		whDir      = flag.String("warehouse", "", "experience warehouse directory (empty = disabled)")
 		whInterval = flag.Duration("warehouse-interval", time.Minute, "warehouse trainer/compactor period")
@@ -64,7 +76,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	logger := obs.NewLogger(os.Stderr, level)
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	logger := obs.NewLoggerFormat(os.Stderr, level, format)
 	// The registry only exists when something will scrape it; without it
 	// every instrument in the stack is nil and recording is a nil check.
 	var reg *obs.Registry
@@ -78,6 +94,19 @@ func main() {
 	}
 	manager := service.NewManager(store, *maxSessions)
 	manager.AttachObs(reg, logger)
+	if *traceRing > 0 {
+		if *traceDir != "" {
+			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		manager.AttachTrace(service.TraceConfig{RingSize: *traceRing, Dir: *traceDir})
+		fmt.Printf("flight recorder on: ring %d events/session", *traceRing)
+		if *traceDir != "" {
+			fmt.Printf(", spooling to %s", *traceDir)
+		}
+		fmt.Println()
+	}
 	var wh *warehouse.Warehouse
 	if *whDir != "" {
 		wh, err = warehouse.Open(warehouse.Options{

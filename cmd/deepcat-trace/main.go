@@ -1,0 +1,355 @@
+// Command deepcat-trace inspects tuning flight-recorder traces: the
+// per-step decision streams recorded by package trace — every candidate
+// configuration the Twin-Q Optimizer scored with both critic values, the
+// reward decomposition of every observation, RDPER routing and the timed
+// spans around them.
+//
+// Input is one of three sources:
+//
+//	deepcat-trace -spool traces/s-1f.jsonl          a daemon's on-disk spool
+//	deepcat-trace -addr http://:8080 -session s-1f  a live daemon's ring
+//	deepcat-trace -demo -steps 5                    an in-process demo session
+//
+// The default output is a per-step summary table. -why drills into one
+// step: every candidate the optimizer scored, which was chosen and why the
+// others were rejected, the reward arithmetic and the replay routing.
+// -export chrome renders the trace as Chrome trace-event JSON for Perfetto
+// or chrome://tracing (-o picks the output file, default stdout).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"deepcat/internal/cli"
+	"deepcat/internal/core"
+	"deepcat/internal/service/client"
+	"deepcat/internal/trace"
+)
+
+func main() {
+	var (
+		spool   = flag.String("spool", "", "read events from a JSONL spool file")
+		addr    = flag.String("addr", "", "read events from a live daemon at this base URL (requires -session)")
+		session = flag.String("session", "", "session id to fetch from -addr")
+
+		demo     = flag.Bool("demo", false, "record a deterministic in-process demo session")
+		workload = flag.String("workload", "TS", "demo workload: WC, TS, PR or KM")
+		input    = flag.Int("input", 1, "demo dataset index (1-3)")
+		cluster  = flag.String("cluster", "a", "demo cluster: a or b")
+		seed     = flag.Int64("seed", 1, "demo random seed")
+		steps    = flag.Int("steps", 5, "demo online tuning steps")
+		offline  = flag.Int("offline", 0, "demo offline training iterations before tuning")
+
+		n      = flag.Int("n", 0, "only consider the most recent n events (0 = all)")
+		why    = flag.Int("why", 0, "drill into one online step: candidates, verdicts, reward arithmetic")
+		export = flag.String("export", "", `export format: "chrome" (Perfetto / chrome://tracing)`)
+		out    = flag.String("o", "", "export output file (default stdout)")
+	)
+	flag.Parse()
+
+	events, label, err := loadEvents(*spool, *addr, *session, *demo,
+		*workload, *input, *cluster, *seed, *steps, *offline, *n)
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fatal(fmt.Errorf("no events (empty trace)"))
+	}
+
+	switch {
+	case *export != "":
+		if *export != "chrome" {
+			fatal(fmt.Errorf("unknown export format %q", *export))
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.WriteChrome(w, label, events); err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			fmt.Printf("wrote %d events to %s\n", len(events), *out)
+		}
+	case *why > 0:
+		whyStep(events, *why)
+	default:
+		summarize(events, label)
+	}
+}
+
+// loadEvents resolves the input source flags into an event slice and a
+// label naming the session.
+func loadEvents(spool, addr, session string, demo bool,
+	workload string, input int, cluster string, seed int64, steps, offline, n int) ([]trace.Event, string, error) {
+	var (
+		events []trace.Event
+		label  string
+		err    error
+	)
+	switch {
+	case demo:
+		events, err = runDemo(workload, input, cluster, seed, steps, offline)
+		label = fmt.Sprintf("demo-%s-%d-%s-seed%d", workload, input, cluster, seed)
+	case spool != "":
+		events, err = readSpoolWithRotation(spool)
+		label = strings.TrimSuffix(spool[strings.LastIndexByte(spool, '/')+1:], ".jsonl")
+	case addr != "":
+		if session == "" {
+			return nil, "", fmt.Errorf("-addr requires -session")
+		}
+		resp, cerr := client.New(addr).Trace(session, n)
+		if cerr != nil {
+			return nil, "", cerr
+		}
+		if resp.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "note: the daemon's ring evicted %d older events (use -spool on its trace dir for the full stream)\n", resp.Dropped)
+		}
+		return resp.Events, session, nil
+	default:
+		return nil, "", fmt.Errorf("pick an input: -spool FILE, -addr URL -session ID, or -demo")
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	if n > 0 && len(events) > n {
+		events = events[len(events)-n:]
+	}
+	return events, label, nil
+}
+
+// readSpoolWithRotation reads a spool plus its rotated predecessor
+// (<path>.1) when one exists, oldest events first.
+func readSpoolWithRotation(path string) ([]trace.Event, error) {
+	var events []trace.Event
+	if _, err := os.Stat(path + ".1"); err == nil {
+		old, err := trace.ReadSpool(path + ".1")
+		if err != nil {
+			return nil, err
+		}
+		events = old
+	}
+	cur, err := trace.ReadSpool(path)
+	if err != nil {
+		return nil, err
+	}
+	return append(events, cur...), nil
+}
+
+// runDemo drives a cold tuner through a few suggest/observe steps against
+// the simulated environment with a recorder attached, and returns the
+// recorded stream. Same seed, same events — the demo is deterministic.
+func runDemo(workload string, input int, cluster string, seed int64, steps, offline int) ([]trace.Event, error) {
+	e, err := cli.BuildEnv(cluster, workload, input, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(e.StateDim(), e.Space().Dim())
+	tuner, err := core.New(rand.New(rand.NewSource(seed)), cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewSession(trace.Options{RingSize: 16384})
+	tuner.SetRecorder(rec)
+	if offline > 0 {
+		tuner.OfflineTrain(e, offline, nil)
+	}
+	state := e.IdleState()
+	defTime := e.DefaultTime()
+	prevTime := defTime
+	lastFailed := false
+	for step := 1; step <= steps; step++ {
+		rec.SetStep(step)
+		action, _ := tuner.Suggest(state, lastFailed)
+		outcome := e.Evaluate(action)
+		tuner.Observe(state, action, outcome.ExecTime, prevTime, defTime,
+			outcome.State, step == steps)
+		lastFailed = outcome.Failed
+		prevTime = outcome.ExecTime
+		state = outcome.State
+	}
+	return rec.Recent(0), nil
+}
+
+// stepView is everything the inspector knows about one online step.
+type stepView struct {
+	step       int
+	candidates []trace.Candidate
+	reward     *trace.RewardBreakdown
+	routes     []trace.Route
+	spans      map[string]time.Duration
+	trainOnce  int
+}
+
+// collate groups events into per-step views, ordered by step. Events from
+// outside any step (step 0: construction, offline training) are collected
+// under step 0.
+func collate(events []trace.Event) []stepView {
+	byStep := map[int]*stepView{}
+	get := func(step int) *stepView {
+		v, ok := byStep[step]
+		if !ok {
+			v = &stepView{step: step, spans: map[string]time.Duration{}}
+			byStep[step] = v
+		}
+		return v
+	}
+	for _, ev := range events {
+		v := get(ev.Step)
+		switch ev.Kind {
+		case trace.KindCandidate:
+			v.candidates = append(v.candidates, *ev.Candidate)
+		case trace.KindReward:
+			rb := *ev.Reward
+			v.reward = &rb
+		case trace.KindRoute:
+			v.routes = append(v.routes, *ev.Route)
+		case trace.KindSpan:
+			if ev.Span == "train_once" {
+				v.trainOnce++
+			}
+			v.spans[ev.Span] += time.Duration(ev.DurNS)
+		}
+	}
+	out := make([]stepView, 0, len(byStep))
+	for _, v := range byStep {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].step < out[j].step })
+	return out
+}
+
+// chosen returns the index of the candidate the optimizer returned: the
+// first accepted one, else the best-scoring (Algorithm 1's fallback when
+// MaxTries is exhausted).
+func chosen(cands []trace.Candidate) int {
+	best := -1
+	for i, c := range cands {
+		if c.Accepted {
+			return i
+		}
+		if best < 0 || c.MinQ > cands[best].MinQ {
+			best = i
+		}
+	}
+	return best
+}
+
+func summarize(events []trace.Event, label string) {
+	views := collate(events)
+	fmt.Printf("trace %s: %d events\n", label, len(events))
+	for _, v := range views {
+		if v.step == 0 {
+			var parts []string
+			for _, name := range []string{"donor_adopt", "offline_train", "warehouse_ingest"} {
+				if d, ok := v.spans[name]; ok {
+					parts = append(parts, fmt.Sprintf("%s %s", name, d.Round(time.Microsecond)))
+				}
+			}
+			if v.trainOnce > 0 {
+				parts = append(parts, fmt.Sprintf("%d train iterations", v.trainOnce))
+			}
+			if len(parts) > 0 {
+				fmt.Printf("setup: %s\n", strings.Join(parts, ", "))
+			}
+			continue
+		}
+		line := fmt.Sprintf("step %-3d", v.step)
+		if len(v.candidates) > 0 {
+			ch := chosen(v.candidates)
+			rejected := len(v.candidates) - 1
+			verdict := "fallback best"
+			if v.candidates[ch].Accepted {
+				verdict = "accepted"
+			}
+			line += fmt.Sprintf("  twinq: %2d scored, %2d rejected, chose try %d (min-Q %+.3f, %s, q_th %.2f)",
+				len(v.candidates), rejected, v.candidates[ch].Try, v.candidates[ch].MinQ, verdict, v.candidates[ch].QTh)
+		}
+		if v.reward != nil {
+			line += fmt.Sprintf("  reward %+.3f (exec %.1fs)", v.reward.Reward, v.reward.ExecTime)
+		}
+		for _, rt := range v.routes {
+			line += fmt.Sprintf("  -> %s pool", rt.Pool)
+			break
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("\nuse -why STEP for the full candidate list and reward arithmetic of one step")
+}
+
+func whyStep(events []trace.Event, step int) {
+	for _, v := range collate(events) {
+		if v.step != step {
+			continue
+		}
+		fmt.Printf("step %d\n", step)
+		if len(v.candidates) > 0 {
+			ch := chosen(v.candidates)
+			fmt.Printf("  twin-Q search (%d candidates, q_th %.2f):\n", len(v.candidates), v.candidates[0].QTh)
+			for i, c := range v.candidates {
+				verdict := "rejected"
+				if c.Accepted {
+					verdict = "ACCEPTED"
+				}
+				mark := "  "
+				if i == ch {
+					mark = "=>"
+				}
+				origin := ""
+				if c.Try == 1 {
+					origin = "  (raw actor output)"
+				}
+				fmt.Printf("   %s try %-3d min-Q %+.4f (q1 %+.4f, q2 %+.4f)  %s%s\n",
+					mark, c.Try, c.MinQ, c.Q1, c.Q2, verdict, origin)
+			}
+			if !v.candidates[ch].Accepted {
+				fmt.Printf("      no candidate reached q_th in %d tries; best-scoring perturbation returned\n", len(v.candidates))
+			}
+		}
+		if r := v.reward; r != nil {
+			fmt.Printf("  reward (%s mode): exec %.3fs, prev %.3fs, default %.3fs", r.Mode, r.ExecTime, r.PrevTime, r.DefTime)
+			if r.Mode != "delta" {
+				fmt.Printf(", perf_e %.3fs (default/%.3g)", r.PerfE, r.SpeedupTarget)
+			}
+			fmt.Printf(" => %+.4f\n", r.Reward)
+		}
+		for _, rt := range v.routes {
+			fmt.Printf("  rdper: reward %+.4f vs r_th %+.3g -> %s pool (high %d, low %d)\n",
+				rt.Reward, rt.RTh, rt.Pool, rt.HighLen, rt.LowLen)
+		}
+		if len(v.spans) > 0 {
+			var names []string
+			for name := range v.spans {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			var parts []string
+			for _, name := range names {
+				if name == "train_once" {
+					parts = append(parts, fmt.Sprintf("train_once x%d (%s total)", v.trainOnce, v.spans[name].Round(time.Microsecond)))
+					continue
+				}
+				parts = append(parts, fmt.Sprintf("%s %s", name, v.spans[name].Round(time.Microsecond)))
+			}
+			fmt.Printf("  spans: %s\n", strings.Join(parts, ", "))
+		}
+		return
+	}
+	fatal(fmt.Errorf("no events for step %d in this trace", step))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deepcat-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepcat/internal/env"
+	"deepcat/internal/sparksim"
+	"deepcat/internal/trace"
+)
+
+func benchEnv(b *testing.B) *env.SparkEnv {
+	b.Helper()
+	sim := sparksim.NewSimulator(sparksim.ClusterA(), 1)
+	w, err := sparksim.WorkloadByShort("TS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env.NewSparkEnv(sim, w, 0)
+}
+
+func benchTuner(b *testing.B, e env.Environment) *DeepCAT {
+	b.Helper()
+	cfg := DefaultConfig(e.StateDim(), e.Space().Dim())
+	d, err := New(rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the buffer so the Twin-Q search runs over trained-ish critics,
+	// matching the online-tuning hot path.
+	d.OfflineTrain(e, 80, nil)
+	return d
+}
+
+// BenchmarkSuggest is the untraced suggest hot path (actor forward plus the
+// Twin-Q search); the CI regression gate holds it to the baseline, which
+// bounds the flight recorder's nil-path overhead.
+func BenchmarkSuggest(b *testing.B) {
+	e := benchEnv(b)
+	d := benchTuner(b, e)
+	state := e.IdleState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Suggest(state, false)
+	}
+}
+
+// BenchmarkSuggestTraced is the same path with a live recorder attached,
+// quantifying the tracing overhead (ISSUE budget: <5% over untraced).
+func BenchmarkSuggestTraced(b *testing.B) {
+	e := benchEnv(b)
+	d := benchTuner(b, e)
+	d.SetRecorder(trace.NewSession(trace.Options{RingSize: trace.DefaultRingSize}))
+	state := e.IdleState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Suggest(state, false)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"deepcat/internal/env"
 	"deepcat/internal/mat"
 	"deepcat/internal/rl"
+	"deepcat/internal/trace"
 )
 
 // Config collects DeepCAT's hyper-parameters. Zero value is not usable;
@@ -98,6 +99,27 @@ type DeepCAT struct {
 	Agent  *rl.TD3
 	Buffer rl.Sampler
 	rng    *rand.Rand
+	// rec, when non-nil, receives the flight-recorder event stream:
+	// suggest/observe/train spans, every Twin-Q candidate scored, reward
+	// decompositions. Tracing is strictly passive — it consumes no
+	// randomness and never alters tuning decisions (the determinism
+	// regression test asserts identical action sequences with it on and
+	// off). Not serialized: snapshots and clones start untraced.
+	rec trace.Recorder
+}
+
+// SetRecorder attaches a flight recorder to the tuner (nil detaches). When
+// the replay buffer is an RDPER it is wired too, so routing decisions land
+// in the same stream. A nil *trace.Session behind the interface is
+// normalized to a plain nil so the untraced fast path stays a nil check.
+func (d *DeepCAT) SetRecorder(rec trace.Recorder) {
+	if s, ok := rec.(*trace.Session); ok && s == nil {
+		rec = nil
+	}
+	d.rec = rec
+	if rd, ok := d.Buffer.(*rl.RDPER); ok {
+		rd.Rec = rec
+	}
 }
 
 // New constructs a DeepCAT tuner with freshly initialized networks.
@@ -216,10 +238,18 @@ func (d *DeepCAT) OfflineTrain(e env.Environment, iters int, checkpoint func(ite
 // trainOnce samples a batch, performs one TD3 update and refreshes
 // priorities when the buffer is TD-error prioritized.
 func (d *DeepCAT) trainOnce(batchSize int) {
+	sp := trace.Begin(d.rec, "train_once")
 	batch := d.Buffer.Sample(d.rng, batchSize)
 	stats := d.Agent.Train(d.rng, batch)
 	if ps, ok := d.Buffer.(rl.PrioritySampler); ok {
 		ps.UpdatePriorities(batch.Indices, stats.TDErrors)
+	}
+	if sp != nil {
+		sp.AttrInt("batch", batch.Len()).
+			AttrFloat("critic_loss", stats.CriticLoss).
+			AttrFloat("mean_q", stats.MeanQ).
+			AttrBool("actor_updated", stats.ActorUpdated).
+			End()
 	}
 }
 
@@ -278,15 +308,23 @@ func (d *DeepCAT) Suggest(state []float64, lastFailed bool) (action []float64, o
 // SuggestWithStats is Suggest plus the Twin-Q search statistics; the
 // tuning service uses it to feed perturbation/rejection metrics.
 func (d *DeepCAT) SuggestWithStats(state []float64, lastFailed bool) ([]float64, SuggestStats) {
+	sp := trace.Begin(d.rec, "suggest")
+	recovery := lastFailed && d.Cfg.RecoverySigma > 0
 	var action []float64
-	if lastFailed && d.Cfg.RecoverySigma > 0 {
+	if recovery {
 		action = d.Agent.ActNoisy(d.rng, state, d.Cfg.RecoverySigma)
 	} else {
 		action = d.Agent.Act(state)
 	}
 	st := SuggestStats{Tries: 1}
 	if d.Cfg.UseTwinQ {
-		action, st.Tries, st.Optimized = d.Cfg.TwinQ.Optimize(d.rng, d.Agent, state, action)
+		action, st.Tries, st.Optimized = d.Cfg.TwinQ.optimize(d.rng, d.Agent, state, action, d.rec)
+	}
+	if sp != nil {
+		sp.AttrBool("recovery", recovery).
+			AttrInt("tries", st.Tries).
+			AttrBool("optimized", st.Optimized).
+			End()
 	}
 	return action, st
 }
@@ -300,7 +338,24 @@ func (d *DeepCAT) SuggestWithStats(state []float64, lastFailed bool) ([]float64,
 // own the evaluation loop (e.g. an external job scheduler talking to the
 // tuning service) alternate Suggest and Observe.
 func (d *DeepCAT) Observe(state, action []float64, execTime, prevTime, defTime float64, nextState []float64, done bool) float64 {
+	sp := trace.Begin(d.rec, "observe")
 	r := d.reward(execTime, prevTime, defTime)
+	if d.rec != nil {
+		rb := &trace.RewardBreakdown{
+			Mode:     "immediate",
+			ExecTime: execTime,
+			PrevTime: prevTime,
+			DefTime:  defTime,
+			Reward:   r,
+		}
+		if d.Cfg.RewardMode == "delta" {
+			rb.Mode = "delta"
+		} else {
+			rb.SpeedupTarget = d.Cfg.SpeedupTarget
+			rb.PerfE = defTime / d.Cfg.SpeedupTarget
+		}
+		d.rec.Emit(trace.Event{Kind: trace.KindReward, Reward: rb})
+	}
 	d.Buffer.Add(rl.Transition{
 		State:     state,
 		Action:    action,
@@ -310,6 +365,9 @@ func (d *DeepCAT) Observe(state, action []float64, execTime, prevTime, defTime f
 	})
 	for i := 0; i < d.Cfg.FineTuneIters && d.Buffer.Len() >= 2; i++ {
 		d.trainOnce(minI(d.Cfg.BatchSize, d.Buffer.Len()))
+	}
+	if sp != nil {
+		sp.AttrFloat("reward", r).AttrFloat("exec_time", execTime).End()
 	}
 	return r
 }

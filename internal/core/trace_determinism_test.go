@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"deepcat/internal/trace"
+)
+
+// replayActions restores a tuner from snap, attaches rec, and drives it
+// through a fixed suggest/observe loop against a fresh deterministic
+// environment, returning every suggested action.
+func replayActions(t *testing.T, snap *Snapshot, rec *trace.Session, steps int) [][]float64 {
+	t.Helper()
+	d, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetRecorder(rec)
+	e := testEnv(t, "TS")
+	state := e.IdleState()
+	defTime := e.DefaultTime()
+	prevTime := defTime
+	var actions [][]float64
+	for step := 1; step <= steps; step++ {
+		rec.SetStep(step)
+		action, _ := d.Suggest(state, false)
+		actions = append(actions, action)
+		outcome := e.Evaluate(action)
+		d.Observe(state, action, outcome.ExecTime, prevTime, defTime,
+			outcome.State, step == steps)
+		prevTime = outcome.ExecTime
+		state = outcome.State
+	}
+	return actions
+}
+
+// TestRecorderDoesNotPerturbDecisions is the flight recorder's core
+// invariant: tracing must be provably free of effect on tuning output.
+// The same snapshot replayed with the recorder off and on must produce
+// bit-identical action sequences — the recorder consumes no randomness and
+// the Twin-Q search performs identical critic evaluations either way.
+func TestRecorderDoesNotPerturbDecisions(t *testing.T) {
+	e := testEnv(t, "TS")
+	d := newTuner(t, e, 7)
+	// A little offline experience makes the Twin-Q search non-trivial so
+	// the test exercises the perturbation loop, not just the happy path.
+	d.OfflineTrain(e, 30, nil)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const steps = 4
+	plain := replayActions(t, snap, nil, steps)
+	rec := trace.NewSession(trace.Options{RingSize: 8192})
+	traced := replayActions(t, snap, rec, steps)
+	tracedAgain := replayActions(t, snap, trace.NewSession(trace.Options{RingSize: 64}), steps)
+
+	for variant, actions := range map[string][][]float64{"traced": traced, "traced-small-ring": tracedAgain} {
+		if len(actions) != len(plain) {
+			t.Fatalf("%s produced %d actions, untraced %d", variant, len(actions), len(plain))
+		}
+		for i := range plain {
+			if len(actions[i]) != len(plain[i]) {
+				t.Fatalf("%s step %d action dim %d != %d", variant, i+1, len(actions[i]), len(plain[i]))
+			}
+			for j := range plain[i] {
+				if actions[i][j] != plain[i][j] {
+					t.Fatalf("%s diverged at step %d dim %d: %v != %v — tracing altered a tuning decision",
+						variant, i+1, j, actions[i][j], plain[i][j])
+				}
+			}
+		}
+	}
+
+	// And the traced run must actually have recorded the decisions.
+	events := rec.Recent(0)
+	var candidates, rewards, spans int
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindCandidate:
+			candidates++
+		case trace.KindReward:
+			rewards++
+		case trace.KindSpan:
+			spans++
+		}
+	}
+	if candidates == 0 {
+		t.Fatal("traced run recorded no Twin-Q candidates")
+	}
+	if rewards != steps {
+		t.Fatalf("traced run recorded %d reward events, want %d", rewards, steps)
+	}
+	if spans == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	// Candidate events must carry both critic values and the verdict inputs.
+	for _, ev := range events {
+		if ev.Kind != trace.KindCandidate {
+			continue
+		}
+		c := ev.Candidate
+		if c == nil || len(c.Action) == 0 || c.QTh == 0 {
+			t.Fatalf("malformed candidate event: %+v", ev)
+		}
+		if c.MinQ > c.Q1 || c.MinQ > c.Q2 {
+			t.Fatalf("min-Q %v exceeds a critic value (q1 %v, q2 %v)", c.MinQ, c.Q1, c.Q2)
+		}
+		if c.Accepted != (c.MinQ >= c.QTh) {
+			t.Fatalf("verdict inconsistent with score: %+v", c)
+		}
+		break
+	}
+}
+
+// TestSetRecorderWiresRDPER checks that routing decisions reach the same
+// stream and that a typed-nil recorder detaches cleanly.
+func TestSetRecorderWiresRDPER(t *testing.T) {
+	e := testEnv(t, "TS")
+	d := newTuner(t, e, 3)
+	rec := trace.NewSession(trace.Options{RingSize: 128})
+	d.SetRecorder(rec)
+	state := e.IdleState()
+	action, _ := d.Suggest(state, false)
+	d.Observe(state, action, 50, 100, 100, state, false)
+
+	var routes int
+	for _, ev := range rec.Recent(0) {
+		if ev.Kind == trace.KindRoute {
+			routes++
+			if ev.Route.Pool != "high" && ev.Route.Pool != "low" {
+				t.Fatalf("route pool = %q", ev.Route.Pool)
+			}
+		}
+	}
+	if routes == 0 {
+		t.Fatal("no RDPER routing events recorded")
+	}
+
+	var nilRec *trace.Session
+	d.SetRecorder(nilRec)
+	if d.rec != nil {
+		t.Fatal("typed-nil recorder not normalized to nil")
+	}
+	before := rec.Len()
+	d.Observe(state, action, 50, 100, 100, state, false)
+	if rec.Len() != before {
+		t.Fatal("detached recorder still receiving events")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"deepcat/internal/mat"
 	"deepcat/internal/rl"
+	"deepcat/internal/trace"
 )
 
 // TwinQOptimizer implements Algorithm 1 of the paper. During online tuning
@@ -46,17 +47,45 @@ func NewTwinQOptimizer() *TwinQOptimizer {
 // scored, and whether the original action was replaced. The input slice is
 // not modified.
 func (o *TwinQOptimizer) Optimize(rng *rand.Rand, agent *rl.TD3, s, a []float64) (out []float64, tries int, optimized bool) {
-	score := agent.MinQ
-	if o.SingleQ {
-		score = func(s, a []float64) float64 {
-			q1, _ := agent.QValues(s, a)
-			return q1
+	return o.optimize(rng, agent, s, a, nil)
+}
+
+// optimize is Optimize with an optional flight recorder: every candidate
+// scored — the raw recommendation and each perturbation — is emitted with
+// both critic values, its score and the threshold verdict. Recording is
+// passive: the search consumes exactly the same random draws and computes
+// exactly the same critic evaluations with rec nil or set.
+func (o *TwinQOptimizer) optimize(rng *rand.Rand, agent *rl.TD3, s, a []float64, rec trace.Recorder) (out []float64, tries int, optimized bool) {
+	// Both critics are always evaluated (QValues runs the pair); SingleQ
+	// only changes which value the verdict uses, so tracing sees Q1 and Q2
+	// in either mode.
+	score := func(s, a []float64) (q1, q2, sc float64) {
+		q1, q2 = agent.QValues(s, a)
+		sc = q1
+		if !o.SingleQ && q2 < q1 {
+			sc = q2
 		}
+		return q1, q2, sc
+	}
+	emit := func(try int, act []float64, q1, q2, sc float64) {
+		if rec == nil {
+			return
+		}
+		rec.Emit(trace.Event{Kind: trace.KindCandidate, Candidate: &trace.Candidate{
+			Try:      try,
+			Action:   mat.CloneSlice(act),
+			Q1:       q1,
+			Q2:       q2,
+			MinQ:     sc,
+			QTh:      o.QTh,
+			Accepted: sc >= o.QTh,
+		}})
 	}
 	cur := mat.CloneSlice(a)
 	bestA := mat.CloneSlice(a)
-	bestQ := score(s, cur)
+	q1, q2, bestQ := score(s, cur)
 	tries = 1
+	emit(tries, cur, q1, q2, bestQ)
 	if bestQ >= o.QTh {
 		return bestA, tries, false
 	}
@@ -65,8 +94,9 @@ func (o *TwinQOptimizer) Optimize(rng *rand.Rand, agent *rl.TD3, s, a []float64)
 		for i := range cur {
 			cur[i] = mat.Clip(cur[i]+o.Sigma*rng.NormFloat64(), 0, 1)
 		}
-		q := score(s, cur)
+		q1, q2, q := score(s, cur)
 		tries++
+		emit(tries, cur, q1, q2, q)
 		if q > bestQ {
 			bestQ = q
 			copy(bestA, cur)

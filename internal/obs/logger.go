@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -51,6 +52,29 @@ func ParseLevel(s string) (Level, error) {
 	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
 }
 
+// Format selects the line encoding of a Logger.
+type Format int
+
+const (
+	// FormatKV is the default human-oriented key=value encoding.
+	FormatKV Format = iota
+	// FormatJSON writes one JSON object per line with the same fields as
+	// FormatKV (time, level, msg, then the pairs), for log pipelines that
+	// ingest structured records.
+	FormatJSON
+)
+
+// ParseFormat maps a flag value ("kv", "json") to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "kv", "text", "":
+		return FormatKV, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatKV, fmt.Errorf("obs: unknown log format %q", s)
+}
+
 // output is the shared sink behind a Logger and all its With children, so
 // concurrent writes from different derived loggers never interleave.
 type output struct {
@@ -62,29 +86,43 @@ type output struct {
 //
 //	time=2026-08-05T12:00:00.000Z level=info msg="session created" id=s-1f
 //
+// or, under FormatJSON, the same record as one JSON object per line:
+//
+//	{"time":"2026-08-05T12:00:00.000Z","level":"info","msg":"session created","id":"s-1f"}
+//
 // A nil *Logger discards everything, so call sites never branch.
 type Logger struct {
-	out *output
-	min Level
-	ctx string // pre-rendered bound key=value pairs, leading space included
-	now func() time.Time
+	out    *output
+	min    Level
+	format Format
+	ctx    string // pre-rendered bound pairs in the logger's format
+	now    func() time.Time
 }
 
-// NewLogger returns a logger writing lines at or above min to w.
+// NewLogger returns a key=value logger writing lines at or above min to w.
 func NewLogger(w io.Writer, min Level) *Logger {
-	return &Logger{out: &output{w: w}, min: min, now: time.Now}
+	return NewLoggerFormat(w, min, FormatKV)
+}
+
+// NewLoggerFormat is NewLogger with an explicit line format.
+func NewLoggerFormat(w io.Writer, min Level, format Format) *Logger {
+	return &Logger{out: &output{w: w}, min: min, format: format, now: time.Now}
 }
 
 // With returns a child logger with kv (alternating key, value) appended to
-// every line. The child shares the parent's writer and level.
+// every line. The child shares the parent's writer, level and format.
 func (l *Logger) With(kv ...any) *Logger {
 	if l == nil || len(kv) == 0 {
 		return l
 	}
 	var b strings.Builder
 	b.WriteString(l.ctx)
-	appendPairs(&b, kv)
-	return &Logger{out: l.out, min: l.min, ctx: b.String(), now: l.now}
+	if l.format == FormatJSON {
+		appendPairsJSON(&b, kv)
+	} else {
+		appendPairs(&b, kv)
+	}
+	return &Logger{out: l.out, min: l.min, format: l.format, ctx: b.String(), now: l.now}
 }
 
 // Enabled reports whether level would be written; guard expensive argument
@@ -110,14 +148,26 @@ func (l *Logger) log(level Level, msg string, kv []any) {
 		return
 	}
 	var b strings.Builder
-	b.WriteString("time=")
-	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
-	b.WriteString(" level=")
-	b.WriteString(level.String())
-	b.WriteString(" msg=")
-	b.WriteString(formatValue(msg))
-	b.WriteString(l.ctx)
-	appendPairs(&b, kv)
+	if l.format == FormatJSON {
+		b.WriteString(`{"time":"`)
+		b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+		b.WriteString(`","level":"`)
+		b.WriteString(level.String())
+		b.WriteString(`","msg":`)
+		b.WriteString(jsonValue(msg))
+		b.WriteString(l.ctx)
+		appendPairsJSON(&b, kv)
+		b.WriteByte('}')
+	} else {
+		b.WriteString("time=")
+		b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+		b.WriteString(" level=")
+		b.WriteString(level.String())
+		b.WriteString(" msg=")
+		b.WriteString(formatValue(msg))
+		b.WriteString(l.ctx)
+		appendPairs(&b, kv)
+	}
 	b.WriteByte('\n')
 	l.out.mu.Lock()
 	defer l.out.mu.Unlock()
@@ -148,6 +198,49 @@ func formatKey(k any) string {
 		return strconv.Quote(s)
 	}
 	return s
+}
+
+// appendPairsJSON is appendPairs for FormatJSON: each pair is rendered as
+// `,"key":value` with native JSON numbers and booleans.
+func appendPairsJSON(b *strings.Builder, kv []any) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(',')
+		b.WriteString(jsonKey(kv[i]))
+		b.WriteByte(':')
+		b.WriteString(jsonValue(kv[i+1]))
+	}
+	if len(kv)%2 != 0 {
+		b.WriteString(`,"!extra":`)
+		b.WriteString(jsonValue(kv[len(kv)-1]))
+	}
+}
+
+func jsonKey(k any) string {
+	s, ok := k.(string)
+	if !ok {
+		s = fmt.Sprint(k)
+	}
+	out, _ := json.Marshal(s)
+	return string(out)
+}
+
+// jsonValue renders a value as a JSON token. Numbers and booleans stay
+// native; errors, Stringers and Durations become their string form; types
+// json cannot marshal fall back to their fmt.Sprint rendering.
+func jsonValue(v any) string {
+	switch t := v.(type) {
+	case error:
+		v = t.Error()
+	case time.Duration:
+		v = t.String()
+	case fmt.Stringer:
+		v = t.String()
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		out, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return string(out)
 }
 
 func formatValue(v any) string {

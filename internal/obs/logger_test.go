@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -90,5 +91,61 @@ func TestOddKeyValuePairs(t *testing.T) {
 	l.Info("odd", "k1", "v1", "dangling")
 	if got := b.String(); !strings.Contains(got, "!extra=dangling") {
 		t.Fatalf("dangling value dropped: %q", got)
+	}
+}
+
+func TestLoggerJSONFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLoggerFormat(&b, LevelDebug, FormatJSON)
+	l.now = fixedClock
+	l.Info("session created", "id", "s-1f", "warm", true, "iters", 25, "ratio", 0.5)
+	l.Warn("slow suggest", "dur", 1500*time.Millisecond)
+	l.Error("boom", "err", errors.New(`disk "full"`))
+
+	want := `{"time":"2026-08-05T12:00:00.000Z","level":"info","msg":"session created","id":"s-1f","warm":true,"iters":25,"ratio":0.5}
+{"time":"2026-08-05T12:00:00.000Z","level":"warn","msg":"slow suggest","dur":"1.5s"}
+{"time":"2026-08-05T12:00:00.000Z","level":"error","msg":"boom","err":"disk \"full\""}
+`
+	if b.String() != want {
+		t.Fatalf("json log mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+
+	// Every line must parse as standalone JSON with the expected fields.
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+		}
+		for _, key := range []string{"time", "level", "msg"} {
+			if _, ok := rec[key]; !ok {
+				t.Fatalf("line missing %q: %s", key, line)
+			}
+		}
+	}
+}
+
+func TestLoggerJSONWith(t *testing.T) {
+	var b strings.Builder
+	l := NewLoggerFormat(&b, LevelInfo, FormatJSON).With("request_id", "r-abc", "n", 7)
+	l.now = fixedClock
+	l.Info("handled", "code", 200)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &rec); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, b.String())
+	}
+	if rec["request_id"] != "r-abc" || rec["n"] != float64(7) || rec["code"] != float64(200) {
+		t.Fatalf("bound context lost: %v", rec)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{"kv": FormatKV, "text": FormatKV, "JSON": FormatJSON, "": FormatKV} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Fatal("ParseFormat accepted junk")
 	}
 }

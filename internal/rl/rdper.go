@@ -3,6 +3,8 @@ package rl
 import (
 	"fmt"
 	"math/rand"
+
+	"deepcat/internal/trace"
 )
 
 // RDPER is DeepCAT's reward-driven prioritized experience replay (§3.3).
@@ -25,6 +27,12 @@ type RDPER struct {
 	// (the paper sweeps 0.1–0.9 in Fig. 11 and settles on 0.6).
 	Beta float64
 
+	// Rec, when non-nil, receives one flight-recorder routing event per
+	// Add: which pool the transition entered and the R_th in force.
+	// Recording is passive and consumes no randomness. Not serialized —
+	// CaptureReplay/RestoreReplay ignore it.
+	Rec trace.Recorder
+
 	high *UniformReplay
 	low  *UniformReplay
 }
@@ -45,10 +53,21 @@ func NewRDPER(capacity int, rewardThreshold, beta float64) *RDPER {
 
 // Add routes the transition into the high- or low-reward pool.
 func (r *RDPER) Add(tr Transition) {
+	pool := "low"
 	if tr.Reward >= r.RewardThreshold {
+		pool = "high"
 		r.high.Add(tr)
 	} else {
 		r.low.Add(tr)
+	}
+	if r.Rec != nil {
+		r.Rec.Emit(trace.Event{Kind: trace.KindRoute, Route: &trace.Route{
+			Pool:    pool,
+			RTh:     r.RewardThreshold,
+			Reward:  tr.Reward,
+			HighLen: r.high.Len(),
+			LowLen:  r.low.Len(),
+		}})
 	}
 }
 

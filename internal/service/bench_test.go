@@ -25,10 +25,10 @@ func BenchmarkSessionSuggestObserve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := manager.Suggest(info.ID); err != nil {
+		if _, err := manager.Suggest(info.ID, ""); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := manager.Observe(info.ID, service.ObserveRequest{ExecTime: 100}); err != nil {
+		if _, err := manager.Observe(info.ID, service.ObserveRequest{ExecTime: 100}, ""); err != nil {
 			b.Fatal(err)
 		}
 	}

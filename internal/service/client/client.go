@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -229,6 +231,31 @@ func (c *Client) Observe(id string, req service.ObserveRequest) (service.Observe
 	var resp service.ObserveResponse
 	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/observe", req, &resp)
 	return resp, err
+}
+
+// Trace fetches up to n of the session's most recent flight-recorder
+// events (n <= 0 fetches everything buffered).
+func (c *Client) Trace(id string, n int) (service.TraceResponse, error) {
+	var resp service.TraceResponse
+	path := "/v1/sessions/" + id + "/trace"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	err := c.do(http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// TraceExport fetches the session's trace in the named export format
+// ("chrome" is the only one today) as raw bytes, ready to write to a file
+// and load in Perfetto.
+func (c *Client) TraceExport(id, format string) ([]byte, error) {
+	var raw json.RawMessage
+	path := "/v1/sessions/" + id + "/trace/export"
+	if format != "" {
+		path += "?format=" + url.QueryEscape(format)
+	}
+	err := c.do(http.MethodGet, path, nil, &raw)
+	return []byte(raw), err
 }
 
 // WarehouseStats fetches the daemon's experience-warehouse summary.

@@ -21,7 +21,7 @@ func TestDeleteRacesObserve(t *testing.T) {
 		if _, err := m.Create(CreateSessionRequest{ID: id, Workload: "WC", Input: 1, Cluster: "a", Seed: int64(i + 1)}); err != nil {
 			t.Fatal(err)
 		}
-		sug, err := m.Suggest(id)
+		sug, err := m.Suggest(id, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +33,7 @@ func TestDeleteRacesObserve(t *testing.T) {
 			// Either outcome is legal: the observation lands (and its
 			// checkpoint is subsequently deleted) or the session is already
 			// gone/closed. What matters is the postcondition below.
-			_, _ = m.Observe(id, ObserveRequest{Step: sug.Step, ExecTime: 100})
+			_, _ = m.Observe(id, ObserveRequest{Step: sug.Step, ExecTime: 100}, "")
 		}()
 		go func() {
 			defer wg.Done()

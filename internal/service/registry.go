@@ -1,15 +1,18 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
 
 	"deepcat/internal/obs"
+	"deepcat/internal/trace"
 	"deepcat/internal/warehouse"
 )
 
@@ -27,6 +30,8 @@ type Manager struct {
 	// met is never nil; over a nil registry every instrument no-ops.
 	met *metrics
 	log *obs.Logger
+	// tc, when non-nil, enables per-session flight recording.
+	tc *TraceConfig
 
 	mu sync.Mutex
 	// sessions maps id -> session; a nil value reserves an id whose
@@ -78,6 +83,30 @@ func (m *Manager) Obs() (*obs.Registry, *obs.Logger) { return m.met.reg, m.log }
 // without one.
 func (m *Manager) Warehouse() *warehouse.Warehouse { return m.wh }
 
+// AttachTrace enables flight recording for sessions created or resumed
+// afterwards; call it once at daemon startup, before Resume or any Create.
+func (m *Manager) AttachTrace(tc TraceConfig) { m.tc = &tc }
+
+// TraceEnabled reports whether the manager records session traces.
+func (m *Manager) TraceEnabled() bool { return m.tc != nil }
+
+// Trace returns up to n recent flight-recorder events of the session,
+// oldest first (n <= 0 means all buffered). ErrNotFound covers both an
+// unknown session and a daemon without tracing.
+func (m *Manager) Trace(id string, n int) ([]trace.Event, error) {
+	s, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.TraceRecent(n)
+}
+
+// labels returns the pprof label set identifying a session's work in CPU
+// profiles: the session id and its workload family signature.
+func (s *Session) labels() pprof.LabelSet {
+	return pprof.Labels("deepcat_session", s.meta.ID, "workload", s.sig)
+}
+
 // newID generates a random session id.
 func newID() string {
 	var b [8]byte
@@ -117,10 +146,18 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	m.sessions[id] = nil // reserve
 	m.mu.Unlock()
 
-	s, err := newSession(id, req, time.Now(), m.wh, m.met)
-	if err == nil {
-		err = m.checkpoint(s)
-	}
+	var s *Session
+	var err error
+	// Label the (possibly long, offline-training) construction work so CPU
+	// profiles attribute it to the session and workload family.
+	pprof.Do(context.Background(),
+		pprof.Labels("deepcat_session", id, "workload", warehouse.Signature(req.Cluster, req.Workload, req.Input)),
+		func(context.Context) {
+			s, err = newSession(id, req, time.Now(), m.wh, m.met, m.tc)
+			if err == nil {
+				err = m.checkpoint(s)
+			}
+		})
 	m.mu.Lock()
 	if err != nil {
 		delete(m.sessions, id)
@@ -172,28 +209,40 @@ func (m *Manager) List() []SessionInfo {
 	return infos
 }
 
-// Suggest forwards to the session.
-func (m *Manager) Suggest(id string) (SuggestResponse, error) {
+// Suggest forwards to the session. reqID, when non-empty, tags the
+// recorded trace span with the originating HTTP request id.
+func (m *Manager) Suggest(id, reqID string) (SuggestResponse, error) {
 	s, err := m.Get(id)
 	if err != nil {
 		return SuggestResponse{}, err
 	}
-	return s.Suggest(time.Now())
+	var resp SuggestResponse
+	pprof.Do(context.Background(), s.labels(), func(context.Context) {
+		resp, err = s.Suggest(time.Now(), reqID)
+	})
+	return resp, err
 }
 
 // Observe forwards to the session and checkpoints the advanced state, so a
 // daemon crash after the response never loses an acknowledged observation.
-func (m *Manager) Observe(id string, req ObserveRequest) (ObserveResponse, error) {
+// reqID tags the recorded trace span (see Suggest).
+func (m *Manager) Observe(id string, req ObserveRequest, reqID string) (ObserveResponse, error) {
 	s, err := m.Get(id)
 	if err != nil {
 		return ObserveResponse{}, err
 	}
-	resp, err := s.Observe(req, time.Now())
+	var resp ObserveResponse
+	pprof.Do(context.Background(), s.labels(), func(context.Context) {
+		resp, err = s.Observe(req, time.Now(), reqID)
+		if err != nil {
+			return
+		}
+		if cerr := m.checkpoint(s); cerr != nil {
+			err = fmt.Errorf("observation recorded but checkpoint failed: %w", cerr)
+		}
+	})
 	if err != nil {
 		return ObserveResponse{}, err
-	}
-	if err := m.checkpoint(s); err != nil {
-		return ObserveResponse{}, fmt.Errorf("observation recorded but checkpoint failed: %w", err)
 	}
 	return resp, nil
 }
@@ -233,6 +282,7 @@ func (m *Manager) Delete(id string) error {
 // a concurrent Delete can never interleave between them (see Delete).
 func (m *Manager) checkpoint(s *Session) error {
 	start := time.Now()
+	sp := trace.Begin(s.rec, "checkpoint")
 	s.ckpt.Lock()
 	defer s.ckpt.Unlock()
 	data, err := s.Checkpoint()
@@ -243,6 +293,7 @@ func (m *Manager) checkpoint(s *Session) error {
 	if err == nil {
 		m.met.checkpointDur.ObserveSince(start)
 		m.met.checkpointBytes.Add(uint64(len(data)))
+		sp.AttrInt("bytes", len(data)).End()
 	}
 	return err
 }
@@ -281,7 +332,7 @@ func (m *Manager) Resume() (int, error) {
 			errs = append(errs, err)
 			continue
 		}
-		s, err := resumeSession(data, m.wh, m.met)
+		s, err := resumeSession(data, m.wh, m.met, m.tc)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("checkpoint %s: %w", id, err))
 			continue

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"deepcat/internal/obs"
+	"deepcat/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate body (an
@@ -49,6 +50,8 @@ func NewServer(m *Manager) *Server {
 	route("DELETE /v1/sessions/{id}", "session_delete", s.handleDelete)
 	route("POST /v1/sessions/{id}/suggest", "suggest", s.handleSuggest)
 	route("POST /v1/sessions/{id}/observe", "observe", s.handleObserve)
+	route("GET /v1/sessions/{id}/trace", "trace", s.handleTrace)
+	route("GET /v1/sessions/{id}/trace/export", "trace_export", s.handleTraceExport)
 	route("GET /v1/warehouse/stats", "warehouse_stats", s.handleWarehouseStats)
 	route("GET /v1/warehouse/families/{sig}/donors", "warehouse_donors", s.handleWarehouseDonors)
 	return s
@@ -153,7 +156,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
-	resp, err := s.manager.Suggest(r.PathValue("id"))
+	// instrument already stamped the response header with the request id;
+	// pass it down so the session's trace span carries the same value.
+	resp, err := s.manager.Suggest(r.PathValue("id"), w.Header().Get(requestIDHeader))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -166,12 +171,55 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := s.manager.Observe(r.PathValue("id"), req)
+	resp, err := s.manager.Observe(r.PathValue("id"), req, w.Header().Get(requestIDHeader))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad n %q", v)})
+			return
+		}
+		n = parsed
+	}
+	events, err := s.manager.Trace(id, n)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	sess, err := s.manager.Get(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{
+		Session: id,
+		Events:  events,
+		Dropped: sess.TraceDropped(),
+	})
+}
+
+func (s *Server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
+	if f := r.URL.Query().Get("format"); f != "" && f != "chrome" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown trace format %q", f)})
+		return
+	}
+	id := r.PathValue("id")
+	events, err := s.manager.Trace(id, 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.WriteChrome(w, id, events)
 }
 
 func (s *Server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {

@@ -234,11 +234,11 @@ func TestObserveSurvivesCrashAfterCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sug, err := m.Suggest(info.ID)
+	sug, err := m.Suggest(info.ID, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Observe(info.ID, service.ObserveRequest{Step: sug.Step, ExecTime: 321}); err != nil {
+	if _, err := m.Observe(info.ID, service.ObserveRequest{Step: sug.Step, ExecTime: 321}, ""); err != nil {
 		t.Fatal(err)
 	}
 	// "Crash": no shutdown hooks run; a new manager reads the same dir.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"deepcat/internal/env"
 	"deepcat/internal/mat"
 	"deepcat/internal/rl"
+	"deepcat/internal/trace"
 	"deepcat/internal/warehouse"
 )
 
@@ -100,9 +102,47 @@ type Session struct {
 	// without a registry).
 	met *metrics
 
+	// rec is the session's flight recorder; nil when the daemon runs with
+	// tracing disabled. It is threaded into the tuner at construction so
+	// core and rl decision events land in the same per-session stream.
+	rec *trace.Session
+
 	// ckpt serializes this session's store writes against its deletion;
 	// see Manager.checkpoint and Manager.Delete.
 	ckpt sync.Mutex
+}
+
+// TraceConfig configures per-session flight recording; see
+// Manager.AttachTrace.
+type TraceConfig struct {
+	// RingSize bounds each session's in-memory event ring (<= 0 selects
+	// trace.DefaultRingSize).
+	RingSize int
+	// Dir, when non-empty, additionally spools every session's events to
+	// <Dir>/<session-id>.jsonl for post-mortem inspection with
+	// cmd/deepcat-trace; a resumed session reopens (and crash-recovers)
+	// its existing spool.
+	Dir string
+	// SpoolMaxBytes is the per-spool rotation threshold (<= 0 selects
+	// trace.DefaultSpoolMaxBytes).
+	SpoolMaxBytes int64
+}
+
+// newRecorder builds a session's flight recorder per the daemon's trace
+// configuration; nil config means tracing is off. A spool that cannot be
+// opened degrades the session to ring-only tracing rather than failing
+// creation — the recorder is an observer, never a gate.
+func newRecorder(tc *TraceConfig, id string) *trace.Session {
+	if tc == nil {
+		return nil
+	}
+	var spool *trace.Spool
+	if tc.Dir != "" {
+		if sp, err := trace.OpenSpool(filepath.Join(tc.Dir, id+".jsonl"), tc.SpoolMaxBytes); err == nil {
+			spool = sp
+		}
+	}
+	return trace.NewSession(trace.Options{RingSize: tc.RingSize, Spool: spool})
 }
 
 // newSession builds (and optionally warm-starts) a session. The simulated
@@ -113,7 +153,7 @@ type Session struct {
 // the session adopts the donor's networks and pre-fills its replay pools
 // with the family's high-reward transitions before any optional offline
 // training; a missing or mismatched donor falls back to a cold start.
-func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehouse.Warehouse, met *metrics) (*Session, error) {
+func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehouse.Warehouse, met *metrics, tc *TraceConfig) (*Session, error) {
 	e, err := cli.BuildEnv(req.Cluster, req.Workload, req.Input, req.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrInvalid, err)
@@ -146,20 +186,29 @@ func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehous
 		wh:    wh,
 		sig:   warehouse.Signature(req.Cluster, req.Workload, req.Input),
 		met:   met,
+		rec:   newRecorder(tc, id),
 	}
+	tuner.SetRecorder(s.rec)
 	if wh != nil && !req.NoWarmStart {
 		if ws, ok := wh.WarmStart(s.sig, cfg.RewardThreshold, warmSeedMax); ok {
+			sp := trace.Begin(s.rec, "donor_adopt")
 			if err := tuner.AdoptAgent(ws.Snap); err == nil {
 				tuner.SeedReplay(ws.Seeds)
 				s.meta.WarmStarted = true
 				s.meta.Donor = fmt.Sprintf("%s-g%d", ws.Donor.Signature, ws.Donor.Generation)
+				sp.Attr("donor", s.meta.Donor).AttrInt("seeds", len(ws.Seeds))
+			} else {
+				sp.Attr("error", err.Error())
 			}
+			sp.End()
 			// An adoption error (e.g. a donor from an incompatible build)
 			// is not fatal: the session simply starts cold.
 		}
 	}
 	if req.OfflineIters > 0 {
+		sp := trace.Begin(s.rec, "offline_train").AttrInt("iters", req.OfflineIters)
 		tuner.OfflineTrain(e, req.OfflineIters, nil)
+		sp.End()
 		if wh != nil && !s.meta.WarmStarted {
 			// Contribute the offline experience to the fleet. Warm-started
 			// sessions skip the bulk export: their buffer already holds
@@ -169,7 +218,9 @@ func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehous
 				for i, tr := range trs {
 					recs[i] = warehouse.Record{Signature: s.sig, Session: id, Transition: tr}
 				}
+				wsp := trace.Begin(s.rec, "warehouse_ingest").AttrInt("records", len(recs))
 				_ = wh.AppendBatch(recs)
+				wsp.End()
 			}
 		}
 	}
@@ -221,14 +272,21 @@ func (s *Session) infoLocked() SessionInfo {
 
 // Suggest returns the next configuration to evaluate. While an observation
 // is outstanding it idempotently re-returns the same suggestion, so
-// schedulers can safely retry.
-func (s *Session) Suggest(now time.Time) (SuggestResponse, error) {
+// schedulers can safely retry. reqID, when non-empty, tags the recorded
+// span so a trace line can be correlated with the daemon's request log.
+func (s *Session) Suggest(now time.Time, reqID string) (SuggestResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return SuggestResponse{}, fmt.Errorf("session %s: %w", s.meta.ID, ErrClosed)
 	}
 	if s.pending == nil {
+		step := s.meta.Step + 1
+		s.rec.SetStep(step)
+		sp := trace.Begin(s.rec, "session.suggest").AttrInt("step", step)
+		if reqID != "" {
+			sp.Attr("request_id", reqID)
+		}
 		start := time.Now()
 		action, st := s.tuner.SuggestWithStats(s.meta.State, s.meta.LastFailed)
 		s.met.suggestDur.ObserveSince(start)
@@ -239,12 +297,13 @@ func (s *Session) Suggest(now time.Time) (SuggestResponse, error) {
 			s.met.twinqRejections.Inc()
 		}
 		s.pending = &pendingSuggest{
-			step:      s.meta.Step + 1,
+			step:      step,
 			action:    mat.CloneSlice(action),
 			optimized: st.Optimized,
 			state:     mat.CloneSlice(s.meta.State),
 		}
 		s.meta.UpdatedAt = now
+		sp.AttrInt("tries", st.Tries).AttrBool("optimized", st.Optimized).End()
 	}
 	return s.suggestResponseLocked(), nil
 }
@@ -266,8 +325,9 @@ func (s *Session) suggestResponseLocked() SuggestResponse {
 
 // Observe records the measured outcome of the pending suggestion and
 // fine-tunes the agent on it. req.Step 0 targets the pending suggestion;
-// any other value must match it.
-func (s *Session) Observe(req ObserveRequest, now time.Time) (ObserveResponse, error) {
+// any other value must match it. reqID, when non-empty, tags the recorded
+// span (see Suggest).
+func (s *Session) Observe(req ObserveRequest, now time.Time, reqID string) (ObserveResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -294,14 +354,22 @@ func (s *Session) Observe(req ObserveRequest, now time.Time) (ObserveResponse, e
 		nextState = mat.CloneSlice(req.State)
 	}
 	p := s.pending
+	s.rec.SetStep(p.step)
+	sp := trace.Begin(s.rec, "session.observe").AttrInt("step", p.step).
+		AttrFloat("exec_time", req.ExecTime).AttrBool("failed", req.Failed)
+	if reqID != "" {
+		sp.Attr("request_id", reqID)
+	}
 	start := time.Now()
 	reward := s.tuner.Observe(p.state, p.action, req.ExecTime, s.meta.PrevTime,
 		s.env.DefaultTime(), nextState, false)
 	s.met.observeDur.ObserveSince(start)
+	sp.AttrFloat("reward", reward).End()
 	if s.wh != nil {
 		// Stream the observed experience into the fleet warehouse. The
 		// warehouse is advisory — a full disk there must not fail the
 		// observation the tuner already learned from.
+		wsp := trace.Begin(s.rec, "warehouse_ingest").AttrInt("records", 1)
 		_ = s.wh.Append(warehouse.Record{
 			Signature: s.sig,
 			Session:   s.meta.ID,
@@ -313,6 +381,7 @@ func (s *Session) Observe(req ObserveRequest, now time.Time) (ObserveResponse, e
 				Done:      false,
 			},
 		})
+		wsp.End()
 	}
 
 	improved := !req.Failed && (s.meta.BestTime == 0 || req.ExecTime < s.meta.BestTime)
@@ -336,11 +405,28 @@ func (s *Session) Observe(req ObserveRequest, now time.Time) (ObserveResponse, e
 }
 
 // Close marks the session closed; subsequent calls fail with ErrClosed.
+// The flight recorder's spool, if any, is flushed and closed.
 func (s *Session) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	_ = s.rec.Close()
 }
+
+// TraceRecent returns up to n of the session's most recent flight-recorder
+// events, oldest first (n <= 0 means all buffered). It fails with
+// ErrNotFound when the daemon runs with tracing disabled, so the HTTP
+// layer can answer 404 rather than an empty trace.
+func (s *Session) TraceRecent(n int) ([]trace.Event, error) {
+	if s.rec == nil {
+		return nil, fmt.Errorf("session %s: tracing disabled: %w", s.meta.ID, ErrNotFound)
+	}
+	return s.rec.Recent(n), nil
+}
+
+// TraceDropped reports how many events the ring has evicted; 0 when
+// tracing is off.
+func (s *Session) TraceDropped() uint64 { return s.rec.Dropped() }
 
 // Checkpoint serializes the session (metadata plus the tuner's full
 // snapshot) for the Store. The pending suggestion, if any, is dropped: it
@@ -368,7 +454,7 @@ func (s *Session) Checkpoint() ([]byte, error) {
 // agent, replay pool and tuning progress come from the snapshot. The
 // warehouse binding, when the daemon runs one, is re-established from the
 // same metadata.
-func resumeSession(data []byte, wh *warehouse.Warehouse, met *metrics) (*Session, error) {
+func resumeSession(data []byte, wh *warehouse.Warehouse, met *metrics, tc *TraceConfig) (*Session, error) {
 	var ck sessionCheckpoint
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
 		return nil, fmt.Errorf("service: decode checkpoint: %w", err)
@@ -387,12 +473,19 @@ func resumeSession(data []byte, wh *warehouse.Warehouse, met *metrics) (*Session
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		meta:  ck.Meta,
 		tuner: tuner,
 		env:   e,
 		wh:    wh,
 		sig:   warehouse.Signature(ck.Meta.Cluster, ck.Meta.Workload, ck.Meta.Input),
 		met:   met,
-	}, nil
+		rec:   newRecorder(tc, ck.Meta.ID),
+	}
+	// The recorder is deliberately not part of the checkpoint: a resumed
+	// session reopens its spool (recovering any torn tail) and continues
+	// the event stream with a fresh ring.
+	s.rec.SetStep(ck.Meta.Step)
+	tuner.SetRecorder(s.rec)
+	return s, nil
 }

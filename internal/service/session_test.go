@@ -32,11 +32,11 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 
 	// Observe before any suggestion is a conflict.
-	if _, err := m.Observe("life", ObserveRequest{ExecTime: 100}); !errors.Is(err, ErrConflict) {
+	if _, err := m.Observe("life", ObserveRequest{ExecTime: 100}, ""); !errors.Is(err, ErrConflict) {
 		t.Fatalf("observe without suggestion = %v, want ErrConflict", err)
 	}
 
-	sug, err := m.Suggest("life")
+	sug, err := m.Suggest("life", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 
 	// Re-suggesting while an observation is pending is idempotent.
-	again, err := m.Suggest("life")
+	again, err := m.Suggest("life", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,17 +65,17 @@ func TestSessionLifecycle(t *testing.T) {
 
 	// Wrong step and bad payloads are rejected without consuming the
 	// pending suggestion.
-	if _, err := m.Observe("life", ObserveRequest{Step: 99, ExecTime: 100}); !errors.Is(err, ErrConflict) {
+	if _, err := m.Observe("life", ObserveRequest{Step: 99, ExecTime: 100}, ""); !errors.Is(err, ErrConflict) {
 		t.Fatalf("mismatched step = %v, want ErrConflict", err)
 	}
-	if _, err := m.Observe("life", ObserveRequest{ExecTime: 0}); !errors.Is(err, ErrInvalid) {
+	if _, err := m.Observe("life", ObserveRequest{ExecTime: 0}, ""); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("zero exec time = %v, want ErrInvalid", err)
 	}
-	if _, err := m.Observe("life", ObserveRequest{ExecTime: 50, State: []float64{1}}); !errors.Is(err, ErrInvalid) {
+	if _, err := m.Observe("life", ObserveRequest{ExecTime: 50, State: []float64{1}}, ""); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("short state vector = %v, want ErrInvalid", err)
 	}
 
-	obs, err := m.Observe("life", ObserveRequest{Step: sug.Step, ExecTime: 120})
+	obs, err := m.Observe("life", ObserveRequest{Step: sug.Step, ExecTime: 120}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,8 +92,8 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 
 	// A slower run does not displace the best.
-	sug2, _ := m.Suggest("life")
-	obs2, err := m.Observe("life", ObserveRequest{Step: sug2.Step, ExecTime: 500})
+	sug2, _ := m.Suggest("life", "")
+	obs2, err := m.Observe("life", ObserveRequest{Step: sug2.Step, ExecTime: 500}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +102,8 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 
 	// Failed runs never count as best.
-	sug3, _ := m.Suggest("life")
-	obs3, err := m.Observe("life", ObserveRequest{Step: sug3.Step, ExecTime: 60, Failed: true})
+	sug3, _ := m.Suggest("life", "")
+	obs3, err := m.Observe("life", ObserveRequest{Step: sug3.Step, ExecTime: 60, Failed: true}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestSessionLifecycle(t *testing.T) {
 	if err := m.Delete("life"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Suggest("life"); !errors.Is(err, ErrNotFound) {
+	if _, err := m.Suggest("life", ""); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("suggest after delete = %v, want ErrNotFound", err)
 	}
 }
@@ -167,7 +167,7 @@ func TestSessionConcurrentHammer(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iterations; i++ {
 				if g%2 == 0 {
-					sug, err := m.Suggest("hammer")
+					sug, err := m.Suggest("hammer", "")
 					if err != nil {
 						t.Errorf("suggest: %v", err)
 						return
@@ -177,7 +177,7 @@ func TestSessionConcurrentHammer(t *testing.T) {
 						return
 					}
 				} else {
-					_, err := m.Observe("hammer", ObserveRequest{ExecTime: 100 + float64(i)})
+					_, err := m.Observe("hammer", ObserveRequest{ExecTime: 100 + float64(i)}, "")
 					switch {
 					case err == nil:
 						observed.Add(1)
@@ -227,12 +227,12 @@ func TestConcurrentSessionsIsolated(t *testing.T) {
 		go func(id string, rounds int) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				sug, err := m.Suggest(id)
+				sug, err := m.Suggest(id, "")
 				if err != nil {
 					t.Errorf("%s: suggest: %v", id, err)
 					return
 				}
-				if _, err := m.Observe(id, ObserveRequest{Step: sug.Step, ExecTime: 200}); err != nil {
+				if _, err := m.Observe(id, ObserveRequest{Step: sug.Step, ExecTime: 200}, ""); err != nil {
 					t.Errorf("%s: observe: %v", id, err)
 					return
 				}

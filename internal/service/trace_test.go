@@ -1,0 +1,242 @@
+package service_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deepcat/internal/service"
+	"deepcat/internal/service/client"
+	"deepcat/internal/trace"
+)
+
+// startTracedDaemon is startDaemon with flight recording enabled.
+func startTracedDaemon(t *testing.T, dir string, tc service.TraceConfig) (*service.Manager, *client.Client, func()) {
+	t.Helper()
+	store, err := service.NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manager := service.NewManager(store, 8)
+	manager.AttachTrace(tc)
+	if _, err := manager.Resume(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewServer(manager)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	stop := func() {
+		srv.Close()
+		<-done
+	}
+	return manager, client.New("http://" + ln.Addr().String()), stop
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	spoolDir := t.TempDir()
+	_, c, stop := startTracedDaemon(t, t.TempDir(), service.TraceConfig{RingSize: 1024, Dir: spoolDir})
+	defer stop()
+
+	info, err := c.CreateSession(service.CreateSessionRequest{ID: "s-traced", Workload: "TS", Input: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		sug, err := c.Suggest(info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Observe(info.ID, service.ObserveRequest{Step: sug.Step, ExecTime: 100 - float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := c.Trace(info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Session != info.ID || len(resp.Events) == 0 {
+		t.Fatalf("trace response = session %q, %d events", resp.Session, len(resp.Events))
+	}
+	var candidates, rewards int
+	spans := map[string]bool{}
+	reqIDs := map[string]bool{}
+	lastStep := 0
+	for _, ev := range resp.Events {
+		switch ev.Kind {
+		case trace.KindCandidate:
+			candidates++
+		case trace.KindReward:
+			rewards++
+		case trace.KindSpan:
+			spans[ev.Span] = true
+			if id := ev.Attrs["request_id"]; id != "" {
+				reqIDs[id] = true
+			}
+		}
+		if ev.Step > lastStep {
+			lastStep = ev.Step
+		}
+	}
+	if candidates == 0 || rewards != rounds {
+		t.Fatalf("trace stream: %d candidates, %d rewards (want >0, %d)", candidates, rewards, rounds)
+	}
+	for _, want := range []string{"session.suggest", "suggest", "session.observe", "observe", "train_once", "checkpoint"} {
+		if !spans[want] {
+			t.Fatalf("span %q missing from trace; have %v", want, spans)
+		}
+	}
+	// Each HTTP suggest/observe gets its own X-Request-Id, and the spans
+	// must carry them for log correlation.
+	if len(reqIDs) < 2*rounds {
+		t.Fatalf("only %d distinct request ids on spans, want %d", len(reqIDs), 2*rounds)
+	}
+	if lastStep != rounds {
+		t.Fatalf("trace events reach step %d, want %d", lastStep, rounds)
+	}
+
+	// The ?n= limit returns the newest events only.
+	limited, err := c.Trace(info.ID, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Events) != 5 {
+		t.Fatalf("Trace(n=5) returned %d events", len(limited.Events))
+	}
+	all := resp.Events
+	if limited.Events[4].Seq != all[len(all)-1].Seq {
+		t.Fatalf("limited fetch not anchored at the newest event: %d vs %d",
+			limited.Events[4].Seq, all[len(all)-1].Seq)
+	}
+
+	// Chrome export parses as a trace-event file.
+	raw, err := c.TraceExport(info.ID, "chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chromeFile struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chromeFile); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(chromeFile.TraceEvents) != len(all)+1 { // +1 process_name metadata
+		t.Fatalf("chrome export has %d events, want %d", len(chromeFile.TraceEvents), len(all)+1)
+	}
+
+	// Unknown formats and sessions are client errors.
+	if _, err := c.TraceExport(info.ID, "svg"); err == nil {
+		t.Fatal("unknown export format accepted")
+	}
+	if _, err := c.Trace("s-missing", 0); err == nil {
+		t.Fatal("trace of unknown session succeeded")
+	}
+
+	// The spool mirrors the stream on disk, readable by deepcat-trace.
+	spooled, err := trace.ReadSpool(filepath.Join(spoolDir, info.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spooled) != len(all) {
+		t.Fatalf("spool holds %d events, ring served %d", len(spooled), len(all))
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	_, c, stop := startDaemon(t, t.TempDir(), 4)
+	defer stop()
+	info, err := c.CreateSession(service.CreateSessionRequest{Workload: "TS", Input: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Trace(info.ID, 0)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("trace on untraced daemon = %v, want 404", err)
+	}
+}
+
+func TestTraceSpoolSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	spoolDir := t.TempDir()
+	tc := service.TraceConfig{RingSize: 256, Dir: spoolDir}
+
+	_, c, stop := startTracedDaemon(t, dir, tc)
+	info, err := c.CreateSession(service.CreateSessionRequest{ID: "s-restart", Workload: "TS", Input: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sug, err := c.Suggest(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Observe(info.ID, service.ObserveRequest{Step: sug.Step, ExecTime: 90}); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	spool := filepath.Join(spoolDir, "s-restart.jsonl")
+	firstGen, err := trace.ReadSpool(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(firstGen) == 0 {
+		t.Fatal("no events spooled before restart")
+	}
+	// Simulate a crash mid-write: append a torn line the reopen must heal.
+	f, err := os.OpenFile(spool, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":99999,"kind":"spa`)
+	f.Close()
+
+	_, c2, stop2 := startTracedDaemon(t, dir, tc)
+	defer stop2()
+	sug2, err := c2.Suggest("s-restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sug2.Step != 2 {
+		t.Fatalf("resumed session pending step = %d, want 2", sug2.Step)
+	}
+	if _, err := c2.Observe("s-restart", service.ObserveRequest{Step: sug2.Step, ExecTime: 80}); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := trace.ReadSpool(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) <= len(firstGen) {
+		t.Fatalf("spool did not grow across restart: %d -> %d", len(firstGen), len(events))
+	}
+	// The torn fragment is gone and post-restart events decode cleanly
+	// after it.
+	for _, ev := range events {
+		if ev.Seq == 99999 {
+			t.Fatal("torn line survived recovery")
+		}
+	}
+	var step2 bool
+	for _, ev := range events[len(firstGen):] {
+		if ev.Step == 2 {
+			step2 = true
+		}
+	}
+	if !step2 {
+		t.Fatal("no step-2 events spooled after restart")
+	}
+}

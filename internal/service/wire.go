@@ -16,6 +16,12 @@
 //	POST   /v1/sessions/{id}/observe  report the measured outcome
 //	GET    /healthz                   liveness and session counts
 //
+// When the daemon records flight-recorder traces (see Manager.AttachTrace),
+// two endpoints expose each session's decision stream:
+//
+//	GET /v1/sessions/{id}/trace                        recent events (?n= limits)
+//	GET /v1/sessions/{id}/trace/export?format=chrome   Chrome trace-event JSON
+//
 // When the daemon runs a fleet experience warehouse, sessions additionally
 // stream every observed transition into it, new sessions warm-start from
 // its donor agents, and two more endpoints expose its state:
@@ -27,6 +33,7 @@ package service
 import (
 	"time"
 
+	"deepcat/internal/trace"
 	"deepcat/internal/warehouse"
 )
 
@@ -141,6 +148,16 @@ type WarehouseStatsResponse struct {
 type DonorListResponse struct {
 	Signature string                `json:"signature"`
 	Donors    []warehouse.DonorMeta `json:"donors"`
+}
+
+// TraceResponse is the /v1/sessions/{id}/trace body: the session's most
+// recent flight-recorder events, oldest first. Dropped counts events the
+// bounded ring has evicted since the session started (they may still be in
+// the on-disk spool when the daemon runs with one).
+type TraceResponse struct {
+	Session string        `json:"session"`
+	Events  []trace.Event `json:"events"`
+	Dropped uint64        `json:"dropped,omitempty"`
 }
 
 // ErrorResponse is the envelope for every non-2xx response.

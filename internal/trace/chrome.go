@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// array flavor), loadable in Perfetto and chrome://tracing. Timestamps and
+// durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object container format ({"traceEvents": [...]}),
+// which both viewers accept and which leaves room for metadata.
+type chromeFile struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteChrome renders events as Chrome trace-event JSON. Span events become
+// complete ("X") slices with their attributes as args; decision events
+// (Twin-Q candidates, reward decompositions, RDPER routing) become instant
+// ("i") events carrying their full payload, so a Perfetto query can pull Q
+// values straight out of the trace. sessionID names the process track.
+func WriteChrome(w io.Writer, sessionID string, events []Event) error {
+	out := chromeFile{
+		TraceEvents: make([]chromeEvent, 0, len(events)+1),
+		Metadata:    map[string]string{"session": sessionID},
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]any{"name": "deepcat-session " + sessionID},
+	})
+	for _, ev := range events {
+		ce := chromeEvent{
+			Ts:  float64(ev.Time.UnixNano()) / 1e3,
+			Pid: 1,
+			Tid: 1,
+		}
+		args := map[string]any{"seq": ev.Seq}
+		if ev.Step > 0 {
+			args["step"] = ev.Step
+		}
+		switch ev.Kind {
+		case KindSpan:
+			ce.Name = ev.Span
+			ce.Ph = "X"
+			ce.Dur = float64(ev.DurNS) / 1e3
+			for k, v := range ev.Attrs {
+				args[k] = v
+			}
+		case KindCandidate:
+			c := ev.Candidate
+			verdict := "rejected"
+			if c.Accepted {
+				verdict = "accepted"
+			}
+			ce.Name = fmt.Sprintf("twinq try %d (%s)", c.Try, verdict)
+			ce.Ph = "i"
+			ce.S = "t"
+			args["q1"] = c.Q1
+			args["q2"] = c.Q2
+			args["min_q"] = c.MinQ
+			args["q_th"] = c.QTh
+			args["try"] = c.Try
+			args["accepted"] = c.Accepted
+		case KindReward:
+			r := ev.Reward
+			ce.Name = "reward"
+			ce.Ph = "i"
+			ce.S = "t"
+			args["mode"] = r.Mode
+			args["exec_time"] = r.ExecTime
+			args["prev_time"] = r.PrevTime
+			args["def_time"] = r.DefTime
+			args["reward"] = r.Reward
+			if r.Mode != "delta" {
+				args["speedup_target"] = r.SpeedupTarget
+				args["perf_e"] = r.PerfE
+			}
+		case KindRoute:
+			rt := ev.Route
+			ce.Name = "rdper " + rt.Pool
+			ce.Ph = "i"
+			ce.S = "t"
+			args["pool"] = rt.Pool
+			args["r_th"] = rt.RTh
+			args["reward"] = rt.Reward
+			args["high_len"] = rt.HighLen
+			args["low_len"] = rt.LowLen
+		default:
+			ce.Name = ev.Kind
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		ce.Args = args
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: write chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestWriteChrome(t *testing.T) {
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	events := []Event{
+		{Seq: 1, Time: base, Kind: KindSpan, Step: 1, Span: "suggest",
+			DurNS: 1_500_000, Attrs: map[string]string{"request_id": "r-42", "tries": "3"}},
+		{Seq: 2, Time: base.Add(time.Millisecond), Kind: KindCandidate, Step: 1,
+			Candidate: &Candidate{Try: 1, Action: []float64{0.5}, Q1: 0.1, Q2: 0.2, MinQ: 0.1, QTh: 0.3}},
+		{Seq: 3, Time: base.Add(2 * time.Millisecond), Kind: KindCandidate, Step: 1,
+			Candidate: &Candidate{Try: 2, Action: []float64{0.6}, Q1: 0.4, Q2: 0.5, MinQ: 0.4, QTh: 0.3, Accepted: true}},
+		{Seq: 4, Time: base.Add(3 * time.Millisecond), Kind: KindReward, Step: 1,
+			Reward: &RewardBreakdown{Mode: "immediate", ExecTime: 50, PrevTime: 80, DefTime: 120, SpeedupTarget: 3, PerfE: 40, Reward: -0.25}},
+		{Seq: 5, Time: base.Add(4 * time.Millisecond), Kind: KindRoute, Step: 1,
+			Route: &Route{Pool: "low", RTh: 0, Reward: -0.25, LowLen: 1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, "s-test", events); err != nil {
+		t.Fatal(err)
+	}
+
+	// The export must be a loadable Chrome trace: one JSON object holding a
+	// traceEvents array Perfetto will accept.
+	var file struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		Metadata    map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.Metadata["session"] != "s-test" {
+		t.Fatalf("metadata = %v", file.Metadata)
+	}
+	// process_name metadata + the five events.
+	if len(file.TraceEvents) != 6 {
+		t.Fatalf("got %d trace events, want 6", len(file.TraceEvents))
+	}
+	if file.TraceEvents[0]["ph"] != "M" {
+		t.Fatalf("first event is not process metadata: %v", file.TraceEvents[0])
+	}
+
+	span := file.TraceEvents[1]
+	if span["ph"] != "X" || span["name"] != "suggest" {
+		t.Fatalf("span event = %v", span)
+	}
+	if dur := span["dur"].(float64); dur != 1500 {
+		t.Fatalf("span dur = %v µs, want 1500", dur)
+	}
+	if ts := span["ts"].(float64); ts != float64(base.UnixNano())/1e3 {
+		t.Fatalf("span ts = %v", ts)
+	}
+	args := span["args"].(map[string]any)
+	if args["request_id"] != "r-42" {
+		t.Fatalf("span args lost the request id: %v", args)
+	}
+
+	cand := file.TraceEvents[3]
+	if cand["ph"] != "i" || cand["name"] != "twinq try 2 (accepted)" {
+		t.Fatalf("candidate event = %v", cand)
+	}
+	cargs := cand["args"].(map[string]any)
+	if cargs["min_q"].(float64) != 0.4 || cargs["q_th"].(float64) != 0.3 || cargs["accepted"] != true {
+		t.Fatalf("candidate args = %v", cargs)
+	}
+
+	reward := file.TraceEvents[4]
+	rargs := reward["args"].(map[string]any)
+	if rargs["perf_e"].(float64) != 40 || rargs["reward"].(float64) != -0.25 {
+		t.Fatalf("reward args = %v", rargs)
+	}
+
+	route := file.TraceEvents[5]
+	if route["name"] != "rdper low" {
+		t.Fatalf("route event = %v", route)
+	}
+}
+
+func TestWriteChromeDeltaModeOmitsPerfE(t *testing.T) {
+	events := []Event{{Seq: 1, Time: time.Unix(0, 0), Kind: KindReward,
+		Reward: &RewardBreakdown{Mode: "delta", ExecTime: 50, PrevTime: 80, DefTime: 120, Reward: 0.1}}}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, "s", events); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	args := file.TraceEvents[1]["args"].(map[string]any)
+	if _, ok := args["perf_e"]; ok {
+		t.Fatalf("delta-mode reward carries perf_e: %v", args)
+	}
+	if args["mode"] != "delta" {
+		t.Fatalf("reward args = %v", args)
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	// The ring events served over HTTP and the spool lines share one JSON
+	// encoding; a round trip must preserve every payload.
+	in := Event{Seq: 9, Time: time.Date(2026, 8, 5, 12, 0, 0, 123456789, time.UTC),
+		Kind: KindCandidate, Step: 4,
+		Candidate: &Candidate{Try: 2, Action: []float64{0.25, 0.75}, Q1: -0.1, Q2: 0.3, MinQ: -0.1, QTh: 0.3}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Event
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != in.Seq || !out.Time.Equal(in.Time) || out.Step != in.Step {
+		t.Fatalf("round trip changed envelope: %+v", out)
+	}
+	if out.Candidate == nil || out.Candidate.MinQ != in.Candidate.MinQ ||
+		len(out.Candidate.Action) != 2 || out.Candidate.Action[1] != 0.75 {
+		t.Fatalf("round trip changed candidate: %+v", out.Candidate)
+	}
+}

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultSpoolMaxBytes is the rotation threshold when Open is given zero: a
+// few hundred thousand events before the previous generation is dropped.
+const DefaultSpoolMaxBytes = 8 << 20
+
+// Spool is an append-only JSONL event file: one JSON-encoded Event per
+// line. When the file exceeds the rotation threshold it is renamed to
+// <path>.1 (replacing any previous generation) and a fresh file is started,
+// so a long-lived session is bounded by roughly twice the threshold on
+// disk. Opening an existing spool truncates a torn final line — the residue
+// of a crash mid-write — back to the last newline, so recovery never yields
+// an unparseable tail.
+type Spool struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	w        *bufio.Writer
+	size     int64
+	maxBytes int64
+	closed   bool
+}
+
+// OpenSpool opens (or creates) the spool at path. maxBytes <= 0 selects
+// DefaultSpoolMaxBytes.
+func OpenSpool(path string, maxBytes int64) (*Spool, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSpoolMaxBytes
+	}
+	size, err := recoverSpool(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open spool: %w", err)
+	}
+	return &Spool{path: path, f: f, w: bufio.NewWriter(f), size: size, maxBytes: maxBytes}, nil
+}
+
+// recoverSpool truncates a torn trailing line (no final newline) and
+// returns the resulting file size; a missing file is size 0.
+func recoverSpool(path string) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("trace: recover spool: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("trace: recover spool: %w", err)
+	}
+	size := st.Size()
+	if size == 0 {
+		return 0, nil
+	}
+	// Walk backwards from the end to the last newline; everything after it
+	// is a torn line from a crash mid-append.
+	buf := make([]byte, 4096)
+	end := size
+	for end > 0 {
+		n := int64(len(buf))
+		if n > end {
+			n = end
+		}
+		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
+			return 0, fmt.Errorf("trace: recover spool: %w", err)
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				keep := end - n + i + 1
+				if keep < size {
+					if err := f.Truncate(keep); err != nil {
+						return 0, fmt.Errorf("trace: recover spool: %w", err)
+					}
+				}
+				return keep, nil
+			}
+		}
+		end -= n
+	}
+	// No newline anywhere: the whole file is one torn line.
+	if err := f.Truncate(0); err != nil {
+		return 0, fmt.Errorf("trace: recover spool: %w", err)
+	}
+	return 0, nil
+}
+
+// Path returns the spool's current file path.
+func (sp *Spool) Path() string { return sp.path }
+
+// Write appends one event as a JSON line, rotating first when the file has
+// grown past the threshold.
+func (sp *Spool) Write(ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("trace: encode event: %w", err)
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return fmt.Errorf("trace: spool closed")
+	}
+	if sp.size > 0 && sp.size+int64(len(data))+1 > sp.maxBytes {
+		if err := sp.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := sp.w.Write(data); err != nil {
+		return fmt.Errorf("trace: write spool: %w", err)
+	}
+	if err := sp.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("trace: write spool: %w", err)
+	}
+	// Flush per event: a flight recorder that loses its newest entries in a
+	// crash is not much of a flight recorder, and the event rate (tens per
+	// tuning step) is nowhere near bufio's break-even point.
+	if err := sp.w.Flush(); err != nil {
+		return fmt.Errorf("trace: write spool: %w", err)
+	}
+	sp.size += int64(len(data)) + 1
+	return nil
+}
+
+// rotateLocked moves the current file to <path>.1 and starts a fresh one.
+func (sp *Spool) rotateLocked() error {
+	if err := sp.w.Flush(); err != nil {
+		return fmt.Errorf("trace: rotate spool: %w", err)
+	}
+	if err := sp.f.Close(); err != nil {
+		return fmt.Errorf("trace: rotate spool: %w", err)
+	}
+	if err := os.Rename(sp.path, sp.path+".1"); err != nil {
+		return fmt.Errorf("trace: rotate spool: %w", err)
+	}
+	f, err := os.OpenFile(sp.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("trace: rotate spool: %w", err)
+	}
+	sp.f = f
+	sp.w = bufio.NewWriter(f)
+	sp.size = 0
+	return nil
+}
+
+// Close flushes and closes the file. Further writes fail.
+func (sp *Spool) Close() error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return nil
+	}
+	sp.closed = true
+	if err := sp.w.Flush(); err != nil {
+		sp.f.Close()
+		return fmt.Errorf("trace: close spool: %w", err)
+	}
+	return sp.f.Close()
+}
+
+// ReadSpool loads every event from a JSONL spool file, in file order. A
+// torn or corrupt line ends the read without error (everything before it is
+// returned), matching the recovery semantics of OpenSpool.
+func ReadSpool(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read spool: %w", err)
+	}
+	defer f.Close()
+	return ReadEvents(f)
+}
+
+// ReadEvents decodes JSONL events from r until EOF or the first
+// undecodable line.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			break
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return events, fmt.Errorf("trace: read spool: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,339 @@
+// Package trace is the tuning flight recorder: a structured, per-session
+// event stream that makes every online tuning decision auditable after the
+// fact. Where package obs aggregates (counters, histograms — "how many
+// Twin-Q rejections fleet-wide?"), package trace records the individual
+// decisions behind those aggregates — every candidate action the Twin-Q
+// Optimizer scored with both critic values, the reward decomposition of
+// every observation, which RDPER pool each transition entered — so an
+// operator can answer "why did session X pick this configuration at step
+// 12, and what did it reject?".
+//
+// The recorder is strictly passive: it consumes no randomness and never
+// feeds anything back into the tuner, so tuning decisions are bit-identical
+// with tracing on or off (core's determinism regression test enforces
+// this). Every entry point is nil-safe — a nil *Session, nil *Span or nil
+// Recorder interface value degenerates to a no-op — so call sites never
+// branch and an untraced tuner pays only a nil check.
+//
+// Storage is two-tier: each session keeps a bounded in-memory ring of
+// recent events (served by GET /v1/sessions/{id}/trace) and, optionally, an
+// append-only JSONL spool on disk that survives the session (read by
+// cmd/deepcat-trace). Chrome trace-event export for Perfetto or
+// chrome://tracing lives in chrome.go.
+package trace
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Event kinds.
+const (
+	// KindSpan is a completed timed operation (suggest, observe,
+	// train_once, checkpoint, warehouse_ingest, donor_adopt, ...). The
+	// event's Time is the span start and DurNS its duration, so one event
+	// describes the whole span.
+	KindSpan = "span"
+	// KindCandidate is one candidate action scored by the Twin-Q
+	// Optimizer, including the raw actor output (Try == 1).
+	KindCandidate = "twinq_candidate"
+	// KindReward is the reward decomposition of one observation.
+	KindReward = "reward"
+	// KindRoute is one RDPER routing decision: which pool a transition
+	// entered and the threshold that sent it there.
+	KindRoute = "rdper_route"
+)
+
+// Candidate records one Twin-Q Optimizer scoring (Algorithm 1): the
+// candidate action, both critic outputs, the min-Q score the verdict is
+// based on, and the threshold in force. Try 1 is the raw actor
+// recommendation; higher tries are Gaussian perturbations of it.
+type Candidate struct {
+	Try      int       `json:"try"`
+	Action   []float64 `json:"action"`
+	Q1       float64   `json:"q1"`
+	Q2       float64   `json:"q2"`
+	MinQ     float64   `json:"min_q"`
+	QTh      float64   `json:"q_th"`
+	Accepted bool      `json:"accepted"`
+}
+
+// RewardBreakdown records every term of one reward computation, so the
+// number the agent learned from can be re-derived by hand. PerfE and
+// SpeedupTarget are zero for the "delta" (CDBTune-style) mode, which has no
+// expected-performance term.
+type RewardBreakdown struct {
+	Mode          string  `json:"mode"`
+	ExecTime      float64 `json:"exec_time"`
+	PrevTime      float64 `json:"prev_time"`
+	DefTime       float64 `json:"def_time"`
+	SpeedupTarget float64 `json:"speedup_target,omitempty"`
+	PerfE         float64 `json:"perf_e,omitempty"`
+	Reward        float64 `json:"reward"`
+}
+
+// Route records one RDPER routing decision and the pool sizes after it.
+type Route struct {
+	Pool    string  `json:"pool"` // "high" or "low"
+	RTh     float64 `json:"r_th"`
+	Reward  float64 `json:"reward"`
+	HighLen int     `json:"high_len"`
+	LowLen  int     `json:"low_len"`
+}
+
+// Event is one flight-recorder entry. Exactly one of Candidate, Reward and
+// Route is set for the decision kinds; span events carry their name,
+// duration and string attributes instead.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	// Step is the 1-based online tuning step the event belongs to, 0 when
+	// emitted outside any step (session construction, offline training).
+	Step int `json:"step,omitempty"`
+
+	// Span and DurNS are set for KindSpan: Time is the span's start.
+	Span  string `json:"span,omitempty"`
+	DurNS int64  `json:"dur_ns,omitempty"`
+	// Attrs carries span attributes (request_id, tries, donor, ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+
+	Candidate *Candidate       `json:"candidate,omitempty"`
+	Reward    *RewardBreakdown `json:"reward,omitempty"`
+	Route     *Route           `json:"route,omitempty"`
+}
+
+// Recorder is what instrumented code (core.DeepCAT, rl.RDPER, the tuning
+// service) emits events through. Implementations must be safe for
+// concurrent use and must not mutate the event's slices or maps after Emit
+// returns. A nil Recorder is valid and means tracing is off.
+type Recorder interface {
+	Emit(ev Event)
+}
+
+// Options configures a session recorder.
+type Options struct {
+	// RingSize bounds the in-memory event ring; older events are evicted.
+	// <= 0 selects DefaultRingSize.
+	RingSize int
+	// Spool, when non-nil, additionally appends every event to an on-disk
+	// JSONL file; the recorder owns it and closes it on Close.
+	Spool *Spool
+}
+
+// DefaultRingSize is the ring capacity when Options.RingSize is zero: large
+// enough to hold several full online steps (a 64-try Twin-Q search plus 24
+// fine-tune spans per step) without unbounded growth.
+const DefaultRingSize = 512
+
+// Session is the per-tuning-session flight recorder: a bounded ring of
+// recent events plus an optional JSONL spool. All methods are safe for
+// concurrent use and safe on a nil receiver.
+type Session struct {
+	mu      sync.Mutex
+	seq     uint64
+	step    int
+	buf     []Event
+	next    int
+	full    bool
+	dropped uint64
+	spool   *Spool
+	now     func() time.Time
+}
+
+// NewSession builds a recorder.
+func NewSession(opts Options) *Session {
+	size := opts.RingSize
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Session{
+		buf:   make([]Event, size),
+		spool: opts.Spool,
+		now:   time.Now,
+	}
+}
+
+// SetStep sets the current online tuning step; subsequent events with a
+// zero Step are stamped with it. The tuning service calls it once per
+// suggest, before handing control to the tuner.
+func (s *Session) SetStep(step int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.step = step
+	s.mu.Unlock()
+}
+
+// Emit appends one event, stamping its sequence number and, when unset, its
+// time and step. The ring keeps the most recent events; the spool, if any,
+// keeps everything (best-effort — a spool write error never fails the
+// tuning path).
+func (s *Session) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	ev.Seq = s.seq
+	if ev.Time.IsZero() {
+		ev.Time = s.now()
+	}
+	if ev.Step == 0 {
+		ev.Step = s.step
+	}
+	if s.full {
+		s.dropped++
+	}
+	s.buf[s.next] = ev
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	spool := s.spool
+	s.mu.Unlock()
+	if spool != nil {
+		_ = spool.Write(ev)
+	}
+}
+
+// Recent returns up to n of the most recent events, oldest first. n <= 0
+// returns everything still in the ring.
+func (s *Session) Recent(n int) []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	have := s.next
+	if s.full {
+		have = len(s.buf)
+	}
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]Event, 0, n)
+	start := s.next - n
+	if start < 0 {
+		start += len(s.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, s.buf[(start+i)%len(s.buf)])
+	}
+	return out
+}
+
+// Len returns the number of events currently held in the ring.
+func (s *Session) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		return len(s.buf)
+	}
+	return s.next
+}
+
+// Dropped returns how many events the ring has evicted since creation (they
+// remain in the spool when one is attached).
+func (s *Session) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// SpoolPath returns the path of the attached spool, "" when none.
+func (s *Session) SpoolPath() string {
+	if s == nil || s.spool == nil {
+		return ""
+	}
+	return s.spool.Path()
+}
+
+// Close releases the spool, if any. The ring stays readable.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	spool := s.spool
+	s.spool = nil
+	s.mu.Unlock()
+	if spool == nil {
+		return nil
+	}
+	return spool.Close()
+}
+
+// Span measures one timed operation. Obtain it from Begin, optionally add
+// attributes, then End it; a nil *Span (tracing off) no-ops throughout.
+type Span struct {
+	rec   Recorder
+	name  string
+	start time.Time
+	attrs map[string]string
+}
+
+// Begin starts a span on r. With a nil recorder — a nil interface or a nil
+// *Session behind one — it returns nil, which every Span method tolerates,
+// so call sites need no branches (and pay no time.Now call when tracing is
+// off).
+func Begin(r Recorder, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	if s, ok := r.(*Session); ok && s == nil {
+		return nil
+	}
+	return &Span{rec: r, name: name, start: time.Now()}
+}
+
+// Attr attaches a string attribute; it returns the span for chaining.
+func (sp *Span) Attr(key, value string) *Span {
+	if sp == nil {
+		return nil
+	}
+	if sp.attrs == nil {
+		sp.attrs = make(map[string]string, 4)
+	}
+	sp.attrs[key] = value
+	return sp
+}
+
+// AttrInt attaches an integer attribute.
+func (sp *Span) AttrInt(key string, v int) *Span {
+	return sp.Attr(key, strconv.Itoa(v))
+}
+
+// AttrFloat attaches a float attribute in shortest-round-trip form.
+func (sp *Span) AttrFloat(key string, v float64) *Span {
+	return sp.Attr(key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// AttrBool attaches a boolean attribute.
+func (sp *Span) AttrBool(key string, v bool) *Span {
+	return sp.Attr(key, strconv.FormatBool(v))
+}
+
+// End emits the completed span: one KindSpan event whose Time is the span's
+// start and DurNS the elapsed time.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.rec.Emit(Event{
+		Kind:  KindSpan,
+		Time:  sp.start,
+		Span:  sp.name,
+		DurNS: time.Since(sp.start).Nanoseconds(),
+		Attrs: sp.attrs,
+	})
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every entry point must no-op on nil so instrumented code never
+	// branches: a nil *Session, a nil Recorder, a nil *Span.
+	var s *Session
+	s.SetStep(3)
+	s.Emit(Event{Kind: KindReward})
+	if got := s.Recent(0); got != nil {
+		t.Fatalf("nil session Recent = %v, want nil", got)
+	}
+	if s.Len() != 0 || s.Dropped() != 0 || s.SpoolPath() != "" {
+		t.Fatal("nil session not zero-valued")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil session Close = %v", err)
+	}
+
+	if sp := Begin(nil, "x"); sp != nil {
+		t.Fatal("Begin(nil) != nil")
+	}
+	// A nil *Session behind the Recorder interface must also be treated as
+	// tracing-off — the classic typed-nil trap.
+	if sp := Begin(s, "x"); sp != nil {
+		t.Fatal("Begin(typed-nil *Session) != nil")
+	}
+	var span *Span
+	span.Attr("k", "v").AttrInt("i", 1).AttrFloat("f", 0.5).AttrBool("b", true).End()
+}
+
+func TestRingEviction(t *testing.T) {
+	s := NewSession(Options{RingSize: 4})
+	for i := 0; i < 10; i++ {
+		s.Emit(Event{Kind: KindRoute, Route: &Route{HighLen: i}})
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := s.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	events := s.Recent(0)
+	if len(events) != 4 {
+		t.Fatalf("Recent(0) returned %d events, want 4", len(events))
+	}
+	// Oldest first, and the oldest survivors are emits 7..10 (seq 7..10).
+	for i, ev := range events {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+		if want := 6 + i; ev.Route.HighLen != want {
+			t.Fatalf("event %d payload = %d, want %d", i, ev.Route.HighLen, want)
+		}
+	}
+	// A limited fetch returns the newest n, still oldest first.
+	last2 := s.Recent(2)
+	if len(last2) != 2 || last2[0].Seq != 9 || last2[1].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v, want seq 9,10", last2)
+	}
+	// Over-asking is clamped to what the ring holds.
+	if got := s.Recent(99); len(got) != 4 {
+		t.Fatalf("Recent(99) returned %d events, want 4", len(got))
+	}
+}
+
+func TestStepAndTimeStamping(t *testing.T) {
+	s := NewSession(Options{RingSize: 8})
+	fixed := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	s.now = func() time.Time { return fixed }
+
+	s.Emit(Event{Kind: KindReward, Reward: &RewardBreakdown{}})
+	s.SetStep(7)
+	s.Emit(Event{Kind: KindReward, Reward: &RewardBreakdown{}})
+	s.Emit(Event{Kind: KindReward, Step: 3, Reward: &RewardBreakdown{}})
+	preset := fixed.Add(-time.Hour)
+	s.Emit(Event{Kind: KindSpan, Span: "x", Time: preset})
+
+	events := s.Recent(0)
+	if events[0].Step != 0 {
+		t.Fatalf("pre-SetStep event stamped with step %d", events[0].Step)
+	}
+	if events[1].Step != 7 {
+		t.Fatalf("event step = %d, want 7 from SetStep", events[1].Step)
+	}
+	if events[2].Step != 3 {
+		t.Fatalf("explicit step overridden to %d", events[2].Step)
+	}
+	if !events[1].Time.Equal(fixed) {
+		t.Fatalf("unset time not stamped: %v", events[1].Time)
+	}
+	if !events[3].Time.Equal(preset) {
+		t.Fatalf("preset time overridden: %v", events[3].Time)
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestSpanAttributes(t *testing.T) {
+	s := NewSession(Options{RingSize: 8})
+	sp := Begin(s, "work")
+	if sp == nil {
+		t.Fatal("Begin over a live session returned nil")
+	}
+	sp.Attr("who", "me").AttrInt("n", 3).AttrFloat("q", 0.25).AttrBool("ok", true)
+	sp.End()
+
+	events := s.Recent(0)
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Kind != KindSpan || ev.Span != "work" {
+		t.Fatalf("span event = %+v", ev)
+	}
+	if ev.DurNS < 0 {
+		t.Fatalf("negative duration %d", ev.DurNS)
+	}
+	want := map[string]string{"who": "me", "n": "3", "q": "0.25", "ok": "true"}
+	for k, v := range want {
+		if ev.Attrs[k] != v {
+			t.Fatalf("attr %s = %q, want %q", k, ev.Attrs[k], v)
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package warehouse
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -67,11 +69,16 @@ func (w *Warehouse) loop() {
 			go func(sig string) {
 				defer w.trainWG.Done()
 				defer func() { <-w.trainSlots }()
-				if _, err := w.TrainFamily(sig); err != nil {
-					w.mu.Lock()
-					w.trainErrs++
-					w.mu.Unlock()
-				}
+				// Label the worker so donor-training CPU shows up in
+				// profiles attributed to its workload family.
+				pprof.Do(context.Background(), pprof.Labels("deepcat_trainer", "donor", "workload", sig),
+					func(context.Context) {
+						if _, err := w.TrainFamily(sig); err != nil {
+							w.mu.Lock()
+							w.trainErrs++
+							w.mu.Unlock()
+						}
+					})
 			}(sig)
 		}
 	}
