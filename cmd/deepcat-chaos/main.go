@@ -1,0 +1,87 @@
+// Command deepcat-chaos runs the fault-injection experiment: one
+// offline-trained agent is snapshotted and restored twice, the first copy
+// tunes a clean simulator with the classic loop, the second tunes a
+// chaos-wrapped clone of it with the hardened loop, and the tool prints the
+// convergence comparison. It exits non-zero when the faulted run's best
+// time regresses past -max-gap, so CI can gate on it.
+//
+// Example:
+//
+//	deepcat-chaos -workload TS -input 1 -steps 12 -crash 0.1 -corrupt 0.1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deepcat/internal/chaos"
+	"deepcat/internal/harness"
+	"deepcat/internal/sparksim"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "TS", "workload abbreviation: WC, TS, PR or KM")
+		input    = flag.Int("input", 1, "1-based dataset index (1-3)")
+		seed     = flag.Int64("seed", 1, "experiment seed (offline training and simulators)")
+		offline  = flag.Int("offline-iters", 900, "offline training budget before online tuning")
+		steps    = flag.Int("steps", 12, "online tuning steps per run")
+		maxGap   = flag.Float64("max-gap", 0.15, "largest tolerated relative best-time regression")
+
+		chaosSeed   = flag.Int64("chaos-seed", 7, "fault-schedule seed")
+		crash       = flag.Float64("crash", 0.10, "per-evaluation crash probability")
+		hang        = flag.Float64("hang", 0.05, "per-evaluation straggler probability")
+		hangDur     = flag.Duration("hang-duration", 50*time.Millisecond, "straggler block duration")
+		outlier     = flag.Float64("outlier", 0.10, "per-evaluation outlier probability")
+		outlierMul  = flag.Float64("outlier-factor", 25, "outlier execution-time multiplier")
+		corrupt     = flag.Float64("corrupt", 0.10, "per-evaluation NaN/Inf corruption probability")
+		unavailEach = flag.Int("unavailable-every", 0, "deterministic unavailability window period (0 = off)")
+		unavailLen  = flag.Int("unavailable-len", 0, "unavailability window length")
+	)
+	flag.Parse()
+
+	w, err := sparksim.WorkloadByShort(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	if *input < 1 || *input > 3 {
+		fatal(fmt.Errorf("input %d outside 1..3", *input))
+	}
+
+	opts := harness.QuickOptions()
+	opts.Seed = *seed
+	opts.OfflineIters = *offline
+	h := harness.New(opts)
+	res, err := h.RunChaos(context.Background(), harness.ChaosOptions{
+		Workload: w,
+		InputIdx: *input - 1,
+		Steps:    *steps,
+		Chaos: chaos.Config{
+			Seed:             *chaosSeed,
+			CrashRate:        *crash,
+			HangRate:         *hang,
+			HangDuration:     *hangDur,
+			OutlierRate:      *outlier,
+			OutlierFactor:    *outlierMul,
+			CorruptRate:      *corrupt,
+			UnavailableEvery: *unavailEach,
+			UnavailableLen:   *unavailLen,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res.Fprint(os.Stdout)
+	if res.Gap > *maxGap {
+		fatal(fmt.Errorf("faulted run regressed %.1f%%, tolerance is %.1f%%", res.Gap*100, *maxGap*100))
+	}
+	fmt.Printf("OK: faulted run within %.1f%% of fault-free baseline\n", *maxGap*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deepcat-chaos:", err)
+	os.Exit(1)
+}

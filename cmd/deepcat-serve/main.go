@@ -29,6 +29,15 @@
 // deepcat-trace after the session is gone. -log-format json switches the
 // daemon's log lines from key=value to one JSON object per line.
 //
+// Fault handling: the -breaker-threshold and -breaker-cooldown flags
+// configure the per-session circuit breaker (consecutive failed runs trip a
+// session into degraded mode, where it serves its last known good
+// configuration until a half-open probe succeeds), and -sanitize-window
+// sizes the observation sanitizer that quarantines non-finite and outlier
+// measurements before they can reach learning, checkpoints or the
+// warehouse. The -read-header-timeout, -read-timeout and -idle-timeout
+// flags bound how long a client connection can stall either listener.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests, checkpoints every session, flushes the warehouse and
 // exits.
@@ -57,6 +66,14 @@ func main() {
 		dataDir     = flag.String("data", "deepcat-data", "checkpoint directory")
 		maxSessions = flag.Int("max-sessions", 64, "maximum live sessions (0 = unlimited)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "HTTP header read deadline")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "HTTP full-request read deadline")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle deadline")
+
+		breakerThreshold = flag.Int("breaker-threshold", 5, "consecutive failed observations before a session degrades (negative = breaker disabled)")
+		breakerCooldown  = flag.Int("breaker-cooldown", 2, "degraded observations before a half-open recovery probe")
+		sanitizeWindow   = flag.Int("sanitize-window", 20, "observation-sanitizer history window (negative = outlier test disabled)")
 
 		metricsAddr = flag.String("metrics-addr", "", "operations listen address serving /metrics and /debug/pprof (empty = disabled)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -94,6 +111,11 @@ func main() {
 	}
 	manager := service.NewManager(store, *maxSessions)
 	manager.AttachObs(reg, logger)
+	manager.SetResilience(service.Resilience{
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		SanitizeWindow:   *sanitizeWindow,
+	})
 	if *traceRing > 0 {
 		if *traceDir != "" {
 			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
@@ -138,7 +160,16 @@ func main() {
 		fmt.Printf("resumed %d session(s) from %s\n", resumed, store.Dir())
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(manager)}
+	// Server-side deadlines keep one stalled or malicious client from
+	// pinning a connection (and its goroutine) forever; request handling
+	// itself is bounded by the per-request contexts the handlers plumb down.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(manager),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -149,7 +180,14 @@ func main() {
 
 	var opsSrv *http.Server
 	if *metricsAddr != "" {
-		opsSrv = &http.Server{Addr: *metricsAddr, Handler: opsMux(reg)}
+		opsSrv = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           opsMux(reg),
+			ReadHeaderTimeout: *readHeaderTimeout,
+			// No ReadTimeout here: pprof profile captures legitimately hold
+			// the request open for their whole -seconds duration.
+			IdleTimeout: *idleTimeout,
+		}
 		go func() {
 			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				// The ops listener failing must not take tuning down with

@@ -1,0 +1,281 @@
+// Package chaos wraps any env.Environment in a deterministic, seeded fault
+// injector, turning the infallible simulator into the hostile target a real
+// cluster binding is: submitted jobs crash, straggle past deadlines, find
+// the cluster temporarily unreachable, or come back with outlier or
+// NaN/Inf-corrupted measurements. Every fault class is independently rated
+// and the whole schedule is a pure function of (seed, call index), so a
+// chaos run is exactly reproducible — the property the hardened online loop
+// and the degraded-mode session tests are built on.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"deepcat/internal/config"
+	"deepcat/internal/env"
+)
+
+// Compile-time checks: the wrapper satisfies both halves of the contract.
+var (
+	_ env.Environment    = (*Env)(nil)
+	_ env.CtxEnvironment = (*Env)(nil)
+)
+
+// faultErr is a sentinel error that also names its fault class for the
+// hardened loop's per-step fault reporting (core.faultName probes for the
+// FaultKind method via errors.As).
+type faultErr struct{ kind, msg string }
+
+func (e *faultErr) Error() string     { return e.msg }
+func (e *faultErr) FaultKind() string { return e.kind }
+
+// Fault sentinels; callers classify injected failures with errors.Is.
+var (
+	// ErrCrashed marks an evaluation whose job crashed: no measurement
+	// exists.
+	ErrCrashed error = &faultErr{"crash", "chaos: job crashed"}
+	// ErrUnavailable marks an evaluation attempted during a transient
+	// environment-unavailability window (cluster manager down, network
+	// partition).
+	ErrUnavailable error = &faultErr{"unavailable", "chaos: environment unavailable"}
+)
+
+// Config rates each fault class independently. All rates are probabilities
+// in [0, 1] per evaluation; the zero value injects nothing (the wrapper
+// becomes a transparent pass-through).
+type Config struct {
+	// Seed drives the fault schedule; equal seeds (and equal rates) yield
+	// identical schedules.
+	Seed int64
+
+	// CrashRate is the probability an evaluation fails with ErrCrashed.
+	CrashRate float64
+	// HangRate is the probability an evaluation straggles: the call blocks
+	// for HangDuration (or until the caller's ctx deadline, whichever comes
+	// first). A straggler that outlives the deadline surfaces as
+	// ctx.Err(); one that completes returns its measurement late.
+	HangRate float64
+	// HangDuration is how long a straggler blocks (default 100ms).
+	HangDuration time.Duration
+	// OutlierRate is the probability a measurement comes back inflated by
+	// OutlierFactor — a straggler whose runtime was measured, or a
+	// mis-scaled metric.
+	OutlierRate float64
+	// OutlierFactor multiplies the execution time of an outlier
+	// (default 10).
+	OutlierFactor float64
+	// CorruptRate is the probability a measurement comes back with NaN/Inf
+	// poisoning: alternating calls corrupt the execution time (NaN), the
+	// state vector (+Inf) and the metrics vector (NaN).
+	CorruptRate float64
+
+	// UnavailableEvery and UnavailableLen define deterministic
+	// unavailability windows: evaluations with call index in
+	// [k*UnavailableEvery, k*UnavailableEvery+UnavailableLen) for k >= 1
+	// fail with ErrUnavailable. Zero disables windows.
+	UnavailableEvery int
+	UnavailableLen   int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HangDuration <= 0 {
+		c.HangDuration = 100 * time.Millisecond
+	}
+	if c.OutlierFactor <= 0 {
+		c.OutlierFactor = 10
+	}
+	return c
+}
+
+// Stats counts injected faults by class. Evals counts every EvaluateCtx (or
+// Evaluate) call, including clean ones.
+type Stats struct {
+	Evals       int `json:"evals"`
+	Crashes     int `json:"crashes"`
+	Hangs       int `json:"hangs"`
+	Outliers    int `json:"outliers"`
+	Corruptions int `json:"corruptions"`
+	Unavailable int `json:"unavailable"`
+}
+
+// Faults returns the total number of injected faults across all classes.
+func (s Stats) Faults() int {
+	return s.Crashes + s.Hangs + s.Outliers + s.Corruptions + s.Unavailable
+}
+
+// Env is the fault-injecting wrapper. It implements both halves of the
+// evaluation contract; all methods are safe for concurrent use (the fault
+// schedule is serialized under a mutex, so concurrent callers still observe
+// one deterministic schedule by arrival order).
+type Env struct {
+	inner env.Environment
+	cfg   Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int
+	stats Stats
+}
+
+// Wrap builds a chaos wrapper around e with the given fault profile.
+func Wrap(e env.Environment, cfg Config) *Env {
+	cfg = cfg.withDefaults()
+	return &Env{
+		inner: e,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Space forwards to the wrapped environment.
+func (c *Env) Space() *config.Space { return c.inner.Space() }
+
+// Stats returns a snapshot of the fault counters.
+func (c *Env) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// fault is one scheduled injection decision.
+type fault struct {
+	crash, hang, outlier, corrupt, unavailable bool
+	corruptTarget                              int // rotates exec/state/metrics
+}
+
+// nextFault draws the call's fault decision. Exactly four uniform draws are
+// consumed per call regardless of which rates are zero, so the schedule for
+// any one fault class is independent of the others' rates.
+func (c *Env) nextFault() fault {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := c.calls
+	c.calls++
+	c.stats.Evals++
+	var f fault
+	f.crash = c.rng.Float64() < c.cfg.CrashRate
+	f.hang = c.rng.Float64() < c.cfg.HangRate
+	f.outlier = c.rng.Float64() < c.cfg.OutlierRate
+	f.corrupt = c.rng.Float64() < c.cfg.CorruptRate
+	f.corruptTarget = idx % 3
+	if c.cfg.UnavailableEvery > 0 && c.cfg.UnavailableLen > 0 && idx >= c.cfg.UnavailableEvery {
+		if idx%c.cfg.UnavailableEvery < c.cfg.UnavailableLen {
+			f.unavailable = true
+		}
+	}
+	// Precedence: unavailability masks everything (the job never ran);
+	// a crash masks measurement faults (there is nothing to corrupt).
+	switch {
+	case f.unavailable:
+		f.crash, f.hang, f.outlier, f.corrupt = false, false, false, false
+		c.stats.Unavailable++
+	case f.crash:
+		f.outlier, f.corrupt = false, false
+		c.stats.Crashes++
+	}
+	if f.hang {
+		c.stats.Hangs++
+	}
+	if f.outlier {
+		c.stats.Outliers++
+	}
+	if f.corrupt {
+		c.stats.Corruptions++
+	}
+	return f
+}
+
+// EvaluateCtx runs the configuration on the wrapped environment with the
+// call's scheduled faults applied. Crashes and unavailability windows
+// return errors; stragglers block (honoring ctx); outliers and corruptions
+// return a successfully-measured-but-wrong outcome — the class the caller's
+// sanitizer exists for.
+func (c *Env) EvaluateCtx(ctx context.Context, u []float64) (env.Outcome, error) {
+	f := c.nextFault()
+	if f.unavailable {
+		return env.Outcome{}, ErrUnavailable
+	}
+	if f.hang {
+		select {
+		case <-time.After(c.cfg.HangDuration):
+		case <-ctx.Done():
+			return env.Outcome{}, fmt.Errorf("chaos: straggler: %w", ctx.Err())
+		}
+	}
+	if f.crash {
+		return env.Outcome{}, ErrCrashed
+	}
+	o, err := env.EvaluateWithContext(ctx, c.inner, u)
+	if err != nil {
+		return env.Outcome{}, err
+	}
+	if f.outlier {
+		o.ExecTime *= c.cfg.OutlierFactor
+	}
+	if f.corrupt {
+		o = corrupt(o, f.corruptTarget)
+	}
+	return o, nil
+}
+
+// corrupt poisons one part of the outcome with a non-finite value,
+// rotating the target so all three corruption shapes appear in a long run.
+func corrupt(o env.Outcome, target int) env.Outcome {
+	switch target % 3 {
+	case 0:
+		o.ExecTime = math.NaN()
+	case 1:
+		if len(o.State) > 0 {
+			state := append([]float64(nil), o.State...)
+			state[0] = math.Inf(1)
+			o.State = state
+		} else {
+			o.ExecTime = math.Inf(1)
+		}
+	default:
+		if len(o.Metrics) > 0 {
+			metrics := append([]float64(nil), o.Metrics...)
+			metrics[len(metrics)-1] = math.NaN()
+			o.Metrics = metrics
+		} else {
+			o.ExecTime = math.NaN()
+		}
+	}
+	return o
+}
+
+// Evaluate adapts the fallible path to the legacy infallible contract for
+// callers that predate EvaluateCtx: errors become failed outcomes priced at
+// the default execution time (a crashed or unreachable run still wasted
+// roughly one run's worth of wall clock).
+func (c *Env) Evaluate(u []float64) env.Outcome {
+	o, err := c.EvaluateCtx(context.Background(), u)
+	if err != nil {
+		return env.Outcome{
+			ExecTime: c.inner.DefaultTime(),
+			Failed:   true,
+			State:    c.inner.IdleState(),
+		}
+	}
+	return o
+}
+
+// DefaultTime forwards to the wrapped environment.
+func (c *Env) DefaultTime() float64 { return c.inner.DefaultTime() }
+
+// IdleState forwards to the wrapped environment.
+func (c *Env) IdleState() []float64 { return c.inner.IdleState() }
+
+// StateDim forwards to the wrapped environment.
+func (c *Env) StateDim() int { return c.inner.StateDim() }
+
+// MetricsDim forwards to the wrapped environment.
+func (c *Env) MetricsDim() int { return c.inner.MetricsDim() }
+
+// Label names the wrapped environment with a chaos marker.
+func (c *Env) Label() string { return c.inner.Label() + "+chaos" }

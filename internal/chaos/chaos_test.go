@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"deepcat/internal/env"
+	"deepcat/internal/sparksim"
+)
+
+func testEnv() *env.SparkEnv {
+	sim := sparksim.NewSimulator(sparksim.ClusterA(), 1)
+	return env.NewSparkEnv(sim, sparksim.AllPairs()[0].Workload, 0)
+}
+
+func midAction(e env.Environment) []float64 {
+	u := make([]float64, e.Space().Dim())
+	for i := range u {
+		u[i] = 0.5
+	}
+	return u
+}
+
+// faultTrace records one run's fault schedule for determinism comparison.
+type faultTrace struct {
+	Kind string // "ok", "crash", "unavailable", "corrupt", "outlier"
+	Exec float64
+}
+
+func runSchedule(t *testing.T, seed int64, n int) ([]faultTrace, Stats) {
+	t.Helper()
+	inner := testEnv()
+	ce := Wrap(inner, Config{
+		Seed:             seed,
+		CrashRate:        0.2,
+		OutlierRate:      0.2,
+		CorruptRate:      0.2,
+		UnavailableEvery: 7,
+		UnavailableLen:   1,
+	})
+	u := midAction(inner)
+	out := make([]faultTrace, 0, n)
+	for i := 0; i < n; i++ {
+		o, err := ce.EvaluateCtx(context.Background(), u)
+		ft := faultTrace{Kind: "ok", Exec: o.ExecTime}
+		switch {
+		case errors.Is(err, ErrCrashed):
+			ft.Kind = "crash"
+		case errors.Is(err, ErrUnavailable):
+			ft.Kind = "unavailable"
+		case err != nil:
+			t.Fatalf("eval %d: unexpected error %v", i, err)
+		case env.CheckFinite(o) != nil:
+			ft.Kind = "corrupt"
+		}
+		if math.IsNaN(ft.Exec) {
+			ft.Exec = -1 // NaN != NaN; normalize for comparison
+		}
+		out = append(out, ft)
+	}
+	return out, ce.Stats()
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	a, sa := runSchedule(t, 42, 60)
+	b, sb := runSchedule(t, 42, 60)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	if sa != sb {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", sa, sb)
+	}
+	if sa.Faults() == 0 {
+		t.Fatal("no faults injected at 20% rates over 60 evals")
+	}
+}
+
+func TestDifferentSeedDifferentSchedule(t *testing.T) {
+	a, _ := runSchedule(t, 1, 60)
+	b, _ := runSchedule(t, 2, 60)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	inner := testEnv()
+	ce := Wrap(inner, Config{Seed: 1})
+	u := midAction(inner)
+	direct := inner.Evaluate(u)
+	wrapped, err := ce.EvaluateCtx(context.Background(), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.ExecTime != direct.ExecTime {
+		t.Fatalf("pass-through exec %g != direct %g", wrapped.ExecTime, direct.ExecTime)
+	}
+	if st := ce.Stats(); st.Faults() != 0 || st.Evals != 1 {
+		t.Fatalf("zero config stats = %+v", st)
+	}
+}
+
+func TestCrashRateOne(t *testing.T) {
+	inner := testEnv()
+	ce := Wrap(inner, Config{Seed: 1, CrashRate: 1})
+	_, err := ce.EvaluateCtx(context.Background(), midAction(inner))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("CrashRate 1 = %v, want ErrCrashed", err)
+	}
+}
+
+func TestUnavailabilityWindow(t *testing.T) {
+	inner := testEnv()
+	ce := Wrap(inner, Config{Seed: 1, UnavailableEvery: 3, UnavailableLen: 1})
+	u := midAction(inner)
+	var unavailableAt []int
+	for i := 0; i < 9; i++ {
+		if _, err := ce.EvaluateCtx(context.Background(), u); errors.Is(err, ErrUnavailable) {
+			unavailableAt = append(unavailableAt, i)
+		}
+	}
+	want := []int{3, 6}
+	if !reflect.DeepEqual(unavailableAt, want) {
+		t.Fatalf("unavailable at %v, want %v", unavailableAt, want)
+	}
+}
+
+func TestStragglerHonorsDeadline(t *testing.T) {
+	inner := testEnv()
+	ce := Wrap(inner, Config{Seed: 1, HangRate: 1, HangDuration: time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ce.EvaluateCtx(ctx, midAction(inner))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("straggler = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("straggler blocked %v past a 20ms deadline", d)
+	}
+}
+
+func TestCorruptionProducesNonFinite(t *testing.T) {
+	inner := testEnv()
+	ce := Wrap(inner, Config{Seed: 1, CorruptRate: 1})
+	u := midAction(inner)
+	for i := 0; i < 3; i++ { // hit all three rotation targets
+		o, err := ce.EvaluateCtx(context.Background(), u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.CheckFinite(o) == nil {
+			t.Fatalf("eval %d: corruption produced a finite outcome %+v", i, o)
+		}
+	}
+}
+
+func TestOutlierInflation(t *testing.T) {
+	inner := testEnv()
+	u := midAction(inner)
+	clean := inner.Evaluate(u).ExecTime
+	ce := Wrap(inner, Config{Seed: 1, OutlierRate: 1, OutlierFactor: 10})
+	o, err := ce.EvaluateCtx(context.Background(), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The simulator is noisy; an exact 10x only holds in expectation, but
+	// a 10x inflation is unmistakably larger than any noise band.
+	if o.ExecTime < 5*clean {
+		t.Fatalf("outlier exec %g not inflated vs clean %g", o.ExecTime, clean)
+	}
+}
+
+func TestLegacyEvaluateConvertsErrors(t *testing.T) {
+	inner := testEnv()
+	ce := Wrap(inner, Config{Seed: 1, CrashRate: 1})
+	o := ce.Evaluate(midAction(inner))
+	if !o.Failed {
+		t.Fatalf("legacy Evaluate of a crash = %+v, want Failed", o)
+	}
+	if o.ExecTime != inner.DefaultTime() {
+		t.Fatalf("crashed run priced at %g, want default %g", o.ExecTime, inner.DefaultTime())
+	}
+}

@@ -1,12 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"time"
 
 	"deepcat/internal/env"
-	"deepcat/internal/mat"
 	"deepcat/internal/rl"
 	"deepcat/internal/trace"
 )
@@ -59,6 +58,12 @@ type Config struct {
 	// failure regions the offline model did not know about (workload or
 	// hardware shift). Zero disables recovery noise.
 	RecoverySigma float64
+
+	// Hardening configures the fault-tolerant online loop (OnlineTuneCtx):
+	// per-evaluation deadlines, jittered retry, outcome sanitizing and
+	// last-known-good fallback. The zero value disables all of it, which
+	// keeps the classic infallible loop bit-identical.
+	Hardening Hardening
 
 	// TwinQ configures the Twin-Q Optimizer; UseTwinQ disables it for
 	// ablations when false.
@@ -378,38 +383,13 @@ func (d *DeepCAT) Observe(state, action []float64, execTime, prevTime, defTime f
 // is evaluated on the target system, and the agent is fine-tuned on the new
 // experience. Tuning stops after Cfg.OnlineSteps steps or when the time
 // budget is exhausted, and the best configuration found is reported.
+//
+// OnlineTune is the classic infallible entry point: it delegates to
+// OnlineTuneCtx with a background context, which with a zero-valued
+// Cfg.Hardening reproduces the original loop exactly (same evaluations,
+// same RNG consumption, same transitions).
 func (d *DeepCAT) OnlineTune(e env.Environment) *env.Report {
-	rep := &env.Report{Tuner: "DeepCAT", EnvLabel: e.Label(), BestTime: 1e18}
-	state := e.IdleState()
-	defTime := e.DefaultTime()
-	prevTime := defTime
-	lastFailed := false
-	for step := 0; step < d.Cfg.OnlineSteps; step++ {
-		if d.Cfg.TimeBudgetSeconds > 0 && rep.TotalCost() >= d.Cfg.TimeBudgetSeconds {
-			break
-		}
-		recStart := time.Now()
-		action, optimized := d.Suggest(state, lastFailed)
-		outcome := e.Evaluate(action)
-		d.Observe(state, action, outcome.ExecTime, prevTime, defTime,
-			outcome.State, step == d.Cfg.OnlineSteps-1)
-		rec := time.Since(recStart).Seconds()
-
-		rep.Steps = append(rep.Steps, env.TuningStep{
-			Action:           mat.CloneSlice(action),
-			ExecTime:         outcome.ExecTime,
-			RecommendSeconds: rec,
-			Failed:           outcome.Failed,
-			Optimized:        optimized,
-		})
-		if !outcome.Failed && outcome.ExecTime < rep.BestTime {
-			rep.BestTime = outcome.ExecTime
-			rep.BestAction = mat.CloneSlice(action)
-		}
-		lastFailed = outcome.Failed
-		prevTime = outcome.ExecTime
-		state = outcome.State
-	}
+	rep, _ := d.OnlineTuneCtx(context.Background(), e)
 	return rep
 }
 

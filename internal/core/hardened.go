@@ -1,0 +1,269 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"deepcat/internal/env"
+	"deepcat/internal/mat"
+	"deepcat/internal/trace"
+)
+
+// Hardening configures the fault-tolerant online loop. The zero value
+// disables every mechanism, making OnlineTuneCtx behave exactly like the
+// classic infallible loop; enable pieces independently as the target
+// environment warrants.
+type Hardening struct {
+	// EvalTimeout bounds one environment evaluation attempt; a straggler
+	// past the deadline is abandoned and surfaces as a timeout fault. Zero
+	// means no per-evaluation deadline.
+	EvalTimeout time.Duration
+	// EvalRetries is how many extra attempts a failed evaluation gets
+	// before the step is declared faulted.
+	EvalRetries int
+	// RetryBaseDelay is the base of the jittered exponential backoff
+	// between attempts (default 10ms when retries are enabled). The jitter
+	// draws from a loop-local RNG, never the tuner's — retry timing cannot
+	// perturb tuning decisions.
+	RetryBaseDelay time.Duration
+	// SanitizeWindow enables the outcome sanitizer with this many recent
+	// successful execution times as the outlier baseline; 0 disables
+	// sanitizing entirely (including the non-finite check).
+	SanitizeWindow int
+	// SanitizeMADK is the MAD multiple past which an execution time is
+	// quarantined (default env.DefaultMADK). Only the upper tail is
+	// tested: a dramatic improvement is the goal, not an anomaly.
+	SanitizeMADK float64
+	// FallbackLKG re-evaluates the last known good configuration once when
+	// a step's retries are exhausted, so a faulted step can still produce
+	// a usable measurement instead of a hole in the trajectory.
+	FallbackLKG bool
+}
+
+// DefaultHardening returns the profile used by the chaos harness and the
+// hardened service sessions: short deadline, two retries, sanitizing on,
+// last-known-good fallback on.
+func DefaultHardening() Hardening {
+	return Hardening{
+		EvalTimeout:    2 * time.Second,
+		EvalRetries:    2,
+		RetryBaseDelay: 5 * time.Millisecond,
+		SanitizeWindow: 20,
+		SanitizeMADK:   env.DefaultMADK,
+		FallbackLKG:    true,
+	}
+}
+
+// OnlineTuneCtx is the hardened online tuning loop: OnlineTune's closed
+// loop extended with per-evaluation deadlines, jittered retry,
+// last-known-good fallback and outcome sanitizing, all governed by
+// Cfg.Hardening. Faulted and quarantined steps never reach Observe — no
+// corrupted transition can enter the replay buffer — but they do set the
+// failure flag so the next Suggest applies recovery noise.
+//
+// The returned error is non-nil only when ctx ends the run early; the
+// report always covers the steps completed so far.
+func (d *DeepCAT) OnlineTuneCtx(ctx context.Context, e env.Environment) (*env.Report, error) {
+	h := d.Cfg.Hardening
+	var san *env.Sanitizer
+	if h.SanitizeWindow > 0 {
+		k := h.SanitizeMADK
+		if k <= 0 {
+			k = env.DefaultMADK
+		}
+		san = env.NewSanitizer(h.SanitizeWindow, k)
+	}
+	// Backoff jitter only; deliberately not d.rng so hardened and classic
+	// runs consume identical tuner randomness.
+	jrng := rand.New(rand.NewSource(1))
+
+	rep := &env.Report{Tuner: "DeepCAT", EnvLabel: e.Label(), BestTime: 1e18}
+	state := e.IdleState()
+	defTime := e.DefaultTime()
+	prevTime := defTime
+	lastFailed := false
+	for step := 0; step < d.Cfg.OnlineSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		if d.Cfg.TimeBudgetSeconds > 0 && rep.TotalCost() >= d.Cfg.TimeBudgetSeconds {
+			break
+		}
+		recStart := time.Now()
+		action, optimized := d.Suggest(state, lastFailed)
+		outcome, retries, evalErr := d.evaluateHardened(ctx, e, action, jrng)
+		rep.Retries += retries
+		st := env.TuningStep{
+			Action:    mat.CloneSlice(action),
+			Optimized: optimized,
+			Retries:   retries,
+		}
+
+		if evalErr != nil && h.FallbackLKG && rep.BestAction != nil && ctx.Err() == nil {
+			if fo, ferr := d.evaluateOnce(ctx, e, rep.BestAction); ferr == nil && sanitize(san, fo) == nil {
+				outcome, evalErr = fo, nil
+				action = rep.BestAction
+				st.Action = mat.CloneSlice(rep.BestAction)
+				st.Fallback = true
+				rep.Fallbacks++
+			}
+		}
+		if evalErr != nil {
+			st.Fault = faultName(evalErr)
+			st.Failed = true
+			st.RecommendSeconds = time.Since(recStart).Seconds()
+			rep.Steps = append(rep.Steps, st)
+			rep.Faults++
+			d.emitFault("env_fault", st.Fault, step, retries, evalErr)
+			lastFailed = true
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
+			continue
+		}
+		if serr := sanitize(san, outcome); serr != nil {
+			st.Rejected = true
+			st.Failed = true
+			st.RecommendSeconds = time.Since(recStart).Seconds()
+			rep.Steps = append(rep.Steps, st)
+			rep.Rejected++
+			d.emitFault("sanitize_reject", faultName(serr), step, retries, serr)
+			lastFailed = true
+			continue
+		}
+
+		d.Observe(state, action, outcome.ExecTime, prevTime, defTime,
+			outcome.State, step == d.Cfg.OnlineSteps-1)
+		if san != nil && !outcome.Failed {
+			san.Admit(outcome.ExecTime)
+		}
+		st.ExecTime = outcome.ExecTime
+		st.Failed = outcome.Failed
+		st.RecommendSeconds = time.Since(recStart).Seconds()
+		rep.Steps = append(rep.Steps, st)
+		if !outcome.Failed && outcome.ExecTime < rep.BestTime {
+			rep.BestTime = outcome.ExecTime
+			rep.BestAction = mat.CloneSlice(action)
+		}
+		lastFailed = outcome.Failed
+		prevTime = outcome.ExecTime
+		state = outcome.State
+	}
+	return rep, nil
+}
+
+// sanitize applies the sanitizer to a measured outcome: non-finite values
+// are always rejected, and successful execution times are additionally
+// tested against the recent-history outlier bound. A nil sanitizer accepts
+// everything (the classic contract). Failed outcomes skip the outlier test
+// — their execution time is a penalty price, not a measurement.
+func sanitize(san *env.Sanitizer, o env.Outcome) error {
+	if san == nil {
+		return nil
+	}
+	if err := env.CheckFinite(o); err != nil {
+		return err
+	}
+	if o.Failed {
+		return nil
+	}
+	return san.CheckTime(o.ExecTime)
+}
+
+// evaluateHardened runs one evaluation with up to Hardening.EvalRetries
+// retries under jittered exponential backoff. It returns the number of
+// retries consumed alongside the result; the caller's ctx ending always
+// stops retrying immediately.
+func (d *DeepCAT) evaluateHardened(ctx context.Context, e env.Environment, action []float64, jrng *rand.Rand) (env.Outcome, int, error) {
+	h := d.Cfg.Hardening
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		o, err := d.evaluateOnce(ctx, e, action)
+		if err == nil {
+			return o, retries, nil
+		}
+		if ctx.Err() != nil || attempt >= h.EvalRetries {
+			return env.Outcome{}, retries, err
+		}
+		retries++
+		sleepJittered(ctx, h.retryDelay(attempt), jrng)
+	}
+}
+
+// evaluateOnce performs a single evaluation attempt under the configured
+// per-evaluation deadline (if any).
+func (d *DeepCAT) evaluateOnce(ctx context.Context, e env.Environment, action []float64) (env.Outcome, error) {
+	if t := d.Cfg.Hardening.EvalTimeout; t > 0 {
+		ectx, cancel := context.WithTimeout(ctx, t)
+		defer cancel()
+		return env.EvaluateWithContext(ectx, e, action)
+	}
+	return env.EvaluateWithContext(ctx, e, action)
+}
+
+// retryDelay is the exponential backoff for the attempt-th retry
+// (attempt >= 1 corresponds to delay base<<(attempt-1)), capped at 1s.
+func (h Hardening) retryDelay(attempt int) time.Duration {
+	base := h.RetryBaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	d := base << uint(attempt-1)
+	if d > time.Second || d <= 0 {
+		d = time.Second
+	}
+	return d
+}
+
+// sleepJittered sleeps for a uniformly jittered duration in [d/2, d],
+// returning early if ctx ends.
+func sleepJittered(ctx context.Context, d time.Duration, jrng *rand.Rand) {
+	if d <= 0 {
+		return
+	}
+	d = d/2 + time.Duration(jrng.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// faultName classifies an evaluation error for reporting: environments can
+// name their own fault classes by implementing FaultKind() string (the
+// chaos wrapper does); context errors map to "timeout"/"canceled";
+// everything else is "error".
+func faultName(err error) string {
+	var fk interface{ FaultKind() string }
+	if errors.As(err, &fk) {
+		return fk.FaultKind()
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, env.ErrNonFinite):
+		return "non_finite"
+	case errors.Is(err, env.ErrOutlier):
+		return "outlier"
+	}
+	return "error"
+}
+
+// emitFault records a fault or quarantine decision on the flight recorder
+// (no-op when untraced).
+func (d *DeepCAT) emitFault(name, kind string, step, retries int, err error) {
+	sp := trace.Begin(d.rec, name)
+	if sp == nil {
+		return
+	}
+	sp.Attr("kind", kind).
+		AttrInt("step", step).
+		AttrInt("retries", retries).
+		Attr("error", err.Error()).
+		End()
+}

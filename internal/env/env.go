@@ -11,6 +11,7 @@
 package env
 
 import (
+	"context"
 	"fmt"
 
 	"deepcat/internal/config"
@@ -50,6 +51,54 @@ type Environment interface {
 	IdleState() []float64
 	// Label names the environment for reports (e.g. "TS-D1@cluster-a").
 	Label() string
+}
+
+// CtxEnvironment is the fallible, cancelable half of the evaluation
+// contract. A binding to a real cluster implements it instead of (or in
+// addition to) the infallible Evaluate: a submitted job can crash, straggle
+// past the caller's deadline, or find the cluster temporarily unreachable,
+// and the returned error reports which. Implementations must honor ctx —
+// returning ctx.Err() (possibly wrapped) once it is done — and must not
+// retain u.
+//
+// Environments that do not implement CtxEnvironment are driven through
+// EvaluateWithContext, which adapts the infallible Evaluate.
+type CtxEnvironment interface {
+	Environment
+	EvaluateCtx(ctx context.Context, u []float64) (Outcome, error)
+}
+
+// EvaluateWithContext evaluates u on e under ctx, bridging both halves of
+// the contract so callers never branch on the environment's capabilities:
+//
+//   - a CtxEnvironment is called directly and owns deadline handling;
+//   - a plain Environment with an uncancelable ctx is called inline
+//     (zero overhead — this is the path every pre-existing environment
+//     takes);
+//   - a plain Environment under a cancelable ctx is evaluated in a
+//     goroutine so the caller regains control at the deadline. The
+//     evaluation itself cannot be interrupted — its goroutine is abandoned
+//     and its result discarded — which bounds the caller's wall-clock time,
+//     not the environment's work.
+func EvaluateWithContext(ctx context.Context, e Environment, u []float64) (Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	if ce, ok := e.(CtxEnvironment); ok {
+		return ce.EvaluateCtx(ctx, u)
+	}
+	if ctx.Done() == nil {
+		return e.Evaluate(u), nil
+	}
+	type result struct{ o Outcome }
+	ch := make(chan result, 1)
+	go func() { ch <- result{e.Evaluate(u)} }()
+	select {
+	case r := <-ch:
+		return r.o, nil
+	case <-ctx.Done():
+		return Outcome{}, ctx.Err()
+	}
 }
 
 // SparkEnv adapts a sparksim.Simulator plus a (workload, input) pair to the
@@ -131,4 +180,17 @@ func (c *Counted) Evaluate(u []float64) Outcome {
 	c.Evals++
 	c.TotalTime += o.ExecTime
 	return o
+}
+
+// EvaluateCtx forwards through the contract bridge, so wrapping with
+// Counted never hides the inner environment's fallible path. Failed
+// evaluations still count — a crashed run was paid for — but contribute no
+// execution time.
+func (c *Counted) EvaluateCtx(ctx context.Context, u []float64) (Outcome, error) {
+	o, err := EvaluateWithContext(ctx, c.Environment, u)
+	c.Evals++
+	if err == nil {
+		c.TotalTime += o.ExecTime
+	}
+	return o, err
 }

@@ -21,6 +21,22 @@ type TuningStep struct {
 	// Optimized reports that the Twin-Q Optimizer replaced the raw actor
 	// output before evaluation (DeepCAT only).
 	Optimized bool
+
+	// Fault names the environment fault that ended the step when every
+	// retry was exhausted ("crash", "timeout", "unavailable", ...); empty
+	// for a measured step. Faulted steps have ExecTime 0 and never update
+	// the best configuration.
+	Fault string
+	// Retries counts evaluation attempts beyond the first (hardened loop
+	// only).
+	Retries int
+	// Rejected reports that the measurement came back but the sanitizer
+	// refused it (non-finite or outlier) before it could reach the reward.
+	Rejected bool
+	// Fallback reports that the step's measurement came from re-running
+	// the last known good configuration after the suggested one kept
+	// failing.
+	Fallback bool
 }
 
 // Report summarizes an online tuning session.
@@ -35,6 +51,14 @@ type Report struct {
 	// failed.
 	BestTime   float64
 	BestAction []float64
+
+	// Hardened-loop accounting: environment faults that survived retrying,
+	// total retry attempts, sanitizer rejections, and last-known-good
+	// fallback evaluations. All zero for the classic infallible loop.
+	Faults    int
+	Retries   int
+	Rejected  int
+	Fallbacks int
 }
 
 // EvaluationCost returns the summed execution time of all steps (the
@@ -107,6 +131,15 @@ func (r *Report) String() string {
 		status := ""
 		if st.Failed {
 			status = " FAILED"
+		}
+		if st.Fault != "" {
+			status += " FAULT(" + st.Fault + ")"
+		}
+		if st.Rejected {
+			status += " REJECTED"
+		}
+		if st.Fallback {
+			status += " (fallback)"
 		}
 		if st.Optimized {
 			status += " (twin-q optimized)"

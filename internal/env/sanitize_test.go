@@ -1,0 +1,147 @@
+package env
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCheckFinite(t *testing.T) {
+	good := Outcome{ExecTime: 10, State: []float64{0.5}, Metrics: []float64{1}}
+	if err := CheckFinite(good); err != nil {
+		t.Fatalf("finite outcome rejected: %v", err)
+	}
+	cases := []Outcome{
+		{ExecTime: math.NaN(), State: []float64{0.5}},
+		{ExecTime: math.Inf(1), State: []float64{0.5}},
+		{ExecTime: 0, State: []float64{0.5}},
+		{ExecTime: -3, State: []float64{0.5}},
+		{ExecTime: 10, State: []float64{math.NaN()}},
+		{ExecTime: 10, State: []float64{0.5}, Metrics: []float64{math.Inf(-1)}},
+	}
+	for i, o := range cases {
+		if err := CheckFinite(o); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("case %d: CheckFinite = %v, want ErrNonFinite", i, err)
+		}
+	}
+}
+
+func TestSanitizerUpperTailOnly(t *testing.T) {
+	s := NewSanitizer(20, 8)
+	for _, v := range []float64{100, 102, 98, 101, 99, 100} {
+		s.Admit(v)
+	}
+	// 10x the median is an outlier.
+	if err := s.CheckTime(1000); !errors.Is(err, ErrOutlier) {
+		t.Fatalf("10x outlier passed: %v", err)
+	}
+	// A dramatic improvement is NOT an outlier: the lower tail is the
+	// whole point of tuning.
+	if err := s.CheckTime(10); err != nil {
+		t.Fatalf("improvement rejected: %v", err)
+	}
+	// Values near the median pass.
+	if err := s.CheckTime(110); err != nil {
+		t.Fatalf("normal measurement rejected: %v", err)
+	}
+}
+
+func TestSanitizerNeedsHistory(t *testing.T) {
+	s := NewSanitizer(20, 8)
+	s.Admit(100)
+	s.Admit(101)
+	// Below MinSamples everything finite passes.
+	if err := s.CheckTime(1e6); err != nil {
+		t.Fatalf("outlier test fired with %d samples: %v", len(s.Recent), err)
+	}
+}
+
+func TestSanitizerWindowAges(t *testing.T) {
+	s := NewSanitizer(4, 8)
+	for i := 0; i < 10; i++ {
+		s.Admit(float64(100 + i))
+	}
+	if len(s.Recent) != 4 {
+		t.Fatalf("window holds %d, want 4", len(s.Recent))
+	}
+	if s.Recent[0] != 106 {
+		t.Fatalf("oldest retained = %g, want 106", s.Recent[0])
+	}
+}
+
+func TestSanitizerZeroVarianceFloor(t *testing.T) {
+	s := NewSanitizer(20, 8)
+	for i := 0; i < 8; i++ {
+		s.Admit(100)
+	}
+	// MAD is 0; the 5%-of-median floor keeps nearby values acceptable.
+	if err := s.CheckTime(105); err != nil {
+		t.Fatalf("near-identical measurement rejected under zero variance: %v", err)
+	}
+	if err := s.CheckTime(500); !errors.Is(err, ErrOutlier) {
+		t.Fatalf("5x outlier passed under zero variance: %v", err)
+	}
+}
+
+// fixedEnv is a minimal plain Environment for shim tests.
+type fixedEnv struct {
+	Environment
+	delay time.Duration
+	out   Outcome
+}
+
+func (f *fixedEnv) Evaluate(u []float64) Outcome {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	return f.out
+}
+
+func TestEvaluateWithContextPlainEnv(t *testing.T) {
+	e := &fixedEnv{out: Outcome{ExecTime: 42}}
+	o, err := EvaluateWithContext(context.Background(), e, []float64{0.5})
+	if err != nil || o.ExecTime != 42 {
+		t.Fatalf("plain env via shim = (%+v, %v)", o, err)
+	}
+}
+
+func TestEvaluateWithContextDeadline(t *testing.T) {
+	e := &fixedEnv{out: Outcome{ExecTime: 42}, delay: 200 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := EvaluateWithContext(ctx, e, []float64{0.5})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hung evaluation = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestEvaluateWithContextCancelledBeforeCall(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EvaluateWithContext(ctx, &fixedEnv{}, []float64{0.5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx = %v, want Canceled", err)
+	}
+}
+
+// ctxEnv verifies the shim prefers the fallible path when implemented.
+type ctxEnv struct {
+	Environment
+	called bool
+}
+
+func (c *ctxEnv) Evaluate(u []float64) Outcome { return Outcome{ExecTime: 1} }
+func (c *ctxEnv) EvaluateCtx(ctx context.Context, u []float64) (Outcome, error) {
+	c.called = true
+	return Outcome{ExecTime: 2}, nil
+}
+
+func TestEvaluateWithContextPrefersCtxPath(t *testing.T) {
+	e := &ctxEnv{}
+	o, err := EvaluateWithContext(context.Background(), e, nil)
+	if err != nil || !e.called || o.ExecTime != 2 {
+		t.Fatalf("ctx path not taken: (%+v, %v, called=%v)", o, err, e.called)
+	}
+}

@@ -1,0 +1,236 @@
+package service
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"deepcat/internal/chaos"
+	"deepcat/internal/cli"
+	"deepcat/internal/env"
+	"deepcat/internal/warehouse"
+)
+
+// e2eEvaluator measures one suggested configuration the way an external
+// scheduler would: against an environment that may crash, corrupt or inflate
+// the measurement, reporting whatever came back — including NaN/Inf, which
+// the session must quarantine.
+type e2eEvaluator struct {
+	env     env.Environment
+	ch      *chaos.Env // nil for the fault-free control
+	defTime float64
+}
+
+func newE2EEvaluator(t *testing.T, seed int64, ccfg *chaos.Config) *e2eEvaluator {
+	t.Helper()
+	e, err := cli.BuildEnv("a", "TS", 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &e2eEvaluator{env: e, defTime: e.DefaultTime()}
+	if ccfg != nil {
+		ev.ch = chaos.Wrap(e, *ccfg)
+		ev.env = ev.ch
+	}
+	return ev
+}
+
+// step drives one suggest/observe round through the manager, evaluating the
+// suggestion on the (possibly chaotic) environment.
+func (ev *e2eEvaluator) step(t *testing.T, m *Manager, id string) ObserveResponse {
+	t.Helper()
+	sug, err := m.Suggest(id, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ObserveRequest{Step: sug.Step}
+	o, err := env.EvaluateWithContext(context.Background(), ev.env, sug.Action)
+	if err != nil {
+		// The job never produced a measurement; a scheduler reports the
+		// wasted wall clock as a failed run.
+		req.ExecTime = ev.defTime
+		req.Failed = true
+	} else {
+		req.ExecTime = o.ExecTime
+		req.State = o.State
+		req.Failed = o.Failed
+	}
+	resp, err := m.Observe(id, req, "")
+	if err != nil {
+		t.Fatalf("observe step %d (exec %g failed %v): %v", sug.Step, req.ExecTime, req.Failed, err)
+	}
+	return resp
+}
+
+// TestChaosKillRestartEndToEnd is the service-level chaos acceptance test:
+// a session tuned under >=10% injected faults — across a daemon "kill" (the
+// manager and warehouse are abandoned mid-run and rebuilt from the
+// checkpoint store and WAL) — must end within 15% of a fault-free control
+// session with the same seed, trip and recover its circuit breaker, and
+// leave zero non-finite values in any checkpoint or warehouse record.
+func TestChaosKillRestartEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	store := NewMemStore()
+	res := Resilience{BreakerThreshold: 3, BreakerCooldown: 2}
+	ccfg := chaos.Config{
+		Seed:          11,
+		CrashRate:     0.10,
+		OutlierRate:   0.08,
+		OutlierFactor: 30,
+		CorruptRate:   0.12,
+	}
+
+	openWH := func() *warehouse.Warehouse {
+		wh, err := warehouse.Open(warehouse.Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wh
+	}
+	newManager := func(wh *warehouse.Warehouse) *Manager {
+		m := NewManager(store, 0)
+		m.SetResilience(res)
+		m.AttachWarehouse(wh)
+		return m
+	}
+
+	wh1 := openWH()
+	m1 := newManager(wh1)
+	for _, id := range []string{"ctl", "cha"} {
+		if _, err := m1.Create(CreateSessionRequest{
+			ID: id, Workload: "TS", Input: 1, Seed: 7, NoWarmStart: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctlEnv := newE2EEvaluator(t, 7, nil)
+	chaEnv := newE2EEvaluator(t, 7, &ccfg)
+
+	// Phase 1: tune both sessions until the daemon "dies".
+	for i := 0; i < 10; i++ {
+		ctlEnv.step(t, m1, "ctl")
+		chaEnv.step(t, m1, "cha")
+	}
+	// Kill: no graceful manager shutdown — only the warehouse file handles
+	// are released so the same directory can be reopened, as a restarted
+	// process would.
+	if err := wh1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wh2 := openWH()
+	defer wh2.Close()
+	m2 := newManager(wh2)
+	if n, err := m2.Resume(); err != nil || n != 2 {
+		t.Fatalf("resume = (%d, %v), want 2 sessions", n, err)
+	}
+
+	// Phase 2: keep tuning through the restart.
+	for i := 0; i < 10; i++ {
+		ctlEnv.step(t, m2, "ctl")
+		chaEnv.step(t, m2, "cha")
+	}
+
+	// Phase 3: a sustained environment outage trips the breaker...
+	for i := 0; i < res.BreakerThreshold; i++ {
+		sug, err := m2.Suggest("cha", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.Observe("cha", ObserveRequest{Step: sug.Step, ExecTime: chaEnv.defTime, Failed: true}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := m2.Get("cha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Health(); got != HealthDegraded {
+		t.Fatalf("health after outage = %q, want degraded", got)
+	}
+	sug, err := m2.Suggest("cha", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sug.Degraded {
+		t.Fatal("degraded session did not serve the last-known-good fallback")
+	}
+	// ...and a recovered environment closes it again: cooldown observations
+	// followed by a successful half-open probe. Cooldown+probe is bounded,
+	// so cap the loop rather than trusting the state machine blindly.
+	for i := 0; s.Health() != HealthHealthy; i++ {
+		if i > res.BreakerCooldown+2 {
+			t.Fatalf("breaker stuck in %q after %d clean observations", s.Health(), i)
+		}
+		sug, err := m2.Suggest("cha", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.Observe("cha", ObserveRequest{Step: sug.Step, ExecTime: chaEnv.defTime}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctl, err := m2.Get("ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlInfo, chaInfo := ctl.Info(), s.Info()
+
+	// The chaos run actually saw faults and quarantined the corrupt ones.
+	if st := chaEnv.ch.Stats(); st.Faults() == 0 ||
+		float64(st.Faults())/float64(st.Evals) < 0.10 {
+		t.Fatalf("injected fault rate below 10%%: %+v", st)
+	}
+	if chaInfo.Quarantined == 0 {
+		t.Fatal("no observation was quarantined despite corruption injection")
+	}
+	if chaInfo.Trips == 0 || chaInfo.Health != HealthHealthy {
+		t.Fatalf("breaker never tripped or never recovered: trips %d health %q",
+			chaInfo.Trips, chaInfo.Health)
+	}
+
+	// Convergence: the faulted session's best time is within 15% of the
+	// fault-free control's.
+	if chaInfo.BestTime > ctlInfo.BestTime*1.15 {
+		t.Fatalf("chaos best %.2f vs control best %.2f: gap %.1f%% exceeds 15%%",
+			chaInfo.BestTime, ctlInfo.BestTime, (chaInfo.BestTime/ctlInfo.BestTime-1)*100)
+	}
+
+	// Zero corrupted transitions anywhere durable: every warehouse record
+	// and every checkpoint must be finite.
+	var scanned int
+	if err := wh2.ScanRecords(func(rec warehouse.Record) bool {
+		scanned++
+		for _, vs := range [][]float64{rec.Transition.State, rec.Transition.Action,
+			rec.Transition.NextState, {rec.Transition.Reward}} {
+			for _, v := range vs {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite value in warehouse record from %s", rec.Session)
+				}
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if scanned == 0 {
+		t.Fatal("warehouse holds no records; the scan proves nothing")
+	}
+	ids, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("store holds %d checkpoints, want 2", len(ids))
+	}
+	for _, id := range ids {
+		data, err := store.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyCheckpoint(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package client
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -26,6 +27,10 @@ type APIError struct {
 	// quote it when filing a report so the operator can find the matching
 	// server-side log line and histogram sample.
 	RequestID string
+	// RetryAfter is the server's Retry-After hint, if it sent one (both the
+	// delay-seconds and HTTP-date forms are understood); zero otherwise.
+	// The retry loop prefers it over its own computed backoff.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -72,6 +77,32 @@ func (p RetryPolicy) delay(n int) time.Duration {
 		d -= time.Duration(p.Jitter * rand.Float64() * float64(d))
 	}
 	return d
+}
+
+// maxRetryAfter bounds how long the client will honor a server-supplied
+// Retry-After, so a misconfigured daemon or proxy cannot stall a scheduler
+// for minutes on one call.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter reads a Retry-After header value in either RFC 9110
+// form — delay seconds or an HTTP-date — returning 0 when absent, already
+// past, or malformed.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // retriableStatus reports whether an HTTP status is worth retrying: the
@@ -131,7 +162,7 @@ func (c *Client) do(method, path string, in, out any) error {
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
-			time.Sleep(c.Retry.delay(attempt - 1))
+			time.Sleep(c.retryDelay(attempt-1, lastErr))
 		}
 		err, retriable := c.doOnce(method, path, in != nil, data, out)
 		if err == nil {
@@ -143,6 +174,21 @@ func (c *Client) do(method, path string, in, out any) error {
 		}
 	}
 	return lastErr
+}
+
+// retryDelay picks the wait before retry n: when the last failure carried
+// a Retry-After hint the server's word wins (capped at maxRetryAfter, no
+// jitter — the server already knows when it wants the traffic back);
+// otherwise the policy's exponential backoff applies.
+func (c *Client) retryDelay(n int, lastErr error) time.Duration {
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > 0 {
+		if apiErr.RetryAfter > maxRetryAfter {
+			return maxRetryAfter
+		}
+		return apiErr.RetryAfter
+	}
+	return c.Retry.delay(n)
 }
 
 // doOnce performs a single attempt, reporting whether a failure is
@@ -175,7 +221,12 @@ func (c *Client) doOnce(method, path string, hasBody bool, data []byte, out any)
 		if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Error != "" {
 			msg = env.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg, RequestID: reqID}, retriableStatus(resp.StatusCode)
+		return &APIError{
+			Status:     resp.StatusCode,
+			Message:    msg,
+			RequestID:  reqID,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}, retriableStatus(resp.StatusCode)
 	}
 	if out == nil {
 		return nil, false

@@ -218,3 +218,63 @@ func TestEndToEndRequestID(t *testing.T) {
 		t.Fatalf("server did not assign a request id: %+v", apiErr)
 	}
 }
+
+// TestRetryAfterHeaderHonored verifies a 429 carrying Retry-After overrides
+// the policy's millisecond-scale backoff: the single retry waits the full
+// advertised second before succeeding.
+func TestRetryAfterHeaderHonored(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "rate limited", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok","sessions":1,"max_sessions":8}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry(3) // backoff alone would retry within ~4ms
+	start := time.Now()
+	if _, err := c.Health(); err != nil {
+		t.Fatalf("Health after 429: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry after %v, want >= ~1s from Retry-After header", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+// TestParseRetryAfter covers both RFC 9110 header forms plus the malformed
+// and stale cases, and the cap applied by retryDelay.
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("7"); d != 7*time.Second {
+		t.Fatalf("seconds form = %v", d)
+	}
+	date := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(date); d <= 3*time.Second || d > 5*time.Second {
+		t.Fatalf("http-date form = %v, want ~5s", d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	for _, v := range []string{"", "-3", "0", "soon", past} {
+		if d := parseRetryAfter(v); d != 0 {
+			t.Fatalf("parseRetryAfter(%q) = %v, want 0", v, d)
+		}
+	}
+
+	c := New("http://example.invalid")
+	c.Retry = fastRetry(3)
+	if d := c.retryDelay(1, &APIError{Status: 429, RetryAfter: time.Hour}); d != maxRetryAfter {
+		t.Fatalf("uncapped server delay honored: %v", d)
+	}
+	if d := c.retryDelay(1, &APIError{Status: 429, RetryAfter: 2 * time.Second}); d != 2*time.Second {
+		t.Fatalf("server delay not honored: %v", d)
+	}
+	if d := c.retryDelay(1, &APIError{Status: 503}); d > 4*time.Millisecond {
+		t.Fatalf("hint-free failure ignored policy backoff: %v", d)
+	}
+}

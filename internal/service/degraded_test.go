@@ -1,0 +1,212 @@
+package service
+
+import (
+	"math"
+	"testing"
+)
+
+// observeOnce drives one suggest/observe round and returns the response.
+func observeOnce(t *testing.T, m *Manager, id string, req ObserveRequest) ObserveResponse {
+	t.Helper()
+	sug, err := m.Suggest(id, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Step = sug.Step
+	resp, err := m.Observe(id, req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestBreakerLifecycle walks the full degraded-mode state machine: healthy
+// sessions trip after BreakerThreshold consecutive failures, serve the
+// last known good configuration while degraded, probe half-open after the
+// cooldown, and recover on a successful probe.
+func TestBreakerLifecycle(t *testing.T) {
+	m := testManager(t, 0)
+	m.SetResilience(Resilience{BreakerThreshold: 3, BreakerCooldown: 2, SanitizeWindow: -1})
+	createTestSession(t, m, "brk")
+
+	// Establish a last known good configuration.
+	if r := observeOnce(t, m, "brk", ObserveRequest{ExecTime: 100}); r.Health != HealthHealthy {
+		t.Fatalf("health after one success = %q", r.Health)
+	}
+
+	// Three consecutive failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if r := observeOnce(t, m, "brk", ObserveRequest{ExecTime: 100, Failed: true}); r.Health != HealthHealthy {
+			t.Fatalf("failure %d: health = %q, want still healthy", i+1, r.Health)
+		}
+	}
+	if r := observeOnce(t, m, "brk", ObserveRequest{ExecTime: 100, Failed: true}); r.Health != HealthDegraded {
+		t.Fatalf("health after third failure = %q, want degraded", r.Health)
+	}
+	s, err := m.Get("brk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := s.Info()
+	if info.Health != HealthDegraded || info.Trips != 1 {
+		t.Fatalf("degraded info = health %q trips %d", info.Health, info.Trips)
+	}
+	replayAtTrip := info.ReplayLen
+
+	// Degraded suggestions serve the last known good action without
+	// consulting the model; degraded observations are not learned from.
+	sug, err := m.Suggest("brk", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sug.Degraded {
+		t.Fatalf("degraded session served a model suggestion: %+v", sug)
+	}
+	for i, v := range sug.Action {
+		if v != info.BestAction[i] {
+			t.Fatalf("degraded action[%d] = %g, want LKG %g", i, v, info.BestAction[i])
+		}
+	}
+	if _, err := m.Observe("brk", ObserveRequest{Step: sug.Step, ExecTime: 100, Failed: true}, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Second cooldown observation moves the breaker to half-open.
+	if r := observeOnce(t, m, "brk", ObserveRequest{ExecTime: 100}); r.Health != HealthHalfOpen {
+		t.Fatalf("health after cooldown = %q, want half_open", r.Health)
+	}
+	if got := s.Info().ReplayLen; got != replayAtTrip {
+		t.Fatalf("degraded observations reached the replay buffer: %d -> %d", replayAtTrip, got)
+	}
+
+	// The half-open probe is a fresh model suggestion; its success closes
+	// the breaker.
+	probe, err := m.Suggest("brk", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Degraded {
+		t.Fatal("half-open probe re-served the LKG action")
+	}
+	if r, err := m.Observe("brk", ObserveRequest{Step: probe.Step, ExecTime: 95}, ""); err != nil || r.Health != HealthHealthy {
+		t.Fatalf("probe observation = (%+v, %v), want healthy", r, err)
+	}
+	if got := s.Info().Health; got != HealthHealthy {
+		t.Fatalf("recovered session health = %q", got)
+	}
+}
+
+// TestBreakerProbeFailureReopens verifies a failed half-open probe drops
+// the session straight back to degraded.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	m := testManager(t, 0)
+	m.SetResilience(Resilience{BreakerThreshold: 2, BreakerCooldown: 1, SanitizeWindow: -1})
+	createTestSession(t, m, "re")
+	observeOnce(t, m, "re", ObserveRequest{ExecTime: 100})
+	observeOnce(t, m, "re", ObserveRequest{ExecTime: 100, Failed: true})
+	observeOnce(t, m, "re", ObserveRequest{ExecTime: 100, Failed: true}) // trip
+	observeOnce(t, m, "re", ObserveRequest{ExecTime: 100, Failed: true}) // cooldown -> half_open
+	if r := observeOnce(t, m, "re", ObserveRequest{ExecTime: 100, Failed: true}); r.Health != HealthDegraded {
+		t.Fatalf("failed probe left health %q, want degraded", r.Health)
+	}
+	s, _ := m.Get("re")
+	if trips := s.Info().Trips; trips != 2 {
+		t.Fatalf("trips = %d, want 2", trips)
+	}
+}
+
+// TestQuarantineOutlier verifies the sanitizer refuses a measurement far
+// above the session's recent history: the step advances but nothing is
+// learned and the best configuration is untouched.
+func TestQuarantineOutlier(t *testing.T) {
+	m := testManager(t, 0)
+	createTestSession(t, m, "q")
+	for i := 0; i < 6; i++ {
+		observeOnce(t, m, "q", ObserveRequest{ExecTime: 100 + float64(i)})
+	}
+	s, _ := m.Get("q")
+	before := s.Info()
+	r := observeOnce(t, m, "q", ObserveRequest{ExecTime: 10000})
+	if !r.Quarantined || r.Reward != 0 {
+		t.Fatalf("10000s outlier not quarantined: %+v", r)
+	}
+	after := s.Info()
+	if after.ReplayLen != before.ReplayLen {
+		t.Fatal("quarantined observation reached the replay buffer")
+	}
+	if after.BestTime != before.BestTime {
+		t.Fatal("quarantined observation moved the best time")
+	}
+	if after.Quarantined != 1 {
+		t.Fatalf("quarantine count = %d, want 1", after.Quarantined)
+	}
+	// A dramatic improvement is NOT quarantined: the lower tail is the
+	// whole point of tuning.
+	if r := observeOnce(t, m, "q", ObserveRequest{ExecTime: 10}); r.Quarantined {
+		t.Fatal("improvement quarantined")
+	}
+}
+
+// TestQuarantineNonFinite verifies direct (non-HTTP) callers cannot push
+// NaN into the session: the observation is quarantined, not stored.
+func TestQuarantineNonFinite(t *testing.T) {
+	m := testManager(t, 0)
+	createTestSession(t, m, "nan")
+	r := observeOnce(t, m, "nan", ObserveRequest{ExecTime: math.NaN()})
+	if !r.Quarantined {
+		t.Fatalf("NaN exec time accepted: %+v", r)
+	}
+	badState := make([]float64, stateDim(t, m, "nan"))
+	badState[0] = math.Inf(1)
+	r = observeOnce(t, m, "nan", ObserveRequest{ExecTime: 100, State: badState})
+	if !r.Quarantined {
+		t.Fatalf("Inf state accepted: %+v", r)
+	}
+	s, _ := m.Get("nan")
+	if got := s.Info().Quarantined; got != 2 {
+		t.Fatalf("quarantine count = %d, want 2", got)
+	}
+}
+
+func stateDim(t *testing.T, m *Manager, id string) int {
+	t.Helper()
+	s, err := m.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.env.StateDim()
+}
+
+// TestBreakerStateSurvivesRestart trips a session, then resumes it from
+// its checkpoint in a fresh manager and verifies the degraded state and
+// sanitizer history persisted.
+func TestBreakerStateSurvivesRestart(t *testing.T) {
+	store := NewMemStore()
+	m := NewManager(store, 0)
+	m.SetResilience(Resilience{BreakerThreshold: 2, BreakerCooldown: 2, SanitizeWindow: -1})
+	createTestSession(t, m, "per")
+	observeOnce(t, m, "per", ObserveRequest{ExecTime: 100})
+	observeOnce(t, m, "per", ObserveRequest{ExecTime: 100, Failed: true})
+	observeOnce(t, m, "per", ObserveRequest{ExecTime: 100, Failed: true}) // trip + checkpoint
+
+	m2 := NewManager(store, 0)
+	m2.SetResilience(Resilience{BreakerThreshold: 2, BreakerCooldown: 2, SanitizeWindow: -1})
+	if n, err := m2.Resume(); err != nil || n != 1 {
+		t.Fatalf("resume = (%d, %v)", n, err)
+	}
+	s, err := m2.Get("per")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := s.Info()
+	if info.Health != HealthDegraded || info.Trips != 1 {
+		t.Fatalf("resumed info = health %q trips %d, want degraded/1", info.Health, info.Trips)
+	}
+	if m2.DegradedCount() != 1 {
+		t.Fatalf("degraded count = %d, want 1", m2.DegradedCount())
+	}
+	// The resumed session continues the state machine where it left off.
+	observeOnce(t, m2, "per", ObserveRequest{ExecTime: 100})
+	if r := observeOnce(t, m2, "per", ObserveRequest{ExecTime: 100}); r.Health != HealthHalfOpen {
+		t.Fatalf("resumed cooldown ended at %q, want half_open", r.Health)
+	}
+}

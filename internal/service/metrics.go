@@ -31,6 +31,15 @@ type metrics struct {
 	// Checkpoint write-through cost after every observation.
 	checkpointDur   *obs.Histogram
 	checkpointBytes *obs.Counter
+
+	// Fault handling: observations the sanitizer quarantined, circuit
+	// breaker trips and recoveries, last-known-good suggestions served
+	// while degraded, and the number of currently degraded sessions.
+	quarantined       *obs.Counter
+	breakerTrips      *obs.Counter
+	breakerRecoveries *obs.Counter
+	degradedSuggests  *obs.Counter
+	degradedSessions  *obs.Gauge
 }
 
 // newMetrics registers the service instruments on reg (nil for no-op).
@@ -47,6 +56,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 		twinqRejections: reg.Counter("deepcat_twinq_rejections_total"),
 		checkpointDur:   reg.Histogram("deepcat_checkpoint_duration_seconds", nil),
 		checkpointBytes: reg.Counter("deepcat_checkpoint_bytes_total"),
+
+		quarantined:       reg.Counter("deepcat_observations_quarantined_total"),
+		breakerTrips:      reg.Counter("deepcat_breaker_trips_total"),
+		breakerRecoveries: reg.Counter("deepcat_breaker_recoveries_total"),
+		degradedSuggests:  reg.Counter("deepcat_degraded_suggests_total"),
+		degradedSessions:  reg.Gauge("deepcat_degraded_sessions"),
 	}
 }
 

@@ -32,6 +32,9 @@ type Manager struct {
 	log *obs.Logger
 	// tc, when non-nil, enables per-session flight recording.
 	tc *TraceConfig
+	// res is the fault-handling policy applied to every session (breaker
+	// and sanitizer); defaults to DefaultResilience.
+	res Resilience
 
 	mu sync.Mutex
 	// sessions maps id -> session; a nil value reserves an id whose
@@ -46,8 +49,26 @@ func NewManager(store Store, maxSessions int) *Manager {
 		store:    store,
 		max:      maxSessions,
 		met:      newMetrics(nil),
+		res:      DefaultResilience(),
 		sessions: make(map[string]*Session),
 	}
+}
+
+// SetResilience replaces the fault-handling policy for sessions created or
+// resumed afterwards; call it once at daemon startup, before Resume or any
+// Create.
+func (m *Manager) SetResilience(r Resilience) { m.res = r.normalize() }
+
+// DegradedCount returns the number of live sessions whose circuit breaker
+// is currently open (degraded or half-open).
+func (m *Manager) DegradedCount() int {
+	n := 0
+	for _, s := range m.snapshotSessions() {
+		if s.Health() != HealthHealthy {
+			n++
+		}
+	}
+	return n
 }
 
 // Count returns the number of sessions, including reservations in flight.
@@ -153,7 +174,7 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	pprof.Do(context.Background(),
 		pprof.Labels("deepcat_session", id, "workload", warehouse.Signature(req.Cluster, req.Workload, req.Input)),
 		func(context.Context) {
-			s, err = newSession(id, req, time.Now(), m.wh, m.met, m.tc)
+			s, err = newSession(id, req, time.Now(), m.wh, m.met, m.tc, m.res)
 			if err == nil {
 				err = m.checkpoint(s)
 			}
@@ -209,31 +230,47 @@ func (m *Manager) List() []SessionInfo {
 	return infos
 }
 
-// Suggest forwards to the session. reqID, when non-empty, tags the
-// recorded trace span with the originating HTTP request id.
+// Suggest forwards to the session with a background context; see
+// SuggestCtx.
 func (m *Manager) Suggest(id, reqID string) (SuggestResponse, error) {
+	return m.SuggestCtx(context.Background(), id, reqID)
+}
+
+// SuggestCtx forwards to the session. ctx is the originating request's
+// context: an abandoned request stops the work instead of computing a
+// suggestion nobody will read. reqID, when non-empty, tags the recorded
+// trace span with the originating HTTP request id.
+func (m *Manager) SuggestCtx(ctx context.Context, id, reqID string) (SuggestResponse, error) {
 	s, err := m.Get(id)
 	if err != nil {
 		return SuggestResponse{}, err
 	}
 	var resp SuggestResponse
-	pprof.Do(context.Background(), s.labels(), func(context.Context) {
-		resp, err = s.Suggest(time.Now(), reqID)
+	pprof.Do(ctx, s.labels(), func(ctx context.Context) {
+		resp, err = s.Suggest(ctx, time.Now(), reqID)
 	})
 	return resp, err
 }
 
-// Observe forwards to the session and checkpoints the advanced state, so a
-// daemon crash after the response never loses an acknowledged observation.
-// reqID tags the recorded trace span (see Suggest).
+// Observe forwards to the session with a background context; see
+// ObserveCtx.
 func (m *Manager) Observe(id string, req ObserveRequest, reqID string) (ObserveResponse, error) {
+	return m.ObserveCtx(context.Background(), id, req, reqID)
+}
+
+// ObserveCtx forwards to the session and checkpoints the advanced state,
+// so a daemon crash after the response never loses an acknowledged
+// observation. ctx gates only the entry — once the session starts
+// learning, the observation completes and checkpoints even if the caller
+// goes away. reqID tags the recorded trace span (see SuggestCtx).
+func (m *Manager) ObserveCtx(ctx context.Context, id string, req ObserveRequest, reqID string) (ObserveResponse, error) {
 	s, err := m.Get(id)
 	if err != nil {
 		return ObserveResponse{}, err
 	}
 	var resp ObserveResponse
-	pprof.Do(context.Background(), s.labels(), func(context.Context) {
-		resp, err = s.Observe(req, time.Now(), reqID)
+	pprof.Do(ctx, s.labels(), func(ctx context.Context) {
+		resp, err = s.Observe(ctx, req, time.Now(), reqID)
 		if err != nil {
 			return
 		}
@@ -260,6 +297,9 @@ func (m *Manager) Delete(id string) error {
 	}
 	if s == nil {
 		return fmt.Errorf("session %s is still being created: %w", id, ErrConflict)
+	}
+	if s.Health() != HealthHealthy {
+		m.met.degradedSessions.Dec()
 	}
 	s.Close()
 	// Taking the session's checkpoint lock after Close guarantees ordering
@@ -332,10 +372,13 @@ func (m *Manager) Resume() (int, error) {
 			errs = append(errs, err)
 			continue
 		}
-		s, err := resumeSession(data, m.wh, m.met, m.tc)
+		s, err := resumeSession(data, m.wh, m.met, m.tc, m.res)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("checkpoint %s: %w", id, err))
 			continue
+		}
+		if s.Health() != HealthHealthy {
+			m.met.degradedSessions.Inc()
 		}
 		m.mu.Lock()
 		if _, exists := m.sessions[id]; exists {

@@ -115,9 +115,10 @@ func (s *Server) instrument(hm httpMetrics, endpoint string, h http.HandlerFunc)
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:      "ok",
-		Sessions:    s.manager.Count(),
-		MaxSessions: s.manager.MaxSessions(),
+		Status:           "ok",
+		Sessions:         s.manager.Count(),
+		MaxSessions:      s.manager.MaxSessions(),
+		DegradedSessions: s.manager.DegradedCount(),
 	})
 }
 
@@ -158,7 +159,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	// instrument already stamped the response header with the request id;
 	// pass it down so the session's trace span carries the same value.
-	resp, err := s.manager.Suggest(r.PathValue("id"), w.Header().Get(requestIDHeader))
+	resp, err := s.manager.SuggestCtx(r.Context(), r.PathValue("id"), w.Header().Get(requestIDHeader))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -171,7 +172,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := s.manager.Observe(r.PathValue("id"), req, w.Header().Get(requestIDHeader))
+	resp, err := s.manager.ObserveCtx(r.Context(), r.PathValue("id"), req, w.Header().Get(requestIDHeader))
 	if err != nil {
 		writeErr(w, err)
 		return

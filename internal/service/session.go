@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -55,6 +56,18 @@ type sessionMeta struct {
 	BestAction []float64
 	State      []float64
 
+	// Circuit-breaker state ("" in pre-breaker checkpoints normalizes to
+	// healthy) and accounting; see breaker.go for the state machine.
+	Health       string
+	ConsecFails  int
+	DegradedObs  int
+	BreakerTrips int
+	// Quarantined counts observations the sanitizer refused (non-finite
+	// or outlier); SanRecent is the sanitizer's accepted history so a
+	// resumed session keeps its outlier baseline.
+	Quarantined int
+	SanRecent   []float64
+
 	// WarmStarted records that the session was seeded from the named
 	// warehouse donor (e.g. "a.TS.1-g3") instead of starting cold.
 	WarmStarted bool
@@ -80,6 +93,9 @@ type pendingSuggest struct {
 	// state is the system state the action was suggested for; the
 	// transition recorded at observe time starts from it.
 	state []float64
+	// degraded marks a last-known-good fallback served while the breaker
+	// is open; the model was not consulted.
+	degraded bool
 }
 
 // Session is one tuning session: a DeepCAT agent bound to a workload,
@@ -106,6 +122,12 @@ type Session struct {
 	// tracing disabled. It is threaded into the tuner at construction so
 	// core and rl decision events land in the same per-session stream.
 	rec *trace.Session
+
+	// res is the daemon's fault-handling policy (normalized); san is the
+	// observation sanitizer, nil when res disables it. The sanitizer's
+	// history round-trips through meta.SanRecent at checkpoint time.
+	res Resilience
+	san *env.Sanitizer
 
 	// ckpt serializes this session's store writes against its deletion;
 	// see Manager.checkpoint and Manager.Delete.
@@ -153,7 +175,7 @@ func newRecorder(tc *TraceConfig, id string) *trace.Session {
 // the session adopts the donor's networks and pre-fills its replay pools
 // with the family's high-reward transitions before any optional offline
 // training; a missing or mismatched donor falls back to a cold start.
-func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehouse.Warehouse, met *metrics, tc *TraceConfig) (*Session, error) {
+func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehouse.Warehouse, met *metrics, tc *TraceConfig, res Resilience) (*Session, error) {
 	e, err := cli.BuildEnv(req.Cluster, req.Workload, req.Input, req.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrInvalid, err)
@@ -187,6 +209,11 @@ func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehous
 		sig:   warehouse.Signature(req.Cluster, req.Workload, req.Input),
 		met:   met,
 		rec:   newRecorder(tc, id),
+		res:   res.normalize(),
+	}
+	s.meta.Health = HealthHealthy
+	if s.res.SanitizeWindow > 0 {
+		s.san = env.NewSanitizer(s.res.SanitizeWindow, s.res.SanitizeMADK)
 	}
 	tuner.SetRecorder(s.rec)
 	if wh != nil && !req.NoWarmStart {
@@ -261,6 +288,9 @@ func (s *Session) infoLocked() SessionInfo {
 		ReplayLen:   s.tuner.Buffer.Len(),
 		WarmStarted: s.meta.WarmStarted,
 		Donor:       s.meta.Donor,
+		Health:      s.healthLocked(),
+		Quarantined: s.meta.Quarantined,
+		Trips:       s.meta.BreakerTrips,
 		CreatedAt:   s.meta.CreatedAt,
 		UpdatedAt:   s.meta.UpdatedAt,
 	}
@@ -272,9 +302,15 @@ func (s *Session) infoLocked() SessionInfo {
 
 // Suggest returns the next configuration to evaluate. While an observation
 // is outstanding it idempotently re-returns the same suggestion, so
-// schedulers can safely retry. reqID, when non-empty, tags the recorded
+// schedulers can safely retry. While the session is degraded it serves the
+// last known good configuration without consulting the model; a half-open
+// session issues a fresh model probe. ctx ends the call early when the
+// originating request is gone; reqID, when non-empty, tags the recorded
 // span so a trace line can be correlated with the daemon's request log.
-func (s *Session) Suggest(now time.Time, reqID string) (SuggestResponse, error) {
+func (s *Session) Suggest(ctx context.Context, now time.Time, reqID string) (SuggestResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return SuggestResponse{}, fmt.Errorf("session %s: suggest abandoned: %w", s.meta.ID, err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -286,6 +322,21 @@ func (s *Session) Suggest(now time.Time, reqID string) (SuggestResponse, error) 
 		sp := trace.Begin(s.rec, "session.suggest").AttrInt("step", step)
 		if reqID != "" {
 			sp.Attr("request_id", reqID)
+		}
+		if s.healthLocked() == HealthDegraded && s.meta.BestAction != nil {
+			// Open breaker: re-serve the last known good configuration.
+			// The model is deliberately not consulted — a failing
+			// environment must not drag the policy around.
+			s.pending = &pendingSuggest{
+				step:     step,
+				action:   mat.CloneSlice(s.meta.BestAction),
+				state:    mat.CloneSlice(s.meta.State),
+				degraded: true,
+			}
+			s.met.degradedSuggests.Inc()
+			s.meta.UpdatedAt = now
+			sp.AttrBool("degraded", true).End()
+			return s.suggestResponseLocked(), nil
 		}
 		start := time.Now()
 		action, st := s.tuner.SuggestWithStats(s.meta.State, s.meta.LastFailed)
@@ -303,7 +354,8 @@ func (s *Session) Suggest(now time.Time, reqID string) (SuggestResponse, error) 
 			state:     mat.CloneSlice(s.meta.State),
 		}
 		s.meta.UpdatedAt = now
-		sp.AttrInt("tries", st.Tries).AttrBool("optimized", st.Optimized).End()
+		sp.AttrInt("tries", st.Tries).AttrBool("optimized", st.Optimized).
+			AttrBool("probe", s.healthLocked() == HealthHalfOpen).End()
 	}
 	return s.suggestResponseLocked(), nil
 }
@@ -320,14 +372,23 @@ func (s *Session) suggestResponseLocked() SuggestResponse {
 		Action:    mat.CloneSlice(s.pending.action),
 		Config:    cfg,
 		Optimized: s.pending.optimized,
+		Degraded:  s.pending.degraded,
 	}
 }
 
 // Observe records the measured outcome of the pending suggestion and
 // fine-tunes the agent on it. req.Step 0 targets the pending suggestion;
-// any other value must match it. reqID, when non-empty, tags the recorded
-// span (see Suggest).
-func (s *Session) Observe(req ObserveRequest, now time.Time, reqID string) (ObserveResponse, error) {
+// any other value must match it. Non-finite or outlier measurements are
+// quarantined: the step advances but nothing reaches the reward, the
+// replay buffer, the checkpoint or the warehouse. Every outcome also
+// drives the session's circuit breaker; while the breaker is open the
+// session records outcomes without learning from them. ctx ends the call
+// early when the originating request is gone; reqID, when non-empty, tags
+// the recorded span (see Suggest).
+func (s *Session) Observe(ctx context.Context, req ObserveRequest, now time.Time, reqID string) (ObserveResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return ObserveResponse{}, fmt.Errorf("session %s: observe abandoned: %w", s.meta.ID, err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -360,48 +421,86 @@ func (s *Session) Observe(req ObserveRequest, now time.Time, reqID string) (Obse
 	if reqID != "" {
 		sp.Attr("request_id", reqID)
 	}
-	start := time.Now()
-	reward := s.tuner.Observe(p.state, p.action, req.ExecTime, s.meta.PrevTime,
-		s.env.DefaultTime(), nextState, false)
-	s.met.observeDur.ObserveSince(start)
-	sp.AttrFloat("reward", reward).End()
-	if s.wh != nil {
-		// Stream the observed experience into the fleet warehouse. The
-		// warehouse is advisory — a full disk there must not fail the
-		// observation the tuner already learned from.
-		wsp := trace.Begin(s.rec, "warehouse_ingest").AttrInt("records", 1)
-		_ = s.wh.Append(warehouse.Record{
-			Signature: s.sig,
-			Session:   s.meta.ID,
-			Transition: rl.Transition{
-				State:     p.state,
-				Action:    p.action,
-				Reward:    reward,
-				NextState: nextState,
-				Done:      false,
-			},
-		})
-		wsp.End()
-	}
 
-	improved := !req.Failed && (s.meta.BestTime == 0 || req.ExecTime < s.meta.BestTime)
+	// Sanitize before anything downstream sees the measurement. JSON
+	// cannot carry NaN/Inf, but direct Go callers can; the outlier test is
+	// the HTTP-reachable half.
+	qerr := env.CheckFinite(env.Outcome{ExecTime: req.ExecTime, State: req.State})
+	if qerr == nil && !req.Failed && s.san != nil {
+		qerr = s.san.CheckTime(req.ExecTime)
+	}
+	failure := req.Failed || qerr != nil
+	healthBefore := s.healthLocked()
+	_, health := s.breakerObserve(failure, now)
+	// Learn only from clean measurements taken outside a degraded period;
+	// the half-open probe's outcome is learned from like any healthy one.
+	learn := qerr == nil && healthBefore != HealthDegraded
+
+	var reward float64
+	if qerr != nil {
+		s.meta.Quarantined++
+		s.met.quarantined.Inc()
+		sp.AttrBool("quarantined", true).Attr("quarantine_reason", qerr.Error())
+	} else if learn {
+		start := time.Now()
+		reward = s.tuner.Observe(p.state, p.action, req.ExecTime, s.meta.PrevTime,
+			s.env.DefaultTime(), nextState, false)
+		s.met.observeDur.ObserveSince(start)
+		if s.wh != nil {
+			// Stream the observed experience into the fleet warehouse. The
+			// warehouse is advisory — a full disk there must not fail the
+			// observation the tuner already learned from.
+			wsp := trace.Begin(s.rec, "warehouse_ingest").AttrInt("records", 1)
+			_ = s.wh.Append(warehouse.Record{
+				Signature: s.sig,
+				Session:   s.meta.ID,
+				Transition: rl.Transition{
+					State:     p.state,
+					Action:    p.action,
+					Reward:    reward,
+					NextState: nextState,
+					Done:      false,
+				},
+			})
+			wsp.End()
+		}
+	} else {
+		sp.AttrBool("degraded_skip", true)
+	}
+	sp.AttrFloat("reward", reward).Attr("health", health).End()
+
+	improved := qerr == nil && !req.Failed && (s.meta.BestTime == 0 || req.ExecTime < s.meta.BestTime)
 	if improved {
 		s.meta.BestTime = req.ExecTime
 		s.meta.BestAction = mat.CloneSlice(p.action)
 	}
 	s.meta.Step = p.step
-	s.meta.PrevTime = req.ExecTime
-	s.meta.LastFailed = req.Failed
-	s.meta.State = nextState
+	s.meta.LastFailed = failure
 	s.meta.UpdatedAt = now
+	if qerr == nil {
+		s.meta.PrevTime = req.ExecTime
+		s.meta.State = nextState
+		if !req.Failed && s.san != nil {
+			s.san.Admit(req.ExecTime)
+		}
+	}
 	s.pending = nil
 
 	return ObserveResponse{
-		Step:     s.meta.Step,
-		Reward:   reward,
-		BestTime: s.meta.BestTime,
-		Improved: improved,
+		Step:        s.meta.Step,
+		Reward:      reward,
+		BestTime:    s.meta.BestTime,
+		Improved:    improved,
+		Quarantined: qerr != nil,
+		Health:      health,
 	}, nil
+}
+
+// Health returns the session's current breaker health.
+func (s *Session) Health() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthLocked()
 }
 
 // Close marks the session closed; subsequent calls fail with ErrClosed.
@@ -441,6 +540,9 @@ func (s *Session) Checkpoint() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.san != nil {
+		s.meta.SanRecent = mat.CloneSlice(s.san.Recent)
+	}
 	ck := sessionCheckpoint{Meta: s.meta, Snap: snap}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
@@ -454,7 +556,7 @@ func (s *Session) Checkpoint() ([]byte, error) {
 // agent, replay pool and tuning progress come from the snapshot. The
 // warehouse binding, when the daemon runs one, is re-established from the
 // same metadata.
-func resumeSession(data []byte, wh *warehouse.Warehouse, met *metrics, tc *TraceConfig) (*Session, error) {
+func resumeSession(data []byte, wh *warehouse.Warehouse, met *metrics, tc *TraceConfig, res Resilience) (*Session, error) {
 	var ck sessionCheckpoint
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
 		return nil, fmt.Errorf("service: decode checkpoint: %w", err)
@@ -481,6 +583,14 @@ func resumeSession(data []byte, wh *warehouse.Warehouse, met *metrics, tc *Trace
 		sig:   warehouse.Signature(ck.Meta.Cluster, ck.Meta.Workload, ck.Meta.Input),
 		met:   met,
 		rec:   newRecorder(tc, ck.Meta.ID),
+		res:   res.normalize(),
+	}
+	if s.meta.Health == "" {
+		s.meta.Health = HealthHealthy // pre-breaker checkpoint
+	}
+	if s.res.SanitizeWindow > 0 {
+		s.san = env.NewSanitizer(s.res.SanitizeWindow, s.res.SanitizeMADK)
+		s.san.Recent = ck.Meta.SanRecent
 	}
 	// The recorder is deliberately not part of the checkpoint: a resumed
 	// session reopens its spool (recovering any torn tail) and continues

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestVerifyCheckpoint proves the verifier both accepts a real checkpoint
+// and catches poison hidden in each layer: session metadata, a replay
+// transition, and a network weight.
+func TestVerifyCheckpoint(t *testing.T) {
+	m := testManager(t, 0)
+	createTestSession(t, m, "v")
+	observeOnce(t, m, "v", ObserveRequest{ExecTime: 100})
+	s, err := m.Get("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCheckpoint(data); err != nil {
+		t.Fatalf("clean checkpoint rejected: %v", err)
+	}
+	if err := VerifyCheckpoint([]byte("not a checkpoint")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+
+	poison := func(name string, mutate func(ck *sessionCheckpoint), want string) {
+		var ck sessionCheckpoint
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&ck)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+			t.Fatal(err)
+		}
+		err := VerifyCheckpoint(buf.Bytes())
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: err = %v, want mention of %q", name, err, want)
+		}
+	}
+	poison("meta", func(ck *sessionCheckpoint) { ck.Meta.BestTime = math.NaN() }, "meta")
+	poison("replay", func(ck *sessionCheckpoint) {
+		ps := ck.Snap.Replay.Uniform
+		if ps == nil {
+			ps = ck.Snap.Replay.Low
+		}
+		if ps == nil || len(ps.Transitions) == 0 {
+			t.Fatal("checkpoint has no replay transitions to poison")
+		}
+		ps.Transitions[0].Reward = math.Inf(1)
+	}, "replay")
+	poison("weights", func(ck *sessionCheckpoint) {
+		ck.Snap.Agent.Actor.Layers[0].W.Data[0] = math.NaN()
+	}, "actor")
+}

@@ -91,8 +91,16 @@ type SessionInfo struct {
 	HighReplayLen int `json:"high_replay_len,omitempty"`
 	// WarmStarted reports that the session was seeded from the warehouse
 	// donor named by Donor instead of starting cold.
-	WarmStarted bool      `json:"warm_started,omitempty"`
-	Donor       string    `json:"donor,omitempty"`
+	WarmStarted bool   `json:"warm_started,omitempty"`
+	Donor       string `json:"donor,omitempty"`
+	// Health is the session's circuit-breaker state: "healthy",
+	// "degraded" (breaker open, serving the last known good
+	// configuration) or "half_open" (probing recovery).
+	Health string `json:"health,omitempty"`
+	// Quarantined counts observations the sanitizer refused (non-finite
+	// or outlier measurements); Trips counts breaker openings.
+	Quarantined int       `json:"quarantined,omitempty"`
+	Trips       int       `json:"breaker_trips,omitempty"`
 	CreatedAt   time.Time `json:"created_at"`
 	UpdatedAt   time.Time `json:"updated_at"`
 }
@@ -106,6 +114,9 @@ type SuggestResponse struct {
 	Action    []float64          `json:"action"`
 	Config    map[string]float64 `json:"config"`
 	Optimized bool               `json:"optimized"`
+	// Degraded marks a last-known-good fallback served while the session's
+	// circuit breaker is open; the model was not consulted.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ObserveRequest reports the measured outcome of the suggestion identified
@@ -128,6 +139,13 @@ type ObserveResponse struct {
 	BestTime float64 `json:"best_time"`
 	// Improved reports whether this observation set a new best.
 	Improved bool `json:"improved"`
+	// Quarantined reports that the sanitizer refused the measurement
+	// (non-finite or implausible outlier): the step advanced but nothing
+	// was learned, checkpointed or warehoused from it.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Health is the session's circuit-breaker state after this
+	// observation; see SessionInfo.Health.
+	Health string `json:"health,omitempty"`
 }
 
 // HealthResponse is the /healthz body.
@@ -135,6 +153,9 @@ type HealthResponse struct {
 	Status      string `json:"status"`
 	Sessions    int    `json:"sessions"`
 	MaxSessions int    `json:"max_sessions"`
+	// DegradedSessions counts live sessions whose circuit breaker is
+	// currently open (degraded or half-open).
+	DegradedSessions int `json:"degraded_sessions,omitempty"`
 }
 
 // WarehouseStatsResponse is the /v1/warehouse/stats body. Stats is absent

@@ -162,9 +162,16 @@ func (w *Warehouse) TrainFamily(sig string) (DonorMeta, error) {
 
 // trainDonor does the actual (lock-free) training and persistence.
 func (w *Warehouse) trainDonor(sig string, gen int, recs []Record, high int) (DonorMeta, *donorEntry, error) {
-	trs := make([]rl.Transition, len(recs))
-	for i, rec := range recs {
-		trs[i] = rec.Transition
+	// Belt-and-braces: ingest already quarantines non-finite records, but a
+	// donor trained on even one NaN is worthless, so filter again here.
+	trs := make([]rl.Transition, 0, len(recs))
+	for _, rec := range recs {
+		if finiteRecord(rec) {
+			trs = append(trs, rec.Transition)
+		}
+	}
+	if len(trs) == 0 {
+		return DonorMeta{}, nil, fmt.Errorf("warehouse: donor %s g%d: no finite transitions", sig, gen)
 	}
 	stateDim, actionDim := len(trs[0].State), len(trs[0].Action)
 	cfg := core.DefaultConfig(stateDim, actionDim)

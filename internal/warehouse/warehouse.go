@@ -14,6 +14,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -160,6 +161,7 @@ type whMetrics struct {
 	ingestRecords  *obs.Counter
 	ingestBytes    *obs.Counter
 	ingestDur      *obs.Histogram
+	quarantined    *obs.Counter
 	retained       *obs.Gauge
 	segmentsSealed *obs.Counter
 	compactions    *obs.Counter
@@ -177,6 +179,7 @@ func newWHMetrics(reg *obs.Registry) whMetrics {
 		ingestRecords:  reg.Counter("deepcat_warehouse_ingest_records_total"),
 		ingestBytes:    reg.Counter("deepcat_warehouse_ingest_bytes_total"),
 		ingestDur:      reg.Histogram("deepcat_warehouse_ingest_duration_seconds", nil),
+		quarantined:    reg.Counter("deepcat_warehouse_quarantined_records_total"),
 		retained:       reg.Gauge("deepcat_warehouse_retained_records"),
 		segmentsSealed: reg.Counter("deepcat_warehouse_segments_sealed_total"),
 		compactions:    reg.Counter("deepcat_warehouse_compactions_total"),
@@ -194,14 +197,15 @@ type Warehouse struct {
 	met  whMetrics
 	logg *obs.Logger
 
-	mu        sync.Mutex
-	log       *wal
-	families  map[string]*family
-	recovered walRecovery
-	training  map[string]bool
-	trainErrs int
-	retained  int // total records across family indexes, mirrored to met.retained
-	closed    bool
+	mu          sync.Mutex
+	log         *wal
+	families    map[string]*family
+	recovered   walRecovery
+	training    map[string]bool
+	trainErrs   int
+	quarantined int // records refused by the non-finite ingest guard
+	retained    int // total records across family indexes, mirrored to met.retained
+	closed      bool
 
 	stopc      chan struct{}
 	loopWG     sync.WaitGroup
@@ -242,6 +246,15 @@ func Open(opts Options) (*Warehouse, error) {
 			// CRC passed but gob did not: a record from an incompatible
 			// build. Skip it rather than refuse the whole log.
 			w.recovered.DroppedBytes += int64(len(payload))
+			w.recovered.Records--
+			continue
+		}
+		if !finiteRecord(rec) {
+			// A log written before the ingest guard existed may carry
+			// NaN/Inf; quarantine on replay so corruption never reaches
+			// donor training, whatever its vintage.
+			w.quarantined++
+			w.met.quarantined.Inc()
 			w.recovered.Records--
 			continue
 		}
@@ -307,6 +320,17 @@ func (w *Warehouse) AppendBatch(recs []Record) error {
 		if err := validateRecord(rec); err != nil {
 			return err
 		}
+		if !finiteRecord(rec) {
+			// Quarantine, don't error: the warehouse is advisory, and one
+			// corrupt measurement must not abort the rest of the batch or
+			// the caller's observe path. The record never reaches the log,
+			// the index or donor training.
+			w.quarantined++
+			w.met.quarantined.Inc()
+			w.logg.Warn("record quarantined", "signature", rec.Signature,
+				"session", rec.Session, "reason", "non-finite transition")
+			continue
+		}
 		if fam, ok := w.families[rec.Signature]; ok && len(fam.recs) > 0 {
 			prev := fam.recs[len(fam.recs)-1].Transition
 			if len(prev.State) != len(rec.Transition.State) || len(prev.Action) != len(rec.Transition.Action) {
@@ -336,6 +360,51 @@ func validateRecord(rec Record) error {
 	}
 	if len(rec.Transition.State) == 0 || len(rec.Transition.Action) == 0 {
 		return fmt.Errorf("warehouse: record for %s with empty state or action", rec.Signature)
+	}
+	return nil
+}
+
+// finiteRecord reports whether every numeric field of the record's
+// transition is finite. Non-finite transitions are quarantined rather than
+// logged: a single NaN reward would silently poison every future donor
+// trained on the family.
+func finiteRecord(rec Record) bool {
+	tr := rec.Transition
+	if math.IsNaN(tr.Reward) || math.IsInf(tr.Reward, 0) {
+		return false
+	}
+	for _, vs := range [][]float64{tr.State, tr.Action, tr.NextState} {
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ScanRecords calls fn for every retained record, families in signature
+// order and records oldest first, stopping early when fn returns false.
+// The warehouse lock is held for the duration: fn must be quick and must
+// not call back into the warehouse. Chaos harnesses use it to assert that
+// no corrupted transition survived ingest.
+func (w *Warehouse) ScanRecords(fn func(Record) bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	sigs := make([]string, 0, len(w.families))
+	for sig := range w.families {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		for _, rec := range w.families[sig].recs {
+			if !fn(rec) {
+				return nil
+			}
+		}
 	}
 	return nil
 }
@@ -446,6 +515,9 @@ type Stats struct {
 	DroppedBytes     int64 `json:"dropped_bytes"`
 	// TrainErrors counts failed background donor trainings.
 	TrainErrors int `json:"train_errors,omitempty"`
+	// Quarantined counts records the non-finite ingest guard refused (at
+	// append time or while replaying an old log).
+	Quarantined int `json:"quarantined,omitempty"`
 }
 
 // Stats reports the warehouse's current state.
@@ -458,6 +530,7 @@ func (w *Warehouse) Stats() Stats {
 		TruncatedBytes:   w.recovered.TruncatedBytes,
 		DroppedBytes:     w.recovered.DroppedBytes,
 		TrainErrors:      w.trainErrs,
+		Quarantined:      w.quarantined,
 	}
 	sigs := make([]string, 0, len(w.families))
 	for sig := range w.families {
