@@ -1,0 +1,333 @@
+// Command deepcat-loadgen drives a deepcat-serve daemon or fleet with many
+// concurrent simulated tuning sessions and reports latency histograms per
+// operation, so capacity limits and routing regressions show up before a
+// real scheduler hits them.
+//
+// Each simulated session is created (letting the receiving shard assign a
+// self-owned id), runs a fixed number of suggest/observe rounds with
+// synthetic execution-time measurements, and is finally deleted. Sessions
+// are spread round-robin over the target URLs; with a fleet behind them the
+// 307 redirects are followed transparently, so the measured latencies
+// include routing cost — exactly what a client sees.
+//
+// Example:
+//
+//	deepcat-loadgen -targets http://127.0.0.1:8080 -sessions 10000 \
+//	    -concurrency 256 -rounds 3 -report loadgen.json
+//
+// The process exits non-zero when the error rate exceeds -max-error-rate,
+// making it usable as a CI gate; -short selects the small preset CI runs
+// against a 3-shard fleet.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepcat/internal/obs"
+	"deepcat/internal/service"
+	"deepcat/internal/service/client"
+)
+
+// workloads cycles the Table-1 workload abbreviations across sessions so
+// the daemon exercises several workload families, not one hot family.
+var workloads = []string{"WC", "TS", "PR", "KM"}
+
+// opStats aggregates one operation type across all workers.
+type opStats struct {
+	hist   *obs.Histogram
+	errors atomic.Uint64
+
+	mu  sync.Mutex
+	max float64
+}
+
+func newOpStats() *opStats { return &opStats{hist: obs.NewHistogram(nil)} }
+
+func (o *opStats) observe(d time.Duration) {
+	s := d.Seconds()
+	o.hist.Observe(s)
+	o.mu.Lock()
+	if s > o.max {
+		o.max = s
+	}
+	o.mu.Unlock()
+}
+
+// opReport is one operation's slice of the JSON report.
+type opReport struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50ms  float64 `json:"p50_ms"`
+	P90ms  float64 `json:"p90_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	Maxms  float64 `json:"max_ms"`
+	Meanms float64 `json:"mean_ms"`
+}
+
+func (o *opStats) report() opReport {
+	r := opReport{Count: o.hist.Count(), Errors: o.errors.Load()}
+	if r.Count > 0 {
+		r.P50ms = o.hist.Quantile(0.5) * 1000
+		r.P90ms = o.hist.Quantile(0.9) * 1000
+		r.P99ms = o.hist.Quantile(0.99) * 1000
+		r.Meanms = o.hist.Sum() / float64(r.Count) * 1000
+	}
+	o.mu.Lock()
+	r.Maxms = o.max * 1000
+	o.mu.Unlock()
+	return r
+}
+
+// report is the full JSON document written by -report.
+type report struct {
+	Targets         []string            `json:"targets"`
+	Sessions        int                 `json:"sessions"`
+	Rounds          int                 `json:"rounds"`
+	Concurrency     int                 `json:"concurrency"`
+	DurationSeconds float64             `json:"duration_seconds"`
+	SessionsOK      uint64              `json:"sessions_ok"`
+	SessionsFailed  uint64              `json:"sessions_failed"`
+	OpsPerSecond    float64             `json:"ops_per_second"`
+	ErrorRate       float64             `json:"error_rate"`
+	Ops             map[string]opReport `json:"ops"`
+}
+
+func main() {
+	var (
+		targetsFlag  = flag.String("targets", "http://127.0.0.1:8080", "comma-separated daemon base URLs (sessions spread round-robin)")
+		sessions     = flag.Int("sessions", 10000, "number of simulated sessions")
+		concurrency  = flag.Int("concurrency", 256, "concurrent workers")
+		rounds       = flag.Int("rounds", 3, "suggest/observe rounds per session")
+		seed         = flag.Int64("seed", 1, "base seed for the synthetic measurements")
+		reportPath   = flag.String("report", "", "write the JSON report to this file (empty = stdout summary only)")
+		maxErrorRate = flag.Float64("max-error-rate", 0, "exit non-zero when the op error rate exceeds this fraction")
+		readyTimeout = flag.Duration("ready-timeout", 30*time.Second, "how long to wait for every target's /v1/readyz")
+		opTimeout    = flag.Duration("op-timeout", 30*time.Second, "per-operation deadline")
+		cleanup      = flag.Bool("cleanup", true, "delete sessions when their rounds finish")
+		short        = flag.Bool("short", false, "CI preset: 2 rounds, 32 workers (explicit flags still win)")
+	)
+	flag.Parse()
+	if *short {
+		// Presets apply only where the user did not set the flag explicitly.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["rounds"] {
+			*rounds = 2
+		}
+		if !set["concurrency"] {
+			*concurrency = 32
+		}
+	}
+	targets := splitTargets(*targetsFlag)
+	if len(targets) == 0 {
+		fatal(fmt.Errorf("no targets"))
+	}
+	if *sessions < 1 || *rounds < 1 || *concurrency < 1 {
+		fatal(fmt.Errorf("sessions, rounds and concurrency must be positive"))
+	}
+	if *concurrency > *sessions {
+		*concurrency = *sessions
+	}
+
+	clients := make([]*client.Client, len(targets))
+	for i, t := range targets {
+		clients[i] = client.New(t)
+	}
+	if err := waitReady(clients, *readyTimeout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("deepcat-loadgen: %d sessions x %d rounds over %d target(s), %d workers\n",
+		*sessions, *rounds, len(targets), *concurrency)
+
+	stats := map[string]*opStats{
+		"create":  newOpStats(),
+		"suggest": newOpStats(),
+		"observe": newOpStats(),
+		"delete":  newOpStats(),
+	}
+	var okSessions, failedSessions atomic.Uint64
+
+	start := time.Now()
+	idxc := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxc {
+				if runSession(clients[i%len(clients)], i, *rounds, *seed, *opTimeout, *cleanup, stats) {
+					okSessions.Add(1)
+				} else {
+					failedSessions.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < *sessions; i++ {
+		idxc <- i
+	}
+	close(idxc)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Targets:         targets,
+		Sessions:        *sessions,
+		Rounds:          *rounds,
+		Concurrency:     *concurrency,
+		DurationSeconds: elapsed.Seconds(),
+		SessionsOK:      okSessions.Load(),
+		SessionsFailed:  failedSessions.Load(),
+		Ops:             make(map[string]opReport, len(stats)),
+	}
+	var totalOps, totalErrs uint64
+	for name, st := range stats {
+		r := st.report()
+		rep.Ops[name] = r
+		totalOps += r.Count + r.Errors
+		totalErrs += r.Errors
+	}
+	if elapsed > 0 {
+		rep.OpsPerSecond = float64(totalOps) / elapsed.Seconds()
+	}
+	if totalOps > 0 {
+		rep.ErrorRate = float64(totalErrs) / float64(totalOps)
+	}
+
+	for _, name := range []string{"create", "suggest", "observe", "delete"} {
+		r := rep.Ops[name]
+		fmt.Printf("  %-8s count %-7d errors %-4d p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms\n",
+			name, r.Count, r.Errors, r.P50ms, r.P90ms, r.P99ms, r.Maxms)
+	}
+	fmt.Printf("  %d/%d sessions ok in %.1fs (%.0f ops/s, error rate %.4f)\n",
+		rep.SessionsOK, rep.Sessions, rep.DurationSeconds, rep.OpsPerSecond, rep.ErrorRate)
+
+	if *reportPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*reportPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  report written to %s\n", *reportPath)
+	}
+	if rep.ErrorRate > *maxErrorRate {
+		fatal(fmt.Errorf("error rate %.4f exceeds limit %.4f", rep.ErrorRate, *maxErrorRate))
+	}
+}
+
+// runSession drives one simulated session end to end, reporting whether
+// every operation succeeded.
+func runSession(c *client.Client, idx, rounds int, seed int64, opTimeout time.Duration, cleanup bool, stats map[string]*opStats) bool {
+	rng := rand.New(rand.NewSource(seed + int64(idx)))
+	wl := workloads[idx%len(workloads)]
+	input := 1 + idx%3
+
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	start := time.Now()
+	info, err := c.CreateSessionCtx(ctx, service.CreateSessionRequest{
+		Workload: wl, Input: input, Seed: seed + int64(idx),
+		// Warm-starting 10k sessions would serialize on donor lookups and
+		// measure the warehouse, not the serving path.
+		NoWarmStart: true,
+	})
+	cancel()
+	if err != nil {
+		stats["create"].errors.Add(1)
+		return false
+	}
+	stats["create"].observe(time.Since(start))
+
+	ok := true
+	for r := 0; r < rounds; r++ {
+		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+		start = time.Now()
+		_, err := c.SuggestCtx(ctx, info.ID)
+		cancel()
+		if err != nil {
+			stats["suggest"].errors.Add(1)
+			ok = false
+			break
+		}
+		stats["suggest"].observe(time.Since(start))
+
+		// A plausible, strictly finite execution time with mild noise; the
+		// absolute value is irrelevant to the serving-path measurement.
+		exec := 60 + 20*rng.Float64()
+		ctx, cancel = context.WithTimeout(context.Background(), opTimeout)
+		start = time.Now()
+		_, err = c.ObserveCtx(ctx, info.ID, service.ObserveRequest{ExecTime: exec})
+		cancel()
+		if err != nil {
+			stats["observe"].errors.Add(1)
+			ok = false
+			break
+		}
+		stats["observe"].observe(time.Since(start))
+	}
+
+	if cleanup {
+		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+		start = time.Now()
+		err := c.DeleteSessionCtx(ctx, info.ID)
+		cancel()
+		if err != nil {
+			stats["delete"].errors.Add(1)
+			ok = false
+		} else {
+			stats["delete"].observe(time.Since(start))
+		}
+	}
+	return ok
+}
+
+// waitReady polls every target's readiness endpoint until all answer 200
+// or the deadline passes.
+func waitReady(clients []*client.Client, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := ""
+		for _, c := range clients {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_, err := c.Ready(ctx)
+			cancel()
+			if err != nil {
+				pending = fmt.Sprintf("%s: %v", c.BaseURL, err)
+				break
+			}
+		}
+		if pending == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("targets not ready after %s (%s)", timeout, pending)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		t = strings.TrimRight(strings.TrimSpace(t), "/")
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deepcat-loadgen:", err)
+	os.Exit(1)
+}

@@ -38,6 +38,16 @@
 // warehouse. The -read-header-timeout, -read-timeout and -idle-timeout
 // flags bound how long a client connection can stall either listener.
 //
+// Fleet mode: -peers lists every member's base URL (comma-separated,
+// including this node's own -public-url) and shards sessions across them
+// on a consistent-hash ring. Any node answers any request — sessions owned
+// elsewhere are 307-redirected (or proxied server-side with -fleet-proxy)
+// to their owner — and sealed warehouse WAL segments replicate between
+// peers so donor training sees the whole fleet's experience. Point every
+// member's -data at the same shared directory and a killed member's
+// sessions resume on their new ring owner from the last acknowledged
+// observation.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests, checkpoints every session, flushes the warehouse and
 // exits.
@@ -52,9 +62,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"deepcat/internal/fleet"
 	"deepcat/internal/obs"
 	"deepcat/internal/service"
 	"deepcat/internal/warehouse"
@@ -86,6 +98,13 @@ func main() {
 		whInterval = flag.Duration("warehouse-interval", time.Minute, "warehouse trainer/compactor period")
 		whIters    = flag.Int("warehouse-train-iters", 500, "gradient updates per donor training")
 		whWorkers  = flag.Int("warehouse-workers", 2, "concurrent donor trainings")
+
+		peers        = flag.String("peers", "", "comma-separated fleet member base URLs, including this node's -public-url (empty = standalone)")
+		publicURL    = flag.String("public-url", "", "this node's advertised base URL, e.g. http://10.0.0.3:8080 (required with -peers)")
+		fleetProxy   = flag.Bool("fleet-proxy", false, "forward misrouted requests server-side instead of 307-redirecting")
+		probePeriod  = flag.Duration("fleet-probe-interval", time.Second, "peer readiness probe period")
+		shipInterval = flag.Duration("fleet-ship-interval", 5*time.Second, "warehouse segment replication pull period")
+		sealInterval = flag.Duration("fleet-seal-interval", 30*time.Second, "active warehouse segment force-seal period")
 	)
 	flag.Parse()
 
@@ -152,6 +171,43 @@ func main() {
 		}
 		fmt.Println()
 	}
+	var (
+		router  *fleet.Router
+		shipper *fleet.Shipper
+	)
+	if *peers != "" {
+		if *publicURL == "" {
+			fatal(errors.New("-peers requires -public-url"))
+		}
+		router, err = fleet.NewRouter(fleet.Config{
+			Self:          *publicURL,
+			Peers:         strings.Split(*peers, ","),
+			ProbeInterval: *probePeriod,
+			Registry:      reg,
+			Logger:        logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// With every member's -data on one shared directory, only resume
+		// the sessions this shard owns; the rest are peers' to serve.
+		manager.SetOwned(router.Owns)
+		if wh != nil {
+			shipper, err = fleet.NewShipper(fleet.ShipperConfig{
+				Warehouse:    wh,
+				Router:       router,
+				Interval:     *shipInterval,
+				SealInterval: *sealInterval,
+				Registry:     reg,
+				Logger:       logger,
+			})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("fleet member %s of %d peers\n", *publicURL, len(router.Peers()))
+	}
+
 	resumed, err := manager.Resume()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "deepcat-serve: some checkpoints not resumed:", err)
@@ -165,7 +221,7 @@ func main() {
 	// itself is bounded by the per-request contexts the handlers plumb down.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(manager),
+		Handler:           service.NewFleetServer(manager, service.FleetOptions{Router: router, Proxy: *fleetProxy}),
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,
@@ -177,6 +233,14 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("deepcat-serve listening on %s (checkpoints in %s, max %d sessions)\n",
 		*addr, store.Dir(), *maxSessions)
+	// Probing and shipping start only once this node itself is serving, so
+	// peers' probes and pulls against it race nothing.
+	if router != nil {
+		router.Start()
+	}
+	if shipper != nil {
+		shipper.Start()
+	}
 
 	var opsSrv *http.Server
 	if *metricsAddr != "" {
@@ -205,6 +269,12 @@ func main() {
 	}
 
 	fmt.Println("shutting down: draining in-flight requests...")
+	if shipper != nil {
+		shipper.Close()
+	}
+	if router != nil {
+		router.Close()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,143 @@
+// Package fleet turns the tuning service into an N-process shared-nothing
+// fleet. Membership is static (the -peers flag); a consistent-hash ring
+// with virtual nodes maps every session id to exactly one owning shard, so
+// any node can accept any request and forward or redirect it to the owner.
+// A background prober tracks each peer's /v1/readyz, and ownership lookups
+// walk past peers that are down, which is how sessions fail over to the
+// next live shard when one is killed. A pull-based shipper replicates
+// sealed warehouse WAL segments between peers so donor training on any
+// node sees the whole fleet's experience.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// DefaultVNodes is the virtual-node count per member. 64 points per member
+// keeps the ownership spread within a few percent of uniform for small
+// static fleets while the whole ring still fits in a cache-friendly slice.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node: a position on the hash circle and the
+// member it belongs to.
+type ringPoint struct {
+	hash   uint64
+	member int // index into Ring.members
+}
+
+// Ring is a consistent-hash ring over a static member set. It is immutable
+// after construction and therefore safe for concurrent use; readiness is
+// layered on top by the Router, not baked into the ring, so every node
+// computes the same base mapping from the same -peers flag.
+type Ring struct {
+	members []string
+	points  []ringPoint
+}
+
+// NewRing builds a ring over the member base URLs with the given number of
+// virtual nodes per member (<= 0 selects DefaultVNodes). Members are
+// deduplicated and sorted so every node building a ring from the same peer
+// set — in any order — gets the identical mapping.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	var uniq []string
+	for _, m := range members {
+		m = strings.TrimRight(strings.TrimSpace(m), "/")
+		if m == "" {
+			continue
+		}
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one member")
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		members: uniq,
+		points:  make([]ringPoint, 0, len(uniq)*vnodes),
+	}
+	for mi, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashKey(fmt.Sprintf("%s#%d", m, v)),
+				member: mi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// hashKey is the ring's hash function: FNV-1a 64. Speed matters more than
+// cryptographic strength here — the router computes it on every request —
+// and FNV spreads short session ids well enough for the vnode layer to
+// smooth the rest.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Members returns the sorted member base URLs.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Contains reports whether member is part of the ring.
+func (r *Ring) Contains(member string) bool {
+	member = strings.TrimRight(member, "/")
+	for _, m := range r.members {
+		if m == member {
+			return true
+		}
+	}
+	return false
+}
+
+// Owner returns the member owning key: the first virtual node clockwise
+// from the key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.points[r.search(key)].member]
+}
+
+// OwnerExcluding returns the first member clockwise from key whose down(m)
+// is false — the failover owner when the base owner is unreachable. When
+// every member is down it falls back to the base owner, so the caller
+// still produces a deterministic answer instead of an empty one.
+func (r *Ring) OwnerExcluding(key string, down func(member string) bool) string {
+	start := r.search(key)
+	n := len(r.points)
+	// Walk distinct members in ring order from the key's position.
+	tried := make(map[int]bool, len(r.members))
+	for i := 0; i < n && len(tried) < len(r.members); i++ {
+		p := r.points[(start+i)%n]
+		if tried[p.member] {
+			continue
+		}
+		tried[p.member] = true
+		m := r.members[p.member]
+		if down == nil || !down(m) {
+			return m
+		}
+	}
+	return r.members[r.points[start].member]
+}
+
+// search returns the index of the first ring point at or clockwise of key.
+func (r *Ring) search(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

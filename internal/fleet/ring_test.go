@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return out
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{" ", ""}, 0); err == nil {
+		t.Fatal("blank membership accepted")
+	}
+	r, err := NewRing([]string{"http://b/", "http://a", "http://b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Members(); len(got) != 2 || got[0] != "http://a" || got[1] != "http://b" {
+		t.Fatalf("members = %v, want deduped sorted [http://a http://b]", got)
+	}
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a, err := NewRing(members(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second ring over a shuffled copy of the same membership must agree
+	// on every key: ownership is a pure function of (members, key).
+	shuffled := []string{members(5)[3], members(5)[0], members(5)[4], members(5)[1], members(5)[2]}
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("s-%06d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %s: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing(members(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("s-%08d", i))]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / n
+		// With 64 vnodes per member the split should be near 1/3; a member
+		// outside [15%, 55%] means the hash or ring walk is broken.
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("member %s owns %.1f%% of keys: %v", m, frac*100, counts)
+		}
+	}
+}
+
+func TestRingOwnerExcludingRemapsOnlyDownMembersKeys(t *testing.T) {
+	r, err := NewRing(members(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := r.Owner("s-victim")
+	down := func(m string) bool { return m == dead }
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("s-%06d", i)
+		base := r.Owner(key)
+		failover := r.OwnerExcluding(key, down)
+		if failover == dead {
+			t.Fatalf("key %s still routed to down member %s", key, dead)
+		}
+		if base != dead && failover != base {
+			t.Fatalf("key %s moved from healthy owner %s to %s", key, base, failover)
+		}
+	}
+	// All members down: fall back to the base owner rather than nothing.
+	if got := r.OwnerExcluding("s-victim", func(string) bool { return true }); got != dead {
+		t.Fatalf("all-down fallback = %s, want base owner %s", got, dead)
+	}
+}
+
+// BenchmarkFleetRoute measures the per-request ownership decision — the
+// cost every routed call pays before any session work happens.
+func BenchmarkFleetRoute(b *testing.B) {
+	r, err := NewRouter(Config{
+		Self:          "http://node-0:8080",
+		Peers:         members(5),
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("s-%016x", i*2654435761)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Owner(keys[i%len(keys)]) == "" {
+			b.Fatal("no owner")
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"deepcat/internal/obs"
+)
+
+// Config describes this node's place in the fleet.
+type Config struct {
+	// Self is this node's advertised base URL (what peers and clients dial,
+	// e.g. "http://10.0.0.3:8080"). It must appear in Peers.
+	Self string
+	// Peers is the full static membership, including Self.
+	Peers []string
+	// VNodes is the virtual-node count per member (<= 0 selects
+	// DefaultVNodes).
+	VNodes int
+
+	// ProbeInterval is the readiness-probe period (default 1s; < 0 disables
+	// probing, leaving every peer permanently ready — single-process tests
+	// use that).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one readiness probe (default 750ms).
+	ProbeTimeout time.Duration
+
+	// Registry, when non-nil, receives the router's per-shard metrics.
+	Registry *obs.Registry
+	// Logger, when non-nil, receives peer up/down transitions.
+	Logger *obs.Logger
+}
+
+// Router decides, per session id, whether this node serves the request or
+// which peer it should go to, excluding peers whose /v1/readyz probe is
+// failing. All methods are safe for concurrent use.
+type Router struct {
+	ring *Ring
+	self string
+	cfg  Config
+	hc   *http.Client
+	log  *obs.Logger
+
+	peerReady map[string]*obs.Gauge
+	probes    *obs.Counter
+	probeErrs *obs.Counter
+
+	mu   sync.Mutex
+	down map[string]bool
+
+	stopc  chan struct{}
+	stopWG sync.WaitGroup
+	once   sync.Once
+}
+
+// NewRouter validates the membership and builds the router. Call Start to
+// begin probing peers; until then every peer counts as ready.
+func NewRouter(cfg Config) (*Router, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if !ring.Contains(cfg.Self) {
+		return nil, fmt.Errorf("fleet: self %q is not in the peer list %v", cfg.Self, ring.Members())
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 750 * time.Millisecond
+	}
+	r := &Router{
+		ring:      ring,
+		self:      normalizeURL(cfg.Self),
+		cfg:       cfg,
+		hc:        &http.Client{Timeout: cfg.ProbeTimeout},
+		log:       cfg.Logger,
+		peerReady: make(map[string]*obs.Gauge),
+		probes:    cfg.Registry.Counter("deepcat_fleet_probes_total"),
+		probeErrs: cfg.Registry.Counter("deepcat_fleet_probe_errors_total"),
+		down:      make(map[string]bool),
+		stopc:     make(chan struct{}),
+	}
+	for _, m := range ring.Members() {
+		g := cfg.Registry.Gauge("deepcat_fleet_peer_ready", "peer", m)
+		g.Set(1)
+		r.peerReady[m] = g
+	}
+	return r, nil
+}
+
+func normalizeURL(u string) string {
+	for len(u) > 0 && u[len(u)-1] == '/' {
+		u = u[:len(u)-1]
+	}
+	return u
+}
+
+// Self returns this node's advertised base URL.
+func (r *Router) Self() string { return r.self }
+
+// Peers returns the full sorted membership, including self.
+func (r *Router) Peers() []string { return r.ring.Members() }
+
+// Ring returns the underlying ring (immutable).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Single reports whether the fleet has exactly one member — the degenerate
+// case where every ownership check is trivially local.
+func (r *Router) Single() bool { return len(r.ring.members) == 1 }
+
+// Owner returns the node currently responsible for a session id: the
+// ring's base owner, or the next ready member clockwise when the base
+// owner is down. Self is never considered down from its own router.
+func (r *Router) Owner(id string) string {
+	if r.Single() {
+		return r.self
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.OwnerExcluding(id, func(m string) bool {
+		return m != r.self && r.down[m]
+	})
+}
+
+// Owns reports whether this node is the current owner of id.
+func (r *Router) Owns(id string) bool { return r.Owner(id) == r.self }
+
+// Ready reports whether the member's last readiness probe succeeded.
+func (r *Router) Ready(member string) bool {
+	if member == r.self {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.down[member]
+}
+
+// SetReady overrides a member's readiness; the prober will re-overwrite it
+// on its next pass. Tests and operator tooling use it to fail a shard out
+// immediately instead of waiting for a probe.
+func (r *Router) SetReady(member string, ready bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.markLocked(member, ready)
+}
+
+func (r *Router) markLocked(member string, ready bool) {
+	wasDown := r.down[member]
+	if ready == !wasDown {
+		return
+	}
+	if ready {
+		delete(r.down, member)
+		r.peerReady[member].Set(1)
+		r.log.Info("fleet peer ready", "peer", member)
+	} else {
+		r.down[member] = true
+		r.peerReady[member].Set(0)
+		r.log.Warn("fleet peer down", "peer", member)
+	}
+}
+
+// Start launches the background readiness prober. It is a no-op for a
+// single-member fleet or a negative ProbeInterval.
+func (r *Router) Start() {
+	if r.Single() || r.cfg.ProbeInterval < 0 {
+		return
+	}
+	r.stopWG.Add(1)
+	go r.probeLoop()
+}
+
+// Close stops the prober.
+func (r *Router) Close() {
+	r.once.Do(func() { close(r.stopc) })
+	r.stopWG.Wait()
+}
+
+func (r *Router) probeLoop() {
+	defer r.stopWG.Done()
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	r.probeAll()
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case <-ticker.C:
+			r.probeAll()
+		}
+	}
+}
+
+// probeAll checks every peer's /v1/readyz once, in parallel so one hung
+// peer cannot delay marking the others.
+func (r *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, m := range r.ring.Members() {
+		if m == r.self {
+			continue
+		}
+		wg.Add(1)
+		go func(m string) {
+			defer wg.Done()
+			ready := r.probeOne(m)
+			r.mu.Lock()
+			r.markLocked(m, ready)
+			r.mu.Unlock()
+		}(m)
+	}
+	wg.Wait()
+}
+
+// probeOne performs one readiness check against a peer.
+func (r *Router) probeOne(member string) bool {
+	r.probes.Inc()
+	resp, err := r.hc.Get(member + "/v1/readyz")
+	if err != nil {
+		r.probeErrs.Inc()
+		return false
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.probeErrs.Inc()
+		return false
+	}
+	return true
+}

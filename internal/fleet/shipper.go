@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"deepcat/internal/obs"
+	"deepcat/internal/warehouse"
+)
+
+// maxSegmentBytes bounds one pulled segment. Local segments seal at a few
+// MiB; anything past this is a misconfigured or malicious peer, not a
+// bigger log.
+const maxSegmentBytes = 256 << 20
+
+// ShipperConfig configures warehouse segment replication.
+type ShipperConfig struct {
+	// Warehouse is the local store segments land in.
+	Warehouse *warehouse.Warehouse
+	// Router supplies membership and peer readiness; down peers are
+	// skipped until their probe recovers.
+	Router *Router
+	// Interval is the pull period (default 5s; < 0 disables the loop,
+	// leaving SyncOnce to explicit calls).
+	Interval time.Duration
+	// SealInterval is how often the local active segment is force-sealed
+	// so the tail of this node's experience becomes shippable (default
+	// 30s; < 0 disables sealing).
+	SealInterval time.Duration
+	// FetchTimeout bounds one segment list or fetch (default 10s).
+	FetchTimeout time.Duration
+
+	// Registry, when non-nil, receives shipping metrics.
+	Registry *obs.Registry
+	// Logger, when non-nil, receives per-sync findings.
+	Logger *obs.Logger
+}
+
+// Shipper replicates sealed warehouse WAL segments from every fleet peer
+// into the local warehouse's replica index. Pulls are idempotent by
+// (peer, segment name) — the warehouse skips files it already applied — so
+// a shipper can crash, restart and re-pull from scratch without
+// double-counting a single transition.
+type Shipper struct {
+	cfg ShipperConfig
+	hc  *http.Client
+	log *obs.Logger
+
+	shippedSegments *obs.Counter
+	shippedRecords  *obs.Counter
+	shipErrors      *obs.Counter
+	shipLag         *obs.Gauge
+
+	stopc  chan struct{}
+	stopWG sync.WaitGroup
+	once   sync.Once
+}
+
+// NewShipper builds a shipper; Start launches its background loops.
+func NewShipper(cfg ShipperConfig) (*Shipper, error) {
+	if cfg.Warehouse == nil {
+		return nil, fmt.Errorf("fleet: shipper needs a warehouse")
+	}
+	if cfg.Router == nil {
+		return nil, fmt.Errorf("fleet: shipper needs a router")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.SealInterval == 0 {
+		cfg.SealInterval = 30 * time.Second
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 10 * time.Second
+	}
+	return &Shipper{
+		cfg:             cfg,
+		hc:              &http.Client{Timeout: cfg.FetchTimeout},
+		log:             cfg.Logger,
+		shippedSegments: cfg.Registry.Counter("deepcat_fleet_shipped_segments_total"),
+		shippedRecords:  cfg.Registry.Counter("deepcat_fleet_shipped_records_total"),
+		shipErrors:      cfg.Registry.Counter("deepcat_fleet_ship_errors_total"),
+		shipLag:         cfg.Registry.Gauge("deepcat_fleet_ship_lag_segments"),
+		stopc:           make(chan struct{}),
+	}, nil
+}
+
+// Start launches the pull and seal loops; no-ops for a single-member
+// fleet, where there is nobody to ship to or from.
+func (s *Shipper) Start() {
+	if s.cfg.Router.Single() {
+		return
+	}
+	if s.cfg.Interval > 0 {
+		s.stopWG.Add(1)
+		go s.loop(s.cfg.Interval, func() {
+			if err := s.SyncOnce(); err != nil {
+				s.log.Warn("segment sync failed", "err", err)
+			}
+		})
+	}
+	if s.cfg.SealInterval > 0 {
+		s.stopWG.Add(1)
+		go s.loop(s.cfg.SealInterval, func() {
+			if err := s.cfg.Warehouse.Seal(); err != nil && err != warehouse.ErrClosed {
+				s.log.Warn("segment seal failed", "err", err)
+			}
+		})
+	}
+}
+
+// Close stops the loops.
+func (s *Shipper) Close() {
+	s.once.Do(func() { close(s.stopc) })
+	s.stopWG.Wait()
+}
+
+func (s *Shipper) loop(period time.Duration, fn func()) {
+	defer s.stopWG.Done()
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-ticker.C:
+			fn()
+		}
+	}
+}
+
+// SyncOnce pulls every ready peer's segment list and fetches the files the
+// local warehouse has not applied yet. Per-peer failures are joined into
+// the returned error without aborting the other peers; the lag gauge ends
+// the pass at the number of known-but-unapplied segments.
+func (s *Shipper) SyncOnce() error {
+	var errs []string
+	lag := 0
+	for _, peer := range s.cfg.Router.Peers() {
+		if peer == s.cfg.Router.Self() {
+			continue
+		}
+		if !s.cfg.Router.Ready(peer) {
+			continue
+		}
+		pending, err := s.syncPeer(peer)
+		lag += pending
+		if err != nil {
+			s.shipErrors.Inc()
+			errs = append(errs, fmt.Sprintf("%s: %v", peer, err))
+		}
+	}
+	s.shipLag.Set(int64(lag))
+	if len(errs) > 0 {
+		return fmt.Errorf("fleet: sync: %v", errs)
+	}
+	return nil
+}
+
+// syncPeer replicates one peer, returning how many of its segments remain
+// unapplied (0 after a fully successful pass).
+func (s *Shipper) syncPeer(peer string) (pending int, err error) {
+	infos, err := s.listSegments(peer)
+	if err != nil {
+		return 0, err
+	}
+	for _, info := range infos {
+		if s.cfg.Warehouse.HasRemoteSegment(peer, info.Name) {
+			continue
+		}
+		data, err := s.fetchSegment(peer, info.Name)
+		if err != nil {
+			pending++
+			s.shipErrors.Inc()
+			s.log.Warn("segment fetch failed", "peer", peer, "segment", info.Name, "err", err)
+			continue
+		}
+		n, applied, err := s.cfg.Warehouse.IngestRemoteSegment(peer, info.Name, data)
+		if err != nil {
+			pending++
+			s.shipErrors.Inc()
+			s.log.Warn("segment apply failed", "peer", peer, "segment", info.Name, "err", err)
+			continue
+		}
+		if applied {
+			s.shippedSegments.Inc()
+			s.shippedRecords.Add(uint64(n))
+			s.log.Info("segment shipped", "peer", peer, "segment", info.Name, "records", n)
+		}
+	}
+	return pending, nil
+}
+
+func (s *Shipper) listSegments(peer string) ([]warehouse.SegmentInfo, error) {
+	resp, err := s.hc.Get(peer + "/v1/fleet/segments")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("list segments: HTTP %d", resp.StatusCode)
+	}
+	var body struct {
+		Segments []warehouse.SegmentInfo `json:"segments"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("list segments: %w", err)
+	}
+	return body.Segments, nil
+}
+
+func (s *Shipper) fetchSegment(peer, name string) ([]byte, error) {
+	resp, err := s.hc.Get(peer + "/v1/fleet/segments/" + url.PathEscape(name))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch segment: HTTP %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSegmentBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxSegmentBytes {
+		return nil, fmt.Errorf("segment exceeds %d bytes", maxSegmentBytes)
+	}
+	return data, nil
+}

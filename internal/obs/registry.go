@@ -116,6 +116,59 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// NewHistogram returns an unregistered histogram over the given bucket
+// bounds (sorted ascending; nil selects DefBuckets). Tools that aggregate
+// measurements without exposing a scrape endpoint — the fleet load
+// generator's latency report, for one — use it directly.
+func NewHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed values by
+// linear interpolation within the bucket holding it. Values beyond the
+// last finite bound are clamped to it; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, bound := range h.bounds {
+		n := h.counts[i].Load()
+		if float64(cum)+float64(n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if n == 0 {
+				return bound
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + frac*(bound-lower)
+		}
+		cum += n
+	}
+	// The quantile lands in the +Inf bucket; the last finite bound is the
+	// best statement the fixed buckets can make.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // ObserveSince records the seconds elapsed since start.
 func (h *Histogram) ObserveSince(start time.Time) {
 	if h == nil {

@@ -5,6 +5,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -146,8 +147,10 @@ func New(baseURL string) *Client {
 // do sends a request with optional JSON body `in`, decoding a 2xx response
 // into `out` (may be nil) and any other status into an *APIError. Transient
 // failures are retried per c.Retry; the body is marshalled once and replayed
-// on each attempt.
-func (c *Client) do(method, path string, in, out any) error {
+// on each attempt. Cancelling ctx stops the call immediately — including
+// mid-backoff, so a scheduler tearing down 10k sessions is never held
+// hostage by their pending retry sleeps.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var data []byte
 	if in != nil {
 		var err error
@@ -162,18 +165,36 @@ func (c *Client) do(method, path string, in, out any) error {
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
-			time.Sleep(c.retryDelay(attempt-1, lastErr))
+			if err := sleepCtx(ctx, c.retryDelay(attempt-1, lastErr)); err != nil {
+				return fmt.Errorf("client: %s %s: %w (last attempt: %v)", method, path, err, lastErr)
+			}
 		}
-		err, retriable := c.doOnce(method, path, in != nil, data, out)
+		err, retriable := c.doOnce(ctx, method, path, in != nil, data, out)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
-		if !retriable {
+		if !retriable || ctx.Err() != nil {
 			break
 		}
 	}
 	return lastErr
+}
+
+// sleepCtx waits for d unless ctx ends first, returning ctx's error when it
+// does.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // retryDelay picks the wait before retry n: when the last failure carried
@@ -193,9 +214,9 @@ func (c *Client) retryDelay(n int, lastErr error) time.Duration {
 
 // doOnce performs a single attempt, reporting whether a failure is
 // transient and worth retrying.
-func (c *Client) doOnce(method, path string, hasBody bool, data []byte, out any) (err error, retriable bool) {
+func (c *Client) doOnce(ctx context.Context, method, path string, hasBody bool, data []byte, out any) (err error, retriable bool) {
 	start := time.Now()
-	req, err := http.NewRequest(method, c.BaseURL+path, bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err), false
 	}
@@ -240,47 +261,94 @@ func (c *Client) doOnce(method, path string, hasBody bool, data []byte, out any)
 // Health checks the daemon's liveness endpoint.
 func (c *Client) Health() (service.HealthResponse, error) {
 	var h service.HealthResponse
-	err := c.do(http.MethodGet, "/healthz", nil, &h)
+	err := c.do(context.Background(), http.MethodGet, "/healthz", nil, &h)
 	return h, err
+}
+
+// Ready checks the daemon's readiness endpoint; a not-ready daemon answers
+// 503, surfaced as an *APIError alongside the decoded body.
+func (c *Client) Ready(ctx context.Context) (service.ReadyResponse, error) {
+	var resp service.ReadyResponse
+	err := c.do(ctx, http.MethodGet, "/v1/readyz", nil, &resp)
+	return resp, err
+}
+
+// Ring fetches fleet membership and per-peer readiness as seen by this
+// daemon; a standalone daemon answers 404.
+func (c *Client) Ring(ctx context.Context) (service.RingResponse, error) {
+	var resp service.RingResponse
+	err := c.do(ctx, http.MethodGet, "/v1/fleet/ring", nil, &resp)
+	return resp, err
+}
+
+// Migrate drains a session and hands it to the fleet member at target.
+func (c *Client) Migrate(ctx context.Context, id, target string) (service.MigrateResponse, error) {
+	var resp service.MigrateResponse
+	path := "/v1/fleet/migrate/" + id
+	if target != "" {
+		path += "?target=" + url.QueryEscape(target)
+	}
+	err := c.do(ctx, http.MethodPost, path, nil, &resp)
+	return resp, err
 }
 
 // CreateSession opens a tuning session.
 func (c *Client) CreateSession(req service.CreateSessionRequest) (service.SessionInfo, error) {
+	return c.CreateSessionCtx(context.Background(), req)
+}
+
+// CreateSessionCtx opens a tuning session under ctx.
+func (c *Client) CreateSessionCtx(ctx context.Context, req service.CreateSessionRequest) (service.SessionInfo, error) {
 	var info service.SessionInfo
-	err := c.do(http.MethodPost, "/v1/sessions", req, &info)
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &info)
 	return info, err
 }
 
 // Session fetches one session's state.
 func (c *Client) Session(id string) (service.SessionInfo, error) {
 	var info service.SessionInfo
-	err := c.do(http.MethodGet, "/v1/sessions/"+id, nil, &info)
+	err := c.do(context.Background(), http.MethodGet, "/v1/sessions/"+id, nil, &info)
 	return info, err
 }
 
 // Sessions lists every live session.
 func (c *Client) Sessions() ([]service.SessionInfo, error) {
 	var infos []service.SessionInfo
-	err := c.do(http.MethodGet, "/v1/sessions", nil, &infos)
+	err := c.do(context.Background(), http.MethodGet, "/v1/sessions", nil, &infos)
 	return infos, err
 }
 
 // DeleteSession closes a session and drops its checkpoint.
 func (c *Client) DeleteSession(id string) error {
-	return c.do(http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+	return c.DeleteSessionCtx(context.Background(), id)
+}
+
+// DeleteSessionCtx closes a session and drops its checkpoint under ctx.
+func (c *Client) DeleteSessionCtx(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
 }
 
 // Suggest asks for the session's next configuration.
 func (c *Client) Suggest(id string) (service.SuggestResponse, error) {
+	return c.SuggestCtx(context.Background(), id)
+}
+
+// SuggestCtx asks for the session's next configuration under ctx.
+func (c *Client) SuggestCtx(ctx context.Context, id string) (service.SuggestResponse, error) {
 	var resp service.SuggestResponse
-	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/suggest", nil, &resp)
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/suggest", nil, &resp)
 	return resp, err
 }
 
 // Observe reports the measured outcome of a suggestion.
 func (c *Client) Observe(id string, req service.ObserveRequest) (service.ObserveResponse, error) {
+	return c.ObserveCtx(context.Background(), id, req)
+}
+
+// ObserveCtx reports the measured outcome of a suggestion under ctx.
+func (c *Client) ObserveCtx(ctx context.Context, id string, req service.ObserveRequest) (service.ObserveResponse, error) {
 	var resp service.ObserveResponse
-	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/observe", req, &resp)
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/observe", req, &resp)
 	return resp, err
 }
 
@@ -292,7 +360,7 @@ func (c *Client) Trace(id string, n int) (service.TraceResponse, error) {
 	if n > 0 {
 		path += "?n=" + strconv.Itoa(n)
 	}
-	err := c.do(http.MethodGet, path, nil, &resp)
+	err := c.do(context.Background(), http.MethodGet, path, nil, &resp)
 	return resp, err
 }
 
@@ -305,20 +373,20 @@ func (c *Client) TraceExport(id, format string) ([]byte, error) {
 	if format != "" {
 		path += "?format=" + url.QueryEscape(format)
 	}
-	err := c.do(http.MethodGet, path, nil, &raw)
+	err := c.do(context.Background(), http.MethodGet, path, nil, &raw)
 	return []byte(raw), err
 }
 
 // WarehouseStats fetches the daemon's experience-warehouse summary.
 func (c *Client) WarehouseStats() (service.WarehouseStatsResponse, error) {
 	var resp service.WarehouseStatsResponse
-	err := c.do(http.MethodGet, "/v1/warehouse/stats", nil, &resp)
+	err := c.do(context.Background(), http.MethodGet, "/v1/warehouse/stats", nil, &resp)
 	return resp, err
 }
 
 // Donors lists the donor generations of one workload family.
 func (c *Client) Donors(signature string) (service.DonorListResponse, error) {
 	var resp service.DonorListResponse
-	err := c.do(http.MethodGet, "/v1/warehouse/families/"+signature+"/donors", nil, &resp)
+	err := c.do(context.Background(), http.MethodGet, "/v1/warehouse/families/"+signature+"/donors", nil, &resp)
 	return resp, err
 }

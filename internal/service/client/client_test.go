@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -276,5 +277,61 @@ func TestParseRetryAfter(t *testing.T) {
 	}
 	if d := c.retryDelay(1, &APIError{Status: 503}); d > 4*time.Millisecond {
 		t.Fatalf("hint-free failure ignored policy backoff: %v", d)
+	}
+}
+
+// TestRetryBackoffHonorsContextCancellation cancels the context while the
+// client sleeps out a server-dictated long backoff: the call must return
+// the cancellation promptly instead of finishing the sleep.
+func TestRetryBackoffHonorsContextCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A Retry-After far beyond the test's patience: only an interrupted
+		// backoff sleep lets the client return in time.
+		w.Header().Set("Retry-After", "20")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Second, MaxDelay: 20 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err := c.SuggestCtx(ctx, "any")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled call succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled in the chain", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %s; the backoff sleep ignored the context", elapsed)
+	}
+}
+
+// TestRetryStopsWhenContextAlreadyCancelled: a context cancelled between
+// attempts must stop the loop before the next network call.
+func TestRetryStopsWhenContextAlreadyCancelled(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.SuggestCtx(ctx, "any"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n > 1 {
+		t.Fatalf("server saw %d attempts after cancellation, want at most 1", n)
 	}
 }

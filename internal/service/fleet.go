@@ -1,0 +1,389 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"deepcat/internal/fleet"
+	"deepcat/internal/obs"
+	"deepcat/internal/warehouse"
+)
+
+// forwardedHeader marks a request already bounced once by a fleet node, so
+// two shards with momentarily divergent ring views (one sees a peer down,
+// the other does not) cannot ping-pong a request between them: the second
+// hop either serves locally or fails with 421 Misdirected Request.
+const forwardedHeader = "X-Deepcat-Forwarded"
+
+// maxCheckpointBytes bounds an adopted checkpoint body. Checkpoints carry
+// the full replay buffer and agent weights; real ones are single-digit
+// megabytes.
+const maxCheckpointBytes = 64 << 20
+
+// readyCheckTimeout bounds the /v1/readyz dependency probe. It sits below
+// the fleet router's probe timeout so a wedged shard answers "not ready"
+// (or times out client-side) instead of stalling its peers' probers.
+const readyCheckTimeout = 500 * time.Millisecond
+
+// FleetOptions configures a Server as one shard of a fleet.
+type FleetOptions struct {
+	// Router supplies membership, ownership, and peer readiness.
+	Router *fleet.Router
+	// Proxy forwards misrouted requests server-side instead of answering
+	// 307 Temporary Redirect; it spends this node's bandwidth to support
+	// clients that cannot follow redirects.
+	Proxy bool
+}
+
+// fleetGlue is the service-layer half of fleet routing: the ownership
+// middleware, the forwarding paths, and the migrate/adopt handoff
+// protocol.
+type fleetGlue struct {
+	router  *fleet.Router
+	proxy   bool
+	manager *Manager
+	hc      *http.Client
+	log     *obs.Logger
+
+	mu sync.Mutex
+	// moved tombstones sessions explicitly migrated off this node: id ->
+	// new owner's base URL. The ring alone would keep routing those ids
+	// here, so the tombstone wins until this process restarts (after which
+	// the adopter's checkpoint, not this map, is the durable truth).
+	moved map[string]string
+}
+
+func newFleetGlue(m *Manager, opts FleetOptions) *fleetGlue {
+	_, logger := m.Obs()
+	return &fleetGlue{
+		router:  opts.Router,
+		proxy:   opts.Proxy,
+		manager: m,
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		log:     logger,
+		moved:   make(map[string]string),
+	}
+}
+
+func (g *fleetGlue) movedTarget(id string) (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t, ok := g.moved[id]
+	return t, ok
+}
+
+func (g *fleetGlue) setMoved(id, target string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.moved[id] = target
+}
+
+func (g *fleetGlue) clearMoved(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.moved, id)
+}
+
+// newOwnedID draws session ids until one maps to this shard. With N
+// members each draw succeeds with probability ~1/N, so the loop is a
+// handful of cheap hashes; the bound is pure paranoia — running past it
+// would mean the ring no longer contains self.
+func (g *fleetGlue) newOwnedID() string {
+	id := newID()
+	for i := 0; i < 4096 && !g.router.Owns(id); i++ {
+		id = newID()
+	}
+	return id
+}
+
+// ensureLocal lazily resumes a session this shard owns but does not have
+// live. This is the failover path: a dead peer's sessions write-through
+// checkpointed into the shared store on every observation, so the first
+// request the ring reroutes here rebuilds the session from its last
+// acknowledged state. Errors are not fatal — the wrapped handler reports
+// ErrNotFound to the caller if nothing could be resumed.
+func (g *fleetGlue) ensureLocal(id string) {
+	if _, err := g.manager.Get(id); err == nil || !errors.Is(err, ErrNotFound) {
+		return
+	}
+	ok, err := g.manager.ResumeOne(id)
+	if ok {
+		g.manager.met.fleetFailoverResumes.Inc()
+		return
+	}
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		g.log.Warn("failover resume failed", "id", id, "err", err)
+	}
+}
+
+// forward bounces a request whose body is still unread to its owner.
+func (g *fleetGlue) forward(w http.ResponseWriter, r *http.Request, target string) {
+	if g.proxy {
+		g.proxyWith(w, r, target, r.Body)
+		return
+	}
+	g.redirect(w, r, target)
+}
+
+// redirect answers 307 so the client retries the identical request —
+// method and body included — against the owning shard.
+func (g *fleetGlue) redirect(w http.ResponseWriter, r *http.Request, target string) {
+	g.manager.met.fleetRedirects.Inc()
+	w.Header().Set("Location", target+r.URL.RequestURI())
+	writeJSON(w, http.StatusTemporaryRedirect, ErrorResponse{
+		Error: fmt.Sprintf("session owned by %s", target),
+	})
+}
+
+// proxyWith relays the request server-side and streams the owner's
+// response back verbatim.
+func (g *fleetGlue) proxyWith(w http.ResponseWriter, r *http.Request, target string, body io.Reader) {
+	g.manager.met.fleetProxied.Inc()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.RequestURI(), body)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, ErrorResponse{Error: fmt.Sprintf("proxy to %s: %s", target, err)})
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(forwardedHeader, g.router.Self())
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, ErrorResponse{Error: fmt.Sprintf("proxy to %s: %s", target, err)})
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		if k == requestIDHeader {
+			continue // instrument already stamped this node's copy
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// migrate drains a local session and hands its checkpoint to target. On
+// any transfer failure the session resumes serving here unchanged; the
+// tombstone is only written once the target has verified and persisted the
+// snapshot, so the session exists on exactly one node at every point an
+// external request can observe.
+func (g *fleetGlue) migrate(ctx context.Context, id, target string) error {
+	data, err := g.manager.BeginDrain(id)
+	if err != nil {
+		return err
+	}
+	if err := g.sendAdopt(ctx, target, id, data); err != nil {
+		g.manager.AbortDrain(id)
+		return fmt.Errorf("handoff of %s to %s: %w", id, target, err)
+	}
+	_ = g.manager.CompleteDrain(id)
+	g.setMoved(id, target)
+	g.manager.met.fleetMigrationsOut.Inc()
+	g.log.Info("session migrated out", "id", id, "target", target)
+	return nil
+}
+
+// sendAdopt posts the checkpoint to the target's adopt endpoint. A 409
+// from the target means it already holds a live session with this id —
+// for a retried migrate that is success, not failure.
+func (g *fleetGlue) sendAdopt(ctx context.Context, target, id string, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		target+"/v1/fleet/adopt/"+id, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(forwardedHeader, g.router.Self())
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusOK ||
+		resp.StatusCode == http.StatusConflict {
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("adopt returned HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+}
+
+// routed wraps a session-scoped handler with fleet ownership dispatch.
+// Owned ids are served locally (lazily failover-resuming if needed);
+// migrated-away ids follow their tombstone; everything else bounces to the
+// ring owner. A request that already bounced once is never bounced again.
+func (s *Server) routed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		g := s.fleet
+		if g == nil || g.router.Single() {
+			h(w, r)
+			return
+		}
+		id := r.PathValue("id")
+		if target, ok := g.movedTarget(id); ok && target != g.router.Self() {
+			if g.router.Ready(target) {
+				g.forward(w, r, target)
+				return
+			}
+			// The adopter died. Its write-through checkpoints are in the
+			// shared store, so ownership falls back to the ring.
+			g.clearMoved(id)
+		}
+		if g.router.Owns(id) {
+			g.ensureLocal(id)
+			h(w, r)
+			return
+		}
+		if _, err := s.manager.Get(id); err == nil {
+			// Live here without ring ownership: adopted via an explicit
+			// migrate. Serving beats forwarding to a node that would only
+			// tombstone the request back.
+			h(w, r)
+			return
+		}
+		if r.Header.Get(forwardedHeader) != "" {
+			// Our ring disagrees with the sender's (probe lag around a
+			// failover) and we hold nothing. Fail rather than bounce back.
+			writeJSON(w, http.StatusMisdirectedRequest, ErrorResponse{
+				Error: fmt.Sprintf("session %s is not owned here and the request was already forwarded once", id),
+			})
+			return
+		}
+		g.forward(w, r, g.router.Owner(id))
+	}
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ch := make(chan ReadyResponse, 1)
+	go func() {
+		var pr ReadyResponse
+		if _, err := s.manager.store.List(); err == nil {
+			pr.Store = true
+		}
+		// Returning from Count at all proves the registry (and the breaker
+		// state it fronts) is answering, not wedged on its lock.
+		s.manager.Count()
+		pr.Registry = true
+		ch <- pr
+	}()
+	select {
+	case pr := <-ch:
+		pr.Ready = pr.Store && pr.Registry
+		status := http.StatusOK
+		if !pr.Ready {
+			status = http.StatusServiceUnavailable
+			pr.Reason = "checkpoint store unreachable"
+		}
+		writeJSON(w, status, pr)
+	case <-time.After(readyCheckTimeout):
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Reason: "dependency probe timed out"})
+	}
+}
+
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	g := s.fleet
+	members := g.router.Peers()
+	out := make([]RingMember, 0, len(members))
+	for _, m := range members {
+		out = append(out, RingMember{URL: m, Self: m == g.router.Self(), Ready: g.router.Ready(m)})
+	}
+	writeJSON(w, http.StatusOK, RingResponse{Self: g.router.Self(), Members: out, Sessions: s.manager.Count()})
+}
+
+func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
+	resp := SegmentListResponse{Segments: []warehouse.SegmentInfo{}}
+	if wh := s.manager.Warehouse(); wh != nil {
+		if infos, err := wh.Segments(); err == nil {
+			resp.Segments = infos
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	wh := s.manager.Warehouse()
+	if wh == nil {
+		writeErr(w, fmt.Errorf("warehouse not enabled: %w", ErrNotFound))
+		return
+	}
+	name := r.PathValue("name")
+	path, err := wh.SegmentPath(name)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%s: %w", err, ErrInvalid))
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		writeErr(w, fmt.Errorf("segment %s: %w", name, ErrNotFound))
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = io.Copy(w, f)
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	g := s.fleet
+	id := r.PathValue("id")
+	target := strings.TrimRight(r.URL.Query().Get("target"), "/")
+	if target == "" {
+		target = g.router.Owner(id)
+	}
+	if !g.router.Ring().Contains(target) {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("target %q is not a fleet member", target),
+		})
+		return
+	}
+	if target == g.router.Self() {
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: fmt.Sprintf("session %s already lives on %s", id, target),
+		})
+		return
+	}
+	// A migrate request may land on any node; only the one holding the
+	// session can drain it, so bounce to wherever the session lives now.
+	if _, err := s.manager.Get(id); errors.Is(err, ErrNotFound) {
+		if t, ok := g.movedTarget(id); ok && r.Header.Get(forwardedHeader) == "" {
+			g.forward(w, r, t)
+			return
+		}
+		if owner := g.router.Owner(id); owner != g.router.Self() && r.Header.Get(forwardedHeader) == "" {
+			g.forward(w, r, owner)
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	if err := g.migrate(r.Context(), id, target); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MigrateResponse{ID: id, Target: target})
+}
+
+func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCheckpointBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("read checkpoint: %s", err)})
+		return
+	}
+	info, err := s.manager.Adopt(id, data)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.fleet.clearMoved(id)
+	s.manager.met.fleetMigrationsIn.Inc()
+	writeJSON(w, http.StatusCreated, info)
+}

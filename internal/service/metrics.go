@@ -40,6 +40,15 @@ type metrics struct {
 	breakerRecoveries *obs.Counter
 	degradedSuggests  *obs.Counter
 	degradedSessions  *obs.Gauge
+
+	// Fleet routing: requests bounced to their owning shard (by mode),
+	// checkpoint handoffs in each direction, and sessions lazily resumed
+	// from the shared store after a peer died.
+	fleetRedirects       *obs.Counter
+	fleetProxied         *obs.Counter
+	fleetMigrationsOut   *obs.Counter
+	fleetMigrationsIn    *obs.Counter
+	fleetFailoverResumes *obs.Counter
 }
 
 // newMetrics registers the service instruments on reg (nil for no-op).
@@ -62,6 +71,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 		breakerRecoveries: reg.Counter("deepcat_breaker_recoveries_total"),
 		degradedSuggests:  reg.Counter("deepcat_degraded_suggests_total"),
 		degradedSessions:  reg.Gauge("deepcat_degraded_sessions"),
+
+		fleetRedirects:       reg.Counter("deepcat_fleet_forwards_total", "mode", "redirect"),
+		fleetProxied:         reg.Counter("deepcat_fleet_forwards_total", "mode", "proxy"),
+		fleetMigrationsOut:   reg.Counter("deepcat_fleet_migrations_total", "direction", "out"),
+		fleetMigrationsIn:    reg.Counter("deepcat_fleet_migrations_total", "direction", "in"),
+		fleetFailoverResumes: reg.Counter("deepcat_fleet_failover_resumes_total"),
 	}
 }
 

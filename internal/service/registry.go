@@ -35,6 +35,9 @@ type Manager struct {
 	// res is the fault-handling policy applied to every session (breaker
 	// and sanitizer); defaults to DefaultResilience.
 	res Resilience
+	// owned, when non-nil, filters Resume to sessions this fleet shard is
+	// responsible for; other checkpoints in a shared store belong to peers.
+	owned func(id string) bool
 
 	mu sync.Mutex
 	// sessions maps id -> session; a nil value reserves an id whose
@@ -363,6 +366,9 @@ func (m *Manager) Resume() (int, error) {
 		errs    []error
 	)
 	for _, id := range ids {
+		if m.owned != nil && !m.owned(id) {
+			continue // a fleet peer's checkpoint in a shared store
+		}
 		if m.max > 0 && m.Count() >= m.max {
 			errs = append(errs, fmt.Errorf("checkpoint %s not resumed: %w", id, ErrFull))
 			continue
@@ -393,6 +399,159 @@ func (m *Manager) Resume() (int, error) {
 		resumed++
 	}
 	return resumed, errors.Join(errs...)
+}
+
+// SetOwned installs the fleet ownership predicate consulted by Resume;
+// call it once at daemon startup, before Resume. A nil predicate (the
+// default) resumes everything in the store.
+func (m *Manager) SetOwned(fn func(id string) bool) { m.owned = fn }
+
+// ResumeOne lazily resumes a single checkpoint from the store into a live
+// session, returning whether it did. The fleet router calls it when a
+// request for an unknown session maps to this shard: after a peer dies,
+// its sessions' write-through checkpoints are still in the shared store,
+// so the new owner picks each one up on first touch. Concurrent calls for
+// the same id are collapsed by the reservation; losers see ErrConflict
+// exactly like a racing Create and simply retry.
+func (m *Manager) ResumeOne(id string) (bool, error) {
+	if err := ValidateID(id); err != nil {
+		return false, err
+	}
+	m.mu.Lock()
+	if _, exists := m.sessions[id]; exists {
+		m.mu.Unlock()
+		return false, nil // already live (or being created/resumed)
+	}
+	if m.max > 0 && len(m.sessions) >= m.max {
+		m.mu.Unlock()
+		return false, fmt.Errorf("%d sessions live: %w", m.max, ErrFull)
+	}
+	m.sessions[id] = nil // reserve
+	m.mu.Unlock()
+
+	data, err := m.store.Load(id)
+	if err == nil {
+		var s *Session
+		s, err = resumeSession(data, m.wh, m.met, m.tc, m.res)
+		if err == nil && s.ID() != id {
+			s.Close()
+			err = fmt.Errorf("checkpoint %s carries session id %s: %w", id, s.ID(), ErrInvalid)
+		}
+		if err == nil {
+			if s.Health() != HealthHealthy {
+				m.met.degradedSessions.Inc()
+			}
+			m.mu.Lock()
+			m.sessions[id] = s
+			m.mu.Unlock()
+			m.met.sessionsResumed.Inc()
+			m.log.Info("session resumed on failover", "id", id, "step", s.Info().Step)
+			return true, nil
+		}
+	}
+	m.mu.Lock()
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	return false, err
+}
+
+// BeginDrain freezes the session for checkpoint handoff and returns its
+// snapshot. Until CompleteDrain or AbortDrain, suggest/observe on it fail
+// with ErrDraining. ErrConflict covers a drain already in flight.
+func (m *Manager) BeginDrain(id string) ([]byte, error) {
+	s, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !s.beginDrain() {
+		return nil, fmt.Errorf("session %s is already draining: %w", id, ErrConflict)
+	}
+	data, err := s.Checkpoint()
+	if err != nil {
+		s.endDrain()
+		return nil, err
+	}
+	return data, nil
+}
+
+// AbortDrain unfreezes a session after a failed handoff.
+func (m *Manager) AbortDrain(id string) {
+	if s, err := m.Get(id); err == nil {
+		s.endDrain()
+	}
+}
+
+// CompleteDrain finishes a handoff whose snapshot the new owner accepted:
+// the session is closed and evicted from memory. Its store entry is left
+// alone — with a shared store the adopter has already overwritten it, and
+// with per-node stores the stale donor copy is harmless because the ring
+// no longer routes the id here.
+func (m *Manager) CompleteDrain(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok && s != nil {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if !ok || s == nil {
+		return fmt.Errorf("session %s: %w", id, ErrNotFound)
+	}
+	if s.Health() != HealthHealthy {
+		m.met.degradedSessions.Dec()
+	}
+	s.Close()
+	m.log.Info("session migrated out", "id", id)
+	return nil
+}
+
+// Adopt installs a checkpoint handed off by a fleet peer as a live session
+// and persists it locally. The snapshot is verified before anything is
+// registered, so a corrupt or non-finite handoff can never poison this
+// shard.
+func (m *Manager) Adopt(id string, data []byte) (SessionInfo, error) {
+	if err := ValidateID(id); err != nil {
+		return SessionInfo{}, err
+	}
+	if err := VerifyCheckpoint(data); err != nil {
+		return SessionInfo{}, fmt.Errorf("adopt %s: %v: %w", id, err, ErrInvalid)
+	}
+	m.mu.Lock()
+	if _, exists := m.sessions[id]; exists {
+		m.mu.Unlock()
+		return SessionInfo{}, fmt.Errorf("session %s already exists: %w", id, ErrConflict)
+	}
+	if m.max > 0 && len(m.sessions) >= m.max {
+		m.mu.Unlock()
+		return SessionInfo{}, fmt.Errorf("%d sessions live: %w", len(m.sessions), ErrFull)
+	}
+	m.sessions[id] = nil // reserve
+	m.mu.Unlock()
+
+	s, err := resumeSession(data, m.wh, m.met, m.tc, m.res)
+	if err == nil && s.ID() != id {
+		s.Close()
+		err = fmt.Errorf("adopt %s: checkpoint carries session id %s: %w", id, s.ID(), ErrInvalid)
+	}
+	if err == nil {
+		err = m.checkpoint(s)
+		if err != nil {
+			s.Close()
+		}
+	}
+	m.mu.Lock()
+	if err != nil {
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		m.log.Warn("session adopt failed", "id", id, "err", err)
+		return SessionInfo{}, err
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	if s.Health() != HealthHealthy {
+		m.met.degradedSessions.Inc()
+	}
+	m.log.Info("session adopted", "id", id, "step", s.Info().Step)
+	return s.Info(), nil
 }
 
 // snapshotSessions returns the live sessions without holding the lock

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -34,26 +35,47 @@ type Server struct {
 	manager *Manager
 	mux     *http.ServeMux
 	log     *obs.Logger
+	// fleet, when non-nil, makes this server one shard of a fleet: session
+	// routes gain ownership dispatch and the /v1/fleet/* endpoints appear.
+	fleet *fleetGlue
 }
 
-// NewServer builds the route table over m.
+// NewServer builds the route table over m for a standalone daemon.
 func NewServer(m *Manager) *Server {
+	return NewFleetServer(m, FleetOptions{})
+}
+
+// NewFleetServer builds the route table over m as one shard of a fleet; a
+// zero FleetOptions degenerates to a standalone server.
+func NewFleetServer(m *Manager, opts FleetOptions) *Server {
 	reg, logger := m.Obs()
 	s := &Server{manager: m, mux: http.NewServeMux(), log: logger}
+	if opts.Router != nil {
+		s.fleet = newFleetGlue(m, opts)
+	}
 	route := func(pattern, endpoint string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.instrument(newHTTPMetrics(reg, endpoint), endpoint, h))
 	}
 	route("GET /healthz", "healthz", s.handleHealth)
+	route("GET /v1/healthz", "healthz", s.handleHealth)
+	route("GET /v1/readyz", "readyz", s.handleReady)
 	route("POST /v1/sessions", "session_create", s.handleCreate)
 	route("GET /v1/sessions", "session_list", s.handleList)
-	route("GET /v1/sessions/{id}", "session_get", s.handleGet)
-	route("DELETE /v1/sessions/{id}", "session_delete", s.handleDelete)
-	route("POST /v1/sessions/{id}/suggest", "suggest", s.handleSuggest)
-	route("POST /v1/sessions/{id}/observe", "observe", s.handleObserve)
-	route("GET /v1/sessions/{id}/trace", "trace", s.handleTrace)
-	route("GET /v1/sessions/{id}/trace/export", "trace_export", s.handleTraceExport)
+	route("GET /v1/sessions/{id}", "session_get", s.routed(s.handleGet))
+	route("DELETE /v1/sessions/{id}", "session_delete", s.routed(s.handleDelete))
+	route("POST /v1/sessions/{id}/suggest", "suggest", s.routed(s.handleSuggest))
+	route("POST /v1/sessions/{id}/observe", "observe", s.routed(s.handleObserve))
+	route("GET /v1/sessions/{id}/trace", "trace", s.routed(s.handleTrace))
+	route("GET /v1/sessions/{id}/trace/export", "trace_export", s.routed(s.handleTraceExport))
 	route("GET /v1/warehouse/stats", "warehouse_stats", s.handleWarehouseStats)
 	route("GET /v1/warehouse/families/{sig}/donors", "warehouse_donors", s.handleWarehouseDonors)
+	if s.fleet != nil {
+		route("GET /v1/fleet/ring", "fleet_ring", s.handleRing)
+		route("GET /v1/fleet/segments", "fleet_segments", s.handleSegments)
+		route("GET /v1/fleet/segments/{name}", "fleet_segment", s.handleSegment)
+		route("POST /v1/fleet/migrate/{id}", "fleet_migrate", s.handleMigrate)
+		route("POST /v1/fleet/adopt/{id}", "fleet_adopt", s.handleAdopt)
+	}
 	return s
 }
 
@@ -126,6 +148,27 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateSessionRequest
 	if !decodeBody(w, r, &req) {
 		return
+	}
+	if g := s.fleet; g != nil && !g.router.Single() {
+		if req.ID == "" {
+			// Any shard can accept an anonymous create by drawing an id it
+			// owns itself — no forwarding, and the client's first suggest
+			// lands on the right node immediately.
+			req.ID = g.newOwnedID()
+		} else if !g.router.Owns(req.ID) && r.Header.Get(forwardedHeader) == "" {
+			// Explicit ids route like any session request. The body was
+			// consumed by decodeBody, so the proxy path re-marshals it; the
+			// redirect path relies on the client re-sending its body, which
+			// carries the id.
+			owner := g.router.Owner(req.ID)
+			if g.proxy {
+				body, _ := json.Marshal(req)
+				g.proxyWith(w, r, owner, bytes.NewReader(body))
+			} else {
+				g.redirect(w, r, owner)
+			}
+			return
+		}
 	}
 	info, err := s.manager.Create(req)
 	if err != nil {
@@ -283,6 +326,11 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusGone
 	case errors.Is(err, ErrFull):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrDraining):
+		// Mid-migration; by the time a client retries, the tombstone or
+		// ring will route it to the new owner.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }

@@ -38,6 +38,10 @@ var (
 	ErrClosed = errors.New("session closed")
 	// ErrFull marks session creation beyond the daemon's capacity (503).
 	ErrFull = errors.New("session limit reached")
+	// ErrDraining marks calls against a session frozen for checkpoint
+	// handoff to another fleet shard (503; retry after the migration
+	// lands and the router points at the new owner).
+	ErrDraining = errors.New("session draining for migration")
 )
 
 // sessionMeta is the persisted bookkeeping of one session; everything the
@@ -108,6 +112,10 @@ type Session struct {
 	env     *env.SparkEnv
 	pending *pendingSuggest
 	closed  bool
+	// draining freezes the session during checkpoint handoff: suggest and
+	// observe fail with ErrDraining so the transferred snapshot cannot go
+	// stale between its capture and the handover completing.
+	draining bool
 
 	// wh, when set, receives every observed transition under the session's
 	// workload signature sig; nil when the daemon runs without a warehouse.
@@ -316,6 +324,9 @@ func (s *Session) Suggest(ctx context.Context, now time.Time, reqID string) (Sug
 	if s.closed {
 		return SuggestResponse{}, fmt.Errorf("session %s: %w", s.meta.ID, ErrClosed)
 	}
+	if s.draining {
+		return SuggestResponse{}, fmt.Errorf("session %s: %w", s.meta.ID, ErrDraining)
+	}
 	if s.pending == nil {
 		step := s.meta.Step + 1
 		s.rec.SetStep(step)
@@ -393,6 +404,9 @@ func (s *Session) Observe(ctx context.Context, req ObserveRequest, now time.Time
 	defer s.mu.Unlock()
 	if s.closed {
 		return ObserveResponse{}, fmt.Errorf("session %s: %w", s.meta.ID, ErrClosed)
+	}
+	if s.draining {
+		return ObserveResponse{}, fmt.Errorf("session %s: %w", s.meta.ID, ErrDraining)
 	}
 	if s.pending == nil {
 		return ObserveResponse{}, fmt.Errorf("session %s has no pending suggestion: %w", s.meta.ID, ErrConflict)
@@ -501,6 +515,28 @@ func (s *Session) Health() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.healthLocked()
+}
+
+// beginDrain freezes the session for checkpoint handoff, reporting false
+// when it is already draining or closed. The pending suggestion, if any,
+// stays unobserved — checkpoints never carry it, and the new owner simply
+// re-suggests, which is why a migration loses at most the one in-flight
+// observation.
+func (s *Session) beginDrain() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return false
+	}
+	s.draining = true
+	return true
+}
+
+// endDrain unfreezes the session after a failed handoff.
+func (s *Session) endDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = false
 }
 
 // Close marks the session closed; subsequent calls fail with ErrClosed.

@@ -23,19 +23,36 @@ const ckptExt = ".ckpt"
 
 // FSStore keeps one checkpoint file per session under a directory. Writes
 // go to a temp file first and are renamed into place, so a crash mid-write
-// never corrupts the previous checkpoint.
+// never corrupts the previous checkpoint, and a concurrent List only ever
+// observes whole checkpoints: in-flight temp files carry a ".tmp-" infix
+// that List filters out, and the rename that publishes a checkpoint is
+// atomic.
 type FSStore struct {
 	dir string
 	mu  sync.Mutex
 }
 
 // NewFSStore creates (if needed) the directory and returns a store over it.
+// Temp files orphaned by a crash mid-Save are swept on open; they were
+// never visible to List and their sessions' previous checkpoints, if any,
+// are intact.
 func NewFSStore(dir string) (*FSStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: store dir: %w", err)
 	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.Contains(e.Name(), tmpInfix) {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
 	return &FSStore{dir: dir}, nil
 }
+
+// tmpInfix marks in-flight Save temp files so List can exclude them and
+// NewFSStore can sweep crash leftovers.
+const tmpInfix = ".tmp-"
 
 // Dir returns the backing directory.
 func (s *FSStore) Dir() string { return s.dir }
@@ -104,7 +121,11 @@ func (s *FSStore) Load(id string) ([]byte, error) {
 	return data, nil
 }
 
-// List returns the ids of all stored checkpoints.
+// List returns the ids of all stored checkpoints. It is safe against
+// concurrent Saves: temp files never match, and every returned id names a
+// checkpoint that was fully written and renamed into place (a subsequent
+// Load may still race a Delete and report ErrNotFound — callers skip
+// those).
 func (s *FSStore) List() ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -113,20 +134,28 @@ func (s *FSStore) List() ([]string, error) {
 	var ids []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ckptExt) {
+		if e.IsDir() || !strings.HasSuffix(name, ckptExt) || strings.Contains(name, tmpInfix) {
 			continue
 		}
-		ids = append(ids, strings.TrimSuffix(name, ckptExt))
+		id := strings.TrimSuffix(name, ckptExt)
+		if ValidateID(id) != nil {
+			continue // foreign file in the store dir, not one of ours
+		}
+		ids = append(ids, id)
 	}
 	return ids, nil
 }
 
 // Delete removes the checkpoint for id; deleting a missing id is not an
-// error.
+// error. Taking the store lock serializes it against an in-flight Save's
+// temp-write/rename pair, so a delete never lands between them and leaves
+// the just-renamed checkpoint resurrected.
 func (s *FSStore) Delete(id string) error {
 	if err := ValidateID(id); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("service: delete checkpoint: %w", err)
 	}

@@ -1,8 +1,14 @@
 package service
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -70,5 +76,100 @@ func TestValidateID(t *testing.T) {
 		if err := ValidateID(id); !errors.Is(err, ErrInvalid) {
 			t.Errorf("ValidateID(%q) = %v, want ErrInvalid", id, err)
 		}
+	}
+}
+
+// TestFSStoreConcurrentListDuringSave hammers Save, Delete and List
+// together: List must never surface an in-flight temp file or a partial
+// name, and everything it lists must load as a complete checkpoint.
+func TestFSStoreConcurrentListDuringSave(t *testing.T) {
+	s, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("deepcat"), 1024)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("hammer-%d", w)
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := s.Save(id, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%8 == 7 {
+					if err := s.Delete(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		ids, err := s.List()
+		if err != nil {
+			t.Fatalf("List during writes: %v", err)
+		}
+		for _, id := range ids {
+			if strings.Contains(id, tmpInfix) || ValidateID(id) != nil {
+				t.Fatalf("List leaked a non-checkpoint name %q", id)
+			}
+			data, err := s.Load(id)
+			if errors.Is(err, ErrNotFound) {
+				continue // raced a Delete; fine
+			}
+			if err != nil {
+				t.Fatalf("Load(%s) during writes: %v", id, err)
+			}
+			if len(data) != len(payload) {
+				t.Fatalf("Load(%s) returned %d bytes, want %d (torn write visible)", id, len(data), len(payload))
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestFSStoreSweepsOrphanTempFiles proves a crash mid-Save leaves nothing
+// behind: the orphaned temp file is invisible to List and removed by the
+// next open.
+func TestFSStoreSweepsOrphanTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("real", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "real.tmp-123456")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "real" {
+		t.Fatalf("List with orphan present = %v, want [real]", ids)
+	}
+	if _, err := NewFSStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan temp file survived reopen: %v", err)
+	}
+	data, err := s.Load("real")
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("previous checkpoint damaged by sweep: %q, %v", data, err)
 	}
 }

@@ -28,6 +28,19 @@
 //
 //	GET /v1/warehouse/stats                  log, family and donor summary
 //	GET /v1/warehouse/families/{sig}/donors  donor generations of one family
+//
+// When the daemon runs as one shard of a fleet (see NewFleetServer and the
+// internal/fleet package), every node answers every route — requests for
+// sessions owned by another shard are 307-redirected (or server-side
+// proxied) to the owner — and these endpoints appear:
+//
+//	GET  /v1/healthz                  liveness (alias of /healthz)
+//	GET  /v1/readyz                   readiness: store reachable, registry responsive
+//	GET  /v1/fleet/ring               membership, per-peer readiness, ownership
+//	GET  /v1/fleet/segments           shippable warehouse WAL segments
+//	GET  /v1/fleet/segments/{name}    one segment's bytes (peers pull these)
+//	POST /v1/fleet/migrate/{id}       drain a session and hand it to ?target=
+//	POST /v1/fleet/adopt/{id}         accept a handed-off checkpoint (gob body)
 package service
 
 import (
@@ -179,6 +192,48 @@ type TraceResponse struct {
 	Session string        `json:"session"`
 	Events  []trace.Event `json:"events"`
 	Dropped uint64        `json:"dropped,omitempty"`
+}
+
+// ReadyResponse is the /v1/readyz body. Ready is true only when every
+// dependency a request needs is answering; a false body rides a 503 so
+// load balancers and the fleet's peer probes need only the status code.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Store reports the checkpoint store answering a List.
+	Store bool `json:"store"`
+	// Registry reports the session registry answering within the probe
+	// budget (a wedged manager lock fails this).
+	Registry bool `json:"registry"`
+	// Reason names the failing dependency when Ready is false.
+	Reason string `json:"reason,omitempty"`
+}
+
+// RingMember describes one fleet member in the ring listing.
+type RingMember struct {
+	URL string `json:"url"`
+	// Self marks the member serving this response.
+	Self bool `json:"self,omitempty"`
+	// Ready mirrors the responder's last readiness probe of this member.
+	Ready bool `json:"ready"`
+}
+
+// RingResponse is the /v1/fleet/ring body.
+type RingResponse struct {
+	Self    string       `json:"self"`
+	Members []RingMember `json:"members"`
+	// Sessions counts sessions live on the responding node only.
+	Sessions int `json:"sessions"`
+}
+
+// SegmentListResponse is the /v1/fleet/segments body.
+type SegmentListResponse struct {
+	Segments []warehouse.SegmentInfo `json:"segments"`
+}
+
+// MigrateResponse acknowledges a completed session handoff.
+type MigrateResponse struct {
+	ID     string `json:"id"`
+	Target string `json:"target"`
 }
 
 // ErrorResponse is the envelope for every non-2xx response.

@@ -1,0 +1,185 @@
+package warehouse
+
+import (
+	"os"
+	"testing"
+)
+
+// shipAll pulls every shippable file from src into dst under the given
+// source name, returning how many records landed and how many files were
+// newly applied.
+func shipAll(t *testing.T, dst, src *Warehouse, source string) (records, applied int) {
+	t.Helper()
+	infos, err := src.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if dst.HasRemoteSegment(source, info.Name) {
+			continue
+		}
+		path, err := src.SegmentPath(info.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, fresh, err := dst.IngestRemoteSegment(source, info.Name, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records += n
+		if fresh {
+			applied++
+		}
+	}
+	return records, applied
+}
+
+func TestSegmentShippingIdempotent(t *testing.T) {
+	src := mustOpen(t, testOptions(t))
+	defer src.Close()
+	dst := mustOpen(t, testOptions(t))
+	defer dst.Close()
+
+	recs := makeRecords("a.TS.1", 30, 3)
+	if err := src.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	n, applied := shipAll(t, dst, src, "node-a")
+	if n != 30 || applied == 0 {
+		t.Fatalf("first ship = (%d records, %d files), want all 30 records", n, applied)
+	}
+	// Re-shipping the identical files must change nothing.
+	n2, applied2 := shipAll(t, dst, src, "node-a")
+	if n2 != 0 || applied2 != 0 {
+		t.Fatalf("re-ship = (%d records, %d files), want (0, 0)", n2, applied2)
+	}
+	st := dst.Stats()
+	if st.Remote.Records != 30 || st.Remote.Sources != 1 {
+		t.Fatalf("remote stats = %+v, want 30 records from 1 source", st.Remote)
+	}
+	// Replicated records count toward the family but never into the local
+	// record total — they are someone else's experience.
+	if st.Records != 0 {
+		t.Fatalf("local records = %d after shipping, want 0 (no echo into the local log)", st.Records)
+	}
+
+	// The replica must not be re-shippable from dst: only local log files
+	// are served, so experience cannot echo between nodes.
+	infos, err := dst.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("dst offers %d segments for shipping, want 0", len(infos))
+	}
+
+	// The replica index is memory-only: a restart re-pulls.
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := mustOpen(t, Options{Dir: dst.opts.Dir, SegmentMaxBytes: 2048,
+		TrainIters: 16, MinFamilyRecords: 4, TrainMinNew: 1})
+	defer reopened.Close()
+	if st := reopened.Stats(); st.Remote.Records != 0 {
+		t.Fatalf("remote records survived restart: %+v", st.Remote)
+	}
+	n3, _ := shipAll(t, reopened, src, "node-a")
+	if n3 != 30 {
+		t.Fatalf("re-pull after restart = %d records, want 30", n3)
+	}
+}
+
+func TestCompactedSegmentReplacesShipped(t *testing.T) {
+	src := mustOpen(t, testOptions(t))
+	defer src.Close()
+	dst := mustOpen(t, testOptions(t))
+	defer dst.Close()
+
+	if err := src.AppendBatch(makeRecords("a.TS.1", 24, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := shipAll(t, dst, src, "node-a"); n != 24 {
+		t.Fatalf("shipped %d records, want 24", n)
+	}
+
+	// The source compacts: its sealed segments collapse into one cmp file.
+	// Shipping that file must replace the already-applied segments, not add
+	// to them.
+	if err := src.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Segments(); err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, dst, src, "node-a")
+	if st := dst.Stats(); st.Remote.Records != 24 {
+		t.Fatalf("remote records after cmp replacement = %d, want 24 (no double count)", st.Remote.Records)
+	}
+}
+
+func TestRemoteRecordsFeedTraining(t *testing.T) {
+	src := mustOpen(t, testOptions(t))
+	defer src.Close()
+	dst := mustOpen(t, testOptions(t))
+	defer dst.Close()
+
+	if err := src.AppendBatch(makeRecords("a.TS.1", 40, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := shipAll(t, dst, src, "node-a"); n != 40 {
+		t.Fatalf("shipped %d records, want 40", n)
+	}
+
+	// dst has zero local experience for the family, yet the replicated
+	// records alone must be enough to distill a donor.
+	meta, err := dst.TrainFamily("a.TS.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Records != 40 {
+		t.Fatalf("donor trained on %d records, want 40 replicated ones", meta.Records)
+	}
+	donors, err := dst.Donors("a.TS.1")
+	if err != nil || len(donors) == 0 {
+		t.Fatalf("no donor listed after remote-only training: %v", err)
+	}
+}
+
+func TestIngestRemoteSegmentQuarantinesAndValidates(t *testing.T) {
+	dst := mustOpen(t, testOptions(t))
+	defer dst.Close()
+
+	if _, _, err := dst.IngestRemoteSegment("", "seg-00000001.wal", nil); err == nil {
+		t.Fatal("ingest without source succeeded")
+	}
+	if _, _, err := dst.IngestRemoteSegment("node-a", "../evil", nil); err == nil {
+		t.Fatal("ingest with a non-segment name succeeded")
+	}
+	if _, err := dst.SegmentPath("../../etc/passwd"); err == nil {
+		t.Fatal("SegmentPath resolved a traversal name")
+	}
+
+	// Corrupt bytes are dropped, not fatal: a garbage body applies as an
+	// empty file and stays applied (idempotency covers junk too).
+	n, applied, err := dst.IngestRemoteSegment("node-a", "seg-00000001.wal", []byte("not a wal"))
+	if err != nil || n != 0 || !applied {
+		t.Fatalf("garbage ingest = (%d, %v, %v), want (0, true, nil)", n, applied, err)
+	}
+	if !dst.HasRemoteSegment("node-a", "seg-00000001.wal") {
+		t.Fatal("garbage file not remembered as applied")
+	}
+}

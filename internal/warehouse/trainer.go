@@ -86,13 +86,16 @@ func (w *Warehouse) loop() {
 
 // dueFamiliesLocked returns the families whose donors should be
 // (re)trained: big enough, enough new experience, not already training.
+// Replicated records shipped from fleet peers count toward both bars, so a
+// node that only ever observes remote experience still trains donors.
 func (w *Warehouse) dueFamiliesLocked() []string {
 	var due []string
 	for sig, fam := range w.families {
-		if w.training[sig] || len(fam.recs) < w.opts.MinFamilyRecords {
+		remote := len(w.remoteBySig[sig])
+		if w.training[sig] || len(fam.recs)+remote < w.opts.MinFamilyRecords {
 			continue
 		}
-		if fam.appended-fam.lastTrained < w.opts.TrainMinNew {
+		if fam.appended+remote-fam.lastTrained < w.opts.TrainMinNew {
 			continue
 		}
 		due = append(due, sig)
@@ -115,7 +118,8 @@ func (w *Warehouse) TrainFamily(sig string) (DonorMeta, error) {
 		return DonorMeta{}, ErrClosed
 	}
 	fam, ok := w.families[sig]
-	if !ok || len(fam.recs) == 0 {
+	remote := w.remoteRecordsLocked(sig)
+	if !ok || len(fam.recs)+len(remote) == 0 {
 		w.mu.Unlock()
 		return DonorMeta{}, fmt.Errorf("warehouse: %s: %w", sig, ErrUnknownFamily)
 	}
@@ -126,11 +130,17 @@ func (w *Warehouse) TrainFamily(sig string) (DonorMeta, error) {
 	w.training[sig] = true
 	gen := fam.nextGen
 	fam.nextGen++
-	appended := fam.appended
-	high := fam.high
-	// The slice header is copied under the lock; appends only ever grow the
-	// backing array past len, so the training goroutine's view is stable.
+	appended := fam.appended + len(remote)
+	high := fam.high + w.remoteHigh[sig]
+	// The local slice header is copied under the lock; appends only ever
+	// grow the backing array past len, so the training goroutine's view is
+	// stable. The replicated records are concatenated under the lock
+	// because a compacted file arriving from a peer may replace them.
 	recs := fam.recs
+	if len(remote) > 0 {
+		recs = make([]Record, 0, len(fam.recs)+len(remote))
+		recs = append(append(recs, fam.recs...), remote...)
+	}
 	w.mu.Unlock()
 
 	start := time.Now()
@@ -305,6 +315,14 @@ func (w *Warehouse) WarmStart(sig string, rth float64, maxSeeds int) (WarmStart,
 	if maxSeeds > 0 {
 		for i := len(fam.recs) - 1; i >= 0 && len(ws.Seeds) < maxSeeds; i-- {
 			if tr := fam.recs[i].Transition; tr.Reward >= rth {
+				ws.Seeds = append(ws.Seeds, tr.Clone())
+			}
+		}
+		// Replicated experience from fleet peers fills whatever local
+		// records left of the cap.
+		rs := w.remoteBySig[sig]
+		for i := len(rs) - 1; i >= 0 && len(ws.Seeds) < maxSeeds; i-- {
+			if tr := rs[i].Transition; tr.Reward >= rth {
 				ws.Seeds = append(ws.Seeds, tr.Clone())
 			}
 		}

@@ -179,6 +179,13 @@ func readFrames(path string) (payloads [][]byte, good int64, dropped int64) {
 	if err != nil {
 		return nil, 0, 0
 	}
+	return parseFrames(data)
+}
+
+// parseFrames decodes committed frames from an in-memory log image; the
+// segment shipper uses it on bytes pulled from a peer, with the same CRC
+// and length validation recovery applies to local files.
+func parseFrames(data []byte) (payloads [][]byte, good int64, dropped int64) {
 	off := 0
 	for off+frameHeaderBytes <= len(data) {
 		ln := int(binary.LittleEndian.Uint32(data[off : off+4]))
@@ -295,6 +302,30 @@ func (w *wal) compact(payloads [][]byte) error {
 
 // sealedCount returns how many sealed segments await compaction.
 func (w *wal) sealedCount() int { return len(w.sealed) }
+
+// seal rotates the active segment if it holds any data, making its
+// contents immutable and therefore shippable to peers.
+func (w *wal) seal() error {
+	if w.activeSize == 0 {
+		return nil
+	}
+	return w.rotate()
+}
+
+// shippable returns the names of the log's immutable files — the newest
+// compacted file (if any) followed by the sealed segments, ascending. The
+// active segment is deliberately excluded: it is still being appended to,
+// so a peer pulling it would see a different byte stream on every fetch.
+func (w *wal) shippable() []string {
+	var names []string
+	if w.cmpIdx > 0 {
+		names = append(names, compactName(w.cmpIdx))
+	}
+	for _, idx := range w.sealed {
+		names = append(names, segmentName(idx))
+	}
+	return names
+}
 
 // close releases the active segment file.
 func (w *wal) close() error {

@@ -207,6 +207,14 @@ type Warehouse struct {
 	retained    int // total records across family indexes, mirrored to met.retained
 	closed      bool
 
+	// Fleet replica index: immutable log files applied from peers (see
+	// ship.go). remoteBySig flattens the applied records per workload
+	// signature for training and warm-start; remoteHigh counts the
+	// high-reward subset.
+	remote      map[string]*remoteSource
+	remoteBySig map[string][]Record
+	remoteHigh  map[string]int
+
 	stopc      chan struct{}
 	loopWG     sync.WaitGroup
 	trainWG    sync.WaitGroup
@@ -229,15 +237,18 @@ func Open(opts Options) (*Warehouse, error) {
 		return nil, err
 	}
 	w := &Warehouse{
-		opts:       opts,
-		met:        newWHMetrics(opts.Registry),
-		logg:       opts.Logger,
-		log:        log,
-		families:   make(map[string]*family),
-		recovered:  recovered,
-		training:   make(map[string]bool),
-		stopc:      make(chan struct{}),
-		trainSlots: make(chan struct{}, opts.TrainWorkers),
+		opts:        opts,
+		met:         newWHMetrics(opts.Registry),
+		logg:        opts.Logger,
+		log:         log,
+		families:    make(map[string]*family),
+		recovered:   recovered,
+		training:    make(map[string]bool),
+		remote:      make(map[string]*remoteSource),
+		remoteBySig: make(map[string][]Record),
+		remoteHigh:  make(map[string]int),
+		stopc:       make(chan struct{}),
+		trainSlots:  make(chan struct{}, opts.TrainWorkers),
 	}
 	log.onSeal = w.met.segmentsSealed.Inc
 	for _, payload := range payloads {
@@ -489,10 +500,13 @@ type DonorMeta struct {
 
 // FamilyStats summarizes one workload family for the stats endpoint.
 type FamilyStats struct {
-	Signature   string     `json:"signature"`
-	Records     int        `json:"records"`
-	HighReward  int        `json:"high_reward"`
-	Appended    int        `json:"appended"`
+	Signature  string `json:"signature"`
+	Records    int    `json:"records"`
+	HighReward int    `json:"high_reward"`
+	Appended   int    `json:"appended"`
+	// Remote counts replicated records shipped from fleet peers; they feed
+	// donor training alongside the local Records.
+	Remote      int        `json:"remote,omitempty"`
 	Donors      int        `json:"donors"`
 	Training    bool       `json:"training,omitempty"`
 	LatestDonor *DonorMeta `json:"latest_donor,omitempty"`
@@ -516,8 +530,11 @@ type Stats struct {
 	// TrainErrors counts failed background donor trainings.
 	TrainErrors int `json:"train_errors,omitempty"`
 	// Quarantined counts records the non-finite ingest guard refused (at
-	// append time or while replaying an old log).
+	// append time, while replaying an old log, or in a shipped segment).
 	Quarantined int `json:"quarantined,omitempty"`
+	// Remote summarizes the fleet replica index: segments shipped from
+	// peers and the records they contributed.
+	Remote RemoteStats `json:"remote,omitempty"`
 }
 
 // Stats reports the warehouse's current state.
@@ -532,6 +549,7 @@ func (w *Warehouse) Stats() Stats {
 		TrainErrors:      w.trainErrs,
 		Quarantined:      w.quarantined,
 	}
+	st.Remote = w.remoteStatsLocked()
 	sigs := make([]string, 0, len(w.families))
 	for sig := range w.families {
 		sigs = append(sigs, sig)
@@ -544,6 +562,7 @@ func (w *Warehouse) Stats() Stats {
 			Records:    len(fam.recs),
 			HighReward: fam.high,
 			Appended:   fam.appended,
+			Remote:     len(w.remoteBySig[sig]),
 			Donors:     len(fam.donors),
 			Training:   w.training[sig],
 		}

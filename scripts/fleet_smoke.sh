@@ -1,0 +1,78 @@
+#!/bin/sh
+# fleet_smoke.sh boots a 3-shard deepcat fleet on localhost, drives it with
+# deepcat-loadgen, and fails if any operation errors. CI runs it on every
+# push; locally it is a one-command fleet sanity check:
+#
+#   sh scripts/fleet_smoke.sh [sessions] [report-path]
+#
+# The shards share one checkpoint directory (the deployment model for
+# checkpoint handoff and kill -9 failover) and each runs its own warehouse
+# with pull-based segment shipping.
+set -eu
+
+SESSIONS="${1:-200}"
+REPORT="${2:-fleet_report.json}"
+BASE_PORT="${FLEET_BASE_PORT:-18080}"
+WORKDIR="$(mktemp -d)"
+BIN="$WORKDIR/bin"
+PIDS=""
+
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $PIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+mkdir -p "$BIN"
+go build -o "$BIN/deepcat-serve" ./cmd/deepcat-serve
+go build -o "$BIN/deepcat-loadgen" ./cmd/deepcat-loadgen
+
+PEERS=""
+TARGETS=""
+for i in 0 1 2; do
+    port=$((BASE_PORT + i))
+    url="http://127.0.0.1:$port"
+    PEERS="$PEERS${PEERS:+,}$url"
+    TARGETS="$TARGETS${TARGETS:+,}$url"
+done
+
+mkdir -p "$WORKDIR/data"
+for i in 0 1 2; do
+    port=$((BASE_PORT + i))
+    url="http://127.0.0.1:$port"
+    mkdir -p "$WORKDIR/wh$i"
+    "$BIN/deepcat-serve" \
+        -addr "127.0.0.1:$port" \
+        -public-url "$url" \
+        -peers "$PEERS" \
+        -data "$WORKDIR/data" \
+        -max-sessions 0 \
+        -warehouse "$WORKDIR/wh$i" \
+        -fleet-ship-interval 2s \
+        -fleet-seal-interval 5s \
+        -log-level warn \
+        >"$WORKDIR/serve$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+done
+
+# The loadgen waits for every shard's /v1/readyz itself; -max-error-rate 0
+# makes any failed operation fail the script.
+if ! "$BIN/deepcat-loadgen" \
+    -targets "$TARGETS" \
+    -sessions "$SESSIONS" \
+    -short \
+    -report "$REPORT" \
+    -max-error-rate 0; then
+    echo "--- shard logs ---" >&2
+    for i in 0 1 2; do
+        echo "--- serve$i ---" >&2
+        cat "$WORKDIR/serve$i.log" >&2 || true
+    done
+    exit 1
+fi
+echo "fleet smoke passed: $SESSIONS sessions, report in $REPORT"
