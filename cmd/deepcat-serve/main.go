@@ -29,6 +29,15 @@
 // deepcat-trace after the session is gone. -log-format json switches the
 // daemon's log lines from key=value to one JSON object per line.
 //
+// Actor/learner mode: -spine switches sessions from inline fine-tuning to
+// the shared replay spine — each observation is enqueued into a sharded,
+// lock-minimal experience buffer, per-workload-family learners train off it
+// in the background (-spine-learn-interval, -spine-learn-iters,
+// -spine-workers), and every -spine-adopt-every observations a session
+// adopts the latest published policy weights. -spine-shards and
+// -spine-capacity size the buffer. With a warehouse configured the spine is
+// warm-started from the WAL at boot.
+//
 // Fault handling: the -breaker-threshold and -breaker-cooldown flags
 // configure the per-session circuit breaker (consecutive failed runs trip a
 // session into degraded mode, where it serves its last known good
@@ -69,6 +78,7 @@ import (
 	"deepcat/internal/fleet"
 	"deepcat/internal/obs"
 	"deepcat/internal/service"
+	"deepcat/internal/spine"
 	"deepcat/internal/warehouse"
 )
 
@@ -93,6 +103,14 @@ func main() {
 
 		traceRing = flag.Int("trace-ring", 512, "per-session flight-recorder ring size (0 = tracing disabled)")
 		traceDir  = flag.String("trace-dir", "", "directory for per-session trace spools (empty = ring only)")
+
+		spineOn         = flag.Bool("spine", false, "actor/learner mode: sessions enqueue experience into a shared replay spine and adopt weights from per-family learners instead of training inline")
+		spineShards     = flag.Int("spine-shards", 8, "replay-spine shards per workload-family lane")
+		spineCapacity   = flag.Int("spine-capacity", 2048, "replay-spine transitions per shard pool (high and low each)")
+		spineInterval   = flag.Duration("spine-learn-interval", 2*time.Second, "background learner pass period (0 = learners run only on demand)")
+		spineIters      = flag.Int("spine-learn-iters", 4, "gradient updates per learner pass")
+		spineWorkers    = flag.Int("spine-workers", 2, "concurrent learner passes")
+		spineAdoptEvery = flag.Int("spine-adopt-every", service.DefaultSpineAdoptEvery, "observations between a session's policy-weight adoption checks")
 
 		whDir      = flag.String("warehouse", "", "experience warehouse directory (empty = disabled)")
 		whInterval = flag.Duration("warehouse-interval", time.Minute, "warehouse trainer/compactor period")
@@ -170,6 +188,27 @@ func main() {
 				st.TruncatedBytes, st.DroppedBytes)
 		}
 		fmt.Println()
+	}
+	var spn *spine.Spine
+	if *spineOn {
+		spn = spine.New(spine.Options{
+			Shards:        *spineShards,
+			ShardCapacity: *spineCapacity,
+			LearnInterval: *spineInterval,
+			LearnIters:    *spineIters,
+			Workers:       *spineWorkers,
+			Registry:      reg,
+			Logger:        logger,
+		})
+		manager.AttachSpine(service.SpineConfig{Spine: spn, AdoptEvery: *spineAdoptEvery})
+		// The spine is memory-only; replaying the warehouse WAL into it at
+		// boot means the learner pool resumes from the fleet's history
+		// instead of an empty ring.
+		if warmed := service.WarmSpineFromWarehouse(spn, wh); warmed > 0 {
+			fmt.Printf("spine warm-started with %d transitions from the warehouse\n", warmed)
+		}
+		fmt.Printf("actor/learner spine on: %d shards x %d/pool, learner pass every %s, adopt every %d observations\n",
+			*spineShards, *spineCapacity, *spineInterval, *spineAdoptEvery)
 	}
 	var (
 		router  *fleet.Router
@@ -285,6 +324,9 @@ func main() {
 	}
 	if err := manager.CheckpointAll(); err != nil {
 		fmt.Fprintln(os.Stderr, "deepcat-serve: final checkpoint:", err)
+	}
+	if spn != nil {
+		spn.Close()
 	}
 	if wh != nil {
 		if err := wh.Close(); err != nil {

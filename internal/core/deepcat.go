@@ -245,6 +245,12 @@ func (d *DeepCAT) OfflineTrain(e env.Environment, iters int, checkpoint func(ite
 func (d *DeepCAT) trainOnce(batchSize int) {
 	sp := trace.Begin(d.rec, "train_once")
 	batch := d.Buffer.Sample(d.rng, batchSize)
+	if batch.Len() == 0 {
+		if sp != nil {
+			sp.AttrInt("batch", 0).End()
+		}
+		return
+	}
 	stats := d.Agent.Train(d.rng, batch)
 	if ps, ok := d.Buffer.(rl.PrioritySampler); ok {
 		ps.UpdatePriorities(batch.Indices, stats.TDErrors)
@@ -343,6 +349,20 @@ func (d *DeepCAT) SuggestWithStats(state []float64, lastFailed bool) ([]float64,
 // own the evaluation loop (e.g. an external job scheduler talking to the
 // tuning service) alternate Suggest and Observe.
 func (d *DeepCAT) Observe(state, action []float64, execTime, prevTime, defTime float64, nextState []float64, done bool) float64 {
+	return d.observe(state, action, execTime, prevTime, defTime, nextState, done, true)
+}
+
+// ObserveNoTrain records the outcome exactly like Observe — same reward,
+// same trace events, same replay append — but skips the inline fine-tune
+// iterations. Sessions in actor/learner (spine) mode use it: the transition
+// still lands in the local replay (keeping checkpoints self-contained and
+// the inline fallback warm), while gradient work moves to the shared
+// learner pool.
+func (d *DeepCAT) ObserveNoTrain(state, action []float64, execTime, prevTime, defTime float64, nextState []float64, done bool) float64 {
+	return d.observe(state, action, execTime, prevTime, defTime, nextState, done, false)
+}
+
+func (d *DeepCAT) observe(state, action []float64, execTime, prevTime, defTime float64, nextState []float64, done, train bool) float64 {
 	sp := trace.Begin(d.rec, "observe")
 	r := d.reward(execTime, prevTime, defTime)
 	if d.rec != nil {
@@ -368,8 +388,10 @@ func (d *DeepCAT) Observe(state, action []float64, execTime, prevTime, defTime f
 		NextState: nextState,
 		Done:      done,
 	})
-	for i := 0; i < d.Cfg.FineTuneIters && d.Buffer.Len() >= 2; i++ {
-		d.trainOnce(minI(d.Cfg.BatchSize, d.Buffer.Len()))
+	if train {
+		for i := 0; i < d.Cfg.FineTuneIters && d.Buffer.Len() >= 2; i++ {
+			d.trainOnce(minI(d.Cfg.BatchSize, d.Buffer.Len()))
+		}
 	}
 	if sp != nil {
 		sp.AttrFloat("reward", r).AttrFloat("exec_time", execTime).End()

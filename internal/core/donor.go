@@ -45,3 +45,16 @@ func (d *DeepCAT) AdoptAgent(snap *Snapshot) error {
 	}
 	return nil
 }
+
+// AdoptWeights copies a bare agent state into d — the spine's versioned
+// policy snapshots arrive this way, without the Snapshot envelope. Like
+// AdoptAgent it leaves the configuration, replay buffer and random stream
+// untouched, so adoption composes with deterministic checkpoint resume: a
+// restored session that re-adopts the same published version reproduces the
+// same tuner bit for bit.
+func (d *DeepCAT) AdoptWeights(st rl.TD3State) error {
+	if err := d.Agent.RestoreState(st); err != nil {
+		return fmt.Errorf("core: adopt weights: %w", err)
+	}
+	return nil
+}

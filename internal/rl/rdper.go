@@ -35,6 +35,10 @@ type RDPER struct {
 
 	high *UniformReplay
 	low  *UniformReplay
+
+	// scratch is the reused mini-batch backing: Sample truncates and refills
+	// it instead of allocating fresh slices every call. Not serialized.
+	scratch Batch
 }
 
 // NewRDPER creates a two-pool buffer. Each pool holds up to capacity
@@ -82,10 +86,16 @@ func (r *RDPER) LowLen() int { return r.low.Len() }
 
 // Sample draws ceil(Beta*n) transitions from P_high and the rest from
 // P_low. While one pool is still empty the whole batch comes from the other,
-// so learning can start before any high-reward experience exists.
+// so learning can start before any high-reward experience exists. An empty
+// buffer yields an empty batch rather than panicking; callers must check
+// Batch.Len before training. The returned batch shares backing arrays reused
+// by the next Sample call, so it must be consumed before then.
 func (r *RDPER) Sample(rng *rand.Rand, n int) Batch {
+	r.scratch.Transitions = r.scratch.Transitions[:0]
+	r.scratch.Indices = r.scratch.Indices[:0]
+	r.scratch.Weights = r.scratch.Weights[:0]
 	if r.Len() == 0 {
-		panic("rl: Sample from empty RDPER")
+		return r.scratch
 	}
 	nHigh := int(r.Beta*float64(n) + 0.999999)
 	if nHigh > n {
@@ -97,24 +107,13 @@ func (r *RDPER) Sample(rng *rand.Rand, n int) Batch {
 	case r.low.Len() == 0:
 		nHigh = n
 	}
-	b := Batch{
-		Transitions: make([]Transition, 0, n),
-		Indices:     make([]int, 0, n),
-		Weights:     make([]float64, 0, n),
+	r.high.sampleInto(rng, nHigh, &r.scratch)
+	r.low.sampleInto(rng, n-nHigh, &r.scratch)
+	for i := range r.scratch.Transitions {
+		r.scratch.Indices = append(r.scratch.Indices, i)
+		r.scratch.Weights = append(r.scratch.Weights, 1)
 	}
-	if nHigh > 0 {
-		hb := r.high.Sample(rng, nHigh)
-		b.Transitions = append(b.Transitions, hb.Transitions...)
-	}
-	if n-nHigh > 0 {
-		lb := r.low.Sample(rng, n-nHigh)
-		b.Transitions = append(b.Transitions, lb.Transitions...)
-	}
-	for i := range b.Transitions {
-		b.Indices = append(b.Indices, i)
-		b.Weights = append(b.Weights, 1)
-	}
-	return b
+	return r.scratch
 }
 
 var _ Sampler = (*RDPER)(nil)

@@ -12,9 +12,11 @@ type Sampler interface {
 	Add(tr Transition)
 	// Len returns the number of stored transitions.
 	Len() int
-	// Sample draws n transitions. It panics if the buffer is empty; when
-	// fewer than n transitions are stored it samples with replacement from
-	// what is available.
+	// Sample draws n transitions; when fewer than n are stored it samples
+	// with replacement from what is available. On an empty buffer RDPER
+	// returns an empty batch (check Batch.Len before training); the other
+	// implementations panic. An implementation may reuse the returned
+	// batch's backing arrays on its next Sample call.
 	Sample(rng *rand.Rand, n int) Batch
 }
 
@@ -78,4 +80,17 @@ func (u *UniformReplay) Sample(rng *rand.Rand, n int) Batch {
 		b.Weights[i] = 1
 	}
 	return b
+}
+
+// sampleInto appends n uniform draws (with replacement) to dst without
+// allocating when dst's backing arrays have capacity; a no-op when the
+// buffer is empty or n <= 0. Only transitions are appended — the caller owns
+// Indices and Weights.
+func (u *UniformReplay) sampleInto(rng *rand.Rand, n int, dst *Batch) {
+	if len(u.buf) == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		dst.Transitions = append(dst.Transitions, u.buf[rng.Intn(len(u.buf))])
+	}
 }

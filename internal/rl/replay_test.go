@@ -229,14 +229,45 @@ func TestRDPERFallbackWhenPoolEmpty(t *testing.T) {
 	}
 }
 
-func TestRDPEREmptyPanics(t *testing.T) {
+// TestRDPEREmptySampleReturnsEmptyBatch is the regression test for the old
+// behavior of panicking on an empty buffer: Sample must instead return an
+// empty batch the caller can check, so a learner racing its first ingest
+// degrades to a no-op training pass rather than a crash.
+func TestRDPEREmptySampleReturnsEmptyBatch(t *testing.T) {
 	r := NewRDPER(10, 0.5, 0.6)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty RDPER Sample did not panic")
-		}
-	}()
-	r.Sample(rand.New(rand.NewSource(1)), 1)
+	b := r.Sample(rand.New(rand.NewSource(1)), 4)
+	if b.Len() != 0 || len(b.Indices) != 0 || len(b.Weights) != 0 {
+		t.Fatalf("empty RDPER Sample = %+v, want empty batch", b)
+	}
+	// After experience arrives the same buffer samples normally.
+	r.Add(Transition{State: []float64{1}, Action: []float64{1}, Reward: 1, NextState: []float64{1}})
+	if got := r.Sample(rand.New(rand.NewSource(2)), 4).Len(); got != 4 {
+		t.Fatalf("batch len %d after add, want 4", got)
+	}
+}
+
+// TestRDPERSampleReusesBacking pins the allocation win: consecutive Sample
+// calls must refill the same backing arrays instead of allocating fresh
+// slices per batch.
+func TestRDPERSampleReusesBacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := NewRDPER(100, 0.5, 0.6)
+	for i := 0; i < 20; i++ {
+		r.Add(mkTr(float64(i % 2)))
+	}
+	b1 := r.Sample(rng, 8)
+	if b1.Len() != 8 {
+		t.Fatalf("batch len %d, want 8", b1.Len())
+	}
+	p1 := &b1.Transitions[0]
+	b2 := r.Sample(rng, 8)
+	if p1 != &b2.Transitions[0] {
+		t.Fatal("Sample reallocated its batch backing")
+	}
+	allocs := testing.AllocsPerRun(50, func() { r.Sample(rng, 8) })
+	if allocs != 0 {
+		t.Fatalf("Sample allocates %.1f times per call, want 0", allocs)
+	}
 }
 
 func TestRDPERBetaValidation(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"deepcat/internal/service"
+	"deepcat/internal/spine"
 )
 
 // BenchmarkSessionSuggestObserve measures the daemon's tuning hot path at
@@ -17,6 +18,37 @@ func BenchmarkSessionSuggestObserve(b *testing.B) {
 		b.Fatal(err)
 	}
 	manager := service.NewManager(store, 1)
+	info, err := manager.Create(service.CreateSessionRequest{Workload: "TS", Input: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := manager.Suggest(info.ID, ""); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := manager.Observe(info.ID, service.ObserveRequest{ExecTime: 100}, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionSuggestObserveSpine is the same round-trip in actor/learner
+// mode: the 24 inline fine-tune updates are replaced by an enqueue into the
+// shared replay spine (gradient work moves to the learner pool, disabled here
+// to isolate the session-side cost). Compare against
+// BenchmarkSessionSuggestObserve for the per-observation win of the split.
+func BenchmarkSessionSuggestObserveSpine(b *testing.B) {
+	store, err := service.NewFSStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := spine.New(spine.Options{})
+	defer sp.Close()
+	manager := service.NewManager(store, 1)
+	manager.AttachSpine(service.SpineConfig{Spine: sp})
 	info, err := manager.Create(service.CreateSessionRequest{Workload: "TS", Input: 1, Seed: 1})
 	if err != nil {
 		b.Fatal(err)

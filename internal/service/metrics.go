@@ -41,6 +41,9 @@ type metrics struct {
 	degradedSuggests  *obs.Counter
 	degradedSessions  *obs.Gauge
 
+	// Actor/learner spine: policy-weight adoptions across all sessions.
+	spineAdoptions *obs.Counter
+
 	// Fleet routing: requests bounced to their owning shard (by mode),
 	// checkpoint handoffs in each direction, and sessions lazily resumed
 	// from the shared store after a peer died.
@@ -71,6 +74,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		breakerRecoveries: reg.Counter("deepcat_breaker_recoveries_total"),
 		degradedSuggests:  reg.Counter("deepcat_degraded_suggests_total"),
 		degradedSessions:  reg.Gauge("deepcat_degraded_sessions"),
+
+		spineAdoptions: reg.Counter("deepcat_spine_adoptions_total"),
 
 		fleetRedirects:       reg.Counter("deepcat_fleet_forwards_total", "mode", "redirect"),
 		fleetProxied:         reg.Counter("deepcat_fleet_forwards_total", "mode", "proxy"),

@@ -35,6 +35,9 @@ type Manager struct {
 	// res is the fault-handling policy applied to every session (breaker
 	// and sanitizer); defaults to DefaultResilience.
 	res Resilience
+	// spn, when non-nil, switches sessions to actor/learner mode against
+	// the shared replay spine; see AttachSpine.
+	spn *spineBinding
 	// owned, when non-nil, filters Resume to sessions this fleet shard is
 	// responsible for; other checkpoints in a shared store belong to peers.
 	owned func(id string) bool
@@ -177,7 +180,7 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	pprof.Do(context.Background(),
 		pprof.Labels("deepcat_session", id, "workload", warehouse.Signature(req.Cluster, req.Workload, req.Input)),
 		func(context.Context) {
-			s, err = newSession(id, req, time.Now(), m.wh, m.met, m.tc, m.res)
+			s, err = newSession(id, req, time.Now(), m.wh, m.met, m.tc, m.res, m.spn)
 			if err == nil {
 				err = m.checkpoint(s)
 			}
@@ -378,7 +381,7 @@ func (m *Manager) Resume() (int, error) {
 			errs = append(errs, err)
 			continue
 		}
-		s, err := resumeSession(data, m.wh, m.met, m.tc, m.res)
+		s, err := resumeSession(data, m.wh, m.met, m.tc, m.res, m.spn)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("checkpoint %s: %w", id, err))
 			continue
@@ -432,7 +435,7 @@ func (m *Manager) ResumeOne(id string) (bool, error) {
 	data, err := m.store.Load(id)
 	if err == nil {
 		var s *Session
-		s, err = resumeSession(data, m.wh, m.met, m.tc, m.res)
+		s, err = resumeSession(data, m.wh, m.met, m.tc, m.res, m.spn)
 		if err == nil && s.ID() != id {
 			s.Close()
 			err = fmt.Errorf("checkpoint %s carries session id %s: %w", id, s.ID(), ErrInvalid)
@@ -527,7 +530,7 @@ func (m *Manager) Adopt(id string, data []byte) (SessionInfo, error) {
 	m.sessions[id] = nil // reserve
 	m.mu.Unlock()
 
-	s, err := resumeSession(data, m.wh, m.met, m.tc, m.res)
+	s, err := resumeSession(data, m.wh, m.met, m.tc, m.res, m.spn)
 	if err == nil && s.ID() != id {
 		s.Close()
 		err = fmt.Errorf("adopt %s: checkpoint carries session id %s: %w", id, s.ID(), ErrInvalid)

@@ -16,6 +16,7 @@ import (
 	"deepcat/internal/env"
 	"deepcat/internal/mat"
 	"deepcat/internal/rl"
+	"deepcat/internal/spine"
 	"deepcat/internal/trace"
 	"deepcat/internal/warehouse"
 )
@@ -77,6 +78,16 @@ type sessionMeta struct {
 	WarmStarted bool
 	Donor       string
 
+	// SpineVersion is the version of the last spine policy this session
+	// adopted (0 = never adopted); persisting it makes adoption
+	// checkpoint-compatible — a resumed session knows exactly which
+	// published weights it runs and never re-adopts an older version.
+	// SpineAdoptions counts adoptions over the session's lifetime. Both
+	// stay zero when the daemon runs without a spine (gob also leaves them
+	// zero when resuming a pre-spine checkpoint).
+	SpineVersion   int
+	SpineAdoptions int
+
 	CreatedAt, UpdatedAt time.Time
 }
 
@@ -137,6 +148,14 @@ type Session struct {
 	res Resilience
 	san *env.Sanitizer
 
+	// spn, when set, switches the session to actor/learner mode: observe
+	// skips inline fine-tuning, actor enqueues the transition into the
+	// shared spine, and every spn.adoptEvery observations the session
+	// adopts the family learner's latest published weights. Nil keeps
+	// inline training.
+	spn   *spineBinding
+	actor *spine.Actor
+
 	// ckpt serializes this session's store writes against its deletion;
 	// see Manager.checkpoint and Manager.Delete.
 	ckpt sync.Mutex
@@ -183,7 +202,7 @@ func newRecorder(tc *TraceConfig, id string) *trace.Session {
 // the session adopts the donor's networks and pre-fills its replay pools
 // with the family's high-reward transitions before any optional offline
 // training; a missing or mismatched donor falls back to a cold start.
-func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehouse.Warehouse, met *metrics, tc *TraceConfig, res Resilience) (*Session, error) {
+func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehouse.Warehouse, met *metrics, tc *TraceConfig, res Resilience, spn *spineBinding) (*Session, error) {
 	e, err := cli.BuildEnv(req.Cluster, req.Workload, req.Input, req.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrInvalid, err)
@@ -218,6 +237,10 @@ func newSession(id string, req CreateSessionRequest, now time.Time, wh *warehous
 		met:   met,
 		rec:   newRecorder(tc, id),
 		res:   res.normalize(),
+		spn:   spn,
+	}
+	if spn != nil {
+		s.actor = spn.sp.Actor(s.sig)
 	}
 	s.meta.Health = HealthHealthy
 	if s.res.SanitizeWindow > 0 {
@@ -283,24 +306,27 @@ func (s *Session) infoLocked() SessionInfo {
 		state = StateAwaitingObservation
 	}
 	info := SessionInfo{
-		ID:          s.meta.ID,
-		Workload:    s.meta.Workload,
-		Input:       s.meta.Input,
-		Cluster:     s.meta.Cluster,
-		Seed:        s.meta.Seed,
-		State:       state,
-		Step:        s.meta.Step,
-		DefaultTime: s.env.DefaultTime(),
-		BestTime:    s.meta.BestTime,
-		BestAction:  mat.CloneSlice(s.meta.BestAction),
-		ReplayLen:   s.tuner.Buffer.Len(),
-		WarmStarted: s.meta.WarmStarted,
-		Donor:       s.meta.Donor,
-		Health:      s.healthLocked(),
-		Quarantined: s.meta.Quarantined,
-		Trips:       s.meta.BreakerTrips,
-		CreatedAt:   s.meta.CreatedAt,
-		UpdatedAt:   s.meta.UpdatedAt,
+		ID:             s.meta.ID,
+		Workload:       s.meta.Workload,
+		Input:          s.meta.Input,
+		Cluster:        s.meta.Cluster,
+		Seed:           s.meta.Seed,
+		State:          state,
+		Step:           s.meta.Step,
+		DefaultTime:    s.env.DefaultTime(),
+		BestTime:       s.meta.BestTime,
+		BestAction:     mat.CloneSlice(s.meta.BestAction),
+		ReplayLen:      s.tuner.Buffer.Len(),
+		WarmStarted:    s.meta.WarmStarted,
+		Donor:          s.meta.Donor,
+		SpineMode:      s.spn != nil,
+		SpineVersion:   s.meta.SpineVersion,
+		SpineAdoptions: s.meta.SpineAdoptions,
+		Health:         s.healthLocked(),
+		Quarantined:    s.meta.Quarantined,
+		Trips:          s.meta.BreakerTrips,
+		CreatedAt:      s.meta.CreatedAt,
+		UpdatedAt:      s.meta.UpdatedAt,
 	}
 	if rd, ok := s.tuner.Buffer.(*rl.RDPER); ok {
 		info.HighReplayLen = rd.HighLen()
@@ -457,9 +483,32 @@ func (s *Session) Observe(ctx context.Context, req ObserveRequest, now time.Time
 		sp.AttrBool("quarantined", true).Attr("quarantine_reason", qerr.Error())
 	} else if learn {
 		start := time.Now()
-		reward = s.tuner.Observe(p.state, p.action, req.ExecTime, s.meta.PrevTime,
-			s.env.DefaultTime(), nextState, false)
+		if s.spn != nil {
+			// Actor/learner mode: record the outcome (reward, replay append,
+			// trace) without inline fine-tuning; the gradient work happens in
+			// the spine's learner pool. The transition is flushed eagerly —
+			// sessions are low-rate actors, so the one-transition flush costs
+			// a single shard-lock acquisition and keeps the learner current.
+			reward = s.tuner.ObserveNoTrain(p.state, p.action, req.ExecTime, s.meta.PrevTime,
+				s.env.DefaultTime(), nextState, false)
+			s.actor.Enqueue(rl.Transition{
+				State:     p.state,
+				Action:    p.action,
+				Reward:    reward,
+				NextState: nextState,
+			})
+			s.actor.Flush()
+		} else {
+			reward = s.tuner.Observe(p.state, p.action, req.ExecTime, s.meta.PrevTime,
+				s.env.DefaultTime(), nextState, false)
+		}
 		s.met.observeDur.ObserveSince(start)
+		if s.spn != nil {
+			// Adoption runs before the manager's write-through checkpoint, so
+			// the persisted snapshot always carries the adopted weights
+			// together with their version.
+			s.maybeAdoptLocked(p.step)
+		}
 		if s.wh != nil {
 			// Stream the observed experience into the fleet warehouse. The
 			// warehouse is advisory — a full disk there must not fail the
@@ -508,6 +557,35 @@ func (s *Session) Observe(ctx context.Context, req ObserveRequest, now time.Time
 		Quarantined: qerr != nil,
 		Health:      health,
 	}, nil
+}
+
+// maybeAdoptLocked adopts the spine learner's latest published weights when
+// the session step hits the adoption cadence and the published version is
+// newer than the one the session runs. The cadence keys off the persisted
+// step and the comparison off the persisted SpineVersion, so adoption is
+// deterministic across checkpoint resume: a restored session re-checks the
+// same steps and never adopts a version it already had. Callers hold s.mu.
+func (s *Session) maybeAdoptLocked(step int) {
+	if s.spn == nil || step%s.spn.adoptEvery != 0 {
+		return
+	}
+	pol, ok := s.spn.sp.Policy(s.sig)
+	if !ok || pol.Version <= s.meta.SpineVersion {
+		return
+	}
+	sp := trace.Begin(s.rec, "spine_adopt").
+		AttrInt("version", pol.Version).AttrInt("prev_version", s.meta.SpineVersion)
+	if err := s.tuner.AdoptWeights(pol.Agent); err != nil {
+		// An architecture mismatch (e.g. a lane polluted by an incompatible
+		// family) must not fail the observation; the session keeps its own
+		// weights and inline-accumulated replay.
+		sp.Attr("error", err.Error()).End()
+		return
+	}
+	s.meta.SpineVersion = pol.Version
+	s.meta.SpineAdoptions++
+	s.met.spineAdoptions.Inc()
+	sp.End()
 }
 
 // Health returns the session's current breaker health.
@@ -592,7 +670,7 @@ func (s *Session) Checkpoint() ([]byte, error) {
 // agent, replay pool and tuning progress come from the snapshot. The
 // warehouse binding, when the daemon runs one, is re-established from the
 // same metadata.
-func resumeSession(data []byte, wh *warehouse.Warehouse, met *metrics, tc *TraceConfig, res Resilience) (*Session, error) {
+func resumeSession(data []byte, wh *warehouse.Warehouse, met *metrics, tc *TraceConfig, res Resilience, spn *spineBinding) (*Session, error) {
 	var ck sessionCheckpoint
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
 		return nil, fmt.Errorf("service: decode checkpoint: %w", err)
@@ -620,6 +698,10 @@ func resumeSession(data []byte, wh *warehouse.Warehouse, met *metrics, tc *Trace
 		met:   met,
 		rec:   newRecorder(tc, ck.Meta.ID),
 		res:   res.normalize(),
+		spn:   spn,
+	}
+	if spn != nil {
+		s.actor = spn.sp.Actor(s.sig)
 	}
 	if s.meta.Health == "" {
 		s.meta.Health = HealthHealthy // pre-breaker checkpoint

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"deepcat/internal/rl"
+	"deepcat/internal/spine"
+	"deepcat/internal/warehouse"
+)
+
+// DefaultSpineAdoptEvery is the default weight-adoption cadence: a
+// spine-mode session checks for a newer published policy every this many
+// observations.
+const DefaultSpineAdoptEvery = 4
+
+// SpineConfig wires the shared actor/learner replay spine into the manager;
+// see Manager.AttachSpine.
+type SpineConfig struct {
+	// Spine is the shared replay backbone and learner pool. Required.
+	Spine *spine.Spine
+	// AdoptEvery is the adoption cadence in observations (<= 0 selects
+	// DefaultSpineAdoptEvery). The cadence keys off the session step, so it
+	// is deterministic across a checkpoint resume.
+	AdoptEvery int
+}
+
+// spineBinding is the normalized spine wiring shared by every session.
+type spineBinding struct {
+	sp         *spine.Spine
+	adoptEvery int
+}
+
+// AttachSpine switches sessions created or resumed afterwards to
+// actor/learner mode: each observation is recorded without inline
+// fine-tuning, the transition is enqueued into the spine under the
+// session's workload-family signature, and every AdoptEvery-th observation
+// the session adopts the family learner's latest published weights (if
+// newer than what it runs). Call it once at daemon startup, before Resume
+// or any Create. Without it sessions keep today's inline training.
+func (m *Manager) AttachSpine(cfg SpineConfig) {
+	if cfg.Spine == nil {
+		return
+	}
+	if cfg.AdoptEvery <= 0 {
+		cfg.AdoptEvery = DefaultSpineAdoptEvery
+	}
+	m.spn = &spineBinding{sp: cfg.Spine, adoptEvery: cfg.AdoptEvery}
+}
+
+// Spine returns the attached spine, or nil when sessions train inline.
+func (m *Manager) Spine() *spine.Spine {
+	if m.spn == nil {
+		return nil
+	}
+	return m.spn.sp
+}
+
+// WarmSpineFromWarehouse replays the warehouse's retained experience into
+// the spine, one lane per workload-family signature, and returns the number
+// of transitions ingested. The daemon calls it at boot so the learner pool
+// resumes from the fleet's full WAL history instead of waiting for live
+// sessions to refill the rings. Records are collected first and ingested
+// after, keeping the scan callback quick (the warehouse lock is held for
+// its duration).
+func WarmSpineFromWarehouse(sp *spine.Spine, wh *warehouse.Warehouse) int {
+	if sp == nil || wh == nil {
+		return 0
+	}
+	byFam := make(map[string][]warehouse.Record)
+	_ = wh.ScanRecords(func(rec warehouse.Record) bool {
+		byFam[rec.Signature] = append(byFam[rec.Signature], rec)
+		return true
+	})
+	n := 0
+	for fam, recs := range byFam {
+		batch := make([]rl.Transition, 0, len(recs))
+		for _, rec := range recs {
+			batch = append(batch, rec.Transition)
+		}
+		sp.Ingest(fam, batch)
+		n += len(batch)
+	}
+	return n
+}

@@ -1,0 +1,244 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"deepcat/internal/rl"
+	"deepcat/internal/spine"
+	"deepcat/internal/warehouse"
+)
+
+// toyExec is the deterministic toy objective both tuning modes chase: the
+// closer the suggested action is to 0.5 in every dimension, the faster the
+// "run". Exec times span [60, 110]; the sessions' default time is far above,
+// so every measurement is a speedup and the reward gradient points at the
+// center of the space.
+func toyExec(action []float64) float64 {
+	d := 0.0
+	for _, v := range action {
+		d += (v - 0.5) * (v - 0.5)
+	}
+	return 60 + 200*d/float64(len(action))
+}
+
+// driveSteps runs n suggest/observe round-trips against the manager's
+// session, returning the exec time of every step.
+func driveSteps(t *testing.T, m *Manager, id string, n int) []float64 {
+	t.Helper()
+	execs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		sug, err := m.Suggest(id, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec := toyExec(sug.Action)
+		if _, err := m.Observe(id, ObserveRequest{Step: sug.Step, ExecTime: exec}, ""); err != nil {
+			t.Fatal(err)
+		}
+		execs = append(execs, exec)
+	}
+	return execs
+}
+
+func tailMean(xs []float64, n int) float64 {
+	tail := xs[len(xs)-n:]
+	sum := 0.0
+	for _, x := range tail {
+		sum += x
+	}
+	return sum / float64(len(tail))
+}
+
+// TestSpineE2E is the acceptance gate for the actor/learner split. Phase 1
+// runs the same toy workload through an inline-training session and a
+// spine-mode session (learner passes driven explicitly so the test is
+// deterministic) and asserts the spine session converges no worse. Phase 2
+// restores the spine session from its write-through checkpoint and proves
+// the resume is bit-identical: the restored session carries the same adopted
+// policy version, emits the same suggestions and rewards in lockstep with
+// the original, and re-checkpoints to identical bytes.
+func TestSpineE2E(t *testing.T) {
+	const steps = 56
+	ctx := context.Background()
+
+	// Inline baseline: today's per-session fine-tuning.
+	mInline := NewManager(NewMemStore(), 0)
+	createTestSession(t, mInline, "inline")
+	inlineExecs := driveSteps(t, mInline, "inline", steps)
+
+	// Spine mode: observations stream into the shared replay, a family
+	// learner does the gradient work, the session adopts published weights
+	// every 2 observations. LearnInterval stays zero — the test drives
+	// learner passes itself so every run is deterministic.
+	sp := spine.New(spine.Options{Seed: 42, LearnBatch: 32})
+	defer sp.Close()
+	storeSpine := NewMemStore()
+	mSpine := NewManager(storeSpine, 0)
+	mSpine.AttachSpine(SpineConfig{Spine: sp, AdoptEvery: 1})
+	createTestSession(t, mSpine, "spined")
+	sA, err := mSpine.Get("spined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spineExecs []float64
+	for i := 0; i < steps/2; i++ {
+		spineExecs = append(spineExecs, driveSteps(t, mSpine, "spined", 2)...)
+		// One learner pass per 2 observations, matching the inline mode's
+		// cumulative gradient budget (24 updates/observation); the learner
+		// trains off the spine's shared experience, not the session's
+		// private buffer. Passes wait for a minimally filled lane so the
+		// first bursts don't overfit two transitions.
+		if sp.Len(sA.sig) < 8 {
+			continue
+		}
+		if _, err := sp.TrainFamily(sA.sig, 48); err != nil {
+			t.Fatalf("learner pass %d: %v", i, err)
+		}
+	}
+
+	info := sA.Info()
+	if !info.SpineMode || info.SpineVersion == 0 || info.SpineAdoptions == 0 {
+		t.Fatalf("spine session never adopted: %+v", info)
+	}
+	if got := sp.Len(sA.sig); got != steps {
+		t.Fatalf("spine lane holds %d transitions, want %d", got, steps)
+	}
+
+	// Convergence gate: the spine session's settled performance (mean exec
+	// time of the final third) must be no worse than inline's, with a small
+	// tolerance for the different gradient schedules. Both runs are fully
+	// deterministic, so this does not flake.
+	inlineTail, spineTail := tailMean(inlineExecs, steps/3), tailMean(spineExecs, steps/3)
+	if spineTail > inlineTail*1.10 {
+		t.Fatalf("spine mode converged worse: tail mean %.2f vs inline %.2f", spineTail, inlineTail)
+	}
+	t.Logf("tail-mean exec: inline %.2f, spine %.2f (default %.0f)", inlineTail, spineTail, sA.env.DefaultTime())
+
+	// Phase 2: bit-identical resume. The write-through checkpoint after the
+	// last observation is the restore point; the spine stays frozen (no
+	// further learner passes), matching a restart window.
+	data, err := storeSpine.Load("spined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := resumeSession(data, nil, mSpine.met, nil, DefaultResilience(), mSpine.spn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sB.meta.SpineVersion != sA.meta.SpineVersion {
+		t.Fatalf("resumed session adopted version %d, original had %d",
+			sB.meta.SpineVersion, sA.meta.SpineVersion)
+	}
+	if sB.meta.SpineAdoptions != sA.meta.SpineAdoptions {
+		t.Fatalf("resumed adoptions %d != original %d", sB.meta.SpineAdoptions, sA.meta.SpineAdoptions)
+	}
+
+	// Lockstep: identical suggestions, rewards and adoption decisions at a
+	// pinned clock prove the restored tuner is bit-for-bit the original.
+	now := time.Unix(1700000000, 0)
+	for i := 0; i < 6; i++ {
+		ra, err := sA.Suggest(ctx, now, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := sB.Suggest(ctx, now, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Step != rb.Step {
+			t.Fatalf("lockstep %d: steps %d vs %d", i, ra.Step, rb.Step)
+		}
+		for d := range ra.Action {
+			if ra.Action[d] != rb.Action[d] {
+				t.Fatalf("lockstep %d: actions diverge at dim %d: %v vs %v",
+					i, d, ra.Action[d], rb.Action[d])
+			}
+		}
+		exec := toyExec(ra.Action)
+		oa, err := sA.Observe(ctx, ObserveRequest{Step: ra.Step, ExecTime: exec}, now, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := sB.Observe(ctx, ObserveRequest{Step: rb.Step, ExecTime: exec}, now, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oa.Reward != ob.Reward {
+			t.Fatalf("lockstep %d: rewards diverge: %v vs %v", i, oa.Reward, ob.Reward)
+		}
+	}
+	ckA, err := sA.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckB, err := sB.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckA, ckB) {
+		t.Fatalf("post-lockstep checkpoints differ (%d vs %d bytes): resume is not bit-identical",
+			len(ckA), len(ckB))
+	}
+}
+
+// TestWarmSpineFromWarehouse proves the boot-time WAL replay: experience
+// persisted by the warehouse lands in the spine's per-family lanes, so the
+// learner pool resumes from history instead of an empty ring.
+func TestWarmSpineFromWarehouse(t *testing.T) {
+	wh, err := warehouse.Open(warehouse.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	for fam, n := range map[string]int{"a.TS.1": 5, "a.WC.2": 3} {
+		for i := 0; i < n; i++ {
+			err := wh.Append(warehouse.Record{
+				Signature: fam,
+				Session:   "s-x",
+				Transition: rl.Transition{
+					State:     []float64{float64(i), 1},
+					Action:    []float64{0.5},
+					Reward:    1,
+					NextState: []float64{float64(i) + 1, 1},
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sp := spine.New(spine.Options{Shards: 2, ShardCapacity: 16})
+	defer sp.Close()
+	if got := WarmSpineFromWarehouse(sp, wh); got != 8 {
+		t.Fatalf("warmed %d transitions, want 8", got)
+	}
+	if sp.Len("a.TS.1") != 5 || sp.Len("a.WC.2") != 3 {
+		t.Fatalf("lanes = %d/%d, want 5/3", sp.Len("a.TS.1"), sp.Len("a.WC.2"))
+	}
+	if got := WarmSpineFromWarehouse(nil, nil); got != 0 {
+		t.Fatalf("nil warm start = %d, want 0", got)
+	}
+}
+
+// TestSpineSessionFallsBackInline confirms a manager without an attached
+// spine keeps today's inline-training behavior untouched, and that spine
+// metadata stays zero.
+func TestSpineSessionFallsBackInline(t *testing.T) {
+	m := testManager(t, 0)
+	createTestSession(t, m, "plain")
+	driveSteps(t, m, "plain", 2)
+	s, err := m.Get("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := s.Info()
+	if info.SpineMode || info.SpineVersion != 0 || info.SpineAdoptions != 0 {
+		t.Fatalf("inline session carries spine state: %+v", info)
+	}
+	if s.tuner.Buffer.Len() != 2 {
+		t.Fatalf("replay len %d, want 2", s.tuner.Buffer.Len())
+	}
+}

@@ -106,6 +106,13 @@ type SessionInfo struct {
 	// donor named by Donor instead of starting cold.
 	WarmStarted bool   `json:"warm_started,omitempty"`
 	Donor       string `json:"donor,omitempty"`
+	// SpineMode reports that the session runs in actor/learner mode against
+	// the shared replay spine; SpineVersion is the learner policy version it
+	// last adopted (0 = none yet) and SpineAdoptions how many times it has
+	// adopted refreshed weights.
+	SpineMode      bool `json:"spine_mode,omitempty"`
+	SpineVersion   int  `json:"spine_version,omitempty"`
+	SpineAdoptions int  `json:"spine_adoptions,omitempty"`
 	// Health is the session's circuit-breaker state: "healthy",
 	// "degraded" (breaker open, serving the last known good
 	// configuration) or "half_open" (probing recovery).

@@ -1,0 +1,100 @@
+package spine
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"deepcat/internal/rl"
+)
+
+// benchTransition matches the shape used by BenchmarkRDPERAddSample in
+// internal/rl (state 9, action 32), so the two scorecards compare
+// per-transition cost of the same payload.
+func benchTransition(rng *rand.Rand) rl.Transition {
+	tr := rl.Transition{
+		State:     make([]float64, 9),
+		Action:    make([]float64, 32),
+		Reward:    rng.NormFloat64(),
+		NextState: make([]float64, 9),
+	}
+	for i := range tr.State {
+		tr.State[i] = rng.Float64()
+		tr.NextState[i] = rng.Float64()
+	}
+	for i := range tr.Action {
+		tr.Action[i] = rng.Float64()
+	}
+	return tr
+}
+
+// BenchmarkSpineIngest measures per-transition enqueue cost with at least 8
+// concurrent actors sharing one lane — the acceptance scorecard against
+// BenchmarkRDPERAddSample's single-threaded Add+Sample (7.7µs/op baseline).
+// Each goroutine owns its own Actor (private append buffer), so the only
+// shared work is the round-robin shard flush.
+func BenchmarkSpineIngest(b *testing.B) {
+	s := New(Options{Shards: 8, ShardCapacity: 4096, FlushEvery: 32})
+	defer s.Close()
+	seed := rand.New(rand.NewSource(1))
+	proto := benchTransition(seed)
+
+	// RunParallel spawns GOMAXPROCS*parallelism goroutines; guarantee >= 8.
+	par := (8 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+	b.SetParallelism(par)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		a := s.Actor("bench")
+		tr := proto // each actor reuses one transition value, as sessions do
+		for pb.Next() {
+			a.Enqueue(tr)
+		}
+		a.Flush()
+	})
+}
+
+// BenchmarkSpineSample measures the lock-free learner-side read path: one
+// 32-transition RDPER-split batch per op into a reused rl.Batch.
+func BenchmarkSpineSample(b *testing.B) {
+	s := New(Options{Shards: 8, ShardCapacity: 4096})
+	defer s.Close()
+	rng := rand.New(rand.NewSource(2))
+	var trs []rl.Transition
+	for i := 0; i < 4096; i++ {
+		trs = append(trs, benchTransition(rng))
+	}
+	s.Ingest("bench", trs)
+
+	var batch rl.Batch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Sample("bench", rng, 32, &batch); got != 32 {
+			b.Fatalf("sampled %d, want 32", got)
+		}
+	}
+}
+
+// BenchmarkSpineTrainPublish measures a full learner pass: sample + one TD3
+// gradient update + versioned policy publication.
+func BenchmarkSpineTrainPublish(b *testing.B) {
+	s := New(Options{Shards: 4, ShardCapacity: 4096, LearnBatch: 32})
+	defer s.Close()
+	rng := rand.New(rand.NewSource(3))
+	var trs []rl.Transition
+	for i := 0; i < 1024; i++ {
+		trs = append(trs, benchTransition(rng))
+	}
+	s.Ingest("bench", trs)
+	if _, err := s.TrainFamily("bench", 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TrainFamily("bench", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package spine
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"deepcat/internal/rl"
+)
+
+// ring is one fixed-capacity experience pool built for the actor/learner
+// split: many actors append through a single writer-side lock (held by the
+// owning shard), while learner-side samplers read without any lock at all.
+//
+// The trick is copy-on-write at transition granularity. A transition is
+// deep-copied into one flat backing array exactly once, at enqueue time, and
+// is immutable from then on; publishing it into a slot is a single atomic
+// pointer swap. Eviction never mutates a stored transition — it just swaps
+// the slot pointer to a newer immutable one — so a sampler that loaded a
+// slot pointer can keep reading through it for as long as it likes while
+// ingest races ahead. Samplers therefore never block ingest and ingest
+// never blocks samplers; the only synchronization is the writer-side cursor
+// (guarded by the shard mutex) and the per-slot atomics.
+type ring struct {
+	slots []atomic.Pointer[rl.Transition]
+	// n is the number of filled slots, monotone until it reaches cap. A
+	// slot's pointer is stored before n is advanced past it, so a reader
+	// that observes n >= k can safely load any slot < k.
+	n atomic.Int64
+	// next is the writer cursor; callers must hold the owning shard's
+	// mutex around append.
+	next int
+}
+
+func newRing(capacity int) *ring {
+	return &ring{slots: make([]atomic.Pointer[rl.Transition], capacity)}
+}
+
+// append publishes an immutable transition, evicting the oldest when full.
+// The caller must hold the owning shard's mutex and must never mutate tr
+// (or its slices) after the call.
+func (r *ring) append(tr *rl.Transition) {
+	r.slots[r.next].Store(tr)
+	r.next++
+	if r.next == len(r.slots) {
+		r.next = 0
+	}
+	if int(r.n.Load()) < len(r.slots) {
+		r.n.Add(1)
+	}
+}
+
+// len returns the number of stored transitions. Safe without locks.
+func (r *ring) len() int { return int(r.n.Load()) }
+
+// sample loads one uniformly random stored transition, or nil when the ring
+// is empty. Safe without locks; the returned transition is immutable.
+func (r *ring) sample(rng *rand.Rand) *rl.Transition {
+	n := int(r.n.Load())
+	if n == 0 {
+		return nil
+	}
+	return r.slots[rng.Intn(n)].Load()
+}
+
+// compactClone deep-copies tr into a single flat float64 backing array: one
+// allocation for the struct, one for all three vectors. The result is what
+// ring slots store, so it must never be mutated after publication.
+func compactClone(tr rl.Transition) *rl.Transition {
+	ns, na, nn := len(tr.State), len(tr.Action), len(tr.NextState)
+	flat := make([]float64, ns+na+nn)
+	copy(flat, tr.State)
+	copy(flat[ns:], tr.Action)
+	copy(flat[ns+na:], tr.NextState)
+	return &rl.Transition{
+		State:     flat[:ns:ns],
+		Action:    flat[ns : ns+na : ns+na],
+		Reward:    tr.Reward,
+		NextState: flat[ns+na:],
+		Done:      tr.Done,
+	}
+}

@@ -1,0 +1,131 @@
+package spine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"deepcat/internal/rl"
+)
+
+// TestSpineConcurrentStress drives the full actor/learner contract at once:
+// 8 actors enqueueing, 4 samplers reading lock-free, a learner goroutine
+// training and publishing, and an adopter goroutine restoring published
+// policies into its own agent — the way sessions adopt weights. It is sized
+// to finish quickly in -short mode and exists chiefly to run under -race
+// (CI's race job covers ./... so this is exercised there automatically).
+func TestSpineConcurrentStress(t *testing.T) {
+	perActor, passes := 400, 6
+	if testing.Short() {
+		perActor, passes = 120, 3
+	}
+	s := New(Options{Shards: 4, ShardCapacity: 512, FlushEvery: 16, LearnBatch: 16, Seed: 7})
+	defer s.Close()
+
+	const fam = "stress"
+	var wg, samplerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// 8 concurrent actors, each with its own handle and append buffer.
+	for a := 0; a < 8; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(a + 1)))
+			ac := s.Actor(fam)
+			for i := 0; i < perActor; i++ {
+				ac.Enqueue(rl.Transition{
+					State:     []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+					Action:    []float64{rng.Float64(), rng.Float64()},
+					Reward:    rng.NormFloat64(),
+					NextState: []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+				})
+			}
+			ac.Flush()
+		}(a)
+	}
+
+	// 4 samplers hammering the lock-free read path while ingest runs.
+	for sm := 0; sm < 4; sm++ {
+		samplerWG.Add(1)
+		go func(sm int) {
+			defer samplerWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + sm)))
+			var batch rl.Batch
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := s.Sample(fam, rng, 32, &batch)
+				for i := 0; i < n; i++ {
+					if len(batch.Transitions[i].State) != 3 {
+						t.Errorf("sampled transition with state dim %d", len(batch.Transitions[i].State))
+						return
+					}
+				}
+			}
+		}(sm)
+	}
+
+	// Learner: repeated passes publishing fresh policy versions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for p := 0; p < passes; p++ {
+			if _, err := s.TrainFamily(fam, 1); err != nil {
+				// Early passes may race the first flush; that's fine.
+				time.Sleep(time.Millisecond)
+				continue
+			}
+		}
+	}()
+
+	// Adopter: poll the published policy and restore it into a private agent,
+	// exactly what a session's weight adoption does.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var agent *rl.TD3
+		seen := 0
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			pol, ok := s.Policy(fam)
+			if !ok {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if agent == nil {
+				rng := rand.New(rand.NewSource(999))
+				cfg := rl.DefaultTD3Config(3, 2)
+				cfg.Hidden = []int{64, 64}
+				a2, err := rl.NewTD3(rng, cfg)
+				if err != nil {
+					t.Errorf("adopter agent: %v", err)
+					return
+				}
+				agent = a2
+			}
+			if err := agent.RestoreState(pol.Agent); err != nil {
+				t.Errorf("adopt version %d: %v", pol.Version, err)
+				return
+			}
+			agent.Act([]float64{0.1, 0.2, 0.3})
+			if seen++; seen >= passes {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	samplerWG.Wait()
+
+	want := uint64(8 * perActor)
+	if got := s.Stats().Lanes[0].Ingested; got != want {
+		t.Fatalf("ingested = %d, want %d", got, want)
+	}
+}
