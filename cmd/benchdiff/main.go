@@ -10,11 +10,14 @@
 //
 //	benchdiff -baseline bench_baseline.json -current BENCH_all.json
 //	    Compare a fresh summary against the committed baseline. Exits 1
-//	    when any benchmark named in the baseline's "hot" list is slower
-//	    than baseline ns/op by more than the threshold (default 20%), or
-//	    has disappeared. Benchmarks outside the hot list are reported but
-//	    never fail the run — micro-benchmarks on shared CI runners are too
-//	    noisy to block on wholesale; the hot list is the contract.
+//	    when any benchmark named in the baseline's "hot" list regresses by
+//	    more than the threshold (default 20%) on ns/op, allocs/op or B/op
+//	    (memory gates apply only when the baseline carries -benchmem
+//	    numbers), or has disappeared. Benchmarks outside the hot list are
+//	    reported but never fail the run — micro-benchmarks on shared CI
+//	    runners are too noisy to block on wholesale; the hot list is the
+//	    contract. -md additionally writes the table as markdown for
+//	    $GITHUB_STEP_SUMMARY.
 //
 // Benchmarks are keyed "pkg.BenchmarkName" (the -cpu/-procs suffix is
 // stripped), so equally named benchmarks in different packages never
@@ -118,20 +121,43 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 // Row is one line of the comparison report.
 type Row struct {
 	Name    string
-	Base    float64 // baseline ns/op
-	Cur     float64 // current ns/op; 0 when missing
-	Delta   float64 // (cur-base)/base
+	Base    Result  // baseline numbers
+	Cur     Result  // current numbers; zero when missing
+	Delta   float64 // (cur-base)/base on ns/op
 	Hot     bool
 	Failed  bool
 	Missing bool
+	// Why lists the dimensions that failed: "ns/op", "allocs/op", "B/op".
+	Why []string
 }
 
+// Absolute slack on the memory gates so near-zero baselines are not failed
+// by a single stray allocation's worth of measurement noise while a real
+// regression (a new allocation per op on an allocation-free path, a fresh
+// buffer per op) still trips them.
+const (
+	allocSlack = 0.5 // allocs/op
+	bytesSlack = 64  // B/op
+)
+
 // compare evaluates current against baseline. threshold is the allowed
-// fractional ns/op growth for hot benchmarks (e.g. 0.2 = +20%).
+// fractional growth for hot benchmarks (e.g. 0.2 = +20%): it gates ns/op
+// always, and allocs/op and B/op (plus a small absolute slack) when the
+// baseline carries memory numbers. Baselines parsed without -benchmem have
+// no memory numbers anywhere, and for them the memory gates are skipped
+// entirely, so refreshing an old baseline never has to happen in lockstep
+// with a benchdiff upgrade.
 func compare(baseline, current File, threshold float64) (rows []Row, failed bool) {
 	hot := make(map[string]bool, len(baseline.Hot))
 	for _, name := range baseline.Hot {
 		hot[name] = true
+	}
+	gateMem := false
+	for _, b := range baseline.Benchmarks {
+		if b.AllocsPerOp > 0 || b.BytesPerOp > 0 {
+			gateMem = true
+			break
+		}
 	}
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
@@ -140,19 +166,35 @@ func compare(baseline, current File, threshold float64) (rows []Row, failed bool
 	sort.Strings(names)
 	for _, name := range names {
 		base := baseline.Benchmarks[name]
-		row := Row{Name: name, Base: base.NsPerOp, Hot: hot[name]}
+		row := Row{Name: name, Base: base, Hot: hot[name]}
 		cur, ok := current.Benchmarks[name]
 		if !ok {
 			row.Missing = true
 			// A vanished hot path means the gate lost its subject; that is
 			// a CI wiring error, not a pass.
 			row.Failed = row.Hot
+			if row.Failed {
+				row.Why = []string{"missing"}
+			}
 		} else {
-			row.Cur = cur.NsPerOp
+			row.Cur = cur
 			if base.NsPerOp > 0 {
 				row.Delta = (cur.NsPerOp - base.NsPerOp) / base.NsPerOp
 			}
-			row.Failed = row.Hot && row.Delta > threshold
+			if row.Hot {
+				if row.Delta > threshold {
+					row.Why = append(row.Why, "ns/op")
+				}
+				if gateMem {
+					if cur.AllocsPerOp > base.AllocsPerOp*(1+threshold)+allocSlack {
+						row.Why = append(row.Why, "allocs/op")
+					}
+					if cur.BytesPerOp > base.BytesPerOp*(1+threshold)+bytesSlack {
+						row.Why = append(row.Why, "B/op")
+					}
+				}
+				row.Failed = len(row.Why) > 0
+			}
 		}
 		failed = failed || row.Failed
 		rows = append(rows, row)
@@ -162,23 +204,54 @@ func compare(baseline, current File, threshold float64) (rows []Row, failed bool
 
 // report renders the comparison table.
 func report(w io.Writer, rows []Row, threshold float64) {
-	fmt.Fprintf(w, "%-64s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	fmt.Fprintf(w, "%-64s %14s %14s %9s %17s %15s\n",
+		"benchmark", "base ns/op", "cur ns/op", "delta", "B/op", "allocs/op")
 	for _, r := range rows {
 		mark := "    "
 		switch {
 		case r.Failed:
-			mark = "FAIL"
+			mark = "FAIL(" + strings.Join(r.Why, ",") + ")"
 		case r.Hot:
 			mark = "hot "
 		}
 		if r.Missing {
-			fmt.Fprintf(w, "%-64s %14.0f %14s %9s %s (missing from current run)\n",
-				r.Name, r.Base, "-", "-", mark)
+			fmt.Fprintf(w, "%-64s %14.0f %14s %9s %17s %15s %s (missing from current run)\n",
+				r.Name, r.Base.NsPerOp, "-", "-", "-", "-", mark)
 			continue
 		}
-		fmt.Fprintf(w, "%-64s %14.0f %14.0f %8.1f%% %s\n", r.Name, r.Base, r.Cur, 100*r.Delta, mark)
+		fmt.Fprintf(w, "%-64s %14.0f %14.0f %8.1f%% %17s %15s %s\n",
+			r.Name, r.Base.NsPerOp, r.Cur.NsPerOp, 100*r.Delta,
+			fmt.Sprintf("%.0f->%.0f", r.Base.BytesPerOp, r.Cur.BytesPerOp),
+			fmt.Sprintf("%.0f->%.0f", r.Base.AllocsPerOp, r.Cur.AllocsPerOp), mark)
 	}
-	fmt.Fprintf(w, "hot-path regression threshold: +%.0f%% ns/op\n", 100*threshold)
+	fmt.Fprintf(w, "hot-path regression threshold: +%.0f%% on ns/op, allocs/op and B/op\n", 100*threshold)
+}
+
+// reportMarkdown renders the comparison as a GitHub-flavored markdown table,
+// suitable for $GITHUB_STEP_SUMMARY.
+func reportMarkdown(w io.Writer, rows []Row, threshold float64) {
+	fmt.Fprintln(w, "### Benchmark comparison")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Hot-path gate: +%.0f%% on ns/op, allocs/op and B/op.\n", 100*threshold)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| benchmark | base ns/op | cur ns/op | Δ | B/op | allocs/op | status |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---|")
+	for _, r := range rows {
+		status := "ok"
+		switch {
+		case r.Failed:
+			status = "**FAIL** (" + strings.Join(r.Why, ", ") + ")"
+		case r.Hot:
+			status = "hot, ok"
+		}
+		if r.Missing {
+			fmt.Fprintf(w, "| `%s` | %.0f | – | – | – | – | %s missing |\n", r.Name, r.Base.NsPerOp, status)
+			continue
+		}
+		fmt.Fprintf(w, "| `%s` | %.0f | %.0f | %+.1f%% | %.0f→%.0f | %.0f→%.0f | %s |\n",
+			r.Name, r.Base.NsPerOp, r.Cur.NsPerOp, 100*r.Delta,
+			r.Base.BytesPerOp, r.Cur.BytesPerOp, r.Base.AllocsPerOp, r.Cur.AllocsPerOp, status)
+	}
 }
 
 func loadFile(path string) (File, error) {
@@ -202,7 +275,8 @@ func main() {
 		out       = flag.String("o", "", "with -parse: output JSON path (default stdout)")
 		baseline  = flag.String("baseline", "", "committed baseline JSON to compare against")
 		current   = flag.String("current", "", "fresh run JSON to compare")
-		threshold = flag.Float64("threshold", 0, "allowed fractional ns/op growth on hot paths (0 = baseline's, default 0.20)")
+		threshold = flag.Float64("threshold", 0, "allowed fractional growth on hot paths (0 = baseline's, default 0.20)")
+		md        = flag.String("md", "", "with -baseline/-current: also write the comparison as a markdown table to this file")
 	)
 	flag.Parse()
 
@@ -212,7 +286,7 @@ func main() {
 			fatal(err)
 		}
 	case *baseline != "" && *current != "":
-		failed, err := runCompare(*baseline, *current, *threshold)
+		failed, err := runCompare(*baseline, *current, *threshold, *md)
 		if err != nil {
 			fatal(err)
 		}
@@ -222,7 +296,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse bench.txt [-o out.json]")
-		fmt.Fprintln(os.Stderr, "       benchdiff -baseline base.json -current cur.json [-threshold 0.2]")
+		fmt.Fprintln(os.Stderr, "       benchdiff -baseline base.json -current cur.json [-threshold 0.2] [-md summary.md]")
 		os.Exit(2)
 	}
 }
@@ -256,7 +330,7 @@ func runParse(in, out string) error {
 	return os.WriteFile(out, data, 0o644)
 }
 
-func runCompare(basePath, curPath string, threshold float64) (failed bool, err error) {
+func runCompare(basePath, curPath string, threshold float64, mdPath string) (failed bool, err error) {
 	base, err := loadFile(basePath)
 	if err != nil {
 		return false, err
@@ -273,6 +347,13 @@ func runCompare(basePath, curPath string, threshold float64) (failed bool, err e
 	}
 	rows, failed := compare(base, cur, threshold)
 	report(os.Stdout, rows, threshold)
+	if mdPath != "" {
+		var sb strings.Builder
+		reportMarkdown(&sb, rows, threshold)
+		if err := os.WriteFile(mdPath, []byte(sb.String()), 0o644); err != nil {
+			return failed, err
+		}
+	}
 	return failed, nil
 }
 

@@ -101,6 +101,111 @@ func TestCompare(t *testing.T) {
 	})
 }
 
+// TestCompareMemoryGates pins the allocs/op and B/op gating: hot paths fail
+// on regressions past threshold+slack, zero-alloc baselines catch a single
+// new allocation, and baselines without -benchmem numbers skip the memory
+// gates entirely.
+func TestCompareMemoryGates(t *testing.T) {
+	base := File{
+		Hot: []string{"p.BenchmarkHot", "p.BenchmarkZeroAlloc"},
+		Benchmarks: map[string]Result{
+			"p.BenchmarkHot":       {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+			"p.BenchmarkZeroAlloc": {NsPerOp: 1000},
+			"p.BenchmarkCold":      {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+		},
+	}
+	run := func(t *testing.T, cur map[string]Result, wantFail bool, wantWhy ...string) {
+		t.Helper()
+		rows, failed := compare(base, File{Benchmarks: cur}, 0.20)
+		if failed != wantFail {
+			t.Fatalf("failed = %v, want %v; rows: %+v", failed, wantFail, rows)
+		}
+		if len(wantWhy) > 0 {
+			for _, r := range rows {
+				if r.Failed {
+					if strings.Join(r.Why, ",") != strings.Join(wantWhy, ",") {
+						t.Fatalf("row %s failed for %v, want %v", r.Name, r.Why, wantWhy)
+					}
+					return
+				}
+			}
+			t.Fatal("no failed row found")
+		}
+	}
+
+	t.Run("alloc regression on hot fails", func(t *testing.T) {
+		run(t, map[string]Result{
+			"p.BenchmarkHot":       {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 20},
+			"p.BenchmarkZeroAlloc": {NsPerOp: 1000},
+			"p.BenchmarkCold":      {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+		}, true, "allocs/op")
+	})
+	t.Run("bytes regression on hot fails", func(t *testing.T) {
+		run(t, map[string]Result{
+			"p.BenchmarkHot":       {NsPerOp: 1000, BytesPerOp: 2000, AllocsPerOp: 10},
+			"p.BenchmarkZeroAlloc": {NsPerOp: 1000},
+			"p.BenchmarkCold":      {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+		}, true, "B/op")
+	})
+	t.Run("new allocation on zero-alloc hot path fails", func(t *testing.T) {
+		run(t, map[string]Result{
+			"p.BenchmarkHot":       {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+			"p.BenchmarkZeroAlloc": {NsPerOp: 1000, BytesPerOp: 165, AllocsPerOp: 1},
+			"p.BenchmarkCold":      {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+		}, true, "allocs/op", "B/op")
+	})
+	t.Run("within threshold and slack passes", func(t *testing.T) {
+		run(t, map[string]Result{
+			"p.BenchmarkHot":       {NsPerOp: 1100, BytesPerOp: 1150, AllocsPerOp: 12},
+			"p.BenchmarkZeroAlloc": {NsPerOp: 1000, BytesPerOp: 32},
+			"p.BenchmarkCold":      {NsPerOp: 1000, BytesPerOp: 99999, AllocsPerOp: 999},
+		}, false)
+	})
+	t.Run("legacy baseline without benchmem skips memory gates", func(t *testing.T) {
+		legacy := File{
+			Hot:        []string{"p.BenchmarkHot"},
+			Benchmarks: map[string]Result{"p.BenchmarkHot": {NsPerOp: 1000}},
+		}
+		cur := File{Benchmarks: map[string]Result{
+			"p.BenchmarkHot": {NsPerOp: 1000, BytesPerOp: 5000, AllocsPerOp: 100},
+		}}
+		if _, failed := compare(legacy, cur, 0.20); failed {
+			t.Fatal("memory gates applied against a baseline with no memory numbers")
+		}
+	})
+}
+
+// TestReportMarkdown sanity-checks the $GITHUB_STEP_SUMMARY table: one row
+// per benchmark, failures called out with their dimensions.
+func TestReportMarkdown(t *testing.T) {
+	base := File{
+		Hot: []string{"p.BenchmarkHot"},
+		Benchmarks: map[string]Result{
+			"p.BenchmarkHot":  {NsPerOp: 1000, AllocsPerOp: 1},
+			"p.BenchmarkCold": {NsPerOp: 500},
+		},
+	}
+	cur := File{Benchmarks: map[string]Result{
+		"p.BenchmarkHot":  {NsPerOp: 2000, AllocsPerOp: 9},
+		"p.BenchmarkCold": {NsPerOp: 500},
+	}}
+	rows, failed := compare(base, cur, 0.20)
+	if !failed {
+		t.Fatal("fixture should fail")
+	}
+	var sb strings.Builder
+	reportMarkdown(&sb, rows, 0.20)
+	got := sb.String()
+	for _, want := range []string{
+		"| benchmark |", "`p.BenchmarkHot`", "`p.BenchmarkCold`",
+		"**FAIL** (ns/op, allocs/op)", "1→9",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown report missing %q:\n%s", want, got)
+		}
+	}
+}
+
 // TestRegressionExitCode runs the real binary (via `go run` on this
 // package) against a synthetic fixture with a +50% regression on a hot
 // path and asserts the process exits non-zero — the exact contract CI

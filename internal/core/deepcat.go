@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"deepcat/internal/env"
+	"deepcat/internal/mat"
 	"deepcat/internal/rl"
 	"deepcat/internal/trace"
 )
@@ -111,6 +112,13 @@ type DeepCAT struct {
 	// regression test asserts identical action sequences with it on and
 	// off). Not serialized: snapshots and clones start untraced.
 	rec trace.Recorder
+	// scratch holds the reusable arena and candidate buffers of the batched
+	// Suggest path, built lazily on first use. It carries no tuner state —
+	// only workspace — so it is not serialized; snapshots and clones start
+	// with a cold scratch and warm it on their first Suggest. Access is
+	// guarded by whatever serializes Suggest calls (the tuning service's
+	// per-session mutex).
+	scratch *twinqScratch
 }
 
 // SetRecorder attaches a flight recorder to the tuner (nil detaches). When
@@ -320,16 +328,25 @@ func (d *DeepCAT) Suggest(state []float64, lastFailed bool) (action []float64, o
 // tuning service uses it to feed perturbation/rejection metrics.
 func (d *DeepCAT) SuggestWithStats(state []float64, lastFailed bool) ([]float64, SuggestStats) {
 	sp := trace.Begin(d.rec, "suggest")
+	if d.scratch == nil {
+		d.scratch = newTwinqScratch()
+	}
 	recovery := lastFailed && d.Cfg.RecoverySigma > 0
-	var action []float64
+	// The actor runs through the arena-backed batched path (bit-identical
+	// to Act/ActNoisy, including the recovery-noise draw order) so the hot
+	// loop allocates nothing but the returned action.
+	action := d.scratch.action(d.Cfg.TD3.ActionDim)
+	d.Agent.ActTo(d.scratch.ar, state, action)
 	if recovery {
-		action = d.Agent.ActNoisy(d.rng, state, d.Cfg.RecoverySigma)
-	} else {
-		action = d.Agent.Act(state)
+		for i := range action {
+			action[i] = mat.Clip(action[i]+d.Cfg.RecoverySigma*d.rng.NormFloat64(), 0, 1)
+		}
 	}
 	st := SuggestStats{Tries: 1}
 	if d.Cfg.UseTwinQ {
-		action, st.Tries, st.Optimized = d.Cfg.TwinQ.optimize(d.rng, d.Agent, state, action, d.rec)
+		action, st.Tries, st.Optimized = d.Cfg.TwinQ.optimize(d.rng, d.Agent, state, action, d.rec, d.scratch)
+	} else {
+		action = mat.CloneSlice(action)
 	}
 	if sp != nil {
 		sp.AttrBool("recovery", recovery).

@@ -1,0 +1,750 @@
+// SIMD MulLanes backends. See lanes.go for the bit-exactness contract:
+// per lane the accumulation is a strict multiply-then-add chain in ascending
+// column order (no FMA), bias is added after the dot, and ReLU is
+// MAX(acc, +0.0) with the zero operand in the tie/NaN-winning position so
+// NaN and signed-zero inputs behave exactly like Activation.apply.
+//
+// Both routines vectorize across lanes: VBROADCASTSD splats one weight and a
+// single VMULPD/VADDPD pair advances 8 (AVX-512) or 4 (AVX2) independent
+// lane chains at once. Rows are processed four at a time so four
+// independent accumulator chains are in flight per lane vector, hiding
+// floating-point add latency.
+//
+// Arguments (common to both):
+//	w+0(FP)       *float64  first selected column of W row 0
+//	wstride+8(FP) int64     elements between consecutive W rows
+//	rows+16(FP)   int64     output rows (> 0)
+//	cols+24(FP)   int64     dot length (> 0)
+//	xt+32(FP)     *float64  lane-major input, cols x stride
+//	dst+40(FP)    *float64  lane-major output, rows x stride
+//	stride+48(FP) int64     lane stride (elements)
+//	lanes+56(FP)  int64     lanes to produce (positive multiple of 8)
+//	init+64(FP)   *float64  per-row accumulator seeds, may be nil
+//	bias+72(FP)   *float64  per-row bias, may be nil
+//	relu+80(FP)   int64     non-zero: clamp negatives to +0
+
+#include "textflag.h"
+
+// func mulLanesAVX512(w *float64, wstride, rows, cols int64, xt, dst *float64, stride, lanes int64, init, bias *float64, relu int64)
+TEXT ·mulLanesAVX512(SB), NOSPLIT, $0-88
+	MOVQ wstride+8(FP), R9
+	SHLQ $3, R9                    // W row stride in bytes
+	MOVQ cols+24(FP), R11
+	MOVQ stride+48(FP), R14
+	SHLQ $3, R14                   // lane stride in bytes
+	MOVQ lanes+56(FP), R15
+	VPXORQ Z14, Z14, Z14           // +0.0 lanes for ReLU
+	XORQ R10, R10                  // i = 0
+
+z_loop_i:
+	MOVQ rows+16(FP), AX
+	SUBQ R10, AX
+	CMPQ AX, $4
+	JLT  z_rows_tail
+
+	// --- 4-row block ---
+	// While two lane vectors (16 lanes) remain, rows i..i+3 are advanced
+	// over both at once: the four weight broadcasts per column are shared
+	// between the vectors, halving broadcast and loop-control work per
+	// lane-MAC. Each lane still owns a strict multiply-then-add chain, so
+	// results are bit-identical to the one-vector block.
+	XORQ R13, R13                  // r = 0
+z_loop_r4:
+	MOVQ R15, AX
+	SUBQ R13, AX
+	CMPQ AX, $16
+	JLT  z_loop_r4x1
+	// seed accumulators: rows i..i+3 in Z0..Z3 (vector 0) / Z4..Z7 (vector 1)
+	MOVQ init+64(FP), AX
+	TESTQ AX, AX
+	JZ   z_zero_acc2
+	LEAQ (AX)(R10*8), AX
+	VBROADCASTSD 0(AX), Z0
+	VBROADCASTSD 8(AX), Z1
+	VBROADCASTSD 16(AX), Z2
+	VBROADCASTSD 24(AX), Z3
+	VMOVAPD Z0, Z4
+	VMOVAPD Z1, Z5
+	VMOVAPD Z2, Z6
+	VMOVAPD Z3, Z7
+	JMP  z_acc2_ready
+z_zero_acc2:
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+z_acc2_ready:
+	MOVQ w+0(FP), AX
+	MOVQ R10, BX
+	IMULQ R9, BX
+	ADDQ BX, AX
+	LEAQ (AX)(R9*2), BX
+	MOVQ xt+32(FP), SI
+	LEAQ (SI)(R13*8), SI
+	MOVQ R11, DX
+z_loop_j4x2:
+	VMOVUPD (SI), Z8
+	VMOVUPD 64(SI), Z13
+	VBROADCASTSD (AX), Z9
+	VMULPD Z8, Z9, Z10
+	VADDPD Z10, Z0, Z0
+	VMULPD Z13, Z9, Z12
+	VADDPD Z12, Z4, Z4
+	VBROADCASTSD (AX)(R9*1), Z11
+	VMULPD Z8, Z11, Z10
+	VADDPD Z10, Z1, Z1
+	VMULPD Z13, Z11, Z12
+	VADDPD Z12, Z5, Z5
+	VBROADCASTSD (BX), Z9
+	VMULPD Z8, Z9, Z10
+	VADDPD Z10, Z2, Z2
+	VMULPD Z13, Z9, Z12
+	VADDPD Z12, Z6, Z6
+	VBROADCASTSD (BX)(R9*1), Z11
+	VMULPD Z8, Z11, Z10
+	VADDPD Z10, Z3, Z3
+	VMULPD Z13, Z11, Z12
+	VADDPD Z12, Z7, Z7
+	ADDQ $8, AX
+	ADDQ $8, BX
+	ADDQ R14, SI
+	DECQ DX
+	JNZ  z_loop_j4x2
+	MOVQ bias+72(FP), AX
+	TESTQ AX, AX
+	JZ   z_nobias4x2
+	LEAQ (AX)(R10*8), AX
+	VBROADCASTSD 0(AX), Z9
+	VADDPD Z9, Z0, Z0
+	VADDPD Z9, Z4, Z4
+	VBROADCASTSD 8(AX), Z9
+	VADDPD Z9, Z1, Z1
+	VADDPD Z9, Z5, Z5
+	VBROADCASTSD 16(AX), Z9
+	VADDPD Z9, Z2, Z2
+	VADDPD Z9, Z6, Z6
+	VBROADCASTSD 24(AX), Z9
+	VADDPD Z9, Z3, Z3
+	VADDPD Z9, Z7, Z7
+z_nobias4x2:
+	MOVQ relu+80(FP), AX
+	TESTQ AX, AX
+	JZ   z_norelu4x2
+	VMAXPD Z14, Z0, Z0
+	VMAXPD Z14, Z1, Z1
+	VMAXPD Z14, Z2, Z2
+	VMAXPD Z14, Z3, Z3
+	VMAXPD Z14, Z4, Z4
+	VMAXPD Z14, Z5, Z5
+	VMAXPD Z14, Z6, Z6
+	VMAXPD Z14, Z7, Z7
+z_norelu4x2:
+	MOVQ dst+40(FP), AX
+	MOVQ R10, DX
+	IMULQ R14, DX
+	ADDQ DX, AX
+	LEAQ (AX)(R13*8), AX
+	VMOVUPD Z0, (AX)
+	VMOVUPD Z4, 64(AX)
+	VMOVUPD Z1, (AX)(R14*1)
+	VMOVUPD Z5, 64(AX)(R14*1)
+	LEAQ (AX)(R14*2), AX
+	VMOVUPD Z2, (AX)
+	VMOVUPD Z6, 64(AX)
+	VMOVUPD Z3, (AX)(R14*1)
+	VMOVUPD Z7, 64(AX)(R14*1)
+	ADDQ $16, R13
+	CMPQ R13, R15
+	JLT  z_loop_r4
+	JMP  z_r4_done
+
+z_loop_r4x1:
+	// seed accumulators Z0..Z3 from init[i..i+3] or zero
+	MOVQ init+64(FP), AX
+	TESTQ AX, AX
+	JZ   z_zero_acc
+	LEAQ (AX)(R10*8), AX
+	VBROADCASTSD 0(AX), Z0
+	VBROADCASTSD 8(AX), Z1
+	VBROADCASTSD 16(AX), Z2
+	VBROADCASTSD 24(AX), Z3
+	JMP  z_acc_ready
+z_zero_acc:
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+z_acc_ready:
+	// AX -> W row i, BX -> W row i+2; rows i+1/i+3 via (reg)(R9*1)
+	MOVQ w+0(FP), AX
+	MOVQ R10, BX
+	IMULQ R9, BX
+	ADDQ BX, AX
+	LEAQ (AX)(R9*2), BX
+	// SI -> xt[0*stride + r]
+	MOVQ xt+32(FP), SI
+	LEAQ (SI)(R13*8), SI
+	MOVQ R11, DX                   // j countdown
+z_loop_j4:
+	VMOVUPD (SI), Z8
+	VBROADCASTSD (AX), Z9
+	VMULPD Z8, Z9, Z10
+	VADDPD Z10, Z0, Z0
+	VBROADCASTSD (AX)(R9*1), Z11
+	VMULPD Z8, Z11, Z12
+	VADDPD Z12, Z1, Z1
+	VBROADCASTSD (BX), Z9
+	VMULPD Z8, Z9, Z10
+	VADDPD Z10, Z2, Z2
+	VBROADCASTSD (BX)(R9*1), Z11
+	VMULPD Z8, Z11, Z12
+	VADDPD Z12, Z3, Z3
+	ADDQ $8, AX
+	ADDQ $8, BX
+	ADDQ R14, SI
+	DECQ DX
+	JNZ  z_loop_j4
+	// bias
+	MOVQ bias+72(FP), AX
+	TESTQ AX, AX
+	JZ   z_nobias4
+	LEAQ (AX)(R10*8), AX
+	VBROADCASTSD 0(AX), Z9
+	VADDPD Z9, Z0, Z0
+	VBROADCASTSD 8(AX), Z9
+	VADDPD Z9, Z1, Z1
+	VBROADCASTSD 16(AX), Z9
+	VADDPD Z9, Z2, Z2
+	VBROADCASTSD 24(AX), Z9
+	VADDPD Z9, Z3, Z3
+z_nobias4:
+	MOVQ relu+80(FP), AX
+	TESTQ AX, AX
+	JZ   z_norelu4
+	VMAXPD Z14, Z0, Z0
+	VMAXPD Z14, Z1, Z1
+	VMAXPD Z14, Z2, Z2
+	VMAXPD Z14, Z3, Z3
+z_norelu4:
+	// store to dst + i*stride*8 + r*8, rows advancing by stride
+	MOVQ dst+40(FP), AX
+	MOVQ R10, DX
+	IMULQ R14, DX
+	ADDQ DX, AX
+	LEAQ (AX)(R13*8), AX
+	VMOVUPD Z0, (AX)
+	VMOVUPD Z1, (AX)(R14*1)
+	LEAQ (AX)(R14*2), AX
+	VMOVUPD Z2, (AX)
+	VMOVUPD Z3, (AX)(R14*1)
+	ADDQ $8, R13
+	CMPQ R13, R15
+	JLT  z_loop_r4
+z_r4_done:
+	ADDQ $4, R10
+	JMP  z_loop_i
+
+z_rows_tail:
+	TESTQ AX, AX
+	JZ   z_done
+	// --- single-row block, repeated for the <=3 tail rows ---
+	// With only one output row there is a single dependent accumulator
+	// chain per lane vector, so four lane vectors are advanced together
+	// (four independent chains) while at least 32 lanes remain; the shared
+	// weight broadcast is reused across all four.
+	XORQ R13, R13                  // r = 0
+z_loop_r1x4:
+	MOVQ R15, AX
+	SUBQ R13, AX
+	CMPQ AX, $32
+	JLT  z_loop_r1
+	MOVQ init+64(FP), AX
+	TESTQ AX, AX
+	JZ   z_zero_acc1x4
+	VBROADCASTSD (AX)(R10*8), Z0
+	VMOVAPD Z0, Z1
+	VMOVAPD Z0, Z2
+	VMOVAPD Z0, Z3
+	JMP  z_acc1x4_ready
+z_zero_acc1x4:
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+z_acc1x4_ready:
+	MOVQ w+0(FP), AX
+	MOVQ R10, BX
+	IMULQ R9, BX
+	ADDQ BX, AX
+	MOVQ xt+32(FP), SI
+	LEAQ (SI)(R13*8), SI
+	MOVQ R11, DX
+z_loop_j1x4:
+	VBROADCASTSD (AX), Z9
+	VMOVUPD (SI), Z8
+	VMULPD Z8, Z9, Z10
+	VADDPD Z10, Z0, Z0
+	VMOVUPD 64(SI), Z11
+	VMULPD Z11, Z9, Z12
+	VADDPD Z12, Z1, Z1
+	VMOVUPD 128(SI), Z8
+	VMULPD Z8, Z9, Z10
+	VADDPD Z10, Z2, Z2
+	VMOVUPD 192(SI), Z11
+	VMULPD Z11, Z9, Z12
+	VADDPD Z12, Z3, Z3
+	ADDQ $8, AX
+	ADDQ R14, SI
+	DECQ DX
+	JNZ  z_loop_j1x4
+	MOVQ bias+72(FP), AX
+	TESTQ AX, AX
+	JZ   z_nobias1x4
+	VBROADCASTSD (AX)(R10*8), Z9
+	VADDPD Z9, Z0, Z0
+	VADDPD Z9, Z1, Z1
+	VADDPD Z9, Z2, Z2
+	VADDPD Z9, Z3, Z3
+z_nobias1x4:
+	MOVQ relu+80(FP), AX
+	TESTQ AX, AX
+	JZ   z_norelu1x4
+	VMAXPD Z14, Z0, Z0
+	VMAXPD Z14, Z1, Z1
+	VMAXPD Z14, Z2, Z2
+	VMAXPD Z14, Z3, Z3
+z_norelu1x4:
+	MOVQ dst+40(FP), AX
+	MOVQ R10, DX
+	IMULQ R14, DX
+	ADDQ DX, AX
+	LEAQ (AX)(R13*8), AX
+	VMOVUPD Z0, (AX)
+	VMOVUPD Z1, 64(AX)
+	VMOVUPD Z2, 128(AX)
+	VMOVUPD Z3, 192(AX)
+	ADDQ $32, R13
+	JMP  z_loop_r1x4
+z_loop_r1:
+	CMPQ R13, R15
+	JGE  z_row1_done
+	MOVQ init+64(FP), AX
+	TESTQ AX, AX
+	JZ   z_zero_acc1
+	VBROADCASTSD (AX)(R10*8), Z0
+	JMP  z_acc1_ready
+z_zero_acc1:
+	VPXORQ Z0, Z0, Z0
+z_acc1_ready:
+	MOVQ w+0(FP), AX
+	MOVQ R10, BX
+	IMULQ R9, BX
+	ADDQ BX, AX
+	MOVQ xt+32(FP), SI
+	LEAQ (SI)(R13*8), SI
+	MOVQ R11, DX
+z_loop_j1:
+	VMOVUPD (SI), Z8
+	VBROADCASTSD (AX), Z9
+	VMULPD Z8, Z9, Z10
+	VADDPD Z10, Z0, Z0
+	ADDQ $8, AX
+	ADDQ R14, SI
+	DECQ DX
+	JNZ  z_loop_j1
+	MOVQ bias+72(FP), AX
+	TESTQ AX, AX
+	JZ   z_nobias1
+	VBROADCASTSD (AX)(R10*8), Z9
+	VADDPD Z9, Z0, Z0
+z_nobias1:
+	MOVQ relu+80(FP), AX
+	TESTQ AX, AX
+	JZ   z_norelu1
+	VMAXPD Z14, Z0, Z0
+z_norelu1:
+	MOVQ dst+40(FP), AX
+	MOVQ R10, DX
+	IMULQ R14, DX
+	ADDQ DX, AX
+	VMOVUPD Z0, (AX)(R13*8)
+	ADDQ $8, R13
+	JMP  z_loop_r1
+z_row1_done:
+	INCQ R10
+	MOVQ rows+16(FP), AX
+	SUBQ R10, AX
+	JMP  z_rows_tail
+
+z_done:
+	VZEROUPPER
+	RET
+
+// func mulLanesAVX2(w *float64, wstride, rows, cols int64, xt, dst *float64, stride, lanes int64, init, bias *float64, relu int64)
+TEXT ·mulLanesAVX2(SB), NOSPLIT, $0-88
+	MOVQ wstride+8(FP), R9
+	SHLQ $3, R9
+	MOVQ cols+24(FP), R11
+	MOVQ stride+48(FP), R14
+	SHLQ $3, R14
+	MOVQ lanes+56(FP), R15
+	VXORPD Y14, Y14, Y14
+	XORQ R10, R10
+
+y_loop_i:
+	MOVQ rows+16(FP), AX
+	SUBQ R10, AX
+	CMPQ AX, $4
+	JLT  y_rows_tail
+
+	// Two lane vectors (8 lanes) per step while available, sharing the four
+	// weight broadcasts — same scheme as the AVX-512 main block.
+	XORQ R13, R13
+y_loop_r4:
+	MOVQ R15, AX
+	SUBQ R13, AX
+	CMPQ AX, $8
+	JLT  y_loop_r4x1
+	MOVQ init+64(FP), AX
+	TESTQ AX, AX
+	JZ   y_zero_acc2
+	LEAQ (AX)(R10*8), AX
+	VBROADCASTSD 0(AX), Y0
+	VBROADCASTSD 8(AX), Y1
+	VBROADCASTSD 16(AX), Y2
+	VBROADCASTSD 24(AX), Y3
+	VMOVAPD Y0, Y4
+	VMOVAPD Y1, Y5
+	VMOVAPD Y2, Y6
+	VMOVAPD Y3, Y7
+	JMP  y_acc2_ready
+y_zero_acc2:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+y_acc2_ready:
+	MOVQ w+0(FP), AX
+	MOVQ R10, BX
+	IMULQ R9, BX
+	ADDQ BX, AX
+	LEAQ (AX)(R9*2), BX
+	MOVQ xt+32(FP), SI
+	LEAQ (SI)(R13*8), SI
+	MOVQ R11, DX
+y_loop_j4x2:
+	VMOVUPD (SI), Y8
+	VMOVUPD 32(SI), Y13
+	VBROADCASTSD (AX), Y9
+	VMULPD Y8, Y9, Y10
+	VADDPD Y10, Y0, Y0
+	VMULPD Y13, Y9, Y12
+	VADDPD Y12, Y4, Y4
+	VBROADCASTSD (AX)(R9*1), Y11
+	VMULPD Y8, Y11, Y10
+	VADDPD Y10, Y1, Y1
+	VMULPD Y13, Y11, Y12
+	VADDPD Y12, Y5, Y5
+	VBROADCASTSD (BX), Y9
+	VMULPD Y8, Y9, Y10
+	VADDPD Y10, Y2, Y2
+	VMULPD Y13, Y9, Y12
+	VADDPD Y12, Y6, Y6
+	VBROADCASTSD (BX)(R9*1), Y11
+	VMULPD Y8, Y11, Y10
+	VADDPD Y10, Y3, Y3
+	VMULPD Y13, Y11, Y12
+	VADDPD Y12, Y7, Y7
+	ADDQ $8, AX
+	ADDQ $8, BX
+	ADDQ R14, SI
+	DECQ DX
+	JNZ  y_loop_j4x2
+	MOVQ bias+72(FP), AX
+	TESTQ AX, AX
+	JZ   y_nobias4x2
+	LEAQ (AX)(R10*8), AX
+	VBROADCASTSD 0(AX), Y9
+	VADDPD Y9, Y0, Y0
+	VADDPD Y9, Y4, Y4
+	VBROADCASTSD 8(AX), Y9
+	VADDPD Y9, Y1, Y1
+	VADDPD Y9, Y5, Y5
+	VBROADCASTSD 16(AX), Y9
+	VADDPD Y9, Y2, Y2
+	VADDPD Y9, Y6, Y6
+	VBROADCASTSD 24(AX), Y9
+	VADDPD Y9, Y3, Y3
+	VADDPD Y9, Y7, Y7
+y_nobias4x2:
+	MOVQ relu+80(FP), AX
+	TESTQ AX, AX
+	JZ   y_norelu4x2
+	VMAXPD Y14, Y0, Y0
+	VMAXPD Y14, Y1, Y1
+	VMAXPD Y14, Y2, Y2
+	VMAXPD Y14, Y3, Y3
+	VMAXPD Y14, Y4, Y4
+	VMAXPD Y14, Y5, Y5
+	VMAXPD Y14, Y6, Y6
+	VMAXPD Y14, Y7, Y7
+y_norelu4x2:
+	MOVQ dst+40(FP), AX
+	MOVQ R10, DX
+	IMULQ R14, DX
+	ADDQ DX, AX
+	LEAQ (AX)(R13*8), AX
+	VMOVUPD Y0, (AX)
+	VMOVUPD Y4, 32(AX)
+	VMOVUPD Y1, (AX)(R14*1)
+	VMOVUPD Y5, 32(AX)(R14*1)
+	LEAQ (AX)(R14*2), AX
+	VMOVUPD Y2, (AX)
+	VMOVUPD Y6, 32(AX)
+	VMOVUPD Y3, (AX)(R14*1)
+	VMOVUPD Y7, 32(AX)(R14*1)
+	ADDQ $8, R13
+	CMPQ R13, R15
+	JLT  y_loop_r4
+	JMP  y_r4_done
+
+y_loop_r4x1:
+	MOVQ init+64(FP), AX
+	TESTQ AX, AX
+	JZ   y_zero_acc
+	LEAQ (AX)(R10*8), AX
+	VBROADCASTSD 0(AX), Y0
+	VBROADCASTSD 8(AX), Y1
+	VBROADCASTSD 16(AX), Y2
+	VBROADCASTSD 24(AX), Y3
+	JMP  y_acc_ready
+y_zero_acc:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+y_acc_ready:
+	MOVQ w+0(FP), AX
+	MOVQ R10, BX
+	IMULQ R9, BX
+	ADDQ BX, AX
+	LEAQ (AX)(R9*2), BX
+	MOVQ xt+32(FP), SI
+	LEAQ (SI)(R13*8), SI
+	MOVQ R11, DX
+y_loop_j4:
+	VMOVUPD (SI), Y8
+	VBROADCASTSD (AX), Y9
+	VMULPD Y8, Y9, Y10
+	VADDPD Y10, Y0, Y0
+	VBROADCASTSD (AX)(R9*1), Y11
+	VMULPD Y8, Y11, Y12
+	VADDPD Y12, Y1, Y1
+	VBROADCASTSD (BX), Y9
+	VMULPD Y8, Y9, Y10
+	VADDPD Y10, Y2, Y2
+	VBROADCASTSD (BX)(R9*1), Y11
+	VMULPD Y8, Y11, Y12
+	VADDPD Y12, Y3, Y3
+	ADDQ $8, AX
+	ADDQ $8, BX
+	ADDQ R14, SI
+	DECQ DX
+	JNZ  y_loop_j4
+	MOVQ bias+72(FP), AX
+	TESTQ AX, AX
+	JZ   y_nobias4
+	LEAQ (AX)(R10*8), AX
+	VBROADCASTSD 0(AX), Y9
+	VADDPD Y9, Y0, Y0
+	VBROADCASTSD 8(AX), Y9
+	VADDPD Y9, Y1, Y1
+	VBROADCASTSD 16(AX), Y9
+	VADDPD Y9, Y2, Y2
+	VBROADCASTSD 24(AX), Y9
+	VADDPD Y9, Y3, Y3
+y_nobias4:
+	MOVQ relu+80(FP), AX
+	TESTQ AX, AX
+	JZ   y_norelu4
+	VMAXPD Y14, Y0, Y0
+	VMAXPD Y14, Y1, Y1
+	VMAXPD Y14, Y2, Y2
+	VMAXPD Y14, Y3, Y3
+y_norelu4:
+	MOVQ dst+40(FP), AX
+	MOVQ R10, DX
+	IMULQ R14, DX
+	ADDQ DX, AX
+	LEAQ (AX)(R13*8), AX
+	VMOVUPD Y0, (AX)
+	VMOVUPD Y1, (AX)(R14*1)
+	LEAQ (AX)(R14*2), AX
+	VMOVUPD Y2, (AX)
+	VMOVUPD Y3, (AX)(R14*1)
+	ADDQ $4, R13
+	CMPQ R13, R15
+	JLT  y_loop_r4
+y_r4_done:
+	ADDQ $4, R10
+	JMP  y_loop_i
+
+y_rows_tail:
+	TESTQ AX, AX
+	JZ   y_done
+	// Four lane vectors per step while >=16 lanes remain, for the same
+	// chain-interleaving reason as the AVX-512 tail.
+	XORQ R13, R13
+y_loop_r1x4:
+	MOVQ R15, AX
+	SUBQ R13, AX
+	CMPQ AX, $16
+	JLT  y_loop_r1
+	MOVQ init+64(FP), AX
+	TESTQ AX, AX
+	JZ   y_zero_acc1x4
+	VBROADCASTSD (AX)(R10*8), Y0
+	VMOVAPD Y0, Y1
+	VMOVAPD Y0, Y2
+	VMOVAPD Y0, Y3
+	JMP  y_acc1x4_ready
+y_zero_acc1x4:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+y_acc1x4_ready:
+	MOVQ w+0(FP), AX
+	MOVQ R10, BX
+	IMULQ R9, BX
+	ADDQ BX, AX
+	MOVQ xt+32(FP), SI
+	LEAQ (SI)(R13*8), SI
+	MOVQ R11, DX
+y_loop_j1x4:
+	VBROADCASTSD (AX), Y9
+	VMOVUPD (SI), Y8
+	VMULPD Y8, Y9, Y10
+	VADDPD Y10, Y0, Y0
+	VMOVUPD 32(SI), Y11
+	VMULPD Y11, Y9, Y12
+	VADDPD Y12, Y1, Y1
+	VMOVUPD 64(SI), Y8
+	VMULPD Y8, Y9, Y10
+	VADDPD Y10, Y2, Y2
+	VMOVUPD 96(SI), Y11
+	VMULPD Y11, Y9, Y12
+	VADDPD Y12, Y3, Y3
+	ADDQ $8, AX
+	ADDQ R14, SI
+	DECQ DX
+	JNZ  y_loop_j1x4
+	MOVQ bias+72(FP), AX
+	TESTQ AX, AX
+	JZ   y_nobias1x4
+	VBROADCASTSD (AX)(R10*8), Y9
+	VADDPD Y9, Y0, Y0
+	VADDPD Y9, Y1, Y1
+	VADDPD Y9, Y2, Y2
+	VADDPD Y9, Y3, Y3
+y_nobias1x4:
+	MOVQ relu+80(FP), AX
+	TESTQ AX, AX
+	JZ   y_norelu1x4
+	VMAXPD Y14, Y0, Y0
+	VMAXPD Y14, Y1, Y1
+	VMAXPD Y14, Y2, Y2
+	VMAXPD Y14, Y3, Y3
+y_norelu1x4:
+	MOVQ dst+40(FP), AX
+	MOVQ R10, DX
+	IMULQ R14, DX
+	ADDQ DX, AX
+	LEAQ (AX)(R13*8), AX
+	VMOVUPD Y0, (AX)
+	VMOVUPD Y1, 32(AX)
+	VMOVUPD Y2, 64(AX)
+	VMOVUPD Y3, 96(AX)
+	ADDQ $16, R13
+	JMP  y_loop_r1x4
+y_loop_r1:
+	CMPQ R13, R15
+	JGE  y_row1_done
+	MOVQ init+64(FP), AX
+	TESTQ AX, AX
+	JZ   y_zero_acc1
+	VBROADCASTSD (AX)(R10*8), Y0
+	JMP  y_acc1_ready
+y_zero_acc1:
+	VXORPD Y0, Y0, Y0
+y_acc1_ready:
+	MOVQ w+0(FP), AX
+	MOVQ R10, BX
+	IMULQ R9, BX
+	ADDQ BX, AX
+	MOVQ xt+32(FP), SI
+	LEAQ (SI)(R13*8), SI
+	MOVQ R11, DX
+y_loop_j1:
+	VMOVUPD (SI), Y8
+	VBROADCASTSD (AX), Y9
+	VMULPD Y8, Y9, Y10
+	VADDPD Y10, Y0, Y0
+	ADDQ $8, AX
+	ADDQ R14, SI
+	DECQ DX
+	JNZ  y_loop_j1
+	MOVQ bias+72(FP), AX
+	TESTQ AX, AX
+	JZ   y_nobias1
+	VBROADCASTSD (AX)(R10*8), Y9
+	VADDPD Y9, Y0, Y0
+y_nobias1:
+	MOVQ relu+80(FP), AX
+	TESTQ AX, AX
+	JZ   y_norelu1
+	VMAXPD Y14, Y0, Y0
+y_norelu1:
+	MOVQ dst+40(FP), AX
+	MOVQ R10, DX
+	IMULQ R14, DX
+	ADDQ DX, AX
+	VMOVUPD Y0, (AX)(R13*8)
+	ADDQ $4, R13
+	JMP  y_loop_r1
+y_row1_done:
+	INCQ R10
+	MOVQ rows+16(FP), AX
+	SUBQ R10, AX
+	JMP  y_rows_tail
+
+y_done:
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (lo, hi uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, lo+0(FP)
+	MOVL DX, hi+4(FP)
+	RET

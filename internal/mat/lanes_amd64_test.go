@@ -1,0 +1,14 @@
+//go:build amd64
+
+package mat
+
+// extraLaneBackends returns SIMD backends the CPU can run but init did not
+// select — on an AVX-512 machine that is the AVX2 kernel, which would
+// otherwise only be exercised on older hardware.
+func extraLaneBackends() map[string]laneKernelFunc {
+	b := map[string]laneKernelFunc{}
+	if laneKernelAVX2OK && laneKernelName != "avx2" {
+		b["avx2"] = mulLanesAVX2Wrap
+	}
+	return b
+}

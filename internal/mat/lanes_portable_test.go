@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package mat
+
+// extraLaneBackends: no non-selected SIMD backends exist off amd64.
+func extraLaneBackends() map[string]laneKernelFunc {
+	return nil
+}

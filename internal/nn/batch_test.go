@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepcat/internal/mat"
+)
+
+// randNet builds a random architecture with random activations per layer.
+func randNet(rng *rand.Rand) *MLP {
+	depth := 1 + rng.Intn(3)
+	sizes := make([]int, depth+1)
+	acts := make([]Activation, depth)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(40)
+	}
+	all := []Activation{Linear, ReLU, Tanh, Sigmoid}
+	for i := range acts {
+		acts[i] = all[rng.Intn(len(all))]
+	}
+	return NewMLP(rng, sizes, acts)
+}
+
+// TestForwardBatchMatchesForward is the batched-inference bit-exactness
+// property: for random shapes, activations, batch sizes and worker counts,
+// ForwardBatch must reproduce K sequential Forward calls bit for bit.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ar := NewArena()
+	for trial := 0; trial < 80; trial++ {
+		m := randNet(rng)
+		k := 1 + rng.Intn(70)
+		ar.Workers = rng.Intn(4) // 0 = GOMAXPROCS
+		in, out := m.InSize(), m.OutSize()
+		x := make([]float64, k*in)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		dst := make([]float64, k*out)
+		for i := range dst {
+			dst[i] = math.NaN()
+		}
+		m.ForwardBatch(ar, x, k, dst)
+		for r := 0; r < k; r++ {
+			want := m.Forward(x[r*in : (r+1)*in])
+			for i, w := range want {
+				got := dst[r*out+i]
+				if got != w || math.Signbit(got) != math.Signbit(w) {
+					t.Fatalf("trial %d (in=%d out=%d k=%d workers=%d): out[%d][%d] = %v, want %v",
+						trial, in, out, k, ar.Workers, r, i, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchPrefixMatchesForward checks the shared-prefix form against
+// sequential Forward over the concatenated inputs — the shape the Twin-Q
+// scorer relies on (state prefix hoisted out of the per-candidate cost).
+func TestForwardBatchPrefixMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ar := NewArena()
+	for trial := 0; trial < 60; trial++ {
+		m := randNet(rng)
+		in := m.InSize()
+		if in < 2 {
+			continue
+		}
+		pre := 1 + rng.Intn(in-1)
+		suf := in - pre
+		k := 1 + rng.Intn(40)
+		prefix := mat.RandVec(rng, pre, -2, 2)
+		suffix := make([]float64, k*suf)
+		for i := range suffix {
+			suffix[i] = rng.NormFloat64()
+		}
+		out := m.OutSize()
+		dst := make([]float64, k*out)
+		m.ForwardBatchPrefix(ar, prefix, suffix, k, dst)
+
+		full := make([]float64, in)
+		copy(full, prefix)
+		for r := 0; r < k; r++ {
+			copy(full[pre:], suffix[r*suf:(r+1)*suf])
+			want := m.Forward(full)
+			for i, w := range want {
+				if got := dst[r*out+i]; got != w {
+					t.Fatalf("trial %d (in=%d pre=%d k=%d): out[%d][%d] = %v, want %v",
+						trial, in, pre, k, r, i, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchSteadyStateAllocs verifies a warmed arena serves repeated
+// same-shaped batches without allocating — the property the Suggest hot path
+// depends on.
+func TestForwardBatchSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := NewMLP(rng, []int{41, 64, 64, 1}, []Activation{ReLU, ReLU, Linear})
+	ar := NewArena()
+	ar.Workers = 1
+	const k = 64
+	x := mat.RandVec(rng, k*41, -1, 1)
+	dst := make([]float64, k)
+	m.ForwardBatch(ar, x, k, dst) // warm the arena
+	allocs := testing.AllocsPerRun(50, func() {
+		m.ForwardBatch(ar, x, k, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed ForwardBatch allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestForwardBatchArgChecks covers the panic contract.
+func TestForwardBatchArgChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := NewMLP(rng, []int{4, 3}, []Activation{ReLU})
+	ar := NewArena()
+	mustPanic := func(desc string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", desc)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero batch", func() { m.ForwardBatch(ar, nil, 0, nil) })
+	mustPanic("short input", func() { m.ForwardBatch(ar, make([]float64, 7), 2, make([]float64, 6)) })
+	mustPanic("short dst", func() { m.ForwardBatch(ar, make([]float64, 8), 2, make([]float64, 5)) })
+	mustPanic("empty prefix", func() { m.ForwardBatchPrefix(ar, nil, make([]float64, 8), 2, make([]float64, 6)) })
+	mustPanic("prefix too wide", func() { m.ForwardBatchPrefix(ar, make([]float64, 4), nil, 2, make([]float64, 6)) })
+}
+
+// BenchmarkForwardBatch is the batched counterpart of BenchmarkForward at the
+// Suggest batch size: 64 candidates through the 41->64->64->1 critic shape.
+// Compare ns/op here against 64x BenchmarkForward for the per-sample speedup.
+func BenchmarkForwardBatch(b *testing.B) {
+	m := benchNet(b)
+	const k = 64
+	x := mat.RandVec(rand.New(rand.NewSource(5)), k*41, 0, 1)
+	dst := make([]float64, k)
+	ar := NewArena()
+	ar.Workers = 1
+	m.ForwardBatch(ar, x, k, dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatch(ar, x, k, dst)
+	}
+}

@@ -170,6 +170,110 @@ func (t *TD3) QValues(state, action []float64) (q1, q2 float64) {
 	return t.Critic1.Forward(sa)[0], t.Critic2.Forward(sa)[0]
 }
 
+// ActTo computes the deterministic policy action for state into dst using
+// ar for scratch, allocating nothing once ar is warm. Bit-identical to Act.
+func (t *TD3) ActTo(ar *nn.Arena, state, dst []float64) {
+	t.Actor.ForwardBatch(ar, state, 1, dst)
+}
+
+// QValuesBatch evaluates both online critics at (state, actions[r]) for r in
+// [0, k), writing Critic1 outputs to q1 and Critic2 outputs to q2. actions
+// is row-major (k x ActionDim). The state columns' partial dot products — the
+// state embedding — are computed once per critic and seed every candidate's
+// accumulators, and each critic scores the whole batch as one lane-major pass
+// (see nn.ForwardBatchPrefix), so the cost per extra candidate is only the
+// action-column work. Results are bit-identical to k sequential QValues
+// calls; the batched Twin-Q optimizer depends on that.
+func (t *TD3) QValuesBatch(ar *nn.Arena, state, actions []float64, k int, q1, q2 []float64) {
+	if len(state) != t.Cfg.StateDim {
+		panic(fmt.Sprintf("rl: QValuesBatch state dim %d, want %d", len(state), t.Cfg.StateDim))
+	}
+	if len(actions) < k*t.Cfg.ActionDim {
+		panic(fmt.Sprintf("rl: QValuesBatch actions len %d, want %d", len(actions), k*t.Cfg.ActionDim))
+	}
+	if len(q1) < k || len(q2) < k {
+		panic(fmt.Sprintf("rl: QValuesBatch output len %d/%d, want %d", len(q1), len(q2), k))
+	}
+	t.Critic1.ForwardBatchPrefix(ar, state, actions, k, q1)
+	t.Critic2.ForwardBatchPrefix(ar, state, actions, k, q2)
+}
+
+// QBatch scores candidate batches against one state with the per-critic
+// state embeddings hoisted: SetState computes each critic's state-column
+// partial dots once, and every subsequent Score reuses them, so chunked
+// searches (the Twin-Q optimizer scores a few chunks per Suggest, all under
+// the same state) pay the state work once instead of per chunk. Score is
+// bit-identical to QValuesBatch, which is bit-identical to sequential
+// QValues calls.
+type QBatch struct {
+	t      *TD3
+	u1, u2 []float64
+	xt     []float64 // lane-major candidate batch, packed once per Score
+	set    bool
+}
+
+// NewQBatch returns a batch scorer bound to t's online critics.
+func (t *TD3) NewQBatch() *QBatch {
+	return &QBatch{
+		t:  t,
+		u1: make([]float64, t.Critic1.Layers[0].W.Rows),
+		u2: make([]float64, t.Critic2.Layers[0].W.Rows),
+	}
+}
+
+// Agent returns the agent the scorer is bound to.
+func (q *QBatch) Agent() *TD3 { return q.t }
+
+// SetState computes the state embeddings for subsequent Score calls. It must
+// be called again after any critic weight update.
+func (q *QBatch) SetState(state []float64) {
+	if len(state) != q.t.Cfg.StateDim {
+		panic(fmt.Sprintf("rl: QBatch state dim %d, want %d", len(state), q.t.Cfg.StateDim))
+	}
+	q.t.Critic1.Layers[0].W.MulVecColsTo(q.u1, state, 0)
+	q.t.Critic2.Layers[0].W.MulVecColsTo(q.u2, state, 0)
+	q.set = true
+}
+
+// Score evaluates both critics at (state, actions[r]) for r in [0, k) under
+// the state fixed by SetState, writing Critic1 outputs to q1 and Critic2
+// outputs to q2. actions is row-major (k x ActionDim).
+func (q *QBatch) Score(ar *nn.Arena, actions []float64, k int, q1, q2 []float64) {
+	if !q.set {
+		panic("rl: QBatch.Score before SetState")
+	}
+	if len(actions) < k*q.t.Cfg.ActionDim {
+		panic(fmt.Sprintf("rl: QBatch actions len %d, want %d", len(actions), k*q.t.Cfg.ActionDim))
+	}
+	if len(q1) < k || len(q2) < k {
+		panic(fmt.Sprintf("rl: QBatch output len %d/%d, want %d", len(q1), len(q2), k))
+	}
+	// Pack the candidate batch lane-major once and run both critics over it.
+	kp := (k + 7) &^ 7
+	dim := q.t.Cfg.ActionDim
+	if len(q.xt) < dim*kp {
+		q.xt = make([]float64, dim*kp)
+	}
+	nn.PackLanes(q.xt, actions, dim, k, kp)
+	q.ScoreLanes(ar, q.xt, kp, k, q1, q2)
+}
+
+// ScoreLanes is Score on an already lane-major candidate batch: xt holds
+// ActionDim columns of kp lanes each (kp a multiple of 8, >= k) with every
+// lane finite — nn.PackLanes produces this layout, and callers that generate
+// candidates straight into lane-major storage (the Twin-Q walk) skip the
+// transpose entirely.
+func (q *QBatch) ScoreLanes(ar *nn.Arena, xt []float64, kp, k int, q1, q2 []float64) {
+	if !q.set {
+		panic("rl: QBatch.ScoreLanes before SetState")
+	}
+	if len(q1) < k || len(q2) < k {
+		panic(fmt.Sprintf("rl: QBatch output len %d/%d, want %d", len(q1), len(q2), k))
+	}
+	q.t.Critic1.ForwardBatchSeededLanes(ar, q.u1, q.t.Cfg.StateDim, xt, kp, k, q1)
+	q.t.Critic2.ForwardBatchSeededLanes(ar, q.u2, q.t.Cfg.StateDim, xt, kp, k, q2)
+}
+
 // MinQ returns min(Q1, Q2) at (state, action).
 func (t *TD3) MinQ(state, action []float64) float64 {
 	q1, q2 := t.QValues(state, action)

@@ -7,6 +7,78 @@ import (
 	"testing"
 )
 
+// TestConcurrentSuggestSharedArena hammers Suggest from many goroutines —
+// several against the same session, across several sessions at once — with
+// interleaved Observes advancing the steps. Every Suggest on a session runs
+// the batched Twin-Q search over that session's one reused scratch arena;
+// the per-session mutex is the only thing making that safe, and this test
+// under -race is the proof. It also pins the idempotency contract: racing
+// Suggests with no intervening Observe must all see the same step and the
+// same configuration.
+func TestConcurrentSuggestSharedArena(t *testing.T) {
+	const (
+		sessions = 3
+		workers  = 4 // goroutines per session, all sharing its arena
+		rounds   = 8
+	)
+	m := NewManager(NewMemStore(), 0)
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("arena-%d", i)
+		if _, err := m.Create(CreateSessionRequest{ID: id, Workload: "WC", Input: 1, Cluster: "a", Seed: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("arena-%d", i)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id string, w int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					sug, err := m.Suggest(id, "")
+					if err != nil {
+						t.Errorf("%s worker %d round %d: suggest: %v", id, w, r, err)
+						return
+					}
+					// Racing re-suggests must idempotently re-serve the
+					// pending suggestion, not re-run the search.
+					again, err := m.Suggest(id, "")
+					if err != nil {
+						t.Errorf("%s worker %d round %d: re-suggest: %v", id, w, r, err)
+						return
+					}
+					if again.Step == sug.Step {
+						for j := range sug.Action {
+							if again.Action[j] != sug.Action[j] {
+								t.Errorf("%s worker %d round %d: same step %d, different action", id, w, r, sug.Step)
+								return
+							}
+						}
+					}
+					// Advance the session; concurrent observes for the same
+					// step race, and all but one are rejected — both
+					// outcomes are fine.
+					_, _ = m.Observe(id, ObserveRequest{Step: sug.Step, ExecTime: 50 + float64(r)}, "")
+				}
+			}(id, w)
+		}
+	}
+	wg.Wait()
+
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("arena-%d", i)
+		sess, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if sess.Info().Step == 0 {
+			t.Errorf("%s: no step advanced under concurrent load", id)
+		}
+	}
+}
+
 // TestDeleteRacesObserve drives a session delete concurrently with an
 // in-flight observe, repeatedly, and asserts the invariant the checkpoint
 // lock exists to protect: whatever the interleaving, once both calls return
