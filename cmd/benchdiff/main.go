@@ -16,8 +16,10 @@
 //	    numbers), or has disappeared. Benchmarks outside the hot list are
 //	    reported but never fail the run — micro-benchmarks on shared CI
 //	    runners are too noisy to block on wholesale; the hot list is the
-//	    contract. -md additionally writes the table as markdown for
-//	    $GITHUB_STEP_SUMMARY.
+//	    contract. Benchmarks present only in the current run get an
+//	    informational "new" row — visible immediately, gated once the
+//	    baseline is refreshed to name them. -md additionally writes the
+//	    table as markdown for $GITHUB_STEP_SUMMARY.
 //
 // Benchmarks are keyed "pkg.BenchmarkName" (the -cpu/-procs suffix is
 // stripped), so equally named benchmarks in different packages never
@@ -127,6 +129,11 @@ type Row struct {
 	Hot     bool
 	Failed  bool
 	Missing bool
+	// New marks a benchmark present in the current run but absent from the
+	// baseline: informational only (there is nothing to gate against), but
+	// shown so a fresh benchmark is visible instead of silently omitted
+	// until the baseline is refreshed.
+	New bool
 	// Why lists the dimensions that failed: "ns/op", "allocs/op", "B/op".
 	Why []string
 }
@@ -199,6 +206,16 @@ func compare(baseline, current File, threshold float64) (rows []Row, failed bool
 		failed = failed || row.Failed
 		rows = append(rows, row)
 	}
+	var fresh []string
+	for name := range current.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		rows = append(rows, Row{Name: name, Cur: current.Benchmarks[name], New: true})
+	}
 	return rows, failed
 }
 
@@ -217,6 +234,12 @@ func report(w io.Writer, rows []Row, threshold float64) {
 		if r.Missing {
 			fmt.Fprintf(w, "%-64s %14.0f %14s %9s %17s %15s %s (missing from current run)\n",
 				r.Name, r.Base.NsPerOp, "-", "-", "-", "-", mark)
+			continue
+		}
+		if r.New {
+			fmt.Fprintf(w, "%-64s %14s %14.0f %9s %17s %15s new (not in baseline, informational)\n",
+				r.Name, "-", r.Cur.NsPerOp, "-",
+				fmt.Sprintf("%.0f", r.Cur.BytesPerOp), fmt.Sprintf("%.0f", r.Cur.AllocsPerOp))
 			continue
 		}
 		fmt.Fprintf(w, "%-64s %14.0f %14.0f %8.1f%% %17s %15s %s\n",
@@ -246,6 +269,11 @@ func reportMarkdown(w io.Writer, rows []Row, threshold float64) {
 		}
 		if r.Missing {
 			fmt.Fprintf(w, "| `%s` | %.0f | – | – | – | – | %s missing |\n", r.Name, r.Base.NsPerOp, status)
+			continue
+		}
+		if r.New {
+			fmt.Fprintf(w, "| `%s` | – | %.0f | – | %.0f | %.0f | new (informational) |\n",
+				r.Name, r.Cur.NsPerOp, r.Cur.BytesPerOp, r.Cur.AllocsPerOp)
 			continue
 		}
 		fmt.Fprintf(w, "| `%s` | %.0f | %.0f | %+.1f%% | %.0f→%.0f | %.0f→%.0f | %s |\n",

@@ -278,3 +278,43 @@ func TestParseRoundTripThroughFiles(t *testing.T) {
 		t.Errorf("round-tripped file wrong: %+v", f.Benchmarks)
 	}
 }
+
+// TestCompareNewBenchmark pins the informational row for a benchmark that
+// exists only in the current run: it must appear in both report flavors
+// (instead of being silently omitted) and must never fail the comparison.
+func TestCompareNewBenchmark(t *testing.T) {
+	base := File{
+		Hot:        []string{"p.BenchmarkHot"},
+		Benchmarks: map[string]Result{"p.BenchmarkHot": {NsPerOp: 1000}},
+	}
+	cur := File{Benchmarks: map[string]Result{
+		"p.BenchmarkHot":   {NsPerOp: 1000},
+		"p.BenchmarkFresh": {NsPerOp: 42, BytesPerOp: 128, AllocsPerOp: 3},
+	}}
+	rows, failed := compare(base, cur, 0.20)
+	if failed {
+		t.Fatalf("new benchmark must not fail the comparison, rows: %+v", rows)
+	}
+	var fresh *Row
+	for i := range rows {
+		if rows[i].Name == "p.BenchmarkFresh" {
+			fresh = &rows[i]
+		}
+	}
+	if fresh == nil {
+		t.Fatal("benchmark present only in current run was omitted from rows")
+	}
+	if !fresh.New || fresh.Failed {
+		t.Errorf("fresh row = %+v, want New and not Failed", fresh)
+	}
+
+	var txt, md strings.Builder
+	report(&txt, rows, 0.20)
+	reportMarkdown(&md, rows, 0.20)
+	if !strings.Contains(txt.String(), "p.BenchmarkFresh") || !strings.Contains(txt.String(), "new (not in baseline, informational)") {
+		t.Errorf("text report missing informational new row:\n%s", txt.String())
+	}
+	if !strings.Contains(md.String(), "`p.BenchmarkFresh`") || !strings.Contains(md.String(), "new (informational)") {
+		t.Errorf("markdown report missing informational new row:\n%s", md.String())
+	}
+}

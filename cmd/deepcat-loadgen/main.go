@@ -15,9 +15,12 @@
 //	deepcat-loadgen -targets http://127.0.0.1:8080 -sessions 10000 \
 //	    -concurrency 256 -rounds 3 -report loadgen.json
 //
-// The process exits non-zero when the error rate exceeds -max-error-rate,
-// making it usable as a CI gate; -short selects the small preset CI runs
-// against a 3-shard fleet.
+// The process exits non-zero when the error rate exceeds -max-error-rate
+// or when -slo-p99 is set and the suggest/observe error budget is burned
+// (more than 1% of operations over the threshold), making it usable as a
+// CI latency gate; -short selects the small preset CI runs against a
+// 3-shard fleet. When $GITHUB_STEP_SUMMARY is set the report is also
+// appended there as markdown.
 package main
 
 import (
@@ -41,10 +44,15 @@ import (
 // the daemon exercises several workload families, not one hot family.
 var workloads = []string{"WC", "TS", "PR", "KM"}
 
-// opStats aggregates one operation type across all workers.
+// opStats aggregates one operation type across all workers. sloMs, when
+// positive, is the latency SLO threshold: over counts the operations that
+// exceeded it, tallied exactly at observation time rather than estimated
+// from histogram buckets afterwards.
 type opStats struct {
 	hist   *obs.Histogram
 	errors atomic.Uint64
+	sloMs  float64
+	over   atomic.Uint64
 
 	mu  sync.Mutex
 	max float64
@@ -55,6 +63,9 @@ func newOpStats() *opStats { return &opStats{hist: obs.NewHistogram(nil)} }
 func (o *opStats) observe(d time.Duration) {
 	s := d.Seconds()
 	o.hist.Observe(s)
+	if o.sloMs > 0 && s*1000 > o.sloMs {
+		o.over.Add(1)
+	}
 	o.mu.Lock()
 	if s > o.max {
 		o.max = s
@@ -87,6 +98,21 @@ func (o *opStats) report() opReport {
 	return r
 }
 
+// sloReport is one operation's SLO verdict. BudgetBurn is how much of the
+// error budget the run consumed: the fraction of operations over the
+// threshold divided by the fraction the target quantile allows (1% for a
+// p99 SLO) — 1.0 means exactly at budget, above 1.0 is a violation.
+type sloReport struct {
+	Op         string  `json:"op"`
+	Quantile   float64 `json:"quantile"`
+	TargetMs   float64 `json:"target_ms"`
+	ActualMs   float64 `json:"actual_ms"`
+	Over       uint64  `json:"over_threshold"`
+	Count      uint64  `json:"count"`
+	BudgetBurn float64 `json:"error_budget_burn"`
+	Violated   bool    `json:"violated"`
+}
+
 // report is the full JSON document written by -report.
 type report struct {
 	Targets         []string            `json:"targets"`
@@ -99,6 +125,9 @@ type report struct {
 	OpsPerSecond    float64             `json:"ops_per_second"`
 	ErrorRate       float64             `json:"error_rate"`
 	Ops             map[string]opReport `json:"ops"`
+	// SLO is present when -slo-p99 was set: one verdict per serving-path
+	// operation (suggest, observe).
+	SLO []sloReport `json:"slo,omitempty"`
 }
 
 func main() {
@@ -110,6 +139,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "base seed for the synthetic measurements")
 		reportPath   = flag.String("report", "", "write the JSON report to this file (empty = stdout summary only)")
 		maxErrorRate = flag.Float64("max-error-rate", 0, "exit non-zero when the op error rate exceeds this fraction")
+		sloP99       = flag.Float64("slo-p99", 0, "p99 latency SLO in ms for suggest and observe; exit non-zero when the error budget is burned")
 		readyTimeout = flag.Duration("ready-timeout", 30*time.Second, "how long to wait for every target's /v1/readyz")
 		opTimeout    = flag.Duration("op-timeout", 30*time.Second, "per-operation deadline")
 		cleanup      = flag.Bool("cleanup", true, "delete sessions when their rounds finish")
@@ -154,6 +184,10 @@ func main() {
 		"observe": newOpStats(),
 		"delete":  newOpStats(),
 	}
+	// The SLO covers the serving path a scheduler blocks on, not session
+	// setup or teardown.
+	stats["suggest"].sloMs = *sloP99
+	stats["observe"].sloMs = *sloP99
 	var okSessions, failedSessions atomic.Uint64
 
 	start := time.Now()
@@ -202,6 +236,11 @@ func main() {
 	if totalOps > 0 {
 		rep.ErrorRate = float64(totalErrs) / float64(totalOps)
 	}
+	if *sloP99 > 0 {
+		for _, name := range []string{"suggest", "observe"} {
+			rep.SLO = append(rep.SLO, sloVerdict(name, stats[name], *sloP99, 0.99))
+		}
+	}
 
 	for _, name := range []string{"create", "suggest", "observe", "delete"} {
 		r := rep.Ops[name]
@@ -210,6 +249,15 @@ func main() {
 	}
 	fmt.Printf("  %d/%d sessions ok in %.1fs (%.0f ops/s, error rate %.4f)\n",
 		rep.SessionsOK, rep.Sessions, rep.DurationSeconds, rep.OpsPerSecond, rep.ErrorRate)
+	for _, s := range rep.SLO {
+		verdict := "ok"
+		if s.Violated {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("  slo %-8s p99 %.1fms vs target %.1fms, %d/%d over threshold (budget burn %.2f) %s\n",
+			s.Op, s.ActualMs, s.TargetMs, s.Over, s.Count, s.BudgetBurn, verdict)
+	}
+	publishStepSummary(rep)
 
 	if *reportPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -223,6 +271,75 @@ func main() {
 	}
 	if rep.ErrorRate > *maxErrorRate {
 		fatal(fmt.Errorf("error rate %.4f exceeds limit %.4f", rep.ErrorRate, *maxErrorRate))
+	}
+	for _, s := range rep.SLO {
+		if s.Violated {
+			fatal(fmt.Errorf("SLO violated: %s p99 %.1fms exceeds %.1fms (%d/%d over threshold, budget burn %.2f)",
+				s.Op, s.ActualMs, s.TargetMs, s.Over, s.Count, s.BudgetBurn))
+		}
+	}
+}
+
+// sloVerdict scores one operation against a latency SLO at the given
+// quantile. The violation test uses the exact over-threshold count (burn >
+// 1), not the interpolated quantile estimate, so bucket boundaries cannot
+// flip the verdict.
+func sloVerdict(name string, st *opStats, targetMs, quantile float64) sloReport {
+	s := sloReport{
+		Op:       name,
+		Quantile: quantile,
+		TargetMs: targetMs,
+		Over:     st.over.Load(),
+		Count:    st.hist.Count(),
+	}
+	if s.Count > 0 {
+		s.ActualMs = st.hist.Quantile(quantile) * 1000
+		allowed := 1 - quantile
+		s.BudgetBurn = (float64(s.Over) / float64(s.Count)) / allowed
+		s.Violated = s.BudgetBurn > 1
+	}
+	return s
+}
+
+// publishStepSummary appends a markdown run summary to the file named by
+// $GITHUB_STEP_SUMMARY, when present — the loadgen's report rendered on
+// the CI job page without digging through logs.
+func publishStepSummary(rep report) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "### deepcat-loadgen: %d sessions x %d rounds, %d workers\n\n",
+		rep.Sessions, rep.Rounds, rep.Concurrency)
+	fmt.Fprintf(&b, "%d/%d sessions ok in %.1fs — %.0f ops/s, error rate %.4f\n\n",
+		rep.SessionsOK, rep.Sessions, rep.DurationSeconds, rep.OpsPerSecond, rep.ErrorRate)
+	b.WriteString("| op | count | errors | p50 | p90 | p99 | max |\n|---|---|---|---|---|---|---|\n")
+	for _, name := range []string{"create", "suggest", "observe", "delete"} {
+		r := rep.Ops[name]
+		fmt.Fprintf(&b, "| %s | %d | %d | %.1fms | %.1fms | %.1fms | %.1fms |\n",
+			name, r.Count, r.Errors, r.P50ms, r.P90ms, r.P99ms, r.Maxms)
+	}
+	if len(rep.SLO) > 0 {
+		b.WriteString("\n| SLO op | target | actual p99 | over/count | budget burn | verdict |\n|---|---|---|---|---|---|\n")
+		for _, s := range rep.SLO {
+			verdict := "ok"
+			if s.Violated {
+				verdict = "**VIOLATED**"
+			}
+			fmt.Fprintf(&b, "| %s | %.1fms | %.1fms | %d/%d | %.2f | %s |\n",
+				s.Op, s.TargetMs, s.ActualMs, s.Over, s.Count, s.BudgetBurn, verdict)
+		}
+	}
+	b.WriteString("\n")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deepcat-loadgen: step summary: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.WriteString(b.String()); err != nil {
+		fmt.Fprintf(os.Stderr, "deepcat-loadgen: step summary: %v\n", err)
 	}
 }
 

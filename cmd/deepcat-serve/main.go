@@ -137,8 +137,10 @@ func main() {
 	logger := obs.NewLoggerFormat(os.Stderr, level, format)
 	// The registry only exists when something will scrape it; without it
 	// every instrument in the stack is nil and recording is a nil check.
+	// A fleet member is always scrapeable: peers' /v1/fleet/metrics
+	// aggregation pulls its /v1/metrics/snapshot on the tuning port.
 	var reg *obs.Registry
-	if *metricsAddr != "" {
+	if *metricsAddr != "" || *peers != "" {
 		reg = obs.NewRegistry()
 	}
 

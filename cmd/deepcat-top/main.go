@@ -1,0 +1,247 @@
+// Command deepcat-top is a terminal dashboard over a tuning fleet: a
+// refresh loop against the router's GET /v1/fleet/metrics aggregation
+// showing, per shard, request rate, latency quantiles, live and degraded
+// session counts and scrape availability, plus the replay spine's health —
+// per-family policy versions, adoption lag, queue depth and staleness, and
+// the learner's train-loop duty cycle.
+//
+//	deepcat-top -addr http://127.0.0.1:8080              refresh loop (2s)
+//	deepcat-top -addr http://127.0.0.1:8080 -once        one frame, no clear
+//	deepcat-top -addr http://127.0.0.1:8080 -n 5         five frames, then exit
+//
+// Pointed at a daemon running without a fleet, it falls back to that
+// node's own GET /v1/metrics/snapshot and renders a one-shard view.
+// Request rates are deltas between consecutive frames, so the first frame
+// shows "-" in the QPS column.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"deepcat/internal/obs"
+	"deepcat/internal/service"
+	"deepcat/internal/service/client"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of any fleet member (or a standalone daemon)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		frames   = flag.Int("n", 0, "exit after this many frames (0 = run until interrupted)")
+		once     = flag.Bool("once", false, "print a single frame without clearing the screen (same as -n 1)")
+	)
+	flag.Parse()
+	if *once {
+		*frames = 1
+	}
+
+	c := client.New(*addr)
+	prev := map[string]uint64{} // shard URL -> last requests_total
+	var prevAt time.Time
+	for i := 0; *frames == 0 || i < *frames; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		resp, err := fetch(ctx, c, *addr)
+		cancel()
+		now := time.Now()
+		if !*once && *frames != 1 {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, cursor home
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepcat-top: %v\n", err)
+			if *frames == 1 {
+				os.Exit(1)
+			}
+			continue
+		}
+		render(resp, prev, now.Sub(prevAt), i > 0)
+		next := map[string]uint64{}
+		for _, sm := range resp.Shards {
+			next[sm.URL] = sm.Snapshot.CounterTotal("deepcat_http_requests_total")
+		}
+		prev, prevAt = next, now
+	}
+}
+
+// fetch asks for the fleet aggregation and falls back to the single node's
+// own snapshot (rendered as a one-shard fleet) when the daemon has no
+// fleet routes.
+func fetch(ctx context.Context, c *client.Client, addr string) (service.FleetMetricsResponse, error) {
+	resp, err := c.FleetMetrics(ctx)
+	if err == nil {
+		return resp, nil
+	}
+	snap, serr := c.MetricsSnapshot(ctx)
+	if serr != nil {
+		return service.FleetMetricsResponse{}, err
+	}
+	one := service.FleetMetricsResponse{
+		Self:   addr,
+		Shards: []service.ShardMetrics{{URL: addr, Self: true, OK: true, Snapshot: snap}},
+		Merged: snap,
+	}
+	one.Merged.SetGauge("deepcat_fleet_shard_up", 1, "shard", addr)
+	return one, nil
+}
+
+func render(resp service.FleetMetricsResponse, prev map[string]uint64, elapsed time.Duration, haveRates bool) {
+	up := 0
+	for _, sm := range resp.Shards {
+		if sm.OK {
+			up++
+		}
+	}
+	fmt.Printf("deepcat-top  %s  via %s  shards %d/%d up\n\n",
+		time.Now().Format("15:04:05"), resp.Self, up, len(resp.Shards))
+
+	fmt.Printf("%-28s %-5s %6s %6s %8s %9s %9s %8s\n",
+		"SHARD", "UP", "SESS", "DEGR", "QPS", "p50", "p99", "ERR5XX")
+	for _, sm := range resp.Shards {
+		name := sm.URL
+		if sm.Self {
+			name += " *"
+		}
+		if !sm.OK {
+			reason := sm.Error
+			if len(reason) > 40 {
+				reason = reason[:40] + "..."
+			}
+			fmt.Printf("%-28s %-5s %s\n", name, "DOWN", reason)
+			continue
+		}
+		snap := sm.Snapshot
+		sess, _ := snap.GaugeValue("deepcat_sessions_live")
+		degr, _ := snap.GaugeValue("deepcat_degraded_sessions")
+		qps := "-"
+		if haveRates && elapsed > 0 {
+			cur := snap.CounterTotal("deepcat_http_requests_total")
+			if last, ok := prev[sm.URL]; ok && cur >= last {
+				qps = fmt.Sprintf("%.1f", float64(cur-last)/elapsed.Seconds())
+			}
+		}
+		p50, p99 := "-", "-"
+		if h := snap.HistogramTotal("deepcat_http_request_duration_seconds"); h != nil && h.Count > 0 {
+			p50 = fmtLatency(h.Quantile(0.50))
+			p99 = fmtLatency(h.Quantile(0.99))
+		}
+		fmt.Printf("%-28s %-5s %6d %6d %8s %9s %9s %8d\n",
+			name, "up", sess, degr, qps, p50, p99, errorCount(snap))
+	}
+
+	merged := resp.Merged
+	trips := merged.CounterTotal("deepcat_breaker_trips_total")
+	proxied := merged.CounterTotal("deepcat_fleet_forwards_total")
+	fmt.Printf("\nfleet: %d sessions, %d breaker trips, %d forwards\n",
+		gaugeOrZero(merged, "deepcat_sessions_live"), trips, proxied)
+
+	spineSection(merged)
+}
+
+// fmtLatency renders a latency in seconds with a unit that keeps three
+// significant figures readable (µs/ms/s).
+func fmtLatency(sec float64) string {
+	switch {
+	case sec < 0.001:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+// errorCount sums request counters whose code label is a 5xx.
+func errorCount(snap obs.Snapshot) uint64 {
+	var total uint64
+	for _, ins := range snap.Instruments {
+		if ins.Name == "deepcat_http_requests_total" && ins.Kind == "counter" &&
+			strings.Contains(ins.Labels, `code="5`) {
+			total += ins.Value
+		}
+	}
+	return total
+}
+
+func gaugeOrZero(snap obs.Snapshot, name string) int64 {
+	v, _ := snap.GaugeValue(name)
+	return v
+}
+
+// spineSection renders per-family replay-spine health from the merged
+// snapshot, if a spine is running anywhere in the fleet.
+func spineSection(merged obs.Snapshot) {
+	type laneRow struct {
+		version, lag, depth, staleness int64
+	}
+	lanes := map[string]*laneRow{}
+	get := func(fam string) *laneRow {
+		r, ok := lanes[fam]
+		if !ok {
+			r = &laneRow{}
+			lanes[fam] = r
+		}
+		return r
+	}
+	var dutyPermille int64 = -1
+	for _, ins := range merged.Instruments {
+		if ins.Kind != "gauge" {
+			continue
+		}
+		fam := labelValue(ins.Labels, "family")
+		switch ins.Name {
+		case "deepcat_spine_policy_version":
+			get(fam).version = ins.Gauge
+		case "deepcat_spine_adoption_lag_versions":
+			get(fam).lag = ins.Gauge
+		case "deepcat_spine_queue_depth":
+			get(fam).depth = ins.Gauge
+		case "deepcat_spine_policy_staleness_seconds":
+			get(fam).staleness = ins.Gauge
+		case "deepcat_spine_learner_duty_permille":
+			dutyPermille = ins.GaugeMax
+		}
+	}
+	if len(lanes) == 0 && dutyPermille < 0 {
+		return
+	}
+	fmt.Println("\nspine:")
+	if dutyPermille >= 0 {
+		fmt.Printf("  learner duty %.1f%%\n", float64(dutyPermille)/10)
+	}
+	fams := make([]string, 0, len(lanes))
+	for fam := range lanes {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	if len(fams) > 0 {
+		fmt.Printf("  %-16s %8s %6s %7s %10s\n", "FAMILY", "VERSION", "LAG", "QUEUE", "STALENESS")
+		for _, fam := range fams {
+			r := lanes[fam]
+			fmt.Printf("  %-16s %8d %6d %7d %9ds\n", fam, r.version, r.lag, r.depth, r.staleness)
+		}
+	}
+}
+
+// labelValue extracts one label's value from a rendered label set like
+// `family="wc-1-a",shard="..."`; "" when absent.
+func labelValue(labels, key string) string {
+	marker := key + `="`
+	i := strings.Index(labels, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := labels[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}

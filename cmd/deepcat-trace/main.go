@@ -15,6 +15,18 @@
 // others were rejected, the reward arithmetic and the replay routing.
 // -export chrome renders the trace as Chrome trace-event JSON for Perfetto
 // or chrome://tracing (-o picks the output file, default stdout).
+//
+// A fourth mode stitches one request's propagated trace context back
+// together across the spools of several fleet processes:
+//
+//	deepcat-trace -stitch router-traces,shard1-traces,shard2-traces
+//
+// picks the trace spanning the most spools (-trace-id selects one
+// explicitly) and prints a single cross-process timeline with per-stage
+// latency attribution; combined with -export chrome it writes a
+// multi-track Chrome trace, one process track per spool.
+// -require-sources N exits non-zero unless the trace crosses at least N
+// spools — CI uses it to assert that propagation survived a 307/proxy hop.
 package main
 
 import (
@@ -50,8 +62,19 @@ func main() {
 		why    = flag.Int("why", 0, "drill into one online step: candidates, verdicts, reward arithmetic")
 		export = flag.String("export", "", `export format: "chrome" (Perfetto / chrome://tracing)`)
 		out    = flag.String("o", "", "export output file (default stdout)")
+
+		stitch     = flag.String("stitch", "", "comma-separated trace dirs: stitch one request's spans across their spools")
+		traceID    = flag.String("trace-id", "", "stitch this trace id (default: the trace spanning the most sources)")
+		requireSrc = flag.Int("require-sources", 0, "with -stitch, exit non-zero unless the trace spans at least this many spools")
 	)
 	flag.Parse()
+
+	if *stitch != "" {
+		if err := runStitch(*stitch, *traceID, *requireSrc, *export, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	events, label, err := loadEvents(*spool, *addr, *session, *demo,
 		*workload, *input, *cluster, *seed, *steps, *offline, *n)
@@ -86,6 +109,109 @@ func main() {
 		whyStep(events, *why)
 	default:
 		summarize(events, label)
+	}
+}
+
+// runStitch joins one propagated request trace across the spool files of
+// several processes (router, shards, spine) and prints it as a single
+// timeline — or exports it as a multi-track Chrome trace with -export.
+func runStitch(dirList, traceID string, requireSrc int, export, out string) error {
+	var dirs []string
+	for _, d := range strings.Split(dirList, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			dirs = append(dirs, d)
+		}
+	}
+	if len(dirs) == 0 {
+		return fmt.Errorf("-stitch needs at least one trace directory")
+	}
+	traces, err := trace.CollectTraces(dirs)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no propagated traces under %s (were the daemons started with a trace dir?)", dirList)
+	}
+	id := traceID
+	if id == "" {
+		id = trace.BestTrace(traces)
+	}
+	events, ok := traces[id]
+	if !ok {
+		return fmt.Errorf("trace %s not found (%d traces collected; omit -trace-id to auto-pick the widest)", id, len(traces))
+	}
+	sources := trace.Sources(events)
+	if requireSrc > 0 && len(sources) < requireSrc {
+		return fmt.Errorf("trace %s spans %d source(s) %v, need at least %d", id, len(sources), sources, requireSrc)
+	}
+	switch export {
+	case "":
+		stitchSummary(id, events, sources)
+		return nil
+	case "chrome":
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.WriteChromeStitched(w, id, events); err != nil {
+			return err
+		}
+		if out != "" {
+			fmt.Printf("wrote stitched trace %s (%d events, %d sources) to %s\n", id, len(events), len(sources), out)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown export format %q", export)
+	}
+}
+
+// stitchSummary prints a stitched trace as one chronological timeline with
+// per-stage latency attribution: each span's offset from the request start,
+// its duration and which process it ran in.
+func stitchSummary(id string, events []trace.SourcedEvent, sources []string) {
+	var spans []trace.SourcedEvent
+	for _, se := range events {
+		if se.Event.Kind == trace.KindSpan {
+			spans = append(spans, se)
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		return spans[i].Event.Time.Before(spans[j].Event.Time)
+	})
+	fmt.Printf("trace %s: %d spans across %d sources (%s)\n",
+		id, len(spans), len(sources), strings.Join(sources, ", "))
+	if len(spans) == 0 {
+		return
+	}
+	start := spans[0].Event.Time
+	stage := map[string]time.Duration{}
+	for _, se := range spans {
+		ev := se.Event
+		dur := time.Duration(ev.DurNS)
+		stage[ev.Span] += dur
+		line := fmt.Sprintf("  +%-9s %-24s %-16s %s",
+			ev.Time.Sub(start).Round(time.Microsecond), se.Source, ev.Span, dur.Round(time.Microsecond))
+		if rid := ev.Attrs["request_id"]; rid != "" {
+			line += "  request_id=" + rid
+		}
+		if tgt := ev.Attrs["target"]; tgt != "" {
+			line += "  target=" + tgt
+		}
+		fmt.Println(line)
+	}
+	names := make([]string, 0, len(stage))
+	for name := range stage {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("stage totals:")
+	for _, name := range names {
+		fmt.Printf("  %-24s %s\n", name, stage[name].Round(time.Microsecond))
 	}
 }
 

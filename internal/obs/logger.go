@@ -194,10 +194,25 @@ func formatKey(k any) string {
 	if !ok {
 		s = fmt.Sprint(k)
 	}
-	if strings.ContainsAny(s, " =\"\n") {
+	if needsQuoting(s) {
 		return strconv.Quote(s)
 	}
 	return s
+}
+
+// needsQuoting reports whether a key=value token must be quoted to keep
+// the line parseable: empty, containing separator bytes (space, '=',
+// quote, newline) or any control character.
+func needsQuoting(s string) bool {
+	if s == "" || strings.ContainsAny(s, " =\"\n") {
+		return true
+	}
+	for _, r := range s {
+		if r < 0x20 || r == 0x7f {
+			return true
+		}
+	}
+	return false
 }
 
 // appendPairsJSON is appendPairs for FormatJSON: each pair is rendered as
@@ -257,7 +272,7 @@ func formatValue(v any) string {
 	default:
 		s = fmt.Sprint(v)
 	}
-	if s == "" || strings.ContainsAny(s, " =\"\n") {
+	if needsQuoting(s) {
 		return strconv.Quote(s)
 	}
 	return s

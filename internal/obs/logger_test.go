@@ -149,3 +149,61 @@ func TestParseFormat(t *testing.T) {
 		t.Fatal("ParseFormat accepted junk")
 	}
 }
+
+// TestLoggerJSONEscaping pins the JSON logger's handling of hostile value
+// bytes: control characters, '=' and quotes must survive a round trip
+// through encoding and never appear raw on the wire, where they would
+// corrupt line-oriented log shippers.
+func TestLoggerJSONEscaping(t *testing.T) {
+	var b strings.Builder
+	l := NewLoggerFormat(&b, LevelDebug, FormatJSON)
+	l.now = fixedClock
+	msg := "weird \"msg\" \x01with ctl"
+	val := "a=b\nc\td\x00e\"f"
+	l.Info(msg, "key \"with\" quotes", val, "plain", "ok")
+
+	line := b.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("line not newline-terminated: %q", line)
+	}
+	for i := 0; i < len(line)-1; i++ {
+		if line[i] < 0x20 {
+			t.Fatalf("raw control byte 0x%02x at offset %d on the wire: %q", line[i], i, line)
+		}
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(line), &doc); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%q", err, line)
+	}
+	if doc["msg"] != msg {
+		t.Errorf("msg round-trip: got %q, want %q", doc["msg"], msg)
+	}
+	if doc[`key "with" quotes`] != val {
+		t.Errorf("value round-trip: got %q, want %q", doc[`key "with" quotes`], val)
+	}
+	if doc["plain"] != "ok" {
+		t.Errorf("plain value: got %q", doc["plain"])
+	}
+}
+
+// TestLoggerKVEscaping pins the key=value format: values carrying '=',
+// quotes or control characters are strconv-quoted so the line stays
+// splittable on spaces and parseable with strconv.Unquote.
+func TestLoggerKVEscaping(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelDebug)
+	l.now = fixedClock
+	l.Info("m", "eq", "a=b", "ctl", "x\x01y", "tab", "x\ty", "quote", `x"y`)
+
+	line := strings.TrimSuffix(b.String(), "\n")
+	for i := 0; i < len(line); i++ {
+		if line[i] < 0x20 {
+			t.Fatalf("raw control byte 0x%02x on the wire: %q", line[i], line)
+		}
+	}
+	for _, want := range []string{`eq="a=b"`, `ctl="x\x01y"`, `tab="x\ty"`, `quote="x\"y"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line missing %s:\n%q", want, line)
+		}
+	}
+}

@@ -340,77 +340,13 @@ func escapeLabel(v string) string {
 
 // WritePrometheus writes every registered instrument in the Prometheus
 // text exposition format, sorted by name then labels, with one # TYPE line
-// per family.
+// per family. It delegates to the snapshot writer, so a merged fleet
+// snapshot and a live registry render identically.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	all := make([]*instrument, 0, len(r.instruments))
-	for _, ins := range r.instruments {
-		all = append(all, ins)
-	}
-	r.mu.Unlock()
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].name != all[j].name {
-			return all[i].name < all[j].name
-		}
-		return all[i].labels < all[j].labels
-	})
-	var lastFamily string
-	for _, ins := range all {
-		if ins.name != lastFamily {
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", ins.name, ins.kind); err != nil {
-				return err
-			}
-			lastFamily = ins.name
-		}
-		if err := writeInstrument(w, ins); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func writeInstrument(w io.Writer, ins *instrument) error {
-	suffix := ""
-	if ins.labels != "" {
-		suffix = "{" + ins.labels + "}"
-	}
-	switch ins.kind {
-	case kindCounter:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", ins.name, suffix, ins.c.Value())
-		return err
-	case kindGauge:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", ins.name, suffix, ins.g.Value())
-		return err
-	}
-	h := ins.h
-	var cum uint64
-	for i, bound := range h.bounds {
-		cum += h.counts[i].Load()
-		if err := writeBucket(w, ins, formatFloat(bound), cum); err != nil {
-			return err
-		}
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	if err := writeBucket(w, ins, "+Inf", cum); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", ins.name, suffix, formatFloat(h.Sum())); err != nil {
-		return err
-	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", ins.name, suffix, h.Count())
-	return err
-}
-
-func writeBucket(w io.Writer, ins *instrument, le string, cum uint64) error {
-	sep := ""
-	if ins.labels != "" {
-		sep = ins.labels + ","
-	}
-	_, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", ins.name, sep, le, cum)
-	return err
+	return r.Snapshot().WritePrometheus(w)
 }
 
 func formatFloat(f float64) string {

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotMergeSumsAcrossShards(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("deepcat_requests_total", "endpoint", "suggest").Add(3)
+	a.Gauge("deepcat_inflight").Set(2)
+	ha := a.Histogram("deepcat_latency_seconds", []float64{0.1, 1})
+	ha.Observe(0.05)
+	ha.Observe(2)
+
+	b := NewRegistry()
+	b.Counter("deepcat_requests_total", "endpoint", "suggest").Add(4)
+	b.Gauge("deepcat_inflight").Set(5)
+	hb := b.Histogram("deepcat_latency_seconds", []float64{0.1, 1})
+	hb.Observe(0.5)
+
+	merged := a.Snapshot()
+	if err := merged.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.CounterTotal("deepcat_requests_total"); got != 7 {
+		t.Errorf("counter total = %d, want 7", got)
+	}
+	if got, _ := merged.GaugeValue("deepcat_inflight"); got != 7 {
+		t.Errorf("gauge sum = %d, want 7", got)
+	}
+	for _, ins := range merged.Instruments {
+		if ins.Name == "deepcat_inflight" && ins.GaugeMax != 5 {
+			t.Errorf("gauge max = %d, want 5 (hottest shard)", ins.GaugeMax)
+		}
+	}
+	h := merged.HistogramTotal("deepcat_latency_seconds")
+	if h == nil || h.Count != 3 {
+		t.Fatalf("merged histogram = %+v, want count 3", h)
+	}
+	// One observation per bucket: 0.05 in le=0.1, 0.5 in le=1, 2 in +Inf.
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Errorf("bucket counts = %v, want [1 1 1]", h.Counts)
+	}
+}
+
+// TestSnapshotMergeRejectsMismatchedBuckets pins the layout guard: two
+// shards running different builds with different bucket boundaries must
+// fail the merge loudly instead of silently adding unlike buckets.
+func TestSnapshotMergeRejectsMismatchedBuckets(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("deepcat_latency_seconds", []float64{0.1, 1}).Observe(0.5)
+	b := NewRegistry()
+	b.Histogram("deepcat_latency_seconds", []float64{0.1, 1, 10}).Observe(0.5)
+
+	snap := a.Snapshot()
+	if err := snap.Merge(b.Snapshot()); err == nil {
+		t.Fatal("merging histograms with different bucket layouts did not error")
+	}
+
+	c := NewRegistry()
+	c.Histogram("deepcat_latency_seconds", []float64{0.1, 2}).Observe(0.5)
+	snap = a.Snapshot()
+	if err := snap.Merge(c.Snapshot()); err == nil {
+		t.Fatal("merging histograms with different bucket bounds did not error")
+	}
+}
+
+// TestSnapshotMergeKindMismatch: the same name snapshotted as a counter on
+// one shard and a gauge on another cannot be combined.
+func TestSnapshotMergeKindMismatch(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("deepcat_thing").Add(1)
+	b := NewRegistry()
+	b.Gauge("deepcat_thing").Set(1)
+
+	snap := a.Snapshot()
+	if err := snap.Merge(b.Snapshot()); err == nil {
+		t.Fatal("merging a counter with a gauge of the same name did not error")
+	}
+}
+
+func TestSnapshotMergeEmptyHistogram(t *testing.T) {
+	a := NewRegistry()
+	ha := a.Histogram("deepcat_latency_seconds", []float64{0.1, 1})
+	ha.Observe(0.05)
+	b := NewRegistry()
+	b.Histogram("deepcat_latency_seconds", []float64{0.1, 1}) // registered, never observed
+
+	// Empty into populated.
+	snap := a.Snapshot()
+	if err := snap.Merge(b.Snapshot()); err != nil {
+		t.Fatalf("merging an empty histogram: %v", err)
+	}
+	if h := snap.HistogramTotal("deepcat_latency_seconds"); h == nil || h.Count != 1 || h.Sum != 0.05 {
+		t.Errorf("merged = %+v, want count 1 sum 0.05", snap.HistogramTotal("deepcat_latency_seconds"))
+	}
+
+	// Populated into empty.
+	snap = b.Snapshot()
+	if err := snap.Merge(a.Snapshot()); err != nil {
+		t.Fatalf("merging into an empty histogram: %v", err)
+	}
+	if h := snap.HistogramTotal("deepcat_latency_seconds"); h == nil || h.Count != 1 {
+		t.Errorf("merged = %+v, want count 1", snap.HistogramTotal("deepcat_latency_seconds"))
+	}
+
+	// Empty into empty, plus merging into a zero-value Snapshot.
+	var zero Snapshot
+	if err := zero.Merge(b.Snapshot()); err != nil {
+		t.Fatalf("merging into zero snapshot: %v", err)
+	}
+	if h := zero.HistogramTotal("deepcat_latency_seconds"); h == nil || h.Count != 0 {
+		t.Errorf("zero merge = %+v, want empty histogram present", h)
+	}
+}
+
+// TestSnapshotMergedPrometheusGolden pins the exposition of a merged
+// snapshot — bucket, _sum and _count lines must reflect the fleet-wide
+// totals in the exact format a single registry would emit.
+func TestSnapshotMergedPrometheusGolden(t *testing.T) {
+	a := NewRegistry()
+	ha := a.Histogram("deepcat_latency_seconds", []float64{0.1, 1})
+	ha.Observe(0.05)
+	ha.Observe(2)
+	a.Counter("deepcat_requests_total", "endpoint", "suggest").Add(3)
+
+	b := NewRegistry()
+	hb := b.Histogram("deepcat_latency_seconds", []float64{0.1, 1})
+	hb.Observe(0.5)
+	b.Counter("deepcat_requests_total", "endpoint", "suggest").Add(2)
+
+	merged := a.Snapshot()
+	if err := merged.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	merged.SetGauge("deepcat_fleet_shard_up", 1, "shard", "http://a")
+
+	var out strings.Builder
+	if err := merged.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE deepcat_fleet_shard_up gauge
+deepcat_fleet_shard_up{shard="http://a"} 1
+# TYPE deepcat_latency_seconds histogram
+deepcat_latency_seconds_bucket{le="0.1"} 1
+deepcat_latency_seconds_bucket{le="1"} 2
+deepcat_latency_seconds_bucket{le="+Inf"} 3
+deepcat_latency_seconds_sum 2.55
+deepcat_latency_seconds_count 3
+# TYPE deepcat_requests_total counter
+deepcat_requests_total{endpoint="suggest"} 5
+`
+	if out.String() != want {
+		t.Fatalf("merged exposition mismatch:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}

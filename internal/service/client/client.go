@@ -6,6 +6,8 @@ package client
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,16 +20,22 @@ import (
 
 	"deepcat/internal/obs"
 	"deepcat/internal/service"
+	"deepcat/internal/trace"
 )
 
 // APIError is a non-2xx response decoded from the server's error envelope.
 type APIError struct {
 	Status  int
 	Message string
-	// RequestID is the server-assigned X-Request-Id of the failed call;
-	// quote it when filing a report so the operator can find the matching
-	// server-side log line and histogram sample.
+	// RequestID is the X-Request-Id of the failed call (the client mints
+	// one per call and every fleet hop adopts it); quote it when filing a
+	// report so the operator can find the matching server-side log line and
+	// histogram sample on any shard.
 	RequestID string
+	// Shard is the fleet shard that actually served the response (the
+	// X-Deepcat-Shard header) — for a proxied call that is the owner behind
+	// the node the client talked to. Empty against a standalone daemon.
+	Shard string
 	// RetryAfter is the server's Retry-After hint, if it sent one (both the
 	// delay-seconds and HTTP-date forms are understood); zero otherwise.
 	// The retry loop prefers it over its own computed backoff.
@@ -36,10 +44,16 @@ type APIError struct {
 
 // Error implements the error interface.
 func (e *APIError) Error() string {
-	if e.RequestID != "" {
-		return fmt.Sprintf("service: HTTP %d: %s (request_id %s)", e.Status, e.Message, e.RequestID)
+	detail := ""
+	switch {
+	case e.RequestID != "" && e.Shard != "":
+		detail = fmt.Sprintf(" (request_id %s, shard %s)", e.RequestID, e.Shard)
+	case e.RequestID != "":
+		detail = fmt.Sprintf(" (request_id %s)", e.RequestID)
+	case e.Shard != "":
+		detail = fmt.Sprintf(" (shard %s)", e.Shard)
 	}
-	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+	return fmt.Sprintf("service: HTTP %d: %s%s", e.Status, e.Message, detail)
 }
 
 // RetryPolicy controls how the client retries transient failures: network
@@ -128,10 +142,37 @@ type Client struct {
 	// them.
 	Retry RetryPolicy
 	// Log, when set, records one debug line per call carrying the
-	// server-assigned X-Request-Id, so a slow suggest seen here can be
-	// correlated with the daemon's own access log and latency histograms.
-	// Nil disables client-side logging.
+	// call's X-Request-Id, so a slow suggest seen here can be correlated
+	// with the daemon's own access log and latency histograms. Nil disables
+	// client-side logging.
 	Log *obs.Logger
+	// TraceContext, when Valid, is the root trace context: every call
+	// derives its per-call context as a child of it, so a scheduler can
+	// group one tuning step's suggest and observe — and every fleet hop
+	// they touch — under a single trace id for cmd/deepcat-trace to stitch.
+	// The zero value mints an independent trace per call instead.
+	TraceContext trace.SpanContext
+}
+
+// newClientRequestID mints the per-call correlation id the client sends as
+// X-Request-Id; every fleet hop adopts it, so client logs and all shard
+// logs share one id per logical call (retries included).
+func newClientRequestID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "c-" + hex.EncodeToString(b[:])
+}
+
+// callContext derives the trace context for one logical call: a child of
+// c.TraceContext when set, a fresh root otherwise. Ids come from
+// crypto/rand — propagation never touches any tuner's seeded randomness.
+func (c *Client) callContext() trace.SpanContext {
+	if c.TraceContext.Valid() {
+		return c.TraceContext.Child()
+	}
+	return trace.NewSpanContext()
 }
 
 // New returns a client for the daemon at baseURL with the default retry
@@ -162,6 +203,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if attempts < 1 {
 		attempts = 1
 	}
+	// One trace context and request id per logical call, shared by every
+	// retry attempt (and preserved by Go's transport across 307 redirects),
+	// so all hops and attempts of one call stitch under one identity.
+	sc := c.callContext()
+	reqID := newClientRequestID()
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
@@ -169,7 +215,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 				return fmt.Errorf("client: %s %s: %w (last attempt: %v)", method, path, err, lastErr)
 			}
 		}
-		err, retriable := c.doOnce(ctx, method, path, in != nil, data, out)
+		err, retriable := c.doOnce(ctx, method, path, in != nil, data, out, sc, reqID)
 		if err == nil {
 			return nil
 		}
@@ -213,8 +259,10 @@ func (c *Client) retryDelay(n int, lastErr error) time.Duration {
 }
 
 // doOnce performs a single attempt, reporting whether a failure is
-// transient and worth retrying.
-func (c *Client) doOnce(ctx context.Context, method, path string, hasBody bool, data []byte, out any) (err error, retriable bool) {
+// transient and worth retrying. sc and reqID are the call's propagated
+// trace context and correlation id; the transport re-sends both headers
+// when the fleet answers 307, so the owner shard sees the same identity.
+func (c *Client) doOnce(ctx context.Context, method, path string, hasBody bool, data []byte, out any, sc trace.SpanContext, reqID string) (err error, retriable bool) {
 	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(data))
 	if err != nil {
@@ -223,19 +271,24 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hasBody bool, 
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set(trace.TraceparentHeader, sc.Traceparent())
+	req.Header.Set("X-Request-Id", reqID)
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		c.Log.Debug("request error", "method", method, "path", path, "err", err)
+		c.Log.Debug("request error", "request_id", reqID, "method", method, "path", path, "err", err)
 		return fmt.Errorf("client: %s %s: %w", method, path, err), true
 	}
 	defer resp.Body.Close()
-	reqID := resp.Header.Get("X-Request-Id")
+	if v := resp.Header.Get("X-Request-Id"); v != "" {
+		reqID = v // a pre-propagation daemon may still mint its own
+	}
+	shard := resp.Header.Get("X-Deepcat-Shard")
 	c.Log.Debug("request", "request_id", reqID, "method", method, "path", path,
-		"code", resp.StatusCode, "dur", time.Since(start))
+		"shard", shard, "code", resp.StatusCode, "dur", time.Since(start))
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var env service.ErrorResponse
 		msg := resp.Status
@@ -246,6 +299,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hasBody bool, 
 			Status:     resp.StatusCode,
 			Message:    msg,
 			RequestID:  reqID,
+			Shard:      shard,
 			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 		}, retriableStatus(resp.StatusCode)
 	}
@@ -375,6 +429,22 @@ func (c *Client) TraceExport(id, format string) ([]byte, error) {
 	}
 	err := c.do(context.Background(), http.MethodGet, path, nil, &raw)
 	return []byte(raw), err
+}
+
+// MetricsSnapshot fetches one daemon's registry as a mergeable snapshot.
+func (c *Client) MetricsSnapshot(ctx context.Context) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	err := c.do(ctx, http.MethodGet, "/v1/metrics/snapshot", nil, &snap)
+	return snap, err
+}
+
+// FleetMetrics fetches the fleet-wide aggregated metrics view: per-shard
+// snapshots plus the merged registry with availability annotations. A
+// standalone daemon answers 404; fall back to MetricsSnapshot there.
+func (c *Client) FleetMetrics(ctx context.Context) (service.FleetMetricsResponse, error) {
+	var resp service.FleetMetricsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/fleet/metrics?format=json", nil, &resp)
+	return resp, err
 }
 
 // WarehouseStats fetches the daemon's experience-warehouse summary.

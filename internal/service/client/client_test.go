@@ -199,8 +199,9 @@ func TestRequestIDSurfaced(t *testing.T) {
 	}
 }
 
-// TestEndToEndRequestID drives a real daemon and asserts the generated id
-// shows up on the response of a failing call.
+// TestEndToEndRequestID drives a real daemon and asserts the client-minted
+// request id is adopted by the server and echoed back on a failing call, so
+// the id the caller logs matches the shard's access log.
 func TestEndToEndRequestID(t *testing.T) {
 	store, err := service.NewFSStore(t.TempDir())
 	if err != nil {
@@ -215,8 +216,8 @@ func TestEndToEndRequestID(t *testing.T) {
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
 		t.Fatalf("want 404 APIError, got %v", err)
 	}
-	if !strings.HasPrefix(apiErr.RequestID, "r-") {
-		t.Fatalf("server did not assign a request id: %+v", apiErr)
+	if !strings.HasPrefix(apiErr.RequestID, "c-") {
+		t.Fatalf("server did not echo the client-minted request id: %+v", apiErr)
 	}
 }
 

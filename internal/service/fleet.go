@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 
 	"deepcat/internal/fleet"
 	"deepcat/internal/obs"
+	"deepcat/internal/trace"
 	"deepcat/internal/warehouse"
 )
 
@@ -32,6 +34,15 @@ const maxCheckpointBytes = 64 << 20
 // the fleet router's probe timeout so a wedged shard answers "not ready"
 // (or times out client-side) instead of stalling its peers' probers.
 const readyCheckTimeout = 500 * time.Millisecond
+
+// fleetScrapeTimeout bounds each per-shard metrics scrape inside
+// /v1/fleet/metrics. A dead or wedged shard costs the aggregated view at
+// most this long and is marked unavailable, never an error.
+const fleetScrapeTimeout = 2 * time.Second
+
+// maxSnapshotBytes bounds a scraped peer snapshot body; a real registry
+// snapshot is tens of kilobytes.
+const maxSnapshotBytes = 16 << 20
 
 // FleetOptions configures a Server as one shard of a fleet.
 type FleetOptions struct {
@@ -52,6 +63,9 @@ type fleetGlue struct {
 	manager *Manager
 	hc      *http.Client
 	log     *obs.Logger
+	// rec mirrors the owning Server's process recorder (nil with tracing
+	// off); the proxy hop records its span there.
+	rec *trace.Session
 
 	mu sync.Mutex
 	// moved tombstones sessions explicitly migrated off this node: id ->
@@ -144,7 +158,10 @@ func (g *fleetGlue) redirect(w http.ResponseWriter, r *http.Request, target stri
 }
 
 // proxyWith relays the request server-side and streams the owner's
-// response back verbatim.
+// response back verbatim. The hop propagates this node's request id and a
+// child trace context downstream, so the owner's spans join the same trace
+// with this hop as their parent; the hop itself is recorded as a
+// "fleet.proxy" span in the process recorder.
 func (g *fleetGlue) proxyWith(w http.ResponseWriter, r *http.Request, target string, body io.Reader) {
 	g.manager.met.fleetProxied.Inc()
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.RequestURI(), body)
@@ -154,20 +171,39 @@ func (g *fleetGlue) proxyWith(w http.ResponseWriter, r *http.Request, target str
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(forwardedHeader, g.router.Self())
+	// instrument stamped both headers on the response; forwarding the same
+	// values means every hop logs one request id, and the downstream spans
+	// point at this hop as their parent within the same trace.
+	if id := w.Header().Get(requestIDHeader); id != "" {
+		req.Header.Set(requestIDHeader, id)
+	}
+	sp := trace.Begin(g.rec, "fleet.proxy").Attr("target", target)
+	if sc, ok := trace.FromContext(r.Context()); ok {
+		req.Header.Set(trace.TraceparentHeader, sc.Child().Traceparent())
+		sp.AttrContext(sc)
+	}
 	resp, err := g.hc.Do(req)
 	if err != nil {
+		sp.Attr("error", err.Error()).End()
 		writeJSON(w, http.StatusBadGateway, ErrorResponse{Error: fmt.Sprintf("proxy to %s: %s", target, err)})
 		return
 	}
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
-		if k == requestIDHeader {
-			continue // instrument already stamped this node's copy
+		switch http.CanonicalHeaderKey(k) {
+		case requestIDHeader, http.CanonicalHeaderKey(trace.TraceparentHeader):
+			continue // instrument already stamped this node's copies
+		case shardHeader:
+			// The owner did the work; its identity wins over the one this
+			// node's instrument stamped.
+			w.Header().Set(shardHeader, resp.Header.Get(shardHeader))
+			continue
 		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
 	}
+	sp.AttrInt("status", resp.StatusCode).End()
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
 }
@@ -369,6 +405,94 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, MigrateResponse{ID: id, Target: target})
+}
+
+// scrapeShard fetches one peer's metrics snapshot with its own timeout so
+// a dead shard delays the aggregated view by at most fleetScrapeTimeout.
+func (g *fleetGlue) scrapeShard(ctx context.Context, url string) ShardMetrics {
+	sm := ShardMetrics{URL: url}
+	ctx, cancel := context.WithTimeout(ctx, fleetScrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/metrics/snapshot", nil)
+	if err != nil {
+		sm.Error = err.Error()
+		return sm
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		sm.Error = err.Error()
+		return sm
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		sm.Error = fmt.Sprintf("HTTP %d", resp.StatusCode)
+		return sm
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxSnapshotBytes)).Decode(&sm.Snapshot); err != nil {
+		sm.Error = fmt.Sprintf("decode snapshot: %s", err)
+		return sm
+	}
+	sm.OK = true
+	return sm
+}
+
+// handleFleetMetrics serves the fleet-wide aggregated registry: every ring
+// member is scraped concurrently (self is snapshotted in-process), the
+// per-shard snapshots merge per obs.Snapshot semantics — counters sum,
+// gauges sum tracking the max contribution, histograms add bucket-wise —
+// and the merged view is annotated with one deepcat_fleet_shard_up gauge
+// per member. Unreachable or incompatible shards degrade to up=0 without
+// failing the response. Default output is the Prometheus text exposition;
+// ?format=json returns the merged and per-shard snapshots for dashboards
+// (deepcat-top drives this form).
+func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	if f := r.URL.Query().Get("format"); f != "" && f != "json" && f != "prometheus" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown metrics format %q", f)})
+		return
+	}
+	g := s.fleet
+	members := g.router.Peers()
+	shards := make([]ShardMetrics, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		if m == g.router.Self() {
+			shards[i] = ShardMetrics{URL: m, Self: true, OK: true, Snapshot: s.manager.MetricsSnapshot()}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			shards[i] = g.scrapeShard(r.Context(), m)
+		}(i, m)
+	}
+	wg.Wait()
+	var merged obs.Snapshot
+	for i := range shards {
+		if !shards[i].OK {
+			continue
+		}
+		if err := merged.Merge(shards[i].Snapshot); err != nil {
+			// A merge failure means the shard runs an incompatible build
+			// (mismatched histogram layouts); its numbers are excluded and it
+			// reports as down rather than silently corrupting the totals.
+			shards[i].OK = false
+			shards[i].Error = err.Error()
+			g.log.Warn("fleet metrics merge failed", "shard", shards[i].URL, "err", err)
+		}
+	}
+	for _, sm := range shards {
+		up := int64(0)
+		if sm.OK {
+			up = 1
+		}
+		merged.SetGauge("deepcat_fleet_shard_up", up, "shard", sm.URL)
+	}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, FleetMetricsResponse{Self: g.router.Self(), Shards: shards, Merged: merged})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = merged.WritePrometheus(w)
 }
 
 func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {

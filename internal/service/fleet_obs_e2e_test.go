@@ -1,0 +1,302 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"deepcat/internal/fleet"
+	"deepcat/internal/obs"
+	"deepcat/internal/service"
+	"deepcat/internal/service/client"
+	"deepcat/internal/spine"
+	"deepcat/internal/trace"
+)
+
+// obsFleet is a fleet whose every shard runs the full observability stack:
+// a metrics registry, a flight recorder spooling to a per-shard trace
+// directory, and a replay spine — the deployment the fleet metrics
+// aggregation and cross-shard trace stitching are built for.
+type obsFleet struct {
+	t        *testing.T
+	nodes    []*fleetNode
+	traceDir []string // one per node, distinct basenames for stitching
+}
+
+func newObsFleet(t *testing.T, n int) *obsFleet {
+	t.Helper()
+	dir := t.TempDir()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = lis
+		urls[i] = "http://" + lis.Addr().String()
+	}
+	of := &obsFleet{t: t}
+	for i, lis := range listeners {
+		store, err := service.NewFSStore(filepath.Join(dir, "store"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := service.NewManager(store, 0)
+		reg := obs.NewRegistry()
+		m.AttachObs(reg, nil)
+		td := filepath.Join(dir, fmt.Sprintf("shard%d", i))
+		m.AttachTrace(service.TraceConfig{Dir: td})
+		sp := spine.New(spine.Options{Registry: reg})
+		t.Cleanup(sp.Close)
+		m.AttachSpine(service.SpineConfig{Spine: sp, AdoptEvery: 1})
+		router, err := fleet.NewRouter(fleet.Config{
+			Self:          urls[i],
+			Peers:         urls,
+			ProbeInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetOwned(router.Owns)
+		hs := &http.Server{Handler: service.NewFleetServer(m, service.FleetOptions{Router: router, Proxy: true})}
+		go hs.Serve(lis)
+		c := client.New(urls[i])
+		of.nodes = append(of.nodes, &fleetNode{url: urls[i], hs: hs, manager: m, router: router, client: c})
+		of.traceDir = append(of.traceDir, td)
+	}
+	t.Cleanup(func() {
+		for _, n := range of.nodes {
+			n.hs.Close()
+		}
+	})
+	return of
+}
+
+func (of *obsFleet) owner(id string) int {
+	url := of.nodes[0].router.Ring().Owner(id)
+	for i, n := range of.nodes {
+		if n.url == url {
+			return i
+		}
+	}
+	of.t.Fatalf("owner %s of %s is not a fleet node", url, id)
+	return -1
+}
+
+// shardUp reads the merged availability gauge for one member.
+func shardUp(snap obs.Snapshot, url string) (int64, bool) {
+	for _, ins := range snap.Instruments {
+		if ins.Name == "deepcat_fleet_shard_up" && strings.Contains(ins.Labels, `shard="`+url+`"`) {
+			return ins.Gauge, true
+		}
+	}
+	return 0, false
+}
+
+// TestFleetObservabilityEndToEnd drives a 3-shard fleet with a replay
+// spine under a cross-shard client call and asserts the whole PR 9
+// surface at once: one propagated trace id stitches the entry shard's
+// router spans, the owner's handler and session spans and the spine
+// enqueue into a single multi-source trace; the fleet metrics endpoint's
+// merged totals equal the sum of the per-shard registries; and killing a
+// shard degrades the merged view (shard marked down) without erroring.
+func TestFleetObservabilityEndToEnd(t *testing.T) {
+	of := newObsFleet(t, 3)
+	ctx := context.Background()
+
+	// An explicit id the ring maps to a known owner, created through a
+	// NON-owner so create, suggest and observe all cross shards.
+	const id = "obs-e2e-1"
+	owner := of.owner(id)
+	entry := (owner + 1) % len(of.nodes)
+	c := client.New(of.nodes[entry].url)
+	c.TraceContext = trace.NewSpanContext()
+
+	if _, err := c.CreateSessionCtx(ctx, service.CreateSessionRequest{
+		ID: id, Workload: "TS", Input: 1, Seed: 7, NoWarmStart: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2; step++ {
+		if _, err := c.SuggestCtx(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ObserveCtx(ctx, id, service.ObserveRequest{ExecTime: 80 - float64(step)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- Stitching: one trace id across router, shard and spine spans. ---
+	traces, err := trace.CollectTraces(of.traceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, ok := traces[c.TraceContext.TraceID]
+	if !ok {
+		t.Fatalf("no stitched trace for client trace id %s (have %d traces)", c.TraceContext.TraceID, len(traces))
+	}
+	sources := trace.Sources(evs)
+	if len(sources) < 2 {
+		t.Fatalf("trace spans %d source(s) %v, want the entry and owner shards at least", len(sources), sources)
+	}
+	spanSources := map[string]map[string]bool{} // span name -> set of sources
+	for _, se := range evs {
+		if se.Event.Kind != trace.KindSpan {
+			continue
+		}
+		if spanSources[se.Event.Span] == nil {
+			spanSources[se.Event.Span] = map[string]bool{}
+		}
+		spanSources[se.Event.Span][se.Source] = true
+	}
+	for _, want := range []string{"http.suggest", "fleet.proxy", "session.suggest", "spine.enqueue"} {
+		if len(spanSources[want]) == 0 {
+			t.Errorf("stitched trace missing %q span (spans: %v)", want, spanSources)
+		}
+	}
+	// The proxied hop must put http.suggest spans in BOTH shards' spools.
+	if len(spanSources["http.suggest"]) < 2 {
+		t.Errorf("http.suggest recorded by %v, want both the entry and owner shards", spanSources["http.suggest"])
+	}
+	if trace.BestTrace(traces) != c.TraceContext.TraceID {
+		t.Errorf("BestTrace did not pick the cross-shard trace")
+	}
+
+	// --- Aggregation: merged totals equal the sum of per-shard shares. ---
+	resp, err := c.FleetMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Shards) != 3 {
+		t.Fatalf("fleet metrics covers %d shards, want 3", len(resp.Shards))
+	}
+	var sum uint64
+	for _, sm := range resp.Shards {
+		if !sm.OK {
+			t.Errorf("healthy shard %s reported down: %s", sm.URL, sm.Error)
+		}
+		sum += sm.Snapshot.CounterTotal("deepcat_http_requests_total")
+	}
+	if merged := resp.Merged.CounterTotal("deepcat_http_requests_total"); merged != sum || merged == 0 {
+		t.Errorf("merged request total %d != per-shard sum %d (or zero)", merged, sum)
+	}
+	for _, n := range of.nodes {
+		if up, ok := shardUp(resp.Merged, n.url); !ok || up != 1 {
+			t.Errorf("shard %s up gauge = %d (found %v), want 1", n.url, up, ok)
+		}
+	}
+
+	// --- Degradation: a killed shard is marked down, no error. ---
+	victim := of.nodes[(owner+2)%len(of.nodes)]
+	if err := victim.hs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	survivor := client.New(of.nodes[owner].url)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = survivor.FleetMetrics(ctx)
+		if err != nil {
+			t.Fatalf("fleet metrics errored with a dead shard: %v", err)
+		}
+		if up, ok := shardUp(resp.Merged, victim.url); ok && up == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead shard %s never marked down: %+v", victim.url, resp.Merged)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, sm := range resp.Shards {
+		if sm.URL == victim.url {
+			if sm.OK || sm.Error == "" {
+				t.Errorf("dead shard entry = %+v, want OK=false with an error", sm)
+			}
+		} else if !sm.OK {
+			t.Errorf("surviving shard %s reported down: %s", sm.URL, sm.Error)
+		}
+	}
+	// The merged exposition must still render.
+	hr, err := http.Get(of.nodes[owner].url + "/v1/fleet/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus form status = %d with a dead shard", hr.StatusCode)
+	}
+}
+
+// TestRecorderDoesNotPerturbDecisionsPropagated extends the recorder
+// neutrality invariant to the propagated-context path: a client sending
+// traceparent and request-id headers to a daemon that records server and
+// session spans must receive bit-identical suggestions to a client of an
+// untraced daemon. Trace ids come from crypto/rand and span recording
+// never touches the tuner's seeded RNG.
+func TestRecorderDoesNotPerturbDecisionsPropagated(t *testing.T) {
+	execTimes := []float64{90, 85, 70, 95}
+	run := func(traced bool) [][]float64 {
+		t.Helper()
+		dir := t.TempDir()
+		store, err := service.NewFSStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := service.NewManager(store, 0)
+		if traced {
+			m.AttachTrace(service.TraceConfig{Dir: filepath.Join(dir, "traces")})
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: service.NewServer(m)}
+		go hs.Serve(ln)
+		defer hs.Close()
+
+		c := client.New("http://" + ln.Addr().String())
+		if traced {
+			c.TraceContext = trace.NewSpanContext()
+		}
+		ctx := context.Background()
+		if _, err := c.CreateSessionCtx(ctx, service.CreateSessionRequest{
+			ID: "det", Workload: "TS", Input: 1, Seed: 11, NoWarmStart: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var actions [][]float64
+		for _, exec := range execTimes {
+			sr, err := c.SuggestCtx(ctx, "det")
+			if err != nil {
+				t.Fatal(err)
+			}
+			actions = append(actions, sr.Action)
+			if _, err := c.ObserveCtx(ctx, "det", service.ObserveRequest{ExecTime: exec}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return actions
+	}
+
+	plain := run(false)
+	traced := run(true)
+	if len(plain) != len(traced) {
+		t.Fatalf("step counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if len(plain[i]) != len(traced[i]) {
+			t.Fatalf("step %d action dims differ", i+1)
+		}
+		for j := range plain[i] {
+			if plain[i][j] != traced[i][j] {
+				t.Fatalf("step %d dim %d: %v != %v — propagated tracing altered a tuning decision",
+					i+1, j, plain[i][j], traced[i][j])
+			}
+		}
+	}
+}

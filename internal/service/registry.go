@@ -110,6 +110,60 @@ func (m *Manager) Obs() (*obs.Registry, *obs.Logger) { return m.met.reg, m.log }
 // without one.
 func (m *Manager) Warehouse() *warehouse.Warehouse { return m.wh }
 
+// RefreshDerivedMetrics recomputes the gauges that are views over live
+// state rather than event counters: the live-session count, the spine's
+// per-family health gauges (queue depth, ingest backlog, policy version and
+// staleness, learner duty cycle), and the per-family adoption lag — how
+// many policy versions the furthest-behind live session of each family
+// trails the learner's latest publish by. It runs on every metrics
+// snapshot, so a scrape is never staler than the request that served it;
+// without a registry it no-ops.
+func (m *Manager) RefreshDerivedMetrics() {
+	reg := m.met.reg
+	if reg == nil {
+		return
+	}
+	reg.Gauge("deepcat_sessions_live").Set(int64(m.Count()))
+	if m.spn == nil {
+		return
+	}
+	m.spn.sp.RefreshHealthMetrics()
+	// Adoption lag: the learner may publish versions faster than sessions
+	// adopt them (sessions adopt on a step cadence); the lag gauge is the
+	// replay-path "versions behind" signal per family.
+	minAdopted := make(map[string]int)
+	for _, s := range m.snapshotSessions() {
+		if s.spn == nil {
+			continue
+		}
+		s.mu.Lock()
+		fam, v := s.sig, s.meta.SpineVersion
+		s.mu.Unlock()
+		if cur, ok := minAdopted[fam]; !ok || v < cur {
+			minAdopted[fam] = v
+		}
+	}
+	for fam, adopted := range minAdopted {
+		pol, ok := m.spn.sp.Policy(fam)
+		if !ok {
+			continue
+		}
+		lag := pol.Version - adopted
+		if lag < 0 {
+			lag = 0
+		}
+		reg.Gauge("deepcat_spine_adoption_lag_versions", "family", fam).Set(int64(lag))
+	}
+}
+
+// MetricsSnapshot refreshes the derived gauges and captures the manager's
+// registry as a mergeable snapshot; a manager without a registry yields an
+// empty one.
+func (m *Manager) MetricsSnapshot() obs.Snapshot {
+	m.RefreshDerivedMetrics()
+	return m.met.reg.Snapshot()
+}
+
 // AttachTrace enables flight recording for sessions created or resumed
 // afterwards; call it once at daemon startup, before Resume or any Create.
 func (m *Manager) AttachTrace(tc TraceConfig) { m.tc = &tc }

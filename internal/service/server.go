@@ -26,6 +26,12 @@ const maxBodyBytes = 1 << 20
 // can be matched to the server-side histogram sample it produced.
 const requestIDHeader = "X-Request-Id"
 
+// shardHeader names the fleet shard that actually served a response. A
+// fleet node stamps itself before handling; the proxy path overwrites it
+// with the owner's value, so a client of a proxied call learns which shard
+// did the work (the typed client surfaces it in APIError).
+const shardHeader = "X-Deepcat-Shard"
+
 // Server is the HTTP front end over a Manager. It is an http.Handler;
 // mount it on any listener. Every route is instrumented with the
 // registry/logger attached to the Manager (see Manager.AttachObs): request
@@ -38,6 +44,12 @@ type Server struct {
 	// fleet, when non-nil, makes this server one shard of a fleet: session
 	// routes gain ownership dispatch and the /v1/fleet/* endpoints appear.
 	fleet *fleetGlue
+	// rec is the process-level flight recorder (spooled to _server.jsonl
+	// under the trace dir): every HTTP hop records a span carrying the
+	// propagated trace context, so cmd/deepcat-trace can stitch one
+	// request's route/proxy/handler/session spans across shard spools. Nil
+	// when the daemon runs with tracing off — that path records nothing.
+	rec *trace.Session
 }
 
 // NewServer builds the route table over m for a standalone daemon.
@@ -49,9 +61,10 @@ func NewServer(m *Manager) *Server {
 // zero FleetOptions degenerates to a standalone server.
 func NewFleetServer(m *Manager, opts FleetOptions) *Server {
 	reg, logger := m.Obs()
-	s := &Server{manager: m, mux: http.NewServeMux(), log: logger}
+	s := &Server{manager: m, mux: http.NewServeMux(), log: logger, rec: newRecorder(m.tc, "_server")}
 	if opts.Router != nil {
 		s.fleet = newFleetGlue(m, opts)
+		s.fleet.rec = s.rec
 	}
 	route := func(pattern, endpoint string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.instrument(newHTTPMetrics(reg, endpoint), endpoint, h))
@@ -69,7 +82,9 @@ func NewFleetServer(m *Manager, opts FleetOptions) *Server {
 	route("GET /v1/sessions/{id}/trace/export", "trace_export", s.routed(s.handleTraceExport))
 	route("GET /v1/warehouse/stats", "warehouse_stats", s.handleWarehouseStats)
 	route("GET /v1/warehouse/families/{sig}/donors", "warehouse_donors", s.handleWarehouseDonors)
+	route("GET /v1/metrics/snapshot", "metrics_snapshot", s.handleMetricsSnapshot)
 	if s.fleet != nil {
+		route("GET /v1/fleet/metrics", "fleet_metrics", s.handleFleetMetrics)
 		route("GET /v1/fleet/ring", "fleet_ring", s.handleRing)
 		route("GET /v1/fleet/segments", "fleet_segments", s.handleSegments)
 		route("GET /v1/fleet/segments/{name}", "fleet_segment", s.handleSegment)
@@ -105,22 +120,48 @@ func newRequestID() string {
 }
 
 // instrument wraps a handler with the per-endpoint bookkeeping: request-id
-// assignment, in-flight gauge, duration histogram, status-labelled request
-// counter and one access log line.
+// assignment, trace-context propagation, in-flight gauge, duration
+// histogram, status-labelled request counter and one access log line.
+//
+// Trace context: a well-formed traceparent header is adopted and echoed on
+// the response; with tracing enabled a missing one is minted (crypto/rand —
+// never the tuner's seeded stream, so propagation is decision-neutral).
+// The context rides the request's context.Context down to the session
+// spans, and the server recorder logs one span per hop carrying it, which
+// is what lets deepcat-trace stitch a request across shard spools. With
+// tracing off and no caller-supplied header, nothing is minted, parsed
+// into the context, or recorded — the path is unchanged.
 func (s *Server) instrument(hm httpMetrics, endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqID := r.Header.Get(requestIDHeader)
 		if reqID == "" {
 			reqID = newRequestID()
+			// Stamp the request too, so the proxy path forwards the same id
+			// this node answers with and all hops share one correlation id.
+			r.Header.Set(requestIDHeader, reqID)
 		}
 		w.Header().Set(requestIDHeader, reqID)
+		if s.fleet != nil {
+			w.Header().Set(shardHeader, s.fleet.router.Self())
+		}
+		sc, traced := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+		if !traced && s.rec != nil {
+			sc, traced = trace.NewSpanContext(), true
+		}
+		if traced {
+			w.Header().Set(trace.TraceparentHeader, sc.Traceparent())
+			r = r.WithContext(trace.ContextWith(r.Context(), sc))
+		}
+		sp := trace.Begin(s.rec, "http."+endpoint).
+			Attr("request_id", reqID).AttrContext(sc)
 		hm.inFlight.Inc()
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(sr, r)
 		hm.inFlight.Dec()
 		hm.dur.ObserveSince(start)
 		hm.requests(strconv.Itoa(sr.status)).Inc()
+		sp.AttrInt("status", sr.status).End()
 		// Per-request lines go out at debug so an info-level daemon is not
 		// spammed by healthy traffic; server-side failures always surface.
 		if sr.status >= 500 {
@@ -264,6 +305,15 @@ func (s *Server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = trace.WriteChrome(w, id, events)
+}
+
+// handleMetricsSnapshot serves this shard's registry as a mergeable JSON
+// snapshot (see obs.Snapshot). It is the per-shard scrape target of the
+// fleet aggregator, mounted on the tuning port so peers need no access to
+// the optional ops listener. A daemon without a registry answers an empty
+// snapshot rather than erroring — the aggregator then merges nothing.
+func (s *Server) handleMetricsSnapshot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.MetricsSnapshot())
 }
 
 func (s *Server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {

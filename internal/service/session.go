@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -187,6 +188,7 @@ func newRecorder(tc *TraceConfig, id string) *trace.Session {
 	}
 	var spool *trace.Spool
 	if tc.Dir != "" {
+		_ = os.MkdirAll(tc.Dir, 0o755)
 		if sp, err := trace.OpenSpool(filepath.Join(tc.Dir, id+".jsonl"), tc.SpoolMaxBytes); err == nil {
 			spool = sp
 		}
@@ -360,6 +362,9 @@ func (s *Session) Suggest(ctx context.Context, now time.Time, reqID string) (Sug
 		if reqID != "" {
 			sp.Attr("request_id", reqID)
 		}
+		if sc, ok := trace.FromContext(ctx); ok {
+			sp.AttrContext(sc)
+		}
 		if s.healthLocked() == HealthDegraded && s.meta.BestAction != nil {
 			// Open breaker: re-serve the last known good configuration.
 			// The model is deliberately not consulted — a failing
@@ -456,10 +461,14 @@ func (s *Session) Observe(ctx context.Context, req ObserveRequest, now time.Time
 	}
 	p := s.pending
 	s.rec.SetStep(p.step)
+	sc, scOK := trace.FromContext(ctx)
 	sp := trace.Begin(s.rec, "session.observe").AttrInt("step", p.step).
 		AttrFloat("exec_time", req.ExecTime).AttrBool("failed", req.Failed)
 	if reqID != "" {
 		sp.Attr("request_id", reqID)
+	}
+	if scOK {
+		sp.AttrContext(sc)
 	}
 
 	// Sanitize before anything downstream sees the measurement. JSON
@@ -491,6 +500,10 @@ func (s *Session) Observe(ctx context.Context, req ObserveRequest, now time.Time
 			// a single shard-lock acquisition and keeps the learner current.
 			reward = s.tuner.ObserveNoTrain(p.state, p.action, req.ExecTime, s.meta.PrevTime,
 				s.env.DefaultTime(), nextState, false)
+			esp := trace.Begin(s.rec, "spine.enqueue").AttrInt("step", p.step)
+			if scOK {
+				esp.AttrContext(sc)
+			}
 			s.actor.Enqueue(rl.Transition{
 				State:     p.state,
 				Action:    p.action,
@@ -498,6 +511,7 @@ func (s *Session) Observe(ctx context.Context, req ObserveRequest, now time.Time
 				NextState: nextState,
 			})
 			s.actor.Flush()
+			esp.End()
 		} else {
 			reward = s.tuner.Observe(p.state, p.action, req.ExecTime, s.meta.PrevTime,
 				s.env.DefaultTime(), nextState, false)

@@ -29,14 +29,22 @@
 //	GET /v1/warehouse/stats                  log, family and donor summary
 //	GET /v1/warehouse/families/{sig}/donors  donor generations of one family
 //
+// Every daemon also exposes its metrics registry as a mergeable JSON
+// snapshot (the per-shard scrape target of the fleet aggregator):
+//
+//	GET /v1/metrics/snapshot          obs.Snapshot JSON (empty without a registry)
+//
 // When the daemon runs as one shard of a fleet (see NewFleetServer and the
 // internal/fleet package), every node answers every route — requests for
 // sessions owned by another shard are 307-redirected (or server-side
-// proxied) to the owner — and these endpoints appear:
+// proxied) to the owner, with the request id and trace context forwarded on
+// every hop — and these endpoints appear:
 //
 //	GET  /v1/healthz                  liveness (alias of /healthz)
 //	GET  /v1/readyz                   readiness: store reachable, registry responsive
 //	GET  /v1/fleet/ring               membership, per-peer readiness, ownership
+//	GET  /v1/fleet/metrics            fleet-wide merged registry (Prometheus text;
+//	                                  ?format=json adds per-shard snapshots)
 //	GET  /v1/fleet/segments           shippable warehouse WAL segments
 //	GET  /v1/fleet/segments/{name}    one segment's bytes (peers pull these)
 //	POST /v1/fleet/migrate/{id}       drain a session and hand it to ?target=
@@ -46,6 +54,7 @@ package service
 import (
 	"time"
 
+	"deepcat/internal/obs"
 	"deepcat/internal/trace"
 	"deepcat/internal/warehouse"
 )
@@ -241,6 +250,28 @@ type SegmentListResponse struct {
 type MigrateResponse struct {
 	ID     string `json:"id"`
 	Target string `json:"target"`
+}
+
+// ShardMetrics is one fleet member's contribution to the aggregated
+// metrics view. OK false marks a shard that could not be scraped (or whose
+// snapshot could not merge); Error says why and Snapshot is empty.
+type ShardMetrics struct {
+	URL  string `json:"url"`
+	Self bool   `json:"self,omitempty"`
+	OK   bool   `json:"ok"`
+	// Error is the scrape or merge failure, "" when OK.
+	Error    string       `json:"error,omitempty"`
+	Snapshot obs.Snapshot `json:"snapshot,omitempty"`
+}
+
+// FleetMetricsResponse is the /v1/fleet/metrics?format=json body: the
+// per-shard snapshots (so a dashboard can show per-shard QPS next to fleet
+// totals) plus the merged registry, already annotated with one
+// deepcat_fleet_shard_up gauge per member.
+type FleetMetricsResponse struct {
+	Self   string         `json:"self"`
+	Shards []ShardMetrics `json:"shards"`
+	Merged obs.Snapshot   `json:"merged"`
 }
 
 // ErrorResponse is the envelope for every non-2xx response.

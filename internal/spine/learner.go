@@ -44,6 +44,9 @@ type learner struct {
 
 	pub       atomic.Pointer[Policy]
 	trainings atomic.Uint64
+	// lastPublish is the unix-nano wall time of the latest published
+	// Policy; the health gauges derive staleness from it.
+	lastPublish atomic.Int64
 }
 
 // learnerSeed derives a deterministic per-family seed, mirroring the
@@ -155,6 +158,8 @@ func (s *Spine) trainPass(l *lane, ln *learner, iters int) *Policy {
 	}
 	pol := &Policy{Family: l.family, Version: prev + 1, Agent: ln.agent.CaptureState()}
 	ln.pub.Store(pol)
+	ln.lastPublish.Store(time.Now().UnixNano())
+	s.trainNS.Add(time.Since(start).Nanoseconds())
 	s.met.publishes.Inc()
 	s.logg.Debug("spine policy published", "family", l.family,
 		"version", pol.Version, "iters", done, "dur", time.Since(start))
@@ -175,6 +180,7 @@ func (s *Spine) loop() {
 			return
 		case <-ticker.C:
 		}
+		s.RefreshHealthMetrics()
 		for _, fam := range s.dueFamilies() {
 			select {
 			case s.trainSlots <- struct{}{}:

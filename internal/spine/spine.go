@@ -159,8 +159,10 @@ func (l *lane) lowLen() int {
 func (l *lane) len() int { return l.highLen() + l.lowLen() }
 
 // spineMetrics bundles the spine's instruments; nil-instrument no-ops when
-// the spine runs without a registry.
+// the spine runs without a registry. reg is kept for the per-family health
+// gauges, whose label sets only exist once a lane does.
 type spineMetrics struct {
+	reg       *obs.Registry
 	ingested  *obs.Counter
 	flushes   *obs.Counter
 	sampled   *obs.Counter
@@ -168,10 +170,12 @@ type spineMetrics struct {
 	trainings *obs.Counter
 	publishes *obs.Counter
 	learners  *obs.Gauge
+	dutyCycle *obs.Gauge
 }
 
 func newSpineMetrics(reg *obs.Registry) spineMetrics {
 	return spineMetrics{
+		reg:       reg,
 		ingested:  reg.Counter("deepcat_spine_ingest_transitions_total"),
 		flushes:   reg.Counter("deepcat_spine_ingest_flushes_total"),
 		sampled:   reg.Counter("deepcat_spine_sampled_transitions_total"),
@@ -179,6 +183,7 @@ func newSpineMetrics(reg *obs.Registry) spineMetrics {
 		trainings: reg.Counter("deepcat_spine_learner_trainings_total"),
 		publishes: reg.Counter("deepcat_spine_policy_publishes_total"),
 		learners:  reg.Gauge("deepcat_spine_learners"),
+		dutyCycle: reg.Gauge("deepcat_spine_learner_duty_permille"),
 	}
 }
 
@@ -200,6 +205,11 @@ type Spine struct {
 	loopWG     sync.WaitGroup
 	trainWG    sync.WaitGroup
 	trainSlots chan struct{}
+
+	// born anchors the learner duty-cycle ratio; trainNS accumulates wall
+	// time spent inside training passes across all learners.
+	born    time.Time
+	trainNS atomic.Int64
 }
 
 // New creates a spine. When opts.LearnInterval is positive a background
@@ -214,6 +224,7 @@ func New(opts Options) *Spine {
 		learners:   make(map[string]*learner),
 		stopc:      make(chan struct{}),
 		trainSlots: make(chan struct{}, opts.Workers),
+		born:       time.Now(),
 	}
 	if opts.LearnInterval > 0 {
 		s.loopWG.Add(1)
@@ -417,6 +428,13 @@ type LaneStats struct {
 	// Trainings counts learner passes.
 	Version   int `json:"version,omitempty"`
 	Trainings int `json:"trainings,omitempty"`
+	// Backlog is how many transitions have been ingested since the last
+	// learner pass — the replay-path lag between actors producing
+	// experience and the learner consuming it.
+	Backlog uint64 `json:"backlog,omitempty"`
+	// StalenessSeconds is how long ago the family's policy was last
+	// published (0 while nothing has been published yet).
+	StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the spine.
@@ -424,6 +442,10 @@ type Stats struct {
 	Shards        int         `json:"shards"`
 	ShardCapacity int         `json:"shard_capacity"`
 	Lanes         []LaneStats `json:"lanes,omitempty"`
+	// LearnerDuty is the fraction of wall time the learner pool has spent
+	// inside training passes since the spine started (summed over workers,
+	// so >1 means more than one concurrent pass on average).
+	LearnerDuty float64 `json:"learner_duty,omitempty"`
 }
 
 // Stats reports per-family lane sizes and learner progress, sorted by
@@ -436,6 +458,7 @@ func (s *Spine) Stats() Stats {
 	}
 	s.mu.RUnlock()
 	st := Stats{Shards: s.opts.Shards, ShardCapacity: s.opts.ShardCapacity}
+	now := time.Now()
 	for _, l := range lanes {
 		ls := LaneStats{
 			Family:   l.family,
@@ -443,18 +466,48 @@ func (s *Spine) Stats() Stats {
 			Low:      l.lowLen(),
 			Ingested: l.ingested.Load(),
 		}
+		ls.Backlog = ls.Ingested
 		s.lmu.Lock()
 		if ln := s.learners[l.family]; ln != nil {
 			if p := ln.pub.Load(); p != nil {
 				ls.Version = p.Version
 			}
 			ls.Trainings = int(ln.trainings.Load())
+			ls.Backlog = ls.Ingested - ln.lastIngested.Load()
+			if at := ln.lastPublish.Load(); at > 0 {
+				ls.StalenessSeconds = now.Sub(time.Unix(0, at)).Seconds()
+			}
 		}
 		s.lmu.Unlock()
 		st.Lanes = append(st.Lanes, ls)
 	}
+	if elapsed := now.Sub(s.born).Seconds(); elapsed > 0 {
+		st.LearnerDuty = float64(s.trainNS.Load()) / 1e9 / elapsed
+	}
 	sort.Slice(st.Lanes, func(i, j int) bool { return st.Lanes[i].Family < st.Lanes[j].Family })
 	return st
+}
+
+// RefreshHealthMetrics publishes the spine's derived health view into its
+// registry gauges: per-family queue depth, ingest backlog, published policy
+// version and staleness, plus the pool-wide learner duty cycle. Gauges are
+// resolved by name each call (families appear dynamically); the background
+// loop refreshes them every tick and the service's metrics-snapshot path
+// refreshes them on demand, so scrapes are never staler than one request.
+// A spine without a registry no-ops.
+func (s *Spine) RefreshHealthMetrics() {
+	if s.met.reg == nil {
+		return
+	}
+	st := s.Stats()
+	for _, ls := range st.Lanes {
+		s.met.reg.Gauge("deepcat_spine_queue_depth", "family", ls.Family).Set(int64(ls.High + ls.Low))
+		s.met.reg.Gauge("deepcat_spine_ingest_backlog", "family", ls.Family).Set(int64(ls.Backlog))
+		s.met.reg.Gauge("deepcat_spine_policy_version", "family", ls.Family).Set(int64(ls.Version))
+		s.met.reg.Gauge("deepcat_spine_policy_staleness_seconds", "family", ls.Family).
+			Set(int64(ls.StalenessSeconds + 0.5))
+	}
+	s.met.dutyCycle.Set(int64(st.LearnerDuty * 1000))
 }
 
 // Len returns the number of retained transitions for a family (0 when

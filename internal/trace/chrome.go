@@ -42,73 +42,81 @@ func WriteChrome(w io.Writer, sessionID string, events []Event) error {
 		Args: map[string]any{"name": "deepcat-session " + sessionID},
 	})
 	for _, ev := range events {
-		ce := chromeEvent{
-			Ts:  float64(ev.Time.UnixNano()) / 1e3,
-			Pid: 1,
-			Tid: 1,
-		}
-		args := map[string]any{"seq": ev.Seq}
-		if ev.Step > 0 {
-			args["step"] = ev.Step
-		}
-		switch ev.Kind {
-		case KindSpan:
-			ce.Name = ev.Span
-			ce.Ph = "X"
-			ce.Dur = float64(ev.DurNS) / 1e3
-			for k, v := range ev.Attrs {
-				args[k] = v
-			}
-		case KindCandidate:
-			c := ev.Candidate
-			verdict := "rejected"
-			if c.Accepted {
-				verdict = "accepted"
-			}
-			ce.Name = fmt.Sprintf("twinq try %d (%s)", c.Try, verdict)
-			ce.Ph = "i"
-			ce.S = "t"
-			args["q1"] = c.Q1
-			args["q2"] = c.Q2
-			args["min_q"] = c.MinQ
-			args["q_th"] = c.QTh
-			args["try"] = c.Try
-			args["accepted"] = c.Accepted
-		case KindReward:
-			r := ev.Reward
-			ce.Name = "reward"
-			ce.Ph = "i"
-			ce.S = "t"
-			args["mode"] = r.Mode
-			args["exec_time"] = r.ExecTime
-			args["prev_time"] = r.PrevTime
-			args["def_time"] = r.DefTime
-			args["reward"] = r.Reward
-			if r.Mode != "delta" {
-				args["speedup_target"] = r.SpeedupTarget
-				args["perf_e"] = r.PerfE
-			}
-		case KindRoute:
-			rt := ev.Route
-			ce.Name = "rdper " + rt.Pool
-			ce.Ph = "i"
-			ce.S = "t"
-			args["pool"] = rt.Pool
-			args["r_th"] = rt.RTh
-			args["reward"] = rt.Reward
-			args["high_len"] = rt.HighLen
-			args["low_len"] = rt.LowLen
-		default:
-			ce.Name = ev.Kind
-			ce.Ph = "i"
-			ce.S = "t"
-		}
-		ce.Args = args
-		out.TraceEvents = append(out.TraceEvents, ce)
+		out.TraceEvents = append(out.TraceEvents, chromeFromEvent(ev, 1, 1))
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(out); err != nil {
 		return fmt.Errorf("trace: write chrome trace: %w", err)
 	}
 	return nil
+}
+
+// chromeFromEvent converts one flight-recorder event into a Chrome trace
+// event on the given process/thread track. Span events become complete
+// ("X") slices; decision events become instant ("i") events carrying their
+// full payload.
+func chromeFromEvent(ev Event, pid, tid int) chromeEvent {
+	ce := chromeEvent{
+		Ts:  float64(ev.Time.UnixNano()) / 1e3,
+		Pid: pid,
+		Tid: tid,
+	}
+	args := map[string]any{"seq": ev.Seq}
+	if ev.Step > 0 {
+		args["step"] = ev.Step
+	}
+	switch ev.Kind {
+	case KindSpan:
+		ce.Name = ev.Span
+		ce.Ph = "X"
+		ce.Dur = float64(ev.DurNS) / 1e3
+		for k, v := range ev.Attrs {
+			args[k] = v
+		}
+	case KindCandidate:
+		c := ev.Candidate
+		verdict := "rejected"
+		if c.Accepted {
+			verdict = "accepted"
+		}
+		ce.Name = fmt.Sprintf("twinq try %d (%s)", c.Try, verdict)
+		ce.Ph = "i"
+		ce.S = "t"
+		args["q1"] = c.Q1
+		args["q2"] = c.Q2
+		args["min_q"] = c.MinQ
+		args["q_th"] = c.QTh
+		args["try"] = c.Try
+		args["accepted"] = c.Accepted
+	case KindReward:
+		r := ev.Reward
+		ce.Name = "reward"
+		ce.Ph = "i"
+		ce.S = "t"
+		args["mode"] = r.Mode
+		args["exec_time"] = r.ExecTime
+		args["prev_time"] = r.PrevTime
+		args["def_time"] = r.DefTime
+		args["reward"] = r.Reward
+		if r.Mode != "delta" {
+			args["speedup_target"] = r.SpeedupTarget
+			args["perf_e"] = r.PerfE
+		}
+	case KindRoute:
+		rt := ev.Route
+		ce.Name = "rdper " + rt.Pool
+		ce.Ph = "i"
+		ce.S = "t"
+		args["pool"] = rt.Pool
+		args["r_th"] = rt.RTh
+		args["reward"] = rt.Reward
+		args["high_len"] = rt.HighLen
+		args["low_len"] = rt.LowLen
+	default:
+		ce.Name = ev.Kind
+		ce.Ph = "i"
+		ce.S = "t"
+	}
+	ce.Args = args
+	return ce
 }

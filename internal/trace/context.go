@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// TraceparentHeader is the HTTP header carrying the trace context between
+// fleet hops, in the W3C Trace Context format:
+//
+//	00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>
+//
+// The client mints a context per logical call, every shard echoes it on the
+// response, and the 307/proxy forwarding paths pass it downstream, so all
+// spans a request produces — router, owning shard, spine — share one trace
+// id and cmd/deepcat-trace can stitch them across shard spools.
+const TraceparentHeader = "traceparent"
+
+// Span attribute keys under which propagated context lands on recorded
+// spans. deepcat-trace's stitcher groups spans by AttrTraceID.
+const (
+	AttrTraceID    = "trace_id"
+	AttrParentSpan = "parent_span"
+)
+
+// SpanContext is a propagated trace identity: which end-to-end request a
+// span belongs to (TraceID) and which hop emitted it (SpanID). It is pure
+// labeling — carrying or recording one consumes no tuner randomness (ids
+// come from crypto/rand, never from a session's seeded RNG stream) and
+// feeds nothing back into any decision.
+type SpanContext struct {
+	// TraceID is 32 lowercase hex characters shared by every hop.
+	TraceID string
+	// SpanID is 16 lowercase hex characters identifying one hop.
+	SpanID string
+}
+
+// NewSpanContext mints a fresh root context from crypto/rand.
+func NewSpanContext() SpanContext {
+	var b [24]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return SpanContext{
+		TraceID: hex.EncodeToString(b[:16]),
+		SpanID:  hex.EncodeToString(b[16:]),
+	}
+}
+
+// Child derives the next hop's context: same trace id, fresh span id.
+func (c SpanContext) Child() SpanContext {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic(err)
+	}
+	return SpanContext{TraceID: c.TraceID, SpanID: hex.EncodeToString(b[:])}
+}
+
+// Valid reports whether the context carries a well-formed, non-zero trace
+// id and span id.
+func (c SpanContext) Valid() bool {
+	return isHexID(c.TraceID, 32) && isHexID(c.SpanID, 16)
+}
+
+// Traceparent renders the context as a traceparent header value (version
+// 00, sampled flag set — the recorder has no sampling).
+func (c SpanContext) Traceparent() string {
+	return "00-" + c.TraceID + "-" + c.SpanID + "-01"
+}
+
+// ParseTraceparent parses a traceparent header value. ok is false for an
+// empty, malformed, all-zero or future-versioned value; the caller then
+// mints a fresh context instead of propagating garbage.
+func ParseTraceparent(v string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return SpanContext{}, false
+	}
+	c := SpanContext{TraceID: parts[1], SpanID: parts[2]}
+	if !c.Valid() || len(parts[3]) != 2 || !isHex(parts[3]) {
+		return SpanContext{}, false
+	}
+	return c, true
+}
+
+// isHexID reports whether s is exactly n lowercase hex chars and not all
+// zeros (the W3C invalid id).
+func isHexID(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	return strings.Trim(s, "0") != ""
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ctxKey keys the SpanContext in a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc; handlers stash the parsed (or
+// minted) request context here so session spans deep in the call tree can
+// label themselves without new plumbing through every signature.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the propagated SpanContext, ok false when none.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// AttrContext labels a span with the propagated context (trace id and the
+// parent hop's span id); nil-safe like every Span method.
+func (sp *Span) AttrContext(sc SpanContext) *Span {
+	if sp == nil || !sc.Valid() {
+		return sp
+	}
+	return sp.Attr(AttrTraceID, sc.TraceID).Attr(AttrParentSpan, sc.SpanID)
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Cross-shard trace stitching. Every process in a fleet spools its spans
+// independently — the router's _server spool, each shard's _server and
+// per-session spools, the spine's learner spool. A request that hops
+// router -> owner shard -> spine leaves spans in three different files,
+// tied together only by the trace_id attribute the propagated traceparent
+// header carried. CollectTraces re-joins them: it scans whole trace
+// directories, groups every trace_id-carrying event by its id and
+// remembers which spool (source) each one came from, so one request's
+// path through the fleet can be rendered as a single timeline.
+
+// SourcedEvent is one flight-recorder event annotated with the spool it
+// was read from. Source is "<dir-base>/<spool-base>" (e.g.
+// "shard1/_server" or "router/s-1f"), which doubles as the process-track
+// name in stitched Chrome exports.
+type SourcedEvent struct {
+	Source string
+	Event  Event
+}
+
+// CollectTraces scans every *.jsonl spool (plus its rotated <path>.1
+// predecessor) under each directory and groups span events by their
+// trace_id attribute. Events without a trace context are skipped — only
+// propagated request traces are stitchable. The result maps trace id to
+// that trace's events across all sources; events keep per-spool order.
+func CollectTraces(dirs []string) (map[string][]SourcedEvent, error) {
+	traces := make(map[string][]SourcedEvent)
+	for _, dir := range dirs {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("trace: scan %s: %w", dir, err)
+		}
+		sort.Strings(matches)
+		for _, path := range matches {
+			source := filepath.Base(filepath.Clean(dir)) + "/" +
+				strings.TrimSuffix(filepath.Base(path), ".jsonl")
+			var events []Event
+			if _, err := os.Stat(path + ".1"); err == nil {
+				old, err := ReadSpool(path + ".1")
+				if err != nil {
+					return nil, err
+				}
+				events = old
+			}
+			cur, err := ReadSpool(path)
+			if err != nil {
+				return nil, err
+			}
+			events = append(events, cur...)
+			for _, ev := range events {
+				id := ev.Attrs[AttrTraceID]
+				if id == "" {
+					continue
+				}
+				traces[id] = append(traces[id], SourcedEvent{Source: source, Event: ev})
+			}
+		}
+	}
+	return traces, nil
+}
+
+// Sources returns the distinct sources contributing to a trace, sorted.
+func Sources(events []SourcedEvent) []string {
+	seen := make(map[string]bool)
+	for _, se := range events {
+		seen[se.Source] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BestTrace picks the most interesting trace from a CollectTraces result:
+// the one spanning the most distinct sources (the deepest cross-shard
+// path), ties broken by event count then lexicographically smallest id so
+// the choice is deterministic. Returns "" for an empty map.
+func BestTrace(traces map[string][]SourcedEvent) string {
+	best, bestSrc, bestLen := "", 0, 0
+	for id, evs := range traces {
+		nsrc := len(Sources(evs))
+		better := nsrc > bestSrc ||
+			(nsrc == bestSrc && len(evs) > bestLen) ||
+			(nsrc == bestSrc && len(evs) == bestLen && (best == "" || id < best))
+		if better {
+			best, bestSrc, bestLen = id, nsrc, len(evs)
+		}
+	}
+	return best
+}
+
+// WriteChromeStitched renders one stitched trace as Chrome trace-event
+// JSON with one process track per source, so a cross-shard request shows
+// as aligned slices on the router's, the owning shard's and the spine's
+// tracks. Events are emitted in global time order.
+func WriteChromeStitched(w io.Writer, traceID string, events []SourcedEvent) error {
+	sources := Sources(events)
+	pid := make(map[string]int, len(sources))
+	out := chromeFile{
+		TraceEvents: make([]chromeEvent, 0, len(events)+len(sources)),
+		Metadata:    map[string]string{"trace_id": traceID},
+	}
+	for i, src := range sources {
+		pid[src] = i + 1
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1, Tid: 1,
+			Args: map[string]any{"name": src},
+		})
+	}
+	evs := append([]SourcedEvent(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if !a.Event.Time.Equal(b.Event.Time) {
+			return a.Event.Time.Before(b.Event.Time)
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Event.Seq < b.Event.Seq
+	})
+	for _, se := range evs {
+		out.TraceEvents = append(out.TraceEvents, chromeFromEvent(se.Event, pid[se.Source], 1))
+	}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("trace: write stitched chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeSpoolFile spools the given events into dir/name.jsonl.
+func writeSpoolFile(t *testing.T, dir, name string, events []Event) {
+	t.Helper()
+	sp, err := OpenSpool(filepath.Join(dir, name+".jsonl"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := sp.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func spanEvent(name, traceID string, at time.Time, durNS int64) Event {
+	return Event{
+		Time: at, Kind: KindSpan, Span: name, DurNS: durNS,
+		Attrs: map[string]string{AttrTraceID: traceID},
+	}
+}
+
+func TestCollectTracesStitchesAcrossDirs(t *testing.T) {
+	base := t.TempDir()
+	router := filepath.Join(base, "router")
+	shard := filepath.Join(base, "shard1")
+	for _, d := range []string{router, shard} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t0 := time.Unix(100, 0).UTC()
+	writeSpoolFile(t, router, "_server", []Event{
+		spanEvent("http.suggest", "aaa", t0, 5e6),
+		spanEvent("fleet.proxy", "aaa", t0.Add(time.Millisecond), 4e6),
+		{Time: t0, Kind: KindSpan, Span: "no_trace_ctx"}, // no trace id: skipped
+	})
+	writeSpoolFile(t, shard, "_server", []Event{
+		spanEvent("http.suggest", "aaa", t0.Add(2*time.Millisecond), 2e6),
+		spanEvent("http.observe", "bbb", t0.Add(time.Second), 1e6),
+	})
+
+	traces, err := CollectTraces([]string{router, shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2: %v", len(traces), traces)
+	}
+	if got := len(traces["aaa"]); got != 3 {
+		t.Errorf("trace aaa: %d events, want 3", got)
+	}
+	if got := Sources(traces["aaa"]); len(got) != 2 || got[0] != "router/_server" || got[1] != "shard1/_server" {
+		t.Errorf("trace aaa sources = %v", got)
+	}
+	if got := BestTrace(traces); got != "aaa" {
+		t.Errorf("BestTrace = %q, want aaa (spans two sources)", got)
+	}
+}
+
+func TestCollectTracesReadsRotatedSpool(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(200, 0).UTC()
+	writeSpoolFile(t, dir, "_server", []Event{spanEvent("late", "ccc", t0.Add(time.Second), 1e6)})
+	// The rotated predecessor holds the older half of the trace.
+	old, err := os.Create(filepath.Join(dir, "_server.jsonl.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(old).Encode(spanEvent("early", "ccc", t0, 1e6)); err != nil {
+		t.Fatal(err)
+	}
+	old.Close()
+
+	traces, err := CollectTraces([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := traces["ccc"]
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2 (rotated + live)", len(evs))
+	}
+	if evs[0].Event.Span != "early" || evs[1].Event.Span != "late" {
+		t.Errorf("rotated events must come first: %q then %q", evs[0].Event.Span, evs[1].Event.Span)
+	}
+}
+
+func TestBestTraceTieBreaks(t *testing.T) {
+	ev := func(src string) SourcedEvent {
+		return SourcedEvent{Source: src, Event: Event{Kind: KindSpan, Span: "s"}}
+	}
+	traces := map[string][]SourcedEvent{
+		"zz": {ev("a")},
+		"aa": {ev("a")},
+		"mm": {ev("a"), ev("a")}, // same source count, more events
+	}
+	if got := BestTrace(traces); got != "mm" {
+		t.Errorf("BestTrace = %q, want mm (most events)", got)
+	}
+	delete(traces, "mm")
+	if got := BestTrace(traces); got != "aa" {
+		t.Errorf("BestTrace = %q, want aa (lexicographic tie-break)", got)
+	}
+	if got := BestTrace(nil); got != "" {
+		t.Errorf("BestTrace(nil) = %q, want empty", got)
+	}
+}
+
+func TestWriteChromeStitchedOneTrackPerSource(t *testing.T) {
+	t0 := time.Unix(300, 0).UTC()
+	events := []SourcedEvent{
+		{Source: "shard1/_server", Event: spanEvent("http.suggest", "dd", t0.Add(time.Millisecond), 2e6)},
+		{Source: "router/_server", Event: spanEvent("fleet.proxy", "dd", t0, 4e6)},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeStitched(&buf, "dd", events); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Metadata["trace_id"] != "dd" {
+		t.Errorf("metadata trace_id = %q", out.Metadata["trace_id"])
+	}
+	pidByName := map[string]int{}
+	var spans []string
+	for _, ce := range out.TraceEvents {
+		if ce.Ph == "M" && ce.Name == "process_name" {
+			pidByName[ce.Args["name"].(string)] = ce.Pid
+			continue
+		}
+		spans = append(spans, ce.Name)
+		want := "shard1/_server"
+		if ce.Name == "fleet.proxy" {
+			want = "router/_server"
+		}
+		if ce.Pid != pidByName[want] {
+			t.Errorf("span %s on pid %d, want the %s track (pid %d)", ce.Name, ce.Pid, want, pidByName[want])
+		}
+	}
+	if len(pidByName) != 2 || pidByName["router/_server"] == pidByName["shard1/_server"] {
+		t.Errorf("want two distinct process tracks, got %v", pidByName)
+	}
+	// Global time order: router's proxy span starts before the shard handler.
+	if len(spans) != 2 || spans[0] != "fleet.proxy" || spans[1] != "http.suggest" {
+		t.Errorf("span order = %v, want [fleet.proxy http.suggest]", spans)
+	}
+}

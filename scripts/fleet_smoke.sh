@@ -1,17 +1,24 @@
 #!/bin/sh
 # fleet_smoke.sh boots a 3-shard deepcat fleet on localhost, drives it with
-# deepcat-loadgen, and fails if any operation errors. CI runs it on every
-# push; locally it is a one-command fleet sanity check:
+# deepcat-loadgen, and fails if any operation errors or the suggest/observe
+# p99 SLO is violated. It then exercises the fleet observability surface:
+# a cross-shard request carrying an explicit traceparent is stitched from
+# the shards' trace spools into one Chrome trace (fleet_trace.json), and
+# after killing one shard the merged /v1/fleet/metrics view must still
+# render with the dead shard marked down. CI runs it on every push;
+# locally it is a one-command fleet sanity check:
 #
 #   sh scripts/fleet_smoke.sh [sessions] [report-path]
 #
 # The shards share one checkpoint directory (the deployment model for
 # checkpoint handoff and kill -9 failover) and each runs its own warehouse
-# with pull-based segment shipping.
+# with pull-based segment shipping plus a per-shard trace spool directory.
 set -eu
 
 SESSIONS="${1:-200}"
 REPORT="${2:-fleet_report.json}"
+TRACE_OUT="${3:-fleet_trace.json}"
+SLO_P99_MS="${FLEET_SLO_P99_MS:-2000}"
 BASE_PORT="${FLEET_BASE_PORT:-18080}"
 WORKDIR="$(mktemp -d)"
 BIN="$WORKDIR/bin"
@@ -31,6 +38,7 @@ trap cleanup EXIT INT TERM
 mkdir -p "$BIN"
 go build -o "$BIN/deepcat-serve" ./cmd/deepcat-serve
 go build -o "$BIN/deepcat-loadgen" ./cmd/deepcat-loadgen
+go build -o "$BIN/deepcat-trace" ./cmd/deepcat-trace
 
 PEERS=""
 TARGETS=""
@@ -45,7 +53,7 @@ mkdir -p "$WORKDIR/data"
 for i in 0 1 2; do
     port=$((BASE_PORT + i))
     url="http://127.0.0.1:$port"
-    mkdir -p "$WORKDIR/wh$i"
+    mkdir -p "$WORKDIR/wh$i" "$WORKDIR/traces$i"
     "$BIN/deepcat-serve" \
         -addr "127.0.0.1:$port" \
         -public-url "$url" \
@@ -53,6 +61,7 @@ for i in 0 1 2; do
         -data "$WORKDIR/data" \
         -max-sessions 0 \
         -warehouse "$WORKDIR/wh$i" \
+        -trace-dir "$WORKDIR/traces$i" \
         -fleet-ship-interval 2s \
         -fleet-seal-interval 5s \
         -log-level warn \
@@ -60,19 +69,91 @@ for i in 0 1 2; do
     PIDS="$PIDS $!"
 done
 
-# The loadgen waits for every shard's /v1/readyz itself; -max-error-rate 0
-# makes any failed operation fail the script.
-if ! "$BIN/deepcat-loadgen" \
-    -targets "$TARGETS" \
-    -sessions "$SESSIONS" \
-    -short \
-    -report "$REPORT" \
-    -max-error-rate 0; then
+dump_logs() {
     echo "--- shard logs ---" >&2
     for i in 0 1 2; do
         echo "--- serve$i ---" >&2
         cat "$WORKDIR/serve$i.log" >&2 || true
     done
+}
+
+# A shard that cannot bind (a stale daemon still holding the port) exits
+# immediately; catching it here beats debugging a half-stale fleet where
+# readiness probes pass against the wrong processes.
+sleep 1
+for pid in $PIDS; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "a shard exited at startup; is a stale daemon holding port $BASE_PORT..$((BASE_PORT + 2))?" >&2
+        dump_logs
+        exit 1
+    fi
+done
+
+# The loadgen waits for every shard's /v1/readyz itself; -max-error-rate 0
+# makes any failed operation fail the script and -slo-p99 gates tail
+# latency on the serving path.
+if ! "$BIN/deepcat-loadgen" \
+    -targets "$TARGETS" \
+    -sessions "$SESSIONS" \
+    -short \
+    -report "$REPORT" \
+    -max-error-rate 0 \
+    -slo-p99 "$SLO_P99_MS"; then
+    dump_logs
     exit 1
 fi
-echo "fleet smoke passed: $SESSIONS sessions, report in $REPORT"
+
+# --- Cross-shard trace propagation ---------------------------------------
+# One explicit trace id on a session the ring may own anywhere; hitting
+# every shard guarantees at least one request enters through a non-owner
+# and leaves spans in two different shards' spools. curl -L re-sends the
+# POST (with its headers) on the fleet's 307 redirects.
+TRACE_ID="$(od -An -tx1 -N16 /dev/urandom | tr -d ' \n')"
+TRACEPARENT="00-$TRACE_ID-00f067aa0ba902b7-01"
+SHARD0="http://127.0.0.1:$BASE_PORT"
+SMOKE_ID="smoke-trace-$$"
+curl -fsS -L -X POST "$SHARD0/v1/sessions" \
+    -H "traceparent: $TRACEPARENT" \
+    -d "{\"id\":\"$SMOKE_ID\",\"workload\":\"TS\",\"input\":1,\"no_warm_start\":true}" >/dev/null
+for i in 0 1 2; do
+    url="http://127.0.0.1:$((BASE_PORT + i))"
+    curl -fsS -L -X POST "$url/v1/sessions/$SMOKE_ID/suggest" \
+        -H "traceparent: $TRACEPARENT" -d '{}' >/dev/null
+done
+if ! "$BIN/deepcat-trace" \
+    -stitch "$WORKDIR/traces0,$WORKDIR/traces1,$WORKDIR/traces2" \
+    -trace-id "$TRACE_ID" \
+    -require-sources 2; then
+    echo "cross-shard trace did not span two spools" >&2
+    dump_logs
+    exit 1
+fi
+"$BIN/deepcat-trace" \
+    -stitch "$WORKDIR/traces0,$WORKDIR/traces1,$WORKDIR/traces2" \
+    -trace-id "$TRACE_ID" \
+    -require-sources 2 -export chrome -o "$TRACE_OUT"
+
+# --- Degraded fleet metrics ----------------------------------------------
+# Kill shard 2 outright and assert the merged exposition on a survivor
+# still renders, with the dead shard's availability gauge at 0.
+set -- $PIDS
+kill -9 "$3" 2>/dev/null || true
+DEAD_URL="http://127.0.0.1:$((BASE_PORT + 2))"
+METRICS="$WORKDIR/fleet_metrics.txt"
+ok=""
+for attempt in 1 2 3 4 5; do
+    if curl -fsS "$SHARD0/v1/fleet/metrics" >"$METRICS" &&
+        grep -q "deepcat_fleet_shard_up{shard=\"$DEAD_URL\"} 0" "$METRICS" &&
+        grep -q "deepcat_http_requests_total" "$METRICS"; then
+        ok=1
+        break
+    fi
+    sleep 1
+done
+if [ -z "$ok" ]; then
+    echo "merged fleet metrics did not degrade cleanly after shard kill:" >&2
+    cat "$METRICS" >&2 || true
+    dump_logs
+    exit 1
+fi
+echo "fleet smoke passed: $SESSIONS sessions, report in $REPORT, stitched trace in $TRACE_OUT"
