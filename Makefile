@@ -42,12 +42,12 @@ bench-warehouse:
 # BENCH_all.json for benchdiff. Output goes through a file rather than a
 # pipe so a failing `go test` cannot be masked by a succeeding parser
 # (POSIX sh has no pipefail).
-BENCH_PATTERN = ^(BenchmarkForward|BenchmarkForwardBatch|BenchmarkForwardBackward|BenchmarkAdamStep|BenchmarkSoftUpdate|BenchmarkFit200x32|BenchmarkPredict200x32|BenchmarkRDPERAddSample|BenchmarkTD3TrainStep|BenchmarkTD3Act|BenchmarkSuggest|BenchmarkSuggestTraced|BenchmarkWarehouseIngest|BenchmarkSessionSuggestObserve|BenchmarkSessionSuggestObserveSpine|BenchmarkFleetRoute|BenchmarkLoadgenSuggest|BenchmarkSpineIngest|BenchmarkSpineSample)$$
+BENCH_PATTERN = ^(BenchmarkForward|BenchmarkForwardBatch|BenchmarkForwardBackward|BenchmarkAdamStep|BenchmarkSoftUpdate|BenchmarkFit200x32|BenchmarkPredict200x32|BenchmarkRDPERAddSample|BenchmarkTD3TrainStep|BenchmarkTD3Act|BenchmarkSuggest|BenchmarkSuggestTraced|BenchmarkWarehouseIngest|BenchmarkSessionSuggestObserve|BenchmarkSessionSuggestObserveSpine|BenchmarkFleetRoute|BenchmarkLoadgenSuggest|BenchmarkSpineIngest|BenchmarkSpineIngestBackpressure|BenchmarkSpineSample|BenchmarkAdmission)$$
 
 bench-all:
 	rm -f BENCH_all.txt BENCH_all.json
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem \
-		./internal/nn ./internal/gp ./internal/rl ./internal/core ./internal/service ./internal/fleet ./internal/spine . >BENCH_all.txt
+		./internal/nn ./internal/gp ./internal/rl ./internal/core ./internal/service ./internal/fleet ./internal/spine ./internal/admission . >BENCH_all.txt
 	$(GO) run ./cmd/benchdiff -parse BENCH_all.txt -o BENCH_all.json
 	@echo "wrote BENCH_all.json"
 

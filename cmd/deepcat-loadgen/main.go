@@ -26,6 +26,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -53,12 +54,40 @@ type opStats struct {
 	errors atomic.Uint64
 	sloMs  float64
 	over   atomic.Uint64
+	// Error taxonomy for overload runs: shed429 counts admission sheds,
+	// shed504 deadline/budget rejects (both controlled answers, not
+	// faults), fivexx genuine server faults (5xx other than 504), and
+	// transport network-level failures (refused, reset, timed out).
+	shed429   atomic.Uint64
+	shed504   atomic.Uint64
+	fivexx    atomic.Uint64
+	transport atomic.Uint64
 
 	mu  sync.Mutex
 	max float64
 }
 
 func newOpStats() *opStats { return &opStats{hist: obs.NewHistogram(nil)} }
+
+// fail records one failed operation, classified by what the server (or
+// the network) actually said. A typed APIError carries the status; any
+// other error is a transport-level failure.
+func (o *opStats) fail(err error) {
+	o.errors.Add(1)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		o.transport.Add(1)
+		return
+	}
+	switch {
+	case apiErr.Status == 429:
+		o.shed429.Add(1)
+	case apiErr.Status == 504:
+		o.shed504.Add(1)
+	case apiErr.Status >= 500 && apiErr.Status < 600:
+		o.fivexx.Add(1)
+	}
+}
 
 func (o *opStats) observe(d time.Duration) {
 	s := d.Seconds()
@@ -75,17 +104,27 @@ func (o *opStats) observe(d time.Duration) {
 
 // opReport is one operation's slice of the JSON report.
 type opReport struct {
-	Count  uint64  `json:"count"`
-	Errors uint64  `json:"errors"`
-	P50ms  float64 `json:"p50_ms"`
-	P90ms  float64 `json:"p90_ms"`
-	P99ms  float64 `json:"p99_ms"`
-	Maxms  float64 `json:"max_ms"`
-	Meanms float64 `json:"mean_ms"`
+	Count  uint64 `json:"count"`
+	Errors uint64 `json:"errors"`
+	// Shed429/Shed504 break Errors down into controlled overload answers;
+	// FiveXX are real server faults, Transport network-level failures.
+	Shed429   uint64  `json:"shed_429,omitempty"`
+	Shed504   uint64  `json:"shed_504,omitempty"`
+	FiveXX    uint64  `json:"five_xx,omitempty"`
+	Transport uint64  `json:"transport_errors,omitempty"`
+	P50ms     float64 `json:"p50_ms"`
+	P90ms     float64 `json:"p90_ms"`
+	P99ms     float64 `json:"p99_ms"`
+	Maxms     float64 `json:"max_ms"`
+	Meanms    float64 `json:"mean_ms"`
 }
 
 func (o *opStats) report() opReport {
-	r := opReport{Count: o.hist.Count(), Errors: o.errors.Load()}
+	r := opReport{
+		Count: o.hist.Count(), Errors: o.errors.Load(),
+		Shed429: o.shed429.Load(), Shed504: o.shed504.Load(),
+		FiveXX: o.fivexx.Load(), Transport: o.transport.Load(),
+	}
 	if r.Count > 0 {
 		r.P50ms = o.hist.Quantile(0.5) * 1000
 		r.P90ms = o.hist.Quantile(0.9) * 1000
@@ -115,15 +154,25 @@ type sloReport struct {
 
 // report is the full JSON document written by -report.
 type report struct {
-	Targets         []string            `json:"targets"`
-	Sessions        int                 `json:"sessions"`
-	Rounds          int                 `json:"rounds"`
-	Concurrency     int                 `json:"concurrency"`
-	DurationSeconds float64             `json:"duration_seconds"`
-	SessionsOK      uint64              `json:"sessions_ok"`
-	SessionsFailed  uint64              `json:"sessions_failed"`
-	OpsPerSecond    float64             `json:"ops_per_second"`
-	ErrorRate       float64             `json:"error_rate"`
+	Targets         []string `json:"targets"`
+	Sessions        int      `json:"sessions"`
+	Rounds          int      `json:"rounds"`
+	Concurrency     int      `json:"concurrency"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	SessionsOK      uint64   `json:"sessions_ok"`
+	SessionsFailed  uint64   `json:"sessions_failed"`
+	OpsPerSecond    float64  `json:"ops_per_second"`
+	ErrorRate       float64  `json:"error_rate"`
+	// Shed429/Shed504 total the controlled overload answers across all
+	// ops; FiveXX and TransportErrors are the genuine failures.
+	// Availability is the fraction of operations that received a
+	// controlled answer (success or shed) — sheds are the server working
+	// as designed under overload, not an outage.
+	Shed429         uint64              `json:"shed_429"`
+	Shed504         uint64              `json:"shed_504"`
+	FiveXX          uint64              `json:"five_xx"`
+	TransportErrors uint64              `json:"transport_errors"`
+	Availability    float64             `json:"availability"`
 	Ops             map[string]opReport `json:"ops"`
 	// SLO is present when -slo-p99 was set: one verdict per serving-path
 	// operation (suggest, observe).
@@ -139,6 +188,8 @@ func main() {
 		seed         = flag.Int64("seed", 1, "base seed for the synthetic measurements")
 		reportPath   = flag.String("report", "", "write the JSON report to this file (empty = stdout summary only)")
 		maxErrorRate = flag.Float64("max-error-rate", 0, "exit non-zero when the op error rate exceeds this fraction")
+		max5xx       = flag.Int64("max-5xx", -1, "exit non-zero when genuine 5xx answers (excluding 504 budget rejects) exceed this count; -1 disables")
+		minAvail     = flag.Float64("min-availability", 0, "exit non-zero when the fraction of ops receiving a controlled answer (2xx/429/504) falls below this; 0 disables")
 		sloP99       = flag.Float64("slo-p99", 0, "p99 latency SLO in ms for suggest and observe; exit non-zero when the error budget is burned")
 		readyTimeout = flag.Duration("ready-timeout", 30*time.Second, "how long to wait for every target's /v1/readyz")
 		opTimeout    = flag.Duration("op-timeout", 30*time.Second, "per-operation deadline")
@@ -229,12 +280,17 @@ func main() {
 		rep.Ops[name] = r
 		totalOps += r.Count + r.Errors
 		totalErrs += r.Errors
+		rep.Shed429 += r.Shed429
+		rep.Shed504 += r.Shed504
+		rep.FiveXX += r.FiveXX
+		rep.TransportErrors += r.Transport
 	}
 	if elapsed > 0 {
 		rep.OpsPerSecond = float64(totalOps) / elapsed.Seconds()
 	}
 	if totalOps > 0 {
 		rep.ErrorRate = float64(totalErrs) / float64(totalOps)
+		rep.Availability = 1 - float64(rep.FiveXX+rep.TransportErrors)/float64(totalOps)
 	}
 	if *sloP99 > 0 {
 		for _, name := range []string{"suggest", "observe"} {
@@ -249,6 +305,10 @@ func main() {
 	}
 	fmt.Printf("  %d/%d sessions ok in %.1fs (%.0f ops/s, error rate %.4f)\n",
 		rep.SessionsOK, rep.Sessions, rep.DurationSeconds, rep.OpsPerSecond, rep.ErrorRate)
+	if rep.Shed429+rep.Shed504+rep.FiveXX+rep.TransportErrors > 0 {
+		fmt.Printf("  shed 429 %d, shed 504 %d, 5xx %d, transport %d (availability %.4f)\n",
+			rep.Shed429, rep.Shed504, rep.FiveXX, rep.TransportErrors, rep.Availability)
+	}
 	for _, s := range rep.SLO {
 		verdict := "ok"
 		if s.Violated {
@@ -271,6 +331,13 @@ func main() {
 	}
 	if rep.ErrorRate > *maxErrorRate {
 		fatal(fmt.Errorf("error rate %.4f exceeds limit %.4f", rep.ErrorRate, *maxErrorRate))
+	}
+	if *max5xx >= 0 && int64(rep.FiveXX) > *max5xx {
+		fatal(fmt.Errorf("%d genuine 5xx answers exceed limit %d (shed paths must answer 429/504)", rep.FiveXX, *max5xx))
+	}
+	if *minAvail > 0 && rep.Availability < *minAvail {
+		fatal(fmt.Errorf("availability %.4f below minimum %.4f (5xx %d, transport %d)",
+			rep.Availability, *minAvail, rep.FiveXX, rep.TransportErrors))
 	}
 	for _, s := range rep.SLO {
 		if s.Violated {
@@ -360,7 +427,7 @@ func runSession(c *client.Client, idx, rounds int, seed int64, opTimeout time.Du
 	})
 	cancel()
 	if err != nil {
-		stats["create"].errors.Add(1)
+		stats["create"].fail(err)
 		return false
 	}
 	stats["create"].observe(time.Since(start))
@@ -372,7 +439,7 @@ func runSession(c *client.Client, idx, rounds int, seed int64, opTimeout time.Du
 		_, err := c.SuggestCtx(ctx, info.ID)
 		cancel()
 		if err != nil {
-			stats["suggest"].errors.Add(1)
+			stats["suggest"].fail(err)
 			ok = false
 			break
 		}
@@ -386,7 +453,7 @@ func runSession(c *client.Client, idx, rounds int, seed int64, opTimeout time.Du
 		_, err = c.ObserveCtx(ctx, info.ID, service.ObserveRequest{ExecTime: exec})
 		cancel()
 		if err != nil {
-			stats["observe"].errors.Add(1)
+			stats["observe"].fail(err)
 			ok = false
 			break
 		}
@@ -399,7 +466,7 @@ func runSession(c *client.Client, idx, rounds int, seed int64, opTimeout time.Du
 		err := c.DeleteSessionCtx(ctx, info.ID)
 		cancel()
 		if err != nil {
-			stats["delete"].errors.Add(1)
+			stats["delete"].fail(err)
 			ok = false
 		} else {
 			stats["delete"].observe(time.Since(start))

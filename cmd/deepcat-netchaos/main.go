@@ -1,0 +1,193 @@
+// Command deepcat-netchaos stands deterministic fault-injection TCP
+// proxies in front of deepcat-serve shards (or anything else speaking
+// TCP), replaying a seeded fault schedule — added latency, bandwidth
+// throttles, connection resets, full and asymmetric partitions,
+// slow-loris trickle — and reporting exactly what it did as JSON.
+//
+// Every fault is a pure function of -seed: two runs with the same seed,
+// profile and duration inject byte-identical schedules, so a chaos CI job
+// that fails replays locally with nothing more than the seed from its
+// report.
+//
+//	deepcat-netchaos -proxies 127.0.0.1:18081=127.0.0.1:8081,127.0.0.1:18082=127.0.0.1:8082 \
+//	    -profile partition -seed 42 -duration 30s -report chaos.json
+//
+// Each listen=upstream pair becomes one proxy; pair i runs the profile
+// under seed+i so shards fail independently, not in lockstep. The process
+// serves faults for the schedule's duration, waits for every window to
+// heal, writes the report and exits 0 — or exits early on SIGINT/SIGTERM
+// (still writing the report). -print-schedule dumps the schedules as JSON
+// and exits without proxying, for inspecting what a seed would do.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"deepcat/internal/netchaos"
+)
+
+// proxyReport is one proxy's slice of the chaos report.
+type proxyReport struct {
+	Listen   string            `json:"listen"`
+	Upstream string            `json:"upstream"`
+	Schedule netchaos.Schedule `json:"schedule"`
+	Stats    netchaos.Stats    `json:"stats"`
+}
+
+// chaosReport is the JSON document written by -report: everything needed
+// to replay the run (profile, seed, duration) plus what each proxy
+// observed while injecting it.
+type chaosReport struct {
+	Profile         string        `json:"profile"`
+	Seed            int64         `json:"seed"`
+	DurationSeconds float64       `json:"duration_seconds"`
+	Interrupted     bool          `json:"interrupted,omitempty"`
+	Proxies         []proxyReport `json:"proxies"`
+}
+
+func main() {
+	var (
+		proxiesFlag   = flag.String("proxies", "", "comma-separated listen=upstream address pairs, one proxy each")
+		profile       = flag.String("profile", "mixed", "fault profile: "+strings.Join(netchaos.ProfileNames, ", "))
+		seed          = flag.Int64("seed", 1, "schedule seed; pair i uses seed+i")
+		duration      = flag.Duration("duration", 30*time.Second, "total schedule length")
+		linger        = flag.Duration("linger", 0, "keep proxying fault-free for this long after the schedule heals (0 = exit once healed)")
+		reportPath    = flag.String("report", "", "write the chaos report JSON here (empty = stdout)")
+		printSchedule = flag.Bool("print-schedule", false, "print the schedules as JSON and exit without proxying")
+	)
+	flag.Parse()
+
+	pairs, err := splitPairs(*proxiesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pairs) == 0 && !*printSchedule {
+		fatal(fmt.Errorf("no -proxies given"))
+	}
+
+	if *printSchedule {
+		n := len(pairs)
+		if n == 0 {
+			n = 1
+		}
+		scheds := make([]netchaos.Schedule, n)
+		for i := range scheds {
+			s, err := netchaos.Profile(*profile, *seed+int64(i), *duration)
+			if err != nil {
+				fatal(err)
+			}
+			scheds[i] = s
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(scheds); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	proxies := make([]*netchaos.Proxy, 0, len(pairs))
+	for i, pr := range pairs {
+		sched, err := netchaos.Profile(*profile, *seed+int64(i), *duration)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := netchaos.Start(pr[0], pr[1], sched)
+		if err != nil {
+			fatal(fmt.Errorf("proxy %s=%s: %w", pr[0], pr[1], err))
+		}
+		defer p.Close()
+		proxies = append(proxies, p)
+		fmt.Printf("deepcat-netchaos: %s -> %s profile %s seed %d (%d rules)\n",
+			p.Addr(), pr[1], *profile, *seed+int64(i), len(sched.Rules))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+
+	// Serve faults until every proxy's schedule has healed (WaitHealthy
+	// returns once no rule window is active), then optionally linger
+	// fault-free so clients can be observed recovering through the same
+	// proxies.
+	interrupted := false
+	for _, p := range proxies {
+		if err := p.WaitHealthy(ctx); err != nil {
+			interrupted = true
+			break
+		}
+	}
+	if !interrupted && *linger > 0 {
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+			interrupted = true
+		}
+	}
+
+	rep := chaosReport{
+		Profile:         *profile,
+		Seed:            *seed,
+		DurationSeconds: time.Since(start).Seconds(),
+		Interrupted:     interrupted,
+	}
+	for i, p := range proxies {
+		rep.Proxies = append(rep.Proxies, proxyReport{
+			Listen:   p.Addr(),
+			Upstream: pairs[i][1],
+			Schedule: p.Schedule(),
+			Stats:    p.Stats(),
+		})
+		st := p.Stats()
+		fmt.Printf("  %s: accepted %d refused %d resets %d, %dB up %dB down %dB dropped, %d delayed chunks\n",
+			p.Addr(), st.Accepted, st.Refused, st.Resets, st.BytesUp, st.BytesDown, st.BytesDropped, st.DelayedChunk)
+	}
+
+	out := os.Stdout
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if *reportPath != "" {
+		fmt.Printf("  chaos report written to %s\n", *reportPath)
+	}
+}
+
+// splitPairs parses "listen=upstream,listen=upstream" into address pairs.
+func splitPairs(s string) ([][2]string, error) {
+	var out [][2]string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		listen, upstream, ok := strings.Cut(part, "=")
+		if !ok || listen == "" || upstream == "" {
+			return nil, fmt.Errorf("bad proxy pair %q, want listen=upstream", part)
+		}
+		out = append(out, [2]string{listen, upstream})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deepcat-netchaos:", err)
+	os.Exit(1)
+}

@@ -47,6 +47,17 @@
 // warehouse. The -read-header-timeout, -read-timeout and -idle-timeout
 // flags bound how long a client connection can stall either listener.
 //
+// Overload handling: -admission turns on adaptive AIMD load shedding —
+// guarded endpoints answer 429 + Retry-After when the learned concurrency
+// limit is hit, with priority headroom admitting suggest before observe
+// before admin traffic (-admission-initial/-min/-max size the limit).
+// Requests carrying an X-Deepcat-Deadline millisecond budget are rejected
+// up front with 504 when the budget cannot cover the endpoint's observed
+// p99, and the remaining budget becomes the request context's deadline on
+// every hop. -spine-queue bounds the replay spine's ingest queue so
+// experience sheds (oldest low-priority first) instead of backpressuring
+// the serving path.
+//
 // Fleet mode: -peers lists every member's base URL (comma-separated,
 // including this node's own -public-url) and shards sessions across them
 // on a consistent-hash ring. Any node answers any request — sessions owned
@@ -75,6 +86,7 @@ import (
 	"syscall"
 	"time"
 
+	"deepcat/internal/admission"
 	"deepcat/internal/fleet"
 	"deepcat/internal/obs"
 	"deepcat/internal/service"
@@ -111,11 +123,17 @@ func main() {
 		spineIters      = flag.Int("spine-learn-iters", 4, "gradient updates per learner pass")
 		spineWorkers    = flag.Int("spine-workers", 2, "concurrent learner passes")
 		spineAdoptEvery = flag.Int("spine-adopt-every", service.DefaultSpineAdoptEvery, "observations between a session's policy-weight adoption checks")
+		spineQueue      = flag.Int("spine-queue", 0, "bounded ingest-queue capacity in flush batches: sessions enqueue experience asynchronously and the spine sheds oldest low-priority batches under overload (0 = synchronous ingest)")
 
 		whDir      = flag.String("warehouse", "", "experience warehouse directory (empty = disabled)")
 		whInterval = flag.Duration("warehouse-interval", time.Minute, "warehouse trainer/compactor period")
 		whIters    = flag.Int("warehouse-train-iters", 500, "gradient updates per donor training")
 		whWorkers  = flag.Int("warehouse-workers", 2, "concurrent donor trainings")
+
+		admissionOn      = flag.Bool("admission", false, "adaptive AIMD load shedding: guarded endpoints answer 429 + Retry-After when the concurrency limit is hit, with priority headroom (suggest > observe > admin)")
+		admissionInitial = flag.Int("admission-initial", 0, "initial concurrency limit (0 = library default)")
+		admissionMin     = flag.Int("admission-min", 0, "concurrency-limit floor under persistent congestion (0 = library default)")
+		admissionMax     = flag.Int("admission-max", 0, "concurrency-limit ceiling (0 = library default)")
 
 		peers        = flag.String("peers", "", "comma-separated fleet member base URLs, including this node's -public-url (empty = standalone)")
 		publicURL    = flag.String("public-url", "", "this node's advertised base URL, e.g. http://10.0.0.3:8080 (required with -peers)")
@@ -199,6 +217,7 @@ func main() {
 			LearnInterval: *spineInterval,
 			LearnIters:    *spineIters,
 			Workers:       *spineWorkers,
+			QueueCapacity: *spineQueue,
 			Registry:      reg,
 			Logger:        logger,
 		})
@@ -211,6 +230,18 @@ func main() {
 		}
 		fmt.Printf("actor/learner spine on: %d shards x %d/pool, learner pass every %s, adopt every %d observations\n",
 			*spineShards, *spineCapacity, *spineInterval, *spineAdoptEvery)
+		if *spineQueue > 0 {
+			fmt.Printf("spine ingest backpressure on: bounded queue of %d batches, oldest low-priority sheds first\n", *spineQueue)
+		}
+	}
+	var adm *admission.Limiter
+	if *admissionOn {
+		adm = admission.New(admission.Config{
+			Initial: float64(*admissionInitial),
+			Min:     float64(*admissionMin),
+			Max:     float64(*admissionMax),
+		})
+		fmt.Println("adaptive admission control on: AIMD concurrency limit with priority headroom")
 	}
 	var (
 		router  *fleet.Router
@@ -262,7 +293,7 @@ func main() {
 	// itself is bounded by the per-request contexts the handlers plumb down.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewFleetServer(manager, service.FleetOptions{Router: router, Proxy: *fleetProxy}),
+		Handler:           service.NewFleetServer(manager, service.FleetOptions{Router: router, Proxy: *fleetProxy, Admission: adm}),
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,

@@ -1,7 +1,8 @@
 // Command deepcat-top is a terminal dashboard over a tuning fleet: a
 // refresh loop against the router's GET /v1/fleet/metrics aggregation
 // showing, per shard, request rate, latency quantiles, live and degraded
-// session counts and scrape availability, plus the replay spine's health —
+// session counts, shed requests (admission + deadline rejects) and scrape
+// availability, plus the replay spine's health —
 // per-family policy versions, adoption lag, queue depth and staleness, and
 // the learner's train-loop duty cycle.
 //
@@ -102,8 +103,8 @@ func render(resp service.FleetMetricsResponse, prev map[string]uint64, elapsed t
 	fmt.Printf("deepcat-top  %s  via %s  shards %d/%d up\n\n",
 		time.Now().Format("15:04:05"), resp.Self, up, len(resp.Shards))
 
-	fmt.Printf("%-28s %-5s %6s %6s %8s %9s %9s %8s\n",
-		"SHARD", "UP", "SESS", "DEGR", "QPS", "p50", "p99", "ERR5XX")
+	fmt.Printf("%-28s %-5s %6s %6s %8s %9s %9s %8s %7s\n",
+		"SHARD", "UP", "SESS", "DEGR", "QPS", "p50", "p99", "ERR5XX", "SHED")
 	for _, sm := range resp.Shards {
 		name := sm.URL
 		if sm.Self {
@@ -132,15 +133,18 @@ func render(resp service.FleetMetricsResponse, prev map[string]uint64, elapsed t
 			p50 = fmtLatency(h.Quantile(0.50))
 			p99 = fmtLatency(h.Quantile(0.99))
 		}
-		fmt.Printf("%-28s %-5s %6d %6d %8s %9s %9s %8d\n",
-			name, "up", sess, degr, qps, p50, p99, errorCount(snap))
+		fmt.Printf("%-28s %-5s %6d %6d %8s %9s %9s %8d %7d\n",
+			name, "up", sess, degr, qps, p50, p99, errorCount(snap),
+			snap.CounterTotal("deepcat_shed_total"))
 	}
 
 	merged := resp.Merged
 	trips := merged.CounterTotal("deepcat_breaker_trips_total")
 	proxied := merged.CounterTotal("deepcat_fleet_forwards_total")
-	fmt.Printf("\nfleet: %d sessions, %d breaker trips, %d forwards\n",
-		gaugeOrZero(merged, "deepcat_sessions_live"), trips, proxied)
+	shed := merged.CounterTotal("deepcat_shed_total")
+	spineShed := merged.CounterTotal("deepcat_spine_shed_transitions_total")
+	fmt.Printf("\nfleet: %d sessions, %d breaker trips, %d forwards, %d shed (+%d spine transitions)\n",
+		gaugeOrZero(merged, "deepcat_sessions_live"), trips, proxied, shed, spineShed)
 
 	spineSection(merged)
 }

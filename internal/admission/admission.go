@@ -1,0 +1,256 @@
+// Package admission implements adaptive per-shard admission control: an
+// AIMD (additive-increase / multiplicative-decrease) concurrency limiter
+// with priority classes, sitting in front of the serving endpoints.
+//
+// The limiter tracks a floating-point concurrency limit. Every successful
+// request nudges it up by ~1/limit (additive increase: one full unit per
+// "round trip" of limit requests); every congestion signal — a 5xx, a
+// deadline expiry, or a latency breach reported by the caller — cuts it
+// multiplicatively (default ×0.7), with a cooldown so one burst of
+// failures counts as one signal, the same way TCP halves cwnd once per
+// loss event, not once per lost packet.
+//
+// Priority classes map onto fractions of the current limit: Critical
+// (suggest — the serving hot path) may use all of it, High (observe —
+// training data, lossy-tolerable) 90%, Normal (warehouse/admin/everything
+// else) 75%. Under pressure the classes shed in reverse priority order
+// and the hot path keeps its headroom; under no pressure the fractions
+// are invisible because the limit grows far above actual concurrency.
+//
+// Acquire is a handful of atomics on the happy path (no locks, no
+// channels, no allocation) so it can guard a ~78µs Suggest without
+// showing up in its profile.
+package admission
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Priority orders request classes for admission. Higher values get more
+// of the concurrency budget and shed last.
+type Priority int
+
+const (
+	// Normal is everything shed-tolerant: warehouse, traces, session
+	// admin. First to shed.
+	Normal Priority = iota
+	// High is the observe path — training data; losing one costs a
+	// transition, not a user-visible answer.
+	High
+	// Critical is the suggest path — the user-visible serving decision.
+	// Sheds only at hard saturation.
+	Critical
+)
+
+// String returns the metric-label form of the priority.
+func (p Priority) String() string {
+	switch p {
+	case Critical:
+		return "critical"
+	case High:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// headroom is the fraction of the current limit each class may occupy.
+func (p Priority) headroom() float64 {
+	switch p {
+	case Critical:
+		return 1.0
+	case High:
+		return 0.90
+	default:
+		return 0.75
+	}
+}
+
+// Config parameterizes a Limiter. The zero value selects the defaults.
+type Config struct {
+	// Initial is the starting concurrency limit (default 32).
+	Initial float64
+	// Min and Max clamp the adaptive limit (defaults 4 and 4096).
+	Min, Max float64
+	// DecreaseFactor is the multiplicative cut on congestion (default 0.7).
+	DecreaseFactor float64
+	// Cooldown is the minimum spacing between multiplicative decreases,
+	// so one failure burst counts once (default 200ms).
+	Cooldown time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Initial <= 0 {
+		c.Initial = 32
+	}
+	if c.Min <= 0 {
+		c.Min = 4
+	}
+	if c.Max <= 0 {
+		c.Max = 4096
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Initial < c.Min {
+		c.Initial = c.Min
+	}
+	if c.Initial > c.Max {
+		c.Initial = c.Max
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		c.DecreaseFactor = 0.7
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Limiter is an AIMD concurrency limiter with priority classes. All
+// methods are safe for concurrent use; Acquire/Release are lock-free.
+type Limiter struct {
+	cfg Config
+
+	limitBits atomic.Uint64 // float64 bits of the current limit
+	inFlight  atomic.Int64
+	lastCut   atomic.Int64 // UnixNano of the last multiplicative decrease
+
+	admitted [3]atomic.Int64 // per-priority admits
+	shed     [3]atomic.Int64 // per-priority sheds
+}
+
+// New returns a Limiter with the given config (zero Config = defaults).
+func New(cfg Config) *Limiter {
+	cfg = cfg.withDefaults()
+	l := &Limiter{cfg: cfg}
+	l.limitBits.Store(math.Float64bits(cfg.Initial))
+	return l
+}
+
+// Limit returns the current adaptive concurrency limit.
+func (l *Limiter) Limit() float64 {
+	return math.Float64frombits(l.limitBits.Load())
+}
+
+// InFlight returns the number of currently admitted requests.
+func (l *Limiter) InFlight() int64 { return l.inFlight.Load() }
+
+// Acquire tries to admit one request of the given priority. It returns
+// false (a shed) when the class's share of the current limit is full.
+// On true the caller MUST call Release exactly once.
+func (l *Limiter) Acquire(p Priority) bool {
+	limit := l.Limit()
+	allowed := int64(limit * p.headroom())
+	if allowed < 1 {
+		allowed = 1
+	}
+	// Optimistic increment, revert on overshoot: one CAS-free add in the
+	// admit case, which is the common one.
+	if n := l.inFlight.Add(1); n > allowed {
+		l.inFlight.Add(-1)
+		l.shed[priorityIndex(p)].Add(1)
+		return false
+	}
+	l.admitted[priorityIndex(p)].Add(1)
+	return true
+}
+
+// Release returns an admitted request's slot and feeds the AIMD signal:
+// congested=true applies a (cooldown-limited) multiplicative decrease,
+// congested=false an additive increase of 1/limit.
+func (l *Limiter) Release(congested bool) {
+	l.inFlight.Add(-1)
+	if congested {
+		l.decrease()
+		return
+	}
+	// Additive increase: limit += 1/limit per success, i.e. +1 for every
+	// `limit` successes — classic AIMD probing. CAS loop; contention here
+	// is bounded by the number of concurrently completing requests.
+	for {
+		old := l.limitBits.Load()
+		cur := math.Float64frombits(old)
+		if cur >= l.cfg.Max {
+			return
+		}
+		next := cur + 1/cur
+		if next > l.cfg.Max {
+			next = l.cfg.Max
+		}
+		if l.limitBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (l *Limiter) decrease() {
+	now := time.Now().UnixNano()
+	last := l.lastCut.Load()
+	if now-last < int64(l.cfg.Cooldown) {
+		return
+	}
+	if !l.lastCut.CompareAndSwap(last, now) {
+		return // another goroutine took this loss event
+	}
+	for {
+		old := l.limitBits.Load()
+		cur := math.Float64frombits(old)
+		next := cur * l.cfg.DecreaseFactor
+		if next < l.cfg.Min {
+			next = l.cfg.Min
+		}
+		if l.limitBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// RetryAfter suggests a client backoff for a shed, scaled by how far
+// over its budget the limiter is: 1s near the boundary, up to 10s at
+// heavy oversubscription. Whole seconds, ready for a Retry-After header.
+func (l *Limiter) RetryAfter() time.Duration {
+	limit := l.Limit()
+	if limit <= 0 {
+		return 10 * time.Second
+	}
+	over := float64(l.inFlight.Load()) / limit // ≥ ~1.0 when shedding
+	secs := int(over * 2)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 10 {
+		secs = 10
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Snapshot is a point-in-time view of the limiter for metrics and admin
+// surfaces.
+type Snapshot struct {
+	Limit    float64
+	InFlight int64
+	Admitted [3]int64 // indexed by priorityIndex
+	Shed     [3]int64
+}
+
+// Stats returns a snapshot of the limiter counters.
+func (l *Limiter) Stats() Snapshot {
+	s := Snapshot{Limit: l.Limit(), InFlight: l.inFlight.Load()}
+	for i := 0; i < 3; i++ {
+		s.Admitted[i] = l.admitted[i].Load()
+		s.Shed[i] = l.shed[i].Load()
+	}
+	return s
+}
+
+// priorityIndex maps a Priority to its counter slot, tolerating
+// out-of-range values.
+func priorityIndex(p Priority) int {
+	if p < Normal || p > Critical {
+		return int(Normal)
+	}
+	return int(p)
+}

@@ -1,0 +1,206 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDefaults(t *testing.T) {
+	l := New(Config{})
+	if got := l.Limit(); got != 32 {
+		t.Fatalf("default initial limit = %v, want 32", got)
+	}
+	if l.InFlight() != 0 {
+		t.Fatal("fresh limiter has in-flight requests")
+	}
+}
+
+func TestAcquireRelease(t *testing.T) {
+	l := New(Config{Initial: 2, Min: 2, Max: 2})
+	if !l.Acquire(Critical) || !l.Acquire(Critical) {
+		t.Fatal("could not fill the limit")
+	}
+	if l.Acquire(Critical) {
+		t.Fatal("admitted past the limit")
+	}
+	l.Release(false)
+	if !l.Acquire(Critical) {
+		t.Fatal("released slot not reusable")
+	}
+	st := l.Stats()
+	if st.Shed[priorityIndex(Critical)] != 1 {
+		t.Fatalf("shed count = %d, want 1", st.Shed[priorityIndex(Critical)])
+	}
+}
+
+// Lower priorities must shed before higher ones: with limit 10, Normal's
+// share is 7, High's 9, Critical's 10.
+func TestPriorityHeadroom(t *testing.T) {
+	l := New(Config{Initial: 10, Min: 10, Max: 10})
+	// Fill to Normal's ceiling.
+	for i := 0; i < 7; i++ {
+		if !l.Acquire(Normal) {
+			t.Fatalf("Normal admit %d refused below its share", i)
+		}
+	}
+	if l.Acquire(Normal) {
+		t.Fatal("Normal admitted past its 75% share")
+	}
+	// High and Critical still have headroom.
+	if !l.Acquire(High) || !l.Acquire(High) {
+		t.Fatal("High refused inside its 90% share")
+	}
+	if l.Acquire(High) {
+		t.Fatal("High admitted past its share")
+	}
+	if !l.Acquire(Critical) {
+		t.Fatal("Critical refused inside the full limit")
+	}
+	if l.Acquire(Critical) {
+		t.Fatal("Critical admitted past the full limit")
+	}
+}
+
+func TestAIMDDecrease(t *testing.T) {
+	l := New(Config{Initial: 100, Min: 4, Max: 200, Cooldown: time.Nanosecond})
+	if !l.Acquire(Critical) {
+		t.Fatal("acquire")
+	}
+	l.Release(true)
+	if got := l.Limit(); got >= 100 {
+		t.Fatalf("limit after congestion = %v, want < 100", got)
+	}
+	// Repeated congestion floors at Min.
+	for i := 0; i < 50; i++ {
+		l.Acquire(Critical)
+		time.Sleep(time.Microsecond) // pass the (1ns) cooldown deterministically
+		l.Release(true)
+	}
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("limit after sustained congestion = %v, want Min=4", got)
+	}
+}
+
+func TestAIMDIncrease(t *testing.T) {
+	l := New(Config{Initial: 10, Min: 4, Max: 12})
+	start := l.Limit()
+	for i := 0; i < 200; i++ {
+		if l.Acquire(Critical) {
+			l.Release(false)
+		}
+	}
+	if got := l.Limit(); got <= start {
+		t.Fatalf("limit did not grow: %v", got)
+	}
+	if got := l.Limit(); got > 12 {
+		t.Fatalf("limit exceeded Max: %v", got)
+	}
+}
+
+// One burst of congestion inside the cooldown window must count as one
+// loss event, not N.
+func TestDecreaseCooldown(t *testing.T) {
+	l := New(Config{Initial: 100, Min: 4, Max: 200, Cooldown: time.Hour})
+	for i := 0; i < 10; i++ {
+		l.Acquire(Critical)
+		l.Release(true)
+	}
+	// One ×0.7 cut: 70. Ten would floor at Min.
+	if got := l.Limit(); got < 69 || got > 71 {
+		t.Fatalf("limit after burst = %v, want one single cut (~70)", got)
+	}
+}
+
+func TestRetryAfterBounds(t *testing.T) {
+	l := New(Config{Initial: 4, Min: 4, Max: 4})
+	if got := l.RetryAfter(); got < time.Second || got > 10*time.Second {
+		t.Fatalf("RetryAfter = %v out of [1s,10s]", got)
+	}
+	for i := 0; i < 4; i++ {
+		l.Acquire(Critical)
+	}
+	if got := l.RetryAfter(); got < time.Second {
+		t.Fatalf("RetryAfter under saturation = %v", got)
+	}
+}
+
+// The ISSUE's -race gate: 8 concurrent clients with mixed priorities
+// hammering Acquire/Release with occasional congestion signals. The
+// invariants checked: in-flight returns to zero, the limit stays inside
+// [Min, Max], and admitted+shed accounting balances the attempts.
+func TestLimiterConcurrent(t *testing.T) {
+	l := New(Config{Initial: 16, Min: 4, Max: 64, Cooldown: time.Millisecond})
+	const (
+		clients  = 8
+		attempts = 2000
+	)
+	prios := [3]Priority{Critical, High, Normal}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := prios[c%len(prios)]
+			for i := 0; i < attempts; i++ {
+				if !l.Acquire(p) {
+					continue
+				}
+				// Every 97th completion reports congestion to exercise the
+				// decrease path under contention.
+				l.Release(i%97 == 0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("in-flight after drain = %d, want 0", got)
+	}
+	if lim := l.Limit(); lim < 4 || lim > 64 {
+		t.Fatalf("limit out of bounds: %v", lim)
+	}
+	st := l.Stats()
+	var total int64
+	for i := 0; i < 3; i++ {
+		total += st.Admitted[i] + st.Shed[i]
+	}
+	if total != clients*attempts {
+		t.Fatalf("admitted+shed = %d, want %d", total, clients*attempts)
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	for p, want := range map[Priority]string{Critical: "critical", High: "high", Normal: "normal", Priority(99): "normal"} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+// BenchmarkAdmission measures the uncontended Acquire/Release pair — the
+// overhead added to every admitted request. Budgeted in bench_baseline.json;
+// it must stay a tiny fraction of the ~78µs Suggest it guards.
+func BenchmarkAdmission(b *testing.B) {
+	l := New(Config{Initial: 1024, Min: 4, Max: 4096})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.Acquire(Critical) {
+			l.Release(false)
+		}
+	}
+}
+
+// BenchmarkAdmissionParallel is the contended variant: all procs hammer
+// one limiter, the shape it sees at saturation.
+func BenchmarkAdmissionParallel(b *testing.B) {
+	l := New(Config{Initial: 1024, Min: 4, Max: 4096})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if l.Acquire(High) {
+				l.Release(false)
+			}
+		}
+	})
+}

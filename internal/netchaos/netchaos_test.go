@@ -1,0 +1,326 @@
+package netchaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Same (name, seed, total) must yield a byte-identical schedule — the
+// determinism contract that makes chaos runs replayable.
+func TestProfileDeterministic(t *testing.T) {
+	for _, name := range ProfileNames {
+		a, err := Profile(name, 42, 30*time.Second)
+		if err != nil {
+			t.Fatalf("Profile(%q): %v", name, err)
+		}
+		b, err := Profile(name, 42, 30*time.Second)
+		if err != nil {
+			t.Fatalf("Profile(%q) second call: %v", name, err)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("profile %q not deterministic:\n%s\n%s", name, ja, jb)
+		}
+		if len(a.Rules) == 0 {
+			t.Fatalf("profile %q produced no rules", name)
+		}
+	}
+}
+
+// Different seeds must actually vary the schedule (otherwise the seed is
+// decorative and distinct CI runs would all exercise one timeline).
+func TestProfileSeedVaries(t *testing.T) {
+	a, _ := Profile("mixed", 1, 30*time.Second)
+	b, _ := Profile("mixed", 2, 30*time.Second)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if bytes.Equal(ja, jb) {
+		t.Fatal("seeds 1 and 2 produced identical mixed schedules")
+	}
+}
+
+func TestProfileUnknown(t *testing.T) {
+	if _, err := Profile("nope", 1, time.Second); err == nil {
+		t.Fatal("unknown profile did not error")
+	}
+}
+
+func TestRuleWindows(t *testing.T) {
+	r := Rule{Kind: KindLatency, Start: 2 * time.Second, Duration: 3 * time.Second}
+	for at, want := range map[time.Duration]bool{
+		0:               false,
+		2 * time.Second: true,
+		4 * time.Second: true,
+		5 * time.Second: false,
+	} {
+		if got := r.activeAt(at); got != want {
+			t.Errorf("activeAt(%v) = %v, want %v", at, got, want)
+		}
+	}
+	forever := Rule{Kind: KindReset, Start: time.Second}
+	if !forever.activeAt(time.Hour) {
+		t.Error("zero-duration rule should never heal")
+	}
+}
+
+// startUpstream runs a trivial HTTP echo upstream for proxy tests.
+func startUpstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+		if len(body) == 0 {
+			io.WriteString(w, "ok")
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func proxyFor(t *testing.T, upstream string, sched Schedule) *Proxy {
+	t.Helper()
+	p, err := Start("127.0.0.1:0", upstream, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func get(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// A clean schedule must pass traffic through untouched.
+func TestProxyPassthrough(t *testing.T) {
+	up := startUpstream(t)
+	p := proxyFor(t, up.Listener.Addr().String(), Schedule{Seed: 1})
+	body, err := get(http.DefaultClient, "http://"+p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+	st := p.Stats()
+	if st.Accepted != 1 || st.BytesUp == 0 || st.BytesDown == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// A latency window must measurably slow the request, and traffic after
+// the window heals must be fast again.
+func TestProxyLatencyWindowHeals(t *testing.T) {
+	up := startUpstream(t)
+	sched := Schedule{Seed: 7, Rules: []Rule{{
+		Kind: KindLatency, Start: 0, Duration: 400 * time.Millisecond,
+		Latency: 80 * time.Millisecond,
+	}}}
+	p := proxyFor(t, up.Listener.Addr().String(), sched)
+
+	t0 := time.Now()
+	if _, err := get(http.DefaultClient, "http://"+p.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 80*time.Millisecond {
+		t.Fatalf("request under latency window took only %v", d)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := p.WaitHealthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t0 = time.Now()
+	if _, err := get(http.DefaultClient, "http://"+p.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 60*time.Millisecond {
+		t.Fatalf("healed request still slow: %v", d)
+	}
+	if p.Stats().DelayedChunk == 0 {
+		t.Fatal("no chunks recorded as delayed")
+	}
+}
+
+// A reset window must refuse new connections; after it heals connections
+// succeed again.
+func TestProxyResetWindow(t *testing.T) {
+	up := startUpstream(t)
+	sched := Schedule{Seed: 7, Rules: []Rule{{
+		Kind: KindReset, Start: 0, Duration: 300 * time.Millisecond,
+	}}}
+	p := proxyFor(t, up.Listener.Addr().String(), sched)
+
+	// No keep-alive reuse: each attempt must dial fresh to hit the accept path.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	if _, err := get(client, "http://"+p.Addr()); err == nil {
+		t.Fatal("request during reset window succeeded")
+	}
+	if p.Stats().Refused == 0 {
+		t.Fatal("refused count not incremented")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := p.WaitHealthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if body, err := get(client, "http://"+p.Addr()); err != nil || body != "ok" {
+		t.Fatalf("post-heal request: body=%q err=%v", body, err)
+	}
+}
+
+// A full partition black-holes bytes: the connection is accepted but the
+// request stalls until the client's deadline fires. After the window the
+// link must serve again.
+func TestProxyPartitionBlackHole(t *testing.T) {
+	up := startUpstream(t)
+	sched := Schedule{Seed: 7, Rules: []Rule{{
+		Kind: KindPartition, Start: 0, Duration: 400 * time.Millisecond,
+	}}}
+	p := proxyFor(t, up.Listener.Addr().String(), sched)
+
+	client := &http.Client{
+		Timeout:   150 * time.Millisecond,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	if _, err := get(client, "http://"+p.Addr()); err == nil {
+		t.Fatal("request through full partition succeeded")
+	}
+	if p.Stats().BytesDropped == 0 {
+		t.Fatal("no bytes recorded as dropped")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := p.WaitHealthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	slow := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	if body, err := get(slow, "http://"+p.Addr()); err != nil || body != "ok" {
+		t.Fatalf("post-heal request: body=%q err=%v", body, err)
+	}
+}
+
+// Asymmetric partition: requests vanish upstream (partition_in) so the
+// client times out, but the reverse direction alone doesn't break a
+// request that never needs it.
+func TestProxyAsymmetricPartition(t *testing.T) {
+	up := startUpstream(t)
+	sched := Schedule{Seed: 7, Rules: []Rule{{
+		Kind: KindPartitionIn, Start: 0, Duration: 300 * time.Millisecond,
+	}}}
+	p := proxyFor(t, up.Listener.Addr().String(), sched)
+	client := &http.Client{
+		Timeout:   150 * time.Millisecond,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	if _, err := get(client, "http://"+p.Addr()); err == nil {
+		t.Fatal("request through inbound partition succeeded")
+	}
+	st := p.Stats()
+	if st.BytesDropped == 0 {
+		t.Fatalf("stats = %+v: inbound bytes not dropped", st)
+	}
+}
+
+// Trickle slows a small response to ~one byte per interval.
+func TestProxyTrickle(t *testing.T) {
+	up := startUpstream(t)
+	sched := Schedule{Seed: 7, Rules: []Rule{{
+		Kind: KindTrickle, Start: 0, Duration: 5 * time.Second,
+		Interval: 2 * time.Millisecond,
+	}}}
+	p := proxyFor(t, up.Listener.Addr().String(), sched)
+	t0 := time.Now()
+	body, err := get(http.DefaultClient, "http://"+p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+	// Request + response are each dozens of bytes; at 2ms/byte the round
+	// trip cannot be instant.
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Fatalf("trickled request took only %v", d)
+	}
+}
+
+// Mid-stream reset: a window that opens after the connection is
+// established must tear it down at the next chunk.
+func TestProxyMidStreamReset(t *testing.T) {
+	// Raw TCP echo upstream so we control the framing.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+	sched := Schedule{Seed: 7, Rules: []Rule{{
+		Kind: KindReset, Start: 200 * time.Millisecond, Duration: 0,
+	}}}
+	p := proxyFor(t, ln.Addr().String(), sched)
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Healthy echo before the window opens.
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond)
+	// The reset window is now open: the next chunk must kill the stream.
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	conn.Write([]byte("ping"))
+	if _, err := io.ReadFull(conn, buf); err == nil {
+		t.Fatal("echo survived an active reset window")
+	}
+	if p.Stats().Resets == 0 {
+		t.Fatal("mid-stream reset not counted")
+	}
+}
+
+// Proxy.Close must be idempotent and kill live relays.
+func TestProxyClose(t *testing.T) {
+	up := startUpstream(t)
+	p := proxyFor(t, up.Listener.Addr().String(), Schedule{Seed: 1})
+	if _, err := get(http.DefaultClient, "http://"+p.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	if _, err := get(&http.Client{Timeout: 200 * time.Millisecond}, "http://"+p.Addr()); err == nil {
+		t.Fatal("request to closed proxy succeeded")
+	}
+}

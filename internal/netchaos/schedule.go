@@ -1,0 +1,199 @@
+// Package netchaos is a deterministic, seeded TCP fault-injection proxy —
+// the network-layer counterpart of internal/chaos. Where chaos corrupts a
+// single process's *environment* (runtimes, crashes, NaNs), netchaos sits
+// between fleet members (and between clients and the fleet) and injects the
+// failures a real datacenter network produces: added latency and jitter,
+// bandwidth throttling, connection resets, full and asymmetric partitions,
+// and slow-loris byte trickle.
+//
+// Everything is replayable. A Schedule is a plain list of timed fault
+// windows, and Profile expands a (name, seed, duration) triple into one via
+// its own rand.Rand — the same seed always yields the byte-identical
+// schedule, so a CI chaos run that fails can be re-run locally against the
+// exact same fault timeline. Per-connection jitter draws are likewise a
+// pure function of the schedule seed and the connection's accept sequence
+// number, never of shared global randomness.
+//
+// The proxy itself (see proxy.go) is a plain TCP relay that consults the
+// schedule on every accept and every copied chunk, so faults engage and
+// heal mid-connection exactly when their windows say so.
+package netchaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kind names one injectable fault class.
+type Kind string
+
+const (
+	// KindLatency delays every copied chunk by Latency ± Jitter.
+	KindLatency Kind = "latency"
+	// KindThrottle caps forwarded bandwidth at BytesPerSec (both directions).
+	KindThrottle Kind = "throttle"
+	// KindReset closes connections with RST: new connections at accept,
+	// established ones at their next copied chunk.
+	KindReset Kind = "reset"
+	// KindPartition black-holes the link in both directions: bytes are read
+	// and silently dropped, so peers see stalls and deadline expiries — the
+	// packet-loss signature of a real partition, not a clean close.
+	KindPartition Kind = "partition"
+	// KindPartitionIn black-holes only client→upstream bytes (asymmetric
+	// partition: requests vanish, the return path stays up).
+	KindPartitionIn Kind = "partition_in"
+	// KindPartitionOut black-holes only upstream→client bytes (responses
+	// vanish).
+	KindPartitionOut Kind = "partition_out"
+	// KindTrickle forwards one byte per Interval — a slow-loris link that
+	// keeps connections alive while starving them.
+	KindTrickle Kind = "trickle"
+)
+
+// Rule is one fault window, active for [Start, Start+Duration) measured
+// from the proxy's start instant. Zero Duration means "until the schedule's
+// end of time" (never heals).
+type Rule struct {
+	Kind     Kind          `json:"kind"`
+	Start    time.Duration `json:"start"`
+	Duration time.Duration `json:"duration"`
+
+	// Latency and Jitter parameterize KindLatency: each chunk waits
+	// Latency + U(-Jitter, +Jitter), drawn from the connection's seeded rng.
+	Latency time.Duration `json:"latency,omitempty"`
+	Jitter  time.Duration `json:"jitter,omitempty"`
+	// BytesPerSec parameterizes KindThrottle.
+	BytesPerSec int `json:"bytes_per_sec,omitempty"`
+	// Interval parameterizes KindTrickle: the per-byte delay.
+	Interval time.Duration `json:"interval,omitempty"`
+}
+
+// activeAt reports whether the rule's window covers the offset.
+func (r Rule) activeAt(at time.Duration) bool {
+	if at < r.Start {
+		return false
+	}
+	return r.Duration <= 0 || at < r.Start+r.Duration
+}
+
+// Schedule is a deterministic fault plan: the timed rules plus the seed
+// that parameterizes every per-connection random draw (jitter). Two
+// schedules with equal fields produce bit-identical fault behavior modulo
+// OS scheduling; the schedule itself is pure data and can be serialized
+// into a chaos report for replay.
+type Schedule struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// ActiveAt returns the rules whose windows cover the offset since proxy
+// start. The returned slice aliases s.Rules entries (rules are values).
+func (s Schedule) ActiveAt(at time.Duration) []Rule {
+	var out []Rule
+	for _, r := range s.Rules {
+		if r.activeAt(at) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ProfileNames lists the built-in profile generators, in the order they
+// are documented.
+var ProfileNames = []string{"latency", "overload", "partition", "flaky", "trickle", "mixed"}
+
+// Profile expands a named fault profile into a concrete Schedule lasting
+// total (<= 0 selects 30s). It is a pure function of (name, seed, total):
+// all randomness comes from a rand.Rand seeded with seed, so the same
+// arguments always produce the byte-identical schedule.
+//
+//	latency    rolling 10-40ms ± jitter windows covering most of the run
+//	overload   latency windows plus bandwidth-throttle windows
+//	partition  one full partition window in the middle third of the run
+//	flaky      short scattered connection-reset windows
+//	trickle    one slow-loris window in the middle of the run
+//	mixed      latency floor + one partition window + one reset window
+func Profile(name string, seed int64, total time.Duration) (Schedule, error) {
+	if total <= 0 {
+		total = 30 * time.Second
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed}
+	switch name {
+	case "latency":
+		// Back-to-back windows with independently drawn severity, so the
+		// injected latency level shifts every few seconds.
+		for at := time.Duration(0); at < total; {
+			d := 2*time.Second + time.Duration(rng.Int63n(int64(3*time.Second)))
+			if at+d > total {
+				d = total - at
+			}
+			s.Rules = append(s.Rules, Rule{
+				Kind:     KindLatency,
+				Start:    at,
+				Duration: d,
+				Latency:  10*time.Millisecond + time.Duration(rng.Int63n(int64(30*time.Millisecond))),
+				Jitter:   time.Duration(rng.Int63n(int64(10 * time.Millisecond))),
+			})
+			at += d
+		}
+	case "overload":
+		lat, err := Profile("latency", seed, total)
+		if err != nil {
+			return Schedule{}, err
+		}
+		s.Rules = lat.Rules
+		// Two throttle windows squeeze the pipe to force queueing upstream.
+		for i := 0; i < 2; i++ {
+			start := time.Duration(rng.Int63n(int64(total * 3 / 4)))
+			s.Rules = append(s.Rules, Rule{
+				Kind:        KindThrottle,
+				Start:       start,
+				Duration:    total / 6,
+				BytesPerSec: 256 << 10, // 256 KiB/s: slow, not stalled
+			})
+		}
+	case "partition":
+		// One full partition covering roughly the middle third; everything
+		// outside it is healthy, so recovery is observable.
+		start := total/3 + time.Duration(rng.Int63n(int64(total/12)+1))
+		s.Rules = append(s.Rules, Rule{
+			Kind:     KindPartition,
+			Start:    start,
+			Duration: total / 3,
+		})
+	case "flaky":
+		n := 3 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			start := time.Duration(rng.Int63n(int64(total * 9 / 10)))
+			s.Rules = append(s.Rules, Rule{
+				Kind:     KindReset,
+				Start:    start,
+				Duration: 200*time.Millisecond + time.Duration(rng.Int63n(int64(800*time.Millisecond))),
+			})
+		}
+	case "trickle":
+		s.Rules = append(s.Rules, Rule{
+			Kind:     KindTrickle,
+			Start:    total / 3,
+			Duration: total / 3,
+			Interval: 20 * time.Millisecond,
+		})
+	case "mixed":
+		s.Rules = append(s.Rules, Rule{
+			Kind:     KindLatency,
+			Start:    0,
+			Duration: total,
+			Latency:  5*time.Millisecond + time.Duration(rng.Int63n(int64(10*time.Millisecond))),
+			Jitter:   time.Duration(rng.Int63n(int64(5 * time.Millisecond))),
+		})
+		pStart := total/4 + time.Duration(rng.Int63n(int64(total/8)+1))
+		s.Rules = append(s.Rules, Rule{Kind: KindPartition, Start: pStart, Duration: total / 6})
+		rStart := (total * 2 / 3) + time.Duration(rng.Int63n(int64(total/8)+1))
+		s.Rules = append(s.Rules, Rule{Kind: KindReset, Start: rStart, Duration: total / 12})
+	default:
+		return Schedule{}, fmt.Errorf("netchaos: unknown profile %q (have %v)", name, ProfileNames)
+	}
+	return s, nil
+}

@@ -23,6 +23,15 @@ import (
 	"deepcat/internal/trace"
 )
 
+// ErrBudgetExhausted marks a call abandoned because its context deadline
+// budget cannot cover another attempt: either the computed backoff (or
+// the server's Retry-After demand) extends past the deadline, or the
+// budget was already spent. It always wraps the last attempt's error, so
+// errors.As still extracts the *APIError underneath. Callers treat it as
+// terminal — retrying the same call with the same budget would only burn
+// the backoff schedule to reach the same place.
+var ErrBudgetExhausted = errors.New("deadline budget exhausted")
+
 // APIError is a non-2xx response decoded from the server's error envelope.
 type APIError struct {
 	Status  int
@@ -211,7 +220,20 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
-			if err := sleepCtx(ctx, c.retryDelay(attempt-1, lastErr)); err != nil {
+			delay := c.retryDelay(attempt-1, lastErr)
+			// Budget-aware retry: when the context carries a deadline and
+			// the next wait would outlive it, stop now with a typed error
+			// instead of sleeping into certain failure. This is also what
+			// makes a 429 whose Retry-After lands beyond the budget
+			// terminal — retryDelay already adopted the server's demand.
+			if dl, ok := ctx.Deadline(); ok {
+				if rem := time.Until(dl); rem <= delay {
+					return fmt.Errorf("client: %s %s: %w: next retry in %s exceeds remaining budget %s: %w",
+						method, path, ErrBudgetExhausted, delay.Round(time.Millisecond),
+						rem.Round(time.Millisecond), lastErr)
+				}
+			}
+			if err := sleepCtx(ctx, delay); err != nil {
 				return fmt.Errorf("client: %s %s: %w (last attempt: %v)", method, path, err, lastErr)
 			}
 		}
@@ -273,6 +295,18 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hasBody bool, 
 	}
 	req.Header.Set(trace.TraceparentHeader, sc.Traceparent())
 	req.Header.Set("X-Request-Id", reqID)
+	// Deadline propagation: tell the server how much budget this attempt
+	// actually has, so it can reject up front (504) when the endpoint's
+	// observed tail latency would blow it anyway. Stamped per attempt —
+	// retries of one call carry their shrinking remainder, and every
+	// fleet hop decrements it further.
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(service.DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient

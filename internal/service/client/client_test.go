@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -334,5 +335,117 @@ func TestRetryStopsWhenContextAlreadyCancelled(t *testing.T) {
 	}
 	if n := calls.Load(); n > 1 {
 		t.Fatalf("server saw %d attempts after cancellation, want at most 1", n)
+	}
+}
+
+// A 429 whose Retry-After demand extends past the context's remaining
+// budget is terminal: the client returns ErrBudgetExhausted after a
+// single attempt instead of burning the backoff schedule, and the
+// underlying *APIError stays extractable.
+func TestBudgetExhaustedTerminal(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "60")
+		http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_, err := c.Ready(ctx)
+	if err == nil {
+		t.Fatal("expected error from saturated server")
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("error %v, want ErrBudgetExhausted", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("underlying APIError not extractable from %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (no retries past the budget)", got)
+	}
+}
+
+// An ordinary backoff that would outlive the remaining budget is equally
+// terminal — no Retry-After needed, the computed delay alone disqualifies
+// the retry.
+func TestBudgetExhaustedByBackoff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	// Base delay far beyond the budget: the first retry is already unaffordable.
+	c.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Second, MaxDelay: 2 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.Ready(ctx)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("error %v, want ErrBudgetExhausted", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1", got)
+	}
+}
+
+// A budget generous enough to cover the backoff schedule does not
+// suppress retries: transient failures still recover.
+func TestBudgetAllowsAffordableRetries(t *testing.T) {
+	h, calls := flakyHandler(2, http.StatusServiceUnavailable)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready with generous budget: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+// Every attempt under a deadline-carrying context stamps the remaining
+// budget into X-Deepcat-Deadline; without a deadline the header is absent.
+func TestDeadlineHeaderStamped(t *testing.T) {
+	var header atomic.Value // string: "" = absent
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header.Store(r.Header.Get(service.DeadlineHeader))
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ready":true,"store":true,"registry":true}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 750*time.Millisecond)
+	defer cancel()
+	if _, err := c.Ready(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := header.Load().(string)
+	if got == "" {
+		t.Fatal("deadline header absent on a deadline-carrying request")
+	}
+	ms, err := strconv.ParseInt(got, 10, 64)
+	if err != nil || ms < 1 || ms > 750 {
+		t.Fatalf("deadline header %q, want integer ms in (0, 750]", got)
+	}
+
+	if _, err := c.Ready(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = header.Load().(string)
+	if got != "" {
+		t.Fatalf("deadline header %q on a deadline-free request, want absent", got)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"deepcat/internal/admission"
 	"deepcat/internal/fleet"
 	"deepcat/internal/obs"
 	"deepcat/internal/trace"
@@ -52,6 +53,10 @@ type FleetOptions struct {
 	// 307 Temporary Redirect; it spends this node's bandwidth to support
 	// clients that cannot follow redirects.
 	Proxy bool
+	// Admission, when non-nil, guards the serving endpoints with adaptive
+	// AIMD load shedding (see internal/admission and endpointPriority).
+	// Works standalone too — it does not require a Router.
+	Admission *admission.Limiter
 }
 
 // fleetGlue is the service-layer half of fleet routing: the ownership
@@ -176,6 +181,14 @@ func (g *fleetGlue) proxyWith(w http.ResponseWriter, r *http.Request, target str
 	// point at this hop as their parent within the same trace.
 	if id := w.Header().Get(requestIDHeader); id != "" {
 		req.Header.Set(requestIDHeader, id)
+	}
+	// Deadline propagation: re-stamp the budget header with what is
+	// actually left of this hop's context deadline (instrument parsed the
+	// original header into it), so the owner gates against remaining
+	// budget, not the client's original allowance. The cloned header's
+	// stale value must not survive a hop that has already spent part of it.
+	if dl, ok := r.Context().Deadline(); ok {
+		req.Header.Set(DeadlineHeader, remainingBudgetMS(dl))
 	}
 	sp := trace.Begin(g.rec, "fleet.proxy").Attr("target", target)
 	if sc, ok := trace.FromContext(r.Context()); ok {

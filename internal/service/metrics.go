@@ -92,6 +92,10 @@ type httpMetrics struct {
 	inFlight *obs.Gauge
 	dur      *obs.Histogram
 	requests func(code string) *obs.Counter
+	// shed counts requests rejected before their handler ran, labelled by
+	// why: "admission" (the AIMD limiter said no) or "deadline" (the
+	// budget could not cover the endpoint's observed p99).
+	shed func(reason string) *obs.Counter
 }
 
 // newHTTPMetrics builds the instruments for one endpoint label.
@@ -101,6 +105,9 @@ func newHTTPMetrics(reg *obs.Registry, endpoint string) httpMetrics {
 		dur:      reg.Histogram("deepcat_http_request_duration_seconds", nil, "endpoint", endpoint),
 		requests: func(code string) *obs.Counter {
 			return reg.Counter("deepcat_http_requests_total", "endpoint", endpoint, "code", code)
+		},
+		shed: func(reason string) *obs.Counter {
+			return reg.Counter("deepcat_shed_total", "endpoint", endpoint, "reason", reason)
 		},
 	}
 }

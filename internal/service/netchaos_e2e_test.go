@@ -1,0 +1,136 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"deepcat/internal/netchaos"
+	"deepcat/internal/service"
+	"deepcat/internal/service/client"
+)
+
+// The serving stack behind a partitioned link fails fast — a deadline-
+// carrying call errors within its budget instead of hanging — and
+// recovers to full service once the partition heals, with no restart and
+// no lingering degraded state.
+func TestFleetSurvivesPartitionAndHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real fault windows take wall-clock time")
+	}
+	m := service.NewManager(service.NewMemStore(), 0)
+	srv := httptest.NewServer(service.NewFleetServer(m, service.FleetOptions{}))
+	defer srv.Close()
+	upstream := strings.TrimPrefix(srv.URL, "http://")
+
+	// Partition from proxy start: every byte is black-holed for 400ms,
+	// then the link heals for good.
+	p, err := netchaos.Start("127.0.0.1:0", upstream, netchaos.Schedule{
+		Seed:  1,
+		Rules: []netchaos.Rule{{Kind: netchaos.KindPartition, Start: 0, Duration: 400 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := client.New("http://" + p.Addr())
+	c.Retry = client.RetryPolicy{MaxAttempts: 1}
+
+	// During the partition a budgeted call must fail within its budget,
+	// not hang: the partition drops bytes rather than closing, so the only
+	// way out is the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	start := time.Now()
+	_, err = c.Ready(ctx)
+	cancel()
+	if err == nil {
+		t.Fatal("Ready succeeded through an active partition")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("partitioned call took %s, want fail-fast within the budget", waited)
+	}
+
+	// Heal, then the same client completes a full tuning round trip.
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := p.WaitHealthy(hctx); err != nil {
+		t.Fatalf("schedule did not heal: %v", err)
+	}
+	octx, ocancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer ocancel()
+	info, err := c.CreateSessionCtx(octx, service.CreateSessionRequest{ID: "heal", Workload: "TS", Input: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("create after heal: %v", err)
+	}
+	if _, err := c.SuggestCtx(octx, info.ID); err != nil {
+		t.Fatalf("suggest after heal: %v", err)
+	}
+	obs, err := c.ObserveCtx(octx, info.ID, service.ObserveRequest{ExecTime: 70})
+	if err != nil {
+		t.Fatalf("observe after heal: %v", err)
+	}
+	if obs.Health != "" && obs.Health != "healthy" {
+		t.Fatalf("session health %q after heal, want healthy", obs.Health)
+	}
+}
+
+// A reset window tears connections down with RST; the client's retry
+// policy rides it out once the window passes, and a budget too small for
+// the retry schedule surfaces the typed budget error instead of burning
+// attempts against a dead link.
+func TestClientThroughResetWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real fault windows take wall-clock time")
+	}
+	m := service.NewManager(service.NewMemStore(), 0)
+	srv := httptest.NewServer(service.NewFleetServer(m, service.FleetOptions{}))
+	defer srv.Close()
+	upstream := strings.TrimPrefix(srv.URL, "http://")
+
+	p, err := netchaos.Start("127.0.0.1:0", upstream, netchaos.Schedule{
+		Seed:  2,
+		Rules: []netchaos.Rule{{Kind: netchaos.KindReset, Start: 0, Duration: 250 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := client.New("http://" + p.Addr())
+	// Backoff long enough that attempt 2+ lands after the window heals.
+	c.Retry = client.RetryPolicy{MaxAttempts: 5, BaseDelay: 150 * time.Millisecond, MaxDelay: 400 * time.Millisecond}
+
+	// A generous budget recovers through retries.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready did not recover through the reset window: %v", err)
+	}
+
+	// A fresh reset window with a budget smaller than one backoff step is
+	// terminal with the typed error (transport failures still retriable,
+	// but the budget cannot afford the wait).
+	p2, err := netchaos.Start("127.0.0.1:0", upstream, netchaos.Schedule{
+		Seed:  3,
+		Rules: []netchaos.Rule{{Kind: netchaos.KindReset, Start: 0, Duration: 2 * time.Second}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	c2 := client.New("http://" + p2.Addr())
+	c2.Retry = client.RetryPolicy{MaxAttempts: 5, BaseDelay: 500 * time.Millisecond, MaxDelay: time.Second}
+	bctx, bcancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer bcancel()
+	_, err = c2.Ready(bctx)
+	if err == nil {
+		t.Fatal("Ready succeeded through an active reset window")
+	}
+	if !errors.Is(err, client.ErrBudgetExhausted) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("starved retry error = %v, want ErrBudgetExhausted or DeadlineExceeded", err)
+	}
+}

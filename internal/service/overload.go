@@ -1,0 +1,103 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"deepcat/internal/admission"
+)
+
+// DeadlineHeader carries a request's remaining time budget, in integer
+// milliseconds, across hops. The typed client stamps it from its context
+// deadline; the server parses it into the request context; the fleet
+// proxy re-stamps the *remaining* budget before forwarding, so each hop
+// sees the time actually left rather than the original allowance. A
+// request whose budget cannot cover the endpoint's observed p99 is
+// rejected up front with 504 — shedding in microseconds work that would
+// have died of timeout after seconds of queueing.
+const DeadlineHeader = "X-Deepcat-Deadline"
+
+// deadlineMinSamples is how many observations an endpoint's latency
+// histogram needs before the up-front p99 budget gate engages. Below it
+// the server has no trustworthy tail estimate and admits the request on
+// its deadline alone.
+const deadlineMinSamples = 50
+
+// maxDeadlineBudget caps a parsed deadline budget. Anything above it is
+// effectively "no deadline" and clamping keeps arithmetic sane against
+// absurd or hostile header values.
+const maxDeadlineBudget = time.Hour
+
+// parseDeadline extracts the millisecond budget header. ok reports
+// whether a budget was supplied; err a malformed one.
+func parseDeadline(r *http.Request) (budget time.Duration, ok bool, err error) {
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return 0, false, nil
+	}
+	ms, perr := strconv.ParseInt(v, 10, 64)
+	if perr != nil || ms <= 0 {
+		return 0, false, fmt.Errorf("malformed %s header %q: want positive integer milliseconds", DeadlineHeader, v)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > maxDeadlineBudget {
+		d = maxDeadlineBudget
+	}
+	return d, true, nil
+}
+
+// remainingBudgetMS renders a context deadline as a header value: the
+// milliseconds left, floored at 1 so a nearly-dead budget still
+// propagates as a (tiny) budget rather than disappearing.
+func remainingBudgetMS(deadline time.Time) string {
+	ms := time.Until(deadline).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return strconv.FormatInt(ms, 10)
+}
+
+// endpointPriority maps an endpoint label to its admission class.
+// guarded=false exempts the endpoint entirely: health and readiness
+// probes must answer during overload (shedding them convinces the fleet
+// router its peers are dead, amplifying the outage), and the metrics
+// surfaces are how operators see the overload at all.
+func endpointPriority(endpoint string) (prio admission.Priority, guarded bool) {
+	switch endpoint {
+	case "healthz", "readyz", "metrics_snapshot", "fleet_metrics", "fleet_ring":
+		return admission.Normal, false
+	case "suggest":
+		// The serving decision a scheduler is blocked on.
+		return admission.Critical, true
+	case "observe":
+		// Training data; a shed costs one transition, not an answer.
+		return admission.High, true
+	default:
+		// Session admin, traces, warehouse browsing, migrations.
+		return admission.Normal, true
+	}
+}
+
+// writeShed answers an admission shed: 429 with the limiter's Retry-After
+// hint. The shard header is already stamped by instrument, so the client
+// knows which member of the fleet is saturated.
+func writeShed(w http.ResponseWriter, retryAfter time.Duration, endpoint string, prio admission.Priority) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error: fmt.Sprintf("%s shed by admission control (%s priority): shard over capacity", endpoint, prio),
+	})
+}
+
+// writeBudgetReject answers the up-front deadline gate: 504 because from
+// the caller's point of view the request *would have* timed out — just
+// without burning a slot first. Retry-After 1 invites a retry with a
+// fresh budget (or against a healthier shard).
+func writeBudgetReject(w http.ResponseWriter, budget, p99 time.Duration, endpoint string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
+		Error: fmt.Sprintf("%s budget %s cannot cover observed p99 %s for %s",
+			DeadlineHeader, budget.Round(time.Millisecond), p99.Round(time.Millisecond), endpoint),
+	})
+}

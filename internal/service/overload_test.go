@@ -1,0 +1,217 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"deepcat/internal/admission"
+	"deepcat/internal/obs"
+)
+
+func overloadServer(t *testing.T, adm *admission.Limiter) (*Manager, *obs.Registry, *httptest.Server) {
+	t.Helper()
+	m := NewManager(NewMemStore(), 0)
+	reg := obs.NewRegistry()
+	m.AttachObs(reg, nil)
+	srv := httptest.NewServer(NewFleetServer(m, FleetOptions{Admission: adm}))
+	t.Cleanup(srv.Close)
+	return m, reg, srv
+}
+
+func TestDeadlineHeaderMalformed(t *testing.T) {
+	_, _, srv := overloadServer(t, nil)
+	for _, bad := range []string{"abc", "-5", "0", "1.5"} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/sessions", nil)
+		req.Header.Set(DeadlineHeader, bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("deadline %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// A budget that cannot cover the endpoint's observed p99 must be rejected
+// up front with 504 + Retry-After and counted as a deadline shed; a
+// generous budget passes.
+func TestDeadlineBudgetGate(t *testing.T) {
+	m, reg, srv := overloadServer(t, nil)
+	if _, err := m.Create(CreateSessionRequest{ID: "dl", Workload: "TS", Input: 1, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Teach the endpoint's histogram a ~1s p99: the registry resolves the
+	// same instrument instrument() observes into.
+	h := reg.Histogram("deepcat_http_request_duration_seconds", nil, "endpoint", "suggest")
+	for i := 0; i < deadlineMinSamples+10; i++ {
+		h.Observe(1.0)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/sessions/dl/suggest", nil)
+	req.Header.Set(DeadlineHeader, "10") // 10ms budget vs ~1s p99
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("starved budget: status %d, want 504", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("504 budget reject missing Retry-After")
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterTotal("deepcat_shed_total"); got != 1 {
+		t.Fatalf("deepcat_shed_total = %d, want 1", got)
+	}
+
+	// A sufficient budget is admitted and served.
+	req, _ = http.NewRequest(http.MethodPost, srv.URL+"/v1/sessions/dl/suggest", nil)
+	req.Header.Set(DeadlineHeader, "30000")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generous budget: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// A saturated limiter sheds guarded endpoints with 429 + Retry-After but
+// leaves health/readiness/metrics untouched — the observability surface
+// must survive the overload it is reporting.
+func TestAdmissionShedAndExemptions(t *testing.T) {
+	adm := admission.New(admission.Config{Initial: 1, Min: 1, Max: 1})
+	m, reg, srv := overloadServer(t, adm)
+	if _, err := m.Create(CreateSessionRequest{ID: "sh", Workload: "TS", Input: 1, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Hold the only slot so every guarded request sheds.
+	if !adm.Acquire(admission.Critical) {
+		t.Fatal("could not take the only slot")
+	}
+	defer adm.Release(false)
+
+	resp, err := http.Post(srv.URL+"/v1/sessions/sh/suggest", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated suggest: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	for _, path := range []string{"/healthz", "/v1/readyz", "/v1/metrics/snapshot"} {
+		r2, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusOK {
+			t.Fatalf("exempt endpoint %s shed with status %d", path, r2.StatusCode)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterTotal("deepcat_shed_total"); got < 1 {
+		t.Fatalf("deepcat_shed_total = %d, want >= 1", got)
+	}
+}
+
+// Priority classes shed in order: with the limiter sized so Normal's
+// share is exhausted but Critical's is not, session admin sheds while
+// suggest still serves.
+func TestAdmissionPriorityOrdering(t *testing.T) {
+	adm := admission.New(admission.Config{Initial: 4, Min: 4, Max: 4})
+	m, _, srv := overloadServer(t, adm)
+	if _, err := m.Create(CreateSessionRequest{ID: "pr", Workload: "TS", Input: 1, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy 3 of 4 slots: Normal's share (75% of 4 = 3) is now full,
+	// Critical (4) still has one.
+	for i := 0; i < 3; i++ {
+		if !adm.Acquire(admission.Critical) {
+			t.Fatal("setup acquire failed")
+		}
+	}
+	defer func() {
+		for i := 0; i < 3; i++ {
+			adm.Release(false)
+		}
+	}()
+
+	resp, err := http.Get(srv.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("normal-priority list at 3/4 occupancy: status %d, want 429", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/sessions/pr/suggest", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("critical-priority suggest at 3/4 occupancy: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// The sentinel mapping for deadline/cancel outcomes: 504 for an expired
+// budget (with Retry-After), 499 for an abandoned request — neither is a
+// 5xx server fault.
+func TestWriteErrDeadlineAndCancel(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeErr(rec, context.DeadlineExceeded)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("DeadlineExceeded = %d, want 504", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("504 missing Retry-After")
+	}
+	rec = httptest.NewRecorder()
+	writeErr(rec, context.Canceled)
+	if rec.Code != 499 {
+		t.Fatalf("Canceled = %d, want 499", rec.Code)
+	}
+}
+
+// A parsed budget becomes the request context's deadline: a handler that
+// outlives it answers 504, not 200-after-the-fact. The session's own
+// mutex is held across the budget window so the suggest path's ctx check
+// deterministically runs after expiry.
+func TestDeadlineBecomesContext(t *testing.T) {
+	m, _, srv := overloadServer(t, nil)
+	if _, err := m.Create(CreateSessionRequest{ID: "ctx", Workload: "TS", Input: 1, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := m.Get("ctx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the session past the 20ms budget; Suggest re-checks its ctx
+	// once it finally acquires the lock.
+	sess.mu.Lock()
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		sess.mu.Unlock()
+	}()
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/sessions/ctx/suggest", nil)
+	req.Header.Set(DeadlineHeader, "20")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != 499 {
+		t.Fatalf("expired in-flight budget: status %d, want 504 (or 499)", resp.StatusCode)
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -12,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"deepcat/internal/admission"
 	"deepcat/internal/obs"
 	"deepcat/internal/trace"
 )
@@ -50,6 +52,12 @@ type Server struct {
 	// request's route/proxy/handler/session spans across shard spools. Nil
 	// when the daemon runs with tracing off — that path records nothing.
 	rec *trace.Session
+	// adm, when non-nil, is the shard's AIMD admission limiter: guarded
+	// endpoints acquire a slot before their handler runs and shed with
+	// 429 + Retry-After when their priority class is out of headroom. Nil
+	// disables shedding entirely (the default for bare NewServer, so
+	// embedded/test servers behave exactly as before).
+	adm *admission.Limiter
 }
 
 // NewServer builds the route table over m for a standalone daemon.
@@ -61,7 +69,7 @@ func NewServer(m *Manager) *Server {
 // zero FleetOptions degenerates to a standalone server.
 func NewFleetServer(m *Manager, opts FleetOptions) *Server {
 	reg, logger := m.Obs()
-	s := &Server{manager: m, mux: http.NewServeMux(), log: logger, rec: newRecorder(m.tc, "_server")}
+	s := &Server{manager: m, mux: http.NewServeMux(), log: logger, rec: newRecorder(m.tc, "_server"), adm: opts.Admission}
 	if opts.Router != nil {
 		s.fleet = newFleetGlue(m, opts)
 		s.fleet.rec = s.rec
@@ -120,8 +128,9 @@ func newRequestID() string {
 }
 
 // instrument wraps a handler with the per-endpoint bookkeeping: request-id
-// assignment, trace-context propagation, in-flight gauge, duration
-// histogram, status-labelled request counter and one access log line.
+// assignment, trace-context propagation, deadline-budget enforcement,
+// admission control, in-flight gauge, duration histogram, status-labelled
+// request counter and one access log line.
 //
 // Trace context: a well-formed traceparent header is adopted and echoed on
 // the response; with tracing enabled a missing one is minted (crypto/rand —
@@ -131,7 +140,20 @@ func newRequestID() string {
 // is what lets deepcat-trace stitch a request across shard spools. With
 // tracing off and no caller-supplied header, nothing is minted, parsed
 // into the context, or recorded — the path is unchanged.
+//
+// Overload control, in order: an X-Deepcat-Deadline budget that cannot
+// cover the endpoint's observed p99 is rejected up front with 504 (the
+// request was already dead; failing in microseconds beats queueing it to
+// its grave); a surviving budget becomes the request context's deadline so
+// every downstream stage — and the proxy hop — inherits it. Then the
+// admission limiter (when configured) takes a slot for the endpoint's
+// priority class or sheds with 429 + Retry-After; on completion the slot
+// is released with a congestion signal (503/504 answers shrink the limit,
+// everything else grows it). Health, readiness and metrics endpoints are
+// exempt — during an overload they are exactly the endpoints that must
+// keep answering.
 func (s *Server) instrument(hm httpMetrics, endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	prio, guarded := endpointPriority(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqID := r.Header.Get(requestIDHeader)
@@ -157,9 +179,50 @@ func (s *Server) instrument(hm httpMetrics, endpoint string, h http.HandlerFunc)
 			Attr("request_id", reqID).AttrContext(sc)
 		hm.inFlight.Inc()
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(sr, r)
+
+		admitted := func() bool {
+			budget, hasBudget, derr := parseDeadline(r)
+			if derr != nil {
+				writeJSON(sr, http.StatusBadRequest, ErrorResponse{Error: derr.Error()})
+				return false
+			}
+			if hasBudget {
+				// The p99 gate needs a populated histogram; early in a
+				// process's life the request is admitted on its deadline
+				// alone.
+				if hm.dur != nil && hm.dur.Count() >= deadlineMinSamples {
+					if p99 := time.Duration(hm.dur.Quantile(0.99) * float64(time.Second)); p99 > 0 && budget < p99 {
+						hm.shed("deadline").Inc()
+						writeBudgetReject(sr, budget, p99, endpoint)
+						return false
+					}
+				}
+				ctx, cancel := context.WithTimeout(r.Context(), budget)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+			if s.adm != nil && guarded {
+				if !s.adm.Acquire(prio) {
+					hm.shed("admission").Inc()
+					writeShed(sr, s.adm.RetryAfter(), endpoint, prio)
+					return false
+				}
+				defer func() {
+					s.adm.Release(sr.status == http.StatusServiceUnavailable ||
+						sr.status == http.StatusGatewayTimeout)
+				}()
+			}
+			h(sr, r)
+			return true
+		}()
+
 		hm.inFlight.Dec()
-		hm.dur.ObserveSince(start)
+		if admitted {
+			// Shed/rejected requests answer in microseconds; keeping them
+			// out of the histogram stops them dragging the p99 estimate —
+			// which gates future deadlines — down during an overload.
+			hm.dur.ObserveSince(start)
+		}
 		hm.requests(strconv.Itoa(sr.status)).Inc()
 		sp.AttrInt("status", sr.status).End()
 		// Per-request lines go out at debug so an info-level daemon is not
@@ -362,7 +425,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeErr maps the service sentinel errors onto HTTP statuses.
+// writeErr maps the service sentinel errors onto HTTP statuses. Every
+// retriable rejection carries a Retry-After so clients back off by the
+// server's estimate instead of their own schedule.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -376,11 +441,23 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusGone
 	case errors.Is(err, ErrFull):
 		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
 	case errors.Is(err, ErrDraining):
 		// Mid-migration; by the time a client retries, the tombstone or
 		// ring will route it to the new owner.
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, context.DeadlineExceeded):
+		// The propagated budget expired mid-request. 504, like the
+		// up-front gate, so deadline death is never a 5xx-class server
+		// fault in the shed accounting.
+		status = http.StatusGatewayTimeout
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, context.Canceled):
+		// The caller went away; nobody is reading this response. 499 by
+		// nginx convention keeps abandoned requests out of the 5xx error
+		// budget.
+		status = 499
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }

@@ -324,6 +324,7 @@ func (s *Session) infoLocked() SessionInfo {
 		SpineMode:      s.spn != nil,
 		SpineVersion:   s.meta.SpineVersion,
 		SpineAdoptions: s.meta.SpineAdoptions,
+		SpineSheds:     s.spineShedsLocked(),
 		Health:         s.healthLocked(),
 		Quarantined:    s.meta.Quarantined,
 		Trips:          s.meta.BreakerTrips,
@@ -334,6 +335,15 @@ func (s *Session) infoLocked() SessionInfo {
 		info.HighReplayLen = rd.HighLen()
 	}
 	return info
+}
+
+// spineShedsLocked reports how many of this session's transitions the
+// spine's ingest queue has dropped under backpressure.
+func (s *Session) spineShedsLocked() uint64 {
+	if s.actor == nil {
+		return 0
+	}
+	return s.actor.Sheds()
 }
 
 // Suggest returns the next configuration to evaluate. While an observation
@@ -349,6 +359,13 @@ func (s *Session) Suggest(ctx context.Context, now time.Time, reqID string) (Sug
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Re-check after the lock: a request whose deadline budget died while
+	// queued behind a slow holder must fail with its deadline error (504
+	// at the HTTP layer), not burn model work producing an answer nobody
+	// is waiting for.
+	if err := ctx.Err(); err != nil {
+		return SuggestResponse{}, fmt.Errorf("session %s: suggest abandoned: %w", s.meta.ID, err)
+	}
 	if s.closed {
 		return SuggestResponse{}, fmt.Errorf("session %s: %w", s.meta.ID, ErrClosed)
 	}
@@ -433,6 +450,11 @@ func (s *Session) Observe(ctx context.Context, req ObserveRequest, now time.Time
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Same post-lock re-check as Suggest: an expired budget fails fast
+	// rather than training and checkpointing for an absent caller.
+	if err := ctx.Err(); err != nil {
+		return ObserveResponse{}, fmt.Errorf("session %s: observe abandoned: %w", s.meta.ID, err)
+	}
 	if s.closed {
 		return ObserveResponse{}, fmt.Errorf("session %s: %w", s.meta.ID, ErrClosed)
 	}

@@ -122,6 +122,10 @@ type SessionInfo struct {
 	SpineMode      bool `json:"spine_mode,omitempty"`
 	SpineVersion   int  `json:"spine_version,omitempty"`
 	SpineAdoptions int  `json:"spine_adoptions,omitempty"`
+	// SpineSheds counts this session's transitions dropped by the spine's
+	// bounded ingest queue under backpressure (0 on a synchronous spine).
+	// Lost experience costs training signal, never a serving answer.
+	SpineSheds uint64 `json:"spine_sheds,omitempty"`
 	// Health is the session's circuit-breaker state: "healthy",
 	// "degraded" (breaker open, serving the last known good
 	// configuration) or "half_open" (probing recovery).

@@ -54,6 +54,31 @@ func BenchmarkSpineIngest(b *testing.B) {
 	})
 }
 
+// BenchmarkSpineIngestBackpressure is BenchmarkSpineIngest through the
+// bounded ingest queue: per-transition enqueue cost when Flush is a
+// non-blocking handoff to the drainer instead of an inline shard append.
+// The queue is sized generously so the benchmark measures the handoff
+// (pool get, priority scan, queue push), not steady-state shedding.
+func BenchmarkSpineIngestBackpressure(b *testing.B) {
+	s := New(Options{Shards: 8, ShardCapacity: 4096, FlushEvery: 32, QueueCapacity: 1024})
+	defer s.Close()
+	seed := rand.New(rand.NewSource(1))
+	proto := benchTransition(seed)
+
+	par := (8 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+	b.SetParallelism(par)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		a := s.Actor("bench")
+		tr := proto
+		for pb.Next() {
+			a.Enqueue(tr)
+		}
+		a.Flush()
+	})
+}
+
 // BenchmarkSpineSample measures the lock-free learner-side read path: one
 // 32-transition RDPER-split batch per op into a reused rl.Batch.
 func BenchmarkSpineSample(b *testing.B) {

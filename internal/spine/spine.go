@@ -22,6 +22,7 @@
 package spine
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -61,6 +62,13 @@ type Options struct {
 	// this many accumulate, then the batch is flushed under one lock
 	// acquisition (default 32). Actors may also Flush explicitly.
 	FlushEvery int
+	// QueueCapacity, when positive, puts a bounded ingest queue (measured
+	// in flush batches) between actors and the shard rings: Flush becomes
+	// a non-blocking enqueue and a single drainer goroutine applies
+	// batches, shedding by the drop-oldest-low-priority policy when the
+	// queue overflows (see ingestQueue). Zero keeps the original
+	// synchronous Flush — no queue, no shedding, deterministic ingest.
+	QueueCapacity int
 
 	// LearnInterval is the period of the background learner loop; zero or
 	// negative disables it, leaving TrainFamily to explicit calls.
@@ -171,6 +179,7 @@ type spineMetrics struct {
 	publishes *obs.Counter
 	learners  *obs.Gauge
 	dutyCycle *obs.Gauge
+	shed      *obs.Counter
 }
 
 func newSpineMetrics(reg *obs.Registry) spineMetrics {
@@ -184,6 +193,7 @@ func newSpineMetrics(reg *obs.Registry) spineMetrics {
 		publishes: reg.Counter("deepcat_spine_policy_publishes_total"),
 		learners:  reg.Gauge("deepcat_spine_learners"),
 		dutyCycle: reg.Gauge("deepcat_spine_learner_duty_permille"),
+		shed:      reg.Counter("deepcat_spine_shed_transitions_total"),
 	}
 }
 
@@ -210,6 +220,14 @@ type Spine struct {
 	// time spent inside training passes across all learners.
 	born    time.Time
 	trainNS atomic.Int64
+
+	// queue is the bounded ingest queue (nil when QueueCapacity is 0 and
+	// Flush applies synchronously); bufPool recycles flush buffers across
+	// the actor→drainer handoff; shedTotal counts transitions dropped by
+	// the overflow policy.
+	queue     *ingestQueue
+	bufPool   sync.Pool
+	shedTotal atomic.Uint64
 }
 
 // New creates a spine. When opts.LearnInterval is positive a background
@@ -225,6 +243,11 @@ func New(opts Options) *Spine {
 		stopc:      make(chan struct{}),
 		trainSlots: make(chan struct{}, opts.Workers),
 		born:       time.Now(),
+	}
+	if opts.QueueCapacity > 0 {
+		s.queue = newIngestQueue(opts.QueueCapacity)
+		s.loopWG.Add(1)
+		go s.drainLoop()
 	}
 	if opts.LearnInterval > 0 {
 		s.loopWG.Add(1)
@@ -245,6 +268,11 @@ func (s *Spine) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.stopc)
+	if s.queue != nil {
+		// Wake the drainer; it applies everything still queued before
+		// exiting, so a graceful shutdown loses no experience.
+		s.queue.close()
+	}
 	s.loopWG.Wait()
 	s.trainWG.Wait()
 }
@@ -293,6 +321,11 @@ type Actor struct {
 	sp   *Spine
 	lane *lane
 	buf  []*rl.Transition
+	// shed counts this actor's transitions dropped by the ingest queue's
+	// overflow policy — including batches it enqueued long ago that were
+	// evicted as someone else's flush arrived. Atomic because the drainer
+	// and overflow path credit it from other goroutines.
+	shed atomic.Uint64
 }
 
 // Actor returns a new producer handle for the family.
@@ -300,9 +333,13 @@ func (s *Spine) Actor(family string) *Actor {
 	return &Actor{
 		sp:   s,
 		lane: s.lane(family),
-		buf:  make([]*rl.Transition, 0, s.opts.FlushEvery),
+		buf:  s.getBuf(),
 	}
 }
+
+// Sheds returns the number of this actor's transitions dropped by spine
+// backpressure (always 0 on a synchronous spine).
+func (a *Actor) Sheds() uint64 { return a.shed.Load() }
 
 // Enqueue deep-copies the transition into the actor's append buffer,
 // flushing the batch into the lane once FlushEvery accumulate. The caller
@@ -317,39 +354,50 @@ func (a *Actor) Enqueue(tr rl.Transition) {
 // Pending returns the number of buffered, not-yet-flushed transitions.
 func (a *Actor) Pending() int { return len(a.buf) }
 
-// Flush publishes the buffered transitions into the next shard (round-robin)
-// under a single lock acquisition, routing each into the high- or low-reward
-// pool by the spine's reward threshold.
+// Flush publishes the buffered transitions. On a synchronous spine
+// (QueueCapacity 0) they go straight into the next shard (round-robin)
+// under a single lock acquisition. With a bounded ingest queue, Flush is
+// a non-blocking handoff: the buffer is enqueued for the drainer, the
+// actor takes a recycled buffer from the pool, and if the queue was full
+// the overflow policy's victim is shed with its transitions credited to
+// the owning actor — the serving thread never waits on replay ingest.
 func (a *Actor) Flush() {
 	if len(a.buf) == 0 {
 		return
 	}
-	sh := a.lane.shards[a.lane.rr.Add(1)%uint64(len(a.lane.shards))]
-	rth := a.sp.opts.RewardThreshold
-	sh.mu.Lock()
+	sp := a.sp
+	if sp.queue == nil {
+		sp.applyBatch(a.lane, a.buf)
+		a.buf = a.buf[:0]
+		return
+	}
+	rth := sp.opts.RewardThreshold
+	high := false
 	for _, tr := range a.buf {
 		if tr.Reward >= rth {
-			sh.high.append(tr)
-		} else {
-			sh.low.append(tr)
+			high = true
+			break
 		}
 	}
-	sh.mu.Unlock()
-	a.lane.ingested.Add(uint64(len(a.buf)))
-	a.sp.met.ingested.Add(uint64(len(a.buf)))
-	a.sp.met.flushes.Inc()
-	a.buf = a.buf[:0]
+	b := ingestBatch{lane: a.lane, trs: a.buf, high: high, shed: &a.shed}
+	a.buf = sp.getBuf()
+	if victim, dropped := sp.queue.push(b); dropped {
+		sp.shedBatch(victim)
+	}
 }
 
 // Ingest bulk-loads transitions into a family's lane, spreading them across
 // shards in FlushEvery-sized batches. The service uses it to warm-start the
-// spine from the warehouse WAL after a restart.
+// spine from the warehouse WAL after a restart. On a queued spine it waits
+// for the queue to drain so the bulk load keeps its synchronous contract
+// (callers train immediately after warm-starting).
 func (s *Spine) Ingest(family string, trs []rl.Transition) {
 	a := s.Actor(family)
 	for _, tr := range trs {
 		a.Enqueue(tr)
 	}
 	a.Flush()
+	s.WaitIngestIdle(context.Background())
 }
 
 // Sample fills dst with up to n transitions of the family, ceil(Beta*n)
@@ -446,6 +494,11 @@ type Stats struct {
 	// inside training passes since the spine started (summed over workers,
 	// so >1 means more than one concurrent pass on average).
 	LearnerDuty float64 `json:"learner_duty,omitempty"`
+	// QueueDepth is the number of flush batches waiting in the bounded
+	// ingest queue (0 on a synchronous spine); ShedTransitions counts
+	// transitions its overflow policy has dropped.
+	QueueDepth      int    `json:"queue_depth,omitempty"`
+	ShedTransitions uint64 `json:"shed_transitions,omitempty"`
 }
 
 // Stats reports per-family lane sizes and learner progress, sorted by
@@ -484,6 +537,8 @@ func (s *Spine) Stats() Stats {
 	if elapsed := now.Sub(s.born).Seconds(); elapsed > 0 {
 		st.LearnerDuty = float64(s.trainNS.Load()) / 1e9 / elapsed
 	}
+	st.QueueDepth = s.QueueDepth()
+	st.ShedTransitions = s.shedTotal.Load()
 	sort.Slice(st.Lanes, func(i, j int) bool { return st.Lanes[i].Family < st.Lanes[j].Family })
 	return st
 }
@@ -508,6 +563,7 @@ func (s *Spine) RefreshHealthMetrics() {
 			Set(int64(ls.StalenessSeconds + 0.5))
 	}
 	s.met.dutyCycle.Set(int64(st.LearnerDuty * 1000))
+	s.met.reg.Gauge("deepcat_spine_ingest_queue_depth").Set(int64(st.QueueDepth))
 }
 
 // Len returns the number of retained transitions for a family (0 when

@@ -1,0 +1,221 @@
+#!/bin/sh
+# fleet_chaos.sh is the overload-resilience gate: it boots a 3-shard
+# deepcat fleet with adaptive admission control and spine ingest
+# backpressure enabled, stands every shard behind a deterministic netchaos
+# proxy injecting the "overload" fault profile (rolling latency windows
+# plus bandwidth throttles), and storms it with deepcat-loadgen. The run
+# fails unless:
+#
+#   - availability stays >= 99%: every operation gets a controlled answer
+#     (2xx success or a deliberate 429/504 shed), not a transport error
+#   - shed paths produce zero genuine 5xx — overload answers are 429
+#     (admission) or 504 (deadline budget), never 500/502/503
+#   - after the fault schedule heals, a second loadgen pass completes with
+#     zero errors (breakers closed, degraded sessions recovered)
+#   - killing a shard mid-flight loses at most one acknowledged
+#     observation: the session resumes on its new ring owner within one
+#     step of where the client left it
+#
+# The netchaos fault schedule is a pure function of FLEET_CHAOS_SEED, so a
+# CI failure replays locally against the byte-identical fault timeline:
+#
+#   sh scripts/fleet_chaos.sh [sessions] [report-path] [chaos-report-path]
+set -eu
+
+SESSIONS="${1:-150}"
+REPORT="${2:-chaos_loadgen.json}"
+CHAOS_REPORT="${3:-chaos_report.json}"
+BASE_PORT="${FLEET_BASE_PORT:-18480}"
+CHAOS_SEED="${FLEET_CHAOS_SEED:-1337}"
+STORM_SECONDS="${FLEET_STORM_SECONDS:-30}"
+WORKDIR="$(mktemp -d)"
+BIN="$WORKDIR/bin"
+PIDS=""
+SERVE_PIDS=""
+NETCHAOS_PID=""
+
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $PIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+dump_logs() {
+    echo "--- shard logs ---" >&2
+    for i in 0 1 2; do
+        echo "--- serve$i ---" >&2
+        cat "$WORKDIR/serve$i.log" >&2 || true
+    done
+    echo "--- netchaos ---" >&2
+    cat "$WORKDIR/netchaos.log" >&2 || true
+}
+
+mkdir -p "$BIN"
+go build -o "$BIN/deepcat-serve" ./cmd/deepcat-serve
+go build -o "$BIN/deepcat-loadgen" ./cmd/deepcat-loadgen
+go build -o "$BIN/deepcat-netchaos" ./cmd/deepcat-netchaos
+
+# Proxies on the public ports, shards behind them on +100; peers and
+# public URLs name the proxies so inter-shard traffic is faulty too.
+PEERS=""
+TARGETS=""
+PROXY_PAIRS=""
+for i in 0 1 2; do
+    port=$((BASE_PORT + i))
+    url="http://127.0.0.1:$port"
+    PEERS="$PEERS${PEERS:+,}$url"
+    TARGETS="$TARGETS${TARGETS:+,}$url"
+    PROXY_PAIRS="$PROXY_PAIRS${PROXY_PAIRS:+,}127.0.0.1:$port=127.0.0.1:$((BASE_PORT + 100 + i))"
+done
+
+# The proxies serve faults for STORM_SECONDS, then linger fault-free so
+# the recovery phase runs over the same (now healthy) links; SIGTERM at
+# the end makes netchaos write its report before exiting.
+"$BIN/deepcat-netchaos" \
+    -proxies "$PROXY_PAIRS" \
+    -profile overload \
+    -seed "$CHAOS_SEED" \
+    -duration "${STORM_SECONDS}s" \
+    -linger 600s \
+    -report "$CHAOS_REPORT" \
+    >"$WORKDIR/netchaos.log" 2>&1 &
+NETCHAOS_PID=$!
+PIDS="$PIDS $NETCHAOS_PID"
+STORM_START=$(date +%s)
+
+mkdir -p "$WORKDIR/data"
+for i in 0 1 2; do
+    port=$((BASE_PORT + 100 + i))
+    url="http://127.0.0.1:$((BASE_PORT + i))"
+    mkdir -p "$WORKDIR/wh$i"
+    "$BIN/deepcat-serve" \
+        -addr "127.0.0.1:$port" \
+        -public-url "$url" \
+        -peers "$PEERS" \
+        -data "$WORKDIR/data" \
+        -max-sessions 0 \
+        -warehouse "$WORKDIR/wh$i" \
+        -admission \
+        -spine -spine-queue 256 -spine-learn-interval 1s \
+        -trace-ring 128 \
+        -fleet-ship-interval 2s \
+        -fleet-seal-interval 5s \
+        -log-level warn \
+        >"$WORKDIR/serve$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+    SERVE_PIDS="$SERVE_PIDS $!"
+done
+
+sleep 1
+for pid in $PIDS; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "a shard or proxy exited at startup; is a stale daemon holding port $BASE_PORT..$((BASE_PORT + 102))?" >&2
+        dump_logs
+        exit 1
+    fi
+done
+
+# --- Phase 1: storm through active fault windows --------------------------
+# Sheds count as errors in the loadgen's error taxonomy, so the error-rate
+# gate is disabled; what must hold is availability (every op gets a
+# controlled answer) and the complete absence of genuine 5xx.
+echo "phase 1: storm (${STORM_SECONDS}s overload profile, seed $CHAOS_SEED)"
+if ! "$BIN/deepcat-loadgen" \
+    -targets "$TARGETS" \
+    -sessions "$SESSIONS" \
+    -concurrency 96 \
+    -rounds 2 \
+    -report "$REPORT" \
+    -max-error-rate 1.0 \
+    -max-5xx 0 \
+    -min-availability 0.99; then
+    dump_logs
+    exit 1
+fi
+
+# --- Phase 2: recovery after heal ----------------------------------------
+# Wait out the remainder of the fault schedule plus a margin, then demand
+# a perfectly clean pass over the healed links: any lingering open breaker,
+# stuck admission limit or wedged spine queue surfaces here as an error.
+now=$(date +%s)
+remaining=$((STORM_START + STORM_SECONDS + 3 - now))
+if [ "$remaining" -gt 0 ]; then
+    echo "phase 2: waiting ${remaining}s for the fault schedule to heal"
+    sleep "$remaining"
+fi
+echo "phase 2: recovery pass over healed links"
+if ! "$BIN/deepcat-loadgen" \
+    -targets "$TARGETS" \
+    -sessions 60 \
+    -concurrency 16 \
+    -rounds 2 \
+    -max-error-rate 0; then
+    echo "fleet did not recover cleanly after the fault schedule healed" >&2
+    dump_logs
+    exit 1
+fi
+
+# --- Phase 3: kill a shard, bound observation loss ------------------------
+# Drive one session to a known step through the proxies, kill -9 shard 2,
+# then re-read the session through a survivor. The shared checkpoint
+# directory means the new ring owner resumes it from the last acknowledged
+# observation: the step may regress by at most 1.
+SHARD0="http://127.0.0.1:$BASE_PORT"
+OBS_ID="chaos-obs-$$"
+curl -fsS -L -X POST "$SHARD0/v1/sessions" \
+    -d "{\"id\":\"$OBS_ID\",\"workload\":\"TS\",\"input\":1,\"no_warm_start\":true}" >/dev/null
+ROUNDS=5
+for r in $(seq 1 $ROUNDS); do
+    curl -fsS -L -X POST "$SHARD0/v1/sessions/$OBS_ID/suggest" -d '{}' >/dev/null
+    curl -fsS -L -X POST "$SHARD0/v1/sessions/$OBS_ID/observe" -d '{"exec_time":70}' >/dev/null
+done
+BEFORE_STEP=$(curl -fsS -L "$SHARD0/v1/sessions/$OBS_ID" | sed -n 's/.*"step":\([0-9]*\).*/\1/p')
+if [ -z "$BEFORE_STEP" ]; then
+    echo "could not read session step before shard kill" >&2
+    dump_logs
+    exit 1
+fi
+
+set -- $SERVE_PIDS
+kill -9 "$3" 2>/dev/null || true
+
+AFTER_STEP=""
+for attempt in 1 2 3 4 5 6 7 8 9 10; do
+    AFTER_STEP=$(curl -fsS -L "$SHARD0/v1/sessions/$OBS_ID" 2>/dev/null | sed -n 's/.*"step":\([0-9]*\).*/\1/p' || true)
+    if [ -n "$AFTER_STEP" ]; then
+        break
+    fi
+    sleep 1
+done
+if [ -z "$AFTER_STEP" ]; then
+    echo "session $OBS_ID unreachable after shard kill (no surviving owner resumed it)" >&2
+    dump_logs
+    exit 1
+fi
+if [ "$AFTER_STEP" -lt $((BEFORE_STEP - 1)) ]; then
+    echo "shard kill lost $((BEFORE_STEP - AFTER_STEP)) observations (step $BEFORE_STEP -> $AFTER_STEP), more than the 1 allowed" >&2
+    dump_logs
+    exit 1
+fi
+echo "phase 3: shard kill preserved session progress (step $BEFORE_STEP -> $AFTER_STEP)"
+
+# --- Chaos report ---------------------------------------------------------
+# SIGTERM makes netchaos write its report (schedules + per-proxy fault
+# stats) for the CI artifact; the loadgen report carries the shed taxonomy.
+kill "$NETCHAOS_PID" 2>/dev/null || true
+wait "$NETCHAOS_PID" 2>/dev/null || true
+if [ ! -s "$CHAOS_REPORT" ]; then
+    echo "netchaos did not write its chaos report to $CHAOS_REPORT" >&2
+    dump_logs
+    exit 1
+fi
+
+SHED_429=$(sed -n 's/.*"shed_429": *\([0-9]*\).*/\1/p' "$REPORT" | head -1)
+SHED_504=$(sed -n 's/.*"shed_504": *\([0-9]*\).*/\1/p' "$REPORT" | head -1)
+echo "fleet chaos passed: $SESSIONS storm sessions (shed 429=$SHED_429 504=$SHED_504), recovery clean, loss-bound held"
+echo "  loadgen report in $REPORT, chaos report in $CHAOS_REPORT"

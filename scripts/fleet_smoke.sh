@@ -13,6 +13,12 @@
 # The shards share one checkpoint directory (the deployment model for
 # checkpoint handoff and kill -9 failover) and each runs its own warehouse
 # with pull-based segment shipping plus a per-shard trace spool directory.
+#
+# Every shard sits behind a deterministic netchaos proxy injecting the mild
+# "latency" fault profile (10-40ms per chunk) on every hop — client traffic
+# and inter-shard proxying/probing alike — so the smoke gates prove the
+# fleet meets its SLOs on a realistic link, not on loopback perfection.
+# FLEET_CHAOS_SEED replays an exact fault timeline.
 set -eu
 
 SESSIONS="${1:-200}"
@@ -20,9 +26,11 @@ REPORT="${2:-fleet_report.json}"
 TRACE_OUT="${3:-fleet_trace.json}"
 SLO_P99_MS="${FLEET_SLO_P99_MS:-2000}"
 BASE_PORT="${FLEET_BASE_PORT:-18080}"
+CHAOS_SEED="${FLEET_CHAOS_SEED:-42}"
 WORKDIR="$(mktemp -d)"
 BIN="$WORKDIR/bin"
 PIDS=""
+SERVE_PIDS=""
 
 cleanup() {
     for pid in $PIDS; do
@@ -39,20 +47,34 @@ mkdir -p "$BIN"
 go build -o "$BIN/deepcat-serve" ./cmd/deepcat-serve
 go build -o "$BIN/deepcat-loadgen" ./cmd/deepcat-loadgen
 go build -o "$BIN/deepcat-trace" ./cmd/deepcat-trace
+go build -o "$BIN/deepcat-netchaos" ./cmd/deepcat-netchaos
 
+# Proxies listen on the public ports; shards hide behind them on +100.
+# Peers and public URLs name the proxy ports, so even shard-to-shard
+# forwarding crosses a faulty link.
 PEERS=""
 TARGETS=""
+PROXY_PAIRS=""
 for i in 0 1 2; do
     port=$((BASE_PORT + i))
     url="http://127.0.0.1:$port"
     PEERS="$PEERS${PEERS:+,}$url"
     TARGETS="$TARGETS${TARGETS:+,}$url"
+    PROXY_PAIRS="$PROXY_PAIRS${PROXY_PAIRS:+,}127.0.0.1:$port=127.0.0.1:$((BASE_PORT + 100 + i))"
 done
+
+"$BIN/deepcat-netchaos" \
+    -proxies "$PROXY_PAIRS" \
+    -profile latency \
+    -seed "$CHAOS_SEED" \
+    -duration 600s \
+    >"$WORKDIR/netchaos.log" 2>&1 &
+PIDS="$PIDS $!"
 
 mkdir -p "$WORKDIR/data"
 for i in 0 1 2; do
-    port=$((BASE_PORT + i))
-    url="http://127.0.0.1:$port"
+    port=$((BASE_PORT + 100 + i))
+    url="http://127.0.0.1:$((BASE_PORT + i))"
     mkdir -p "$WORKDIR/wh$i" "$WORKDIR/traces$i"
     "$BIN/deepcat-serve" \
         -addr "127.0.0.1:$port" \
@@ -67,6 +89,7 @@ for i in 0 1 2; do
         -log-level warn \
         >"$WORKDIR/serve$i.log" 2>&1 &
     PIDS="$PIDS $!"
+    SERVE_PIDS="$SERVE_PIDS $!"
 done
 
 dump_logs() {
@@ -75,15 +98,17 @@ dump_logs() {
         echo "--- serve$i ---" >&2
         cat "$WORKDIR/serve$i.log" >&2 || true
     done
+    echo "--- netchaos ---" >&2
+    cat "$WORKDIR/netchaos.log" >&2 || true
 }
 
-# A shard that cannot bind (a stale daemon still holding the port) exits
-# immediately; catching it here beats debugging a half-stale fleet where
-# readiness probes pass against the wrong processes.
+# A shard or proxy that cannot bind (a stale daemon still holding the
+# port) exits immediately; catching it here beats debugging a half-stale
+# fleet where readiness probes pass against the wrong processes.
 sleep 1
 for pid in $PIDS; do
     if ! kill -0 "$pid" 2>/dev/null; then
-        echo "a shard exited at startup; is a stale daemon holding port $BASE_PORT..$((BASE_PORT + 2))?" >&2
+        echo "a shard or proxy exited at startup; is a stale daemon holding port $BASE_PORT..$((BASE_PORT + 102))?" >&2
         dump_logs
         exit 1
     fi
@@ -136,7 +161,7 @@ fi
 # --- Degraded fleet metrics ----------------------------------------------
 # Kill shard 2 outright and assert the merged exposition on a survivor
 # still renders, with the dead shard's availability gauge at 0.
-set -- $PIDS
+set -- $SERVE_PIDS
 kill -9 "$3" 2>/dev/null || true
 DEAD_URL="http://127.0.0.1:$((BASE_PORT + 2))"
 METRICS="$WORKDIR/fleet_metrics.txt"
